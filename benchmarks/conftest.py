@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+Every table/figure benchmark does two things:
+
+1. **times** the core computation behind the experiment (a representative
+   simulation run or statistic), via pytest-benchmark;
+2. **asserts** the experiment's shape checks — the paper's qualitative
+   claims — on a report computed once per session at ``BENCH_SCALE``.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.registry import run_experiment
+
+#: Workload scale for benchmark-time experiment verification.  0.5 keeps
+#: the full ten-experiment sweep under a minute while staying inside the
+#: regime where every shape check is meaningful.
+BENCH_SCALE = 0.5
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """All experiment reports at bench scale, computed once."""
+    common.clear_caches()
+    cache: dict[str, object] = {}
+
+    def get(experiment_id: str):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(
+                experiment_id, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+        return cache[experiment_id]
+
+    return get
+
+
+def assert_checks(report) -> None:
+    """Fail the benchmark if any of the paper's shape checks regressed."""
+    failed = report.failed_checks()
+    assert not failed, "\n".join(c.render() for c in failed)
+
+
+@pytest.fixture(scope="session")
+def campus():
+    """The three campus workloads at bench scale (memoized)."""
+    return list(common.campus_workloads(BENCH_SCALE, BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def worrell():
+    """The Worrell workload at bench scale (memoized)."""
+    return common.worrell_workload(BENCH_SCALE, BENCH_SEED)

@@ -1,0 +1,26 @@
+"""Extension bench: the dynamic-content trend (paper Section 5).
+
+Times one dynamic-heavy workload build + simulation and asserts the
+ext-dynamic experiment's checks.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, assert_checks
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import HCS, CampusWorkload
+
+
+def test_ext_dynamic_ten_percent(benchmark, reports):
+    def run():
+        workload = CampusWorkload(
+            HCS, seed=19, request_scale=BENCH_SCALE, dynamic_fraction=0.10
+        ).build()
+        return simulate(
+            workload.server(), AlexProtocol.from_percent(10),
+            workload.requests, SimulatorMode.OPTIMIZED,
+            end_time=workload.duration,
+        )
+
+    result = benchmark(run)
+    assert result.counters.full_retrievals > 0
+    assert_checks(reports("ext-dynamic"))

@@ -1,0 +1,22 @@
+"""Extension bench: eager vs lazy invalidation (the latency trade).
+
+Times the eager-invalidation run over the campus traces and asserts the
+ext-latency experiment's checks.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.analysis.sweep import run_protocol
+from repro.core.protocols import InvalidationProtocol
+from repro.core.simulator import SimulatorMode
+
+
+def test_ext_latency_eager_push(benchmark, reports, campus):
+    def run():
+        return run_protocol(
+            campus, lambda: InvalidationProtocol(eager=True),
+            SimulatorMode.OPTIMIZED,
+        )
+
+    metrics = benchmark(run)
+    assert metrics["mean_round_trips"] == 0.0
+    assert_checks(reports("ext-latency"))

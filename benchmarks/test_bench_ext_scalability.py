@@ -1,0 +1,26 @@
+"""Extension bench: origin load vs cache population.
+
+Times the 8-cache partitioned invalidation run and asserts the
+ext-scalability experiment's checks (linear callback bookkeeping).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, assert_checks
+from repro.core.protocols import InvalidationProtocol
+from repro.experiments.ext_scalability import _partitioned_run
+from repro.workload.campus import HCS, CampusWorkload
+
+
+def test_ext_scalability_partitioned_invalidation(benchmark, reports):
+    workload = CampusWorkload(
+        HCS, seed=21, request_scale=BENCH_SCALE
+    ).build()
+
+    def run():
+        return _partitioned_run(workload, InvalidationProtocol, 8)
+
+    merged = benchmark(run)
+    # One notice per change per cache: exactly 8x the single-cache count.
+    changes = workload.total_changes
+    assert merged.counters.server_invalidations_sent == 8 * changes
+    assert merged.counters.stale_hits == 0
+    assert_checks(reports("ext-scalability"))

@@ -1,0 +1,25 @@
+"""Extension bench: Worrell's seven-day TTL break-even.
+
+Times the base-mode run at Worrell's 168-hour TTL and asserts the
+ext-worrell experiment's checks.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.core.clock import hours
+from repro.core.protocols import TTLProtocol
+from repro.core.simulator import SimulatorMode, simulate
+
+
+def test_ext_worrell_seven_day_ttl(benchmark, reports, worrell):
+    server = worrell.server()
+
+    def run():
+        return simulate(
+            server, TTLProtocol(hours(168)), worrell.requests,
+            SimulatorMode.BASE, end_time=worrell.duration,
+        )
+
+    result = benchmark(run)
+    # Worrell's price: substantial staleness at the break-even TTL.
+    assert result.stale_hit_rate > 0.10
+    assert_checks(reports("ext-worrell"))

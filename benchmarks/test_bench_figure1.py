@@ -1,0 +1,17 @@
+"""Figure 1 bench: the hierarchy-flattening scenarios.
+
+Times one full hierarchical-vs-collapsed scenario sweep and asserts the
+caption's bias claims.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.experiments.figure1 import SCENARIOS, _measure
+
+
+def test_figure1_scenarios(benchmark, reports):
+    def run_all():
+        return {s.key: _measure(s) for s in SCENARIOS}
+
+    measured = benchmark(run_all)
+    assert set(measured) == {s.key for s in SCENARIOS}
+    assert_checks(reports("figure1"))

@@ -1,0 +1,23 @@
+"""Figure 2 bench: base-simulator bandwidth (Worrell workload).
+
+Times a representative base-mode run (Alex at the paper's 40% example
+threshold) and asserts Figure 2's shape checks.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode, simulate
+
+
+def test_figure2_base_mode_run(benchmark, reports, worrell):
+    server = worrell.server()
+
+    def run():
+        return simulate(
+            server, AlexProtocol.from_percent(40), worrell.requests,
+            SimulatorMode.BASE, end_time=worrell.duration,
+        )
+
+    result = benchmark(run)
+    assert result.counters.requests == len(worrell.requests)
+    assert_checks(reports("figure2"))

@@ -1,0 +1,26 @@
+"""Figure 3 bench: base-simulator miss/stale rates.
+
+Times the TTL run at the paper's 125-hour working example and asserts
+Figure 3's shape checks (stale grows with the parameter, invalidation
+stays perfect).
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.core.clock import hours
+from repro.core.protocols import TTLProtocol
+from repro.core.simulator import SimulatorMode, simulate
+
+
+def test_figure3_ttl_125h_run(benchmark, reports, worrell):
+    server = worrell.server()
+
+    def run():
+        return simulate(
+            server, TTLProtocol(hours(125)), worrell.requests,
+            SimulatorMode.BASE, end_time=worrell.duration,
+        )
+
+    result = benchmark(run)
+    # The paper's example regime: substantial staleness at TTL 125h.
+    assert result.stale_hit_rate > 0.05
+    assert_checks(reports("figure3"))

@@ -1,0 +1,24 @@
+"""Figure 4 bench: optimized-simulator bandwidth.
+
+Times the same Alex configuration as the Figure 2 bench but with
+conditional retrieval, so the two benchmark numbers juxtapose the cost
+of unconditional refetching directly.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode, simulate
+
+
+def test_figure4_optimized_mode_run(benchmark, reports, worrell):
+    server = worrell.server()
+
+    def run():
+        return simulate(
+            server, AlexProtocol.from_percent(40), worrell.requests,
+            SimulatorMode.OPTIMIZED, end_time=worrell.duration,
+        )
+
+    result = benchmark(run)
+    assert result.counters.validations > 0
+    assert_checks(reports("figure4"))

@@ -1,0 +1,24 @@
+"""Figure 5 bench: optimized-simulator miss rates.
+
+Times the invalidation-protocol run (the baseline every panel compares
+against) and asserts Figure 5's checks: misses collapse to the
+invalidation level, stale rates unchanged from the base simulator.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.core.protocols import InvalidationProtocol
+from repro.core.simulator import SimulatorMode, simulate
+
+
+def test_figure5_invalidation_run(benchmark, reports, worrell):
+    server = worrell.server()
+
+    def run():
+        return simulate(
+            server, InvalidationProtocol(), worrell.requests,
+            SimulatorMode.OPTIMIZED, end_time=worrell.duration,
+        )
+
+    result = benchmark(run)
+    assert result.counters.stale_hits == 0
+    assert_checks(reports("figure5"))

@@ -1,0 +1,22 @@
+"""Figure 6 bench: trace-driven bandwidth across the campus workloads.
+
+Times the three-trace Alex run at the order-of-magnitude operating point
+(high threshold) and asserts Figure 6's checks.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.analysis.sweep import run_protocol
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode
+
+
+def test_figure6_three_trace_average(benchmark, reports, campus):
+    def run():
+        return run_protocol(
+            campus, lambda: AlexProtocol.from_percent(100),
+            SimulatorMode.OPTIMIZED,
+        )
+
+    metrics = benchmark(run)
+    assert metrics["total_mb"] > 0
+    assert_checks(reports("figure6"))

@@ -1,0 +1,22 @@
+"""Figure 7 bench: trace-driven miss/stale rates.
+
+Times the Alex run at the paper's recommended 5% threshold (the "<1%
+stale" configuration) and asserts Figure 7's checks.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.analysis.sweep import run_protocol
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode
+
+
+def test_figure7_alex_5pct_threshold(benchmark, reports, campus):
+    def run():
+        return run_protocol(
+            campus, lambda: AlexProtocol.from_percent(5),
+            SimulatorMode.OPTIMIZED,
+        )
+
+    metrics = benchmark(run)
+    assert metrics["stale_hit_rate"] < 0.01
+    assert_checks(reports("figure7"))

@@ -1,0 +1,23 @@
+"""Figure 8 bench: server load.
+
+Times the pathological poll-every-request configuration (Alex threshold
+0) that the paper singles out, and asserts Figure 8's checks, including
+the crossover threshold where Alex's load drops below invalidation's.
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.analysis.sweep import run_protocol
+from repro.core.protocols import PollEveryRequestProtocol
+from repro.core.simulator import SimulatorMode
+
+
+def test_figure8_poll_every_request(benchmark, reports, campus):
+    def run():
+        return run_protocol(
+            campus, PollEveryRequestProtocol, SimulatorMode.OPTIMIZED,
+        )
+
+    metrics = benchmark(run)
+    total_requests = sum(len(w.requests) for w in campus) / len(campus)
+    assert metrics["server_operations"] >= total_requests
+    assert_checks(reports("figure8"))

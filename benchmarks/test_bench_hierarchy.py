@@ -1,0 +1,45 @@
+"""Hierarchy bench: the Figure 1 flattening argument at workload scale.
+
+Times a full campus workload driven through a two-level cache tree and
+asserts that collapsing the hierarchy does not flatter the time-based
+protocols — the premise underlying every single-cache figure.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.clock import hours
+from repro.core.hierarchy import drive_workload
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import HCS, CampusWorkload
+
+
+def test_hierarchy_workload_scale(benchmark):
+    workload = CampusWorkload(
+        HCS, seed=41, request_scale=BENCH_SCALE * 0.5
+    ).build()
+    server = workload.server()
+
+    def run_hierarchical():
+        time_sim = drive_workload(
+            server, lambda: TTLProtocol(hours(125)), workload.requests,
+            clients=workload.clients, end_time=workload.duration,
+        )
+        inval_sim = drive_workload(
+            server, InvalidationProtocol, workload.requests,
+            clients=workload.clients, deliver_invalidations=True,
+            end_time=workload.duration,
+        )
+        return time_sim.total_bytes(), inval_sim.total_bytes()
+
+    hier_time, hier_inval = benchmark(run_hierarchical)
+
+    flat_time = simulate(
+        server, TTLProtocol(hours(125)), workload.requests,
+        SimulatorMode.OPTIMIZED, end_time=workload.duration,
+    ).bandwidth.total_bytes
+    flat_inval = simulate(
+        server, InvalidationProtocol(), workload.requests,
+        SimulatorMode.OPTIMIZED, end_time=workload.duration,
+    ).bandwidth.total_bytes
+
+    assert flat_time / flat_inval >= hier_time / hier_inval * 0.999

@@ -1,0 +1,59 @@
+"""Microbenchmarks: raw simulator throughput and workload generation.
+
+These are regression guards on the instrument itself — the figure
+sweeps run ~40 full simulations each, so requests/second here bounds the
+wall-clock of everything else.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    TTLProtocol,
+)
+from repro.core.clock import hours
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import FAS, CampusWorkload
+from repro.workload.worrell import WorrellWorkload
+
+
+def test_throughput_alex(benchmark, worrell):
+    server = worrell.server()
+    result = benchmark(
+        simulate, server, AlexProtocol.from_percent(20), worrell.requests,
+        SimulatorMode.OPTIMIZED, end_time=worrell.duration,
+    )
+    assert result.counters.requests == len(worrell.requests)
+
+
+def test_throughput_ttl(benchmark, worrell):
+    server = worrell.server()
+    result = benchmark(
+        simulate, server, TTLProtocol(hours(125)), worrell.requests,
+        SimulatorMode.OPTIMIZED, end_time=worrell.duration,
+    )
+    assert result.counters.requests == len(worrell.requests)
+
+
+def test_throughput_invalidation(benchmark, worrell):
+    server = worrell.server()
+    result = benchmark(
+        simulate, server, InvalidationProtocol(), worrell.requests,
+        SimulatorMode.OPTIMIZED, end_time=worrell.duration,
+    )
+    assert result.counters.stale_hits == 0
+
+
+def test_workload_generation_worrell(benchmark):
+    workload = benchmark(
+        lambda: WorrellWorkload(files=500, requests=20_000, seed=5).build()
+    )
+    assert workload.file_count == 500
+
+
+def test_workload_generation_campus(benchmark):
+    workload = benchmark(
+        lambda: CampusWorkload(FAS, seed=5,
+                               request_scale=BENCH_SCALE).build()
+    )
+    assert workload.file_count == FAS.files

@@ -1,0 +1,24 @@
+"""Table 1 bench: campus trace synthesis plus mutability statistics.
+
+Times the full DAS generation + ground-truth statistics computation and
+asserts every Table 1 row check.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, assert_checks
+from repro.trace.stats import mutability_from_histories
+from repro.workload.campus import DAS, CampusWorkload
+
+
+def test_table1_das_generation_and_stats(benchmark, reports):
+    def run():
+        workload = CampusWorkload(
+            DAS, seed=17, request_scale=BENCH_SCALE
+        ).build()
+        return mutability_from_histories(
+            workload.histories, workload.duration, name="DAS"
+        )
+
+    stats = benchmark(run)
+    assert stats.files == DAS.files
+    assert abs(stats.pct_mutable - DAS.pct_mutable) <= 0.5
+    assert_checks(reports("table1"))

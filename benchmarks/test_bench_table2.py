@@ -1,0 +1,20 @@
+"""Table 2 bench: the BU daily-sampling pipeline.
+
+Times population build + 186 daily samples + life-span estimation and
+asserts the Table 2 checks (access mix, sizes, life-span ordering).
+"""
+
+from benchmarks.conftest import assert_checks
+from repro.trace.sampler import DailySampler
+from repro.workload.boston import BU_WINDOW, BostonPopulation
+
+
+def test_table2_bu_sampling_pipeline(benchmark, reports):
+    def run():
+        histories = BostonPopulation(files=800, seed=23).build()
+        sampler = DailySampler(histories, BU_WINDOW)
+        return sampler.estimate_lifespans(sampler.run())
+
+    estimates = benchmark(run)
+    assert "gif" in estimates and "jpg" in estimates
+    assert_checks(reports("table2"))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A campus proxy cache replaying a (synthetic) server log from disk.
+
+This walks the paper's full pipeline end to end:
+
+1. synthesize a month of the HCS campus server's traffic (Table 1 row);
+2. write it to disk as an extended Common-Log-Format file — the format
+   the paper's modified servers produced (Last-Modified per request);
+3. read the log back and drive a proxy cache from it;
+4. report the consistency statistics a cache operator would care about.
+
+Run:
+    python examples/campus_proxy.py [--log PATH]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.analysis.report import format_table, pct
+from repro.core import SimulatorMode, simulate
+from repro.core.protocols import AlexProtocol, InvalidationProtocol
+from repro.trace import (
+    mutability_from_trace,
+    read_trace,
+    trace_from_workload,
+    write_trace,
+)
+from repro.workload import HCS, CampusWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--log", type=Path, default=None,
+                        help="where to write the synthetic log")
+    args = parser.parse_args()
+    log_path = args.log or Path(tempfile.gettempdir()) / "hcs-month.log"
+
+    # 1-2. Synthesize and persist the trace.
+    workload = CampusWorkload(HCS, seed=1995).build()
+    trace = trace_from_workload(workload)
+    lines = write_trace(trace, log_path)
+    print(f"wrote {lines} log lines to {log_path}")
+
+    # 3. Read it back, as a real proxy study would.
+    loaded = read_trace(log_path)
+    stats = mutability_from_trace(loaded)
+    print("\nobservable mutability statistics (cf. paper Table 1, HCS row):")
+    print(format_table(
+        ("files", "requests", "% remote", "observed changes",
+         "% mutable", "% very mutable"),
+        [stats.as_row()[1:]],
+    ))
+
+    # 4. Drive the proxy under a tuned Alex protocol and the
+    #    invalidation baseline.
+    rows = []
+    for protocol in (AlexProtocol.from_percent(10), InvalidationProtocol()):
+        result = simulate(
+            workload.server(), protocol, loaded.requests(),
+            SimulatorMode.OPTIMIZED, end_time=workload.duration,
+        )
+        rows.append(
+            (
+                result.protocol_name,
+                f"{result.total_megabytes:.2f}",
+                pct(result.stale_hit_rate),
+                result.server_operations,
+            )
+        )
+    print("\nproxy behaviour over the month:")
+    print(format_table(
+        ("protocol", "bandwidth MB", "stale rate", "server ops"), rows
+    ))
+    print(
+        "\nA 10% update threshold keeps stale responses well under the"
+        "\npaper's 5% bar while using a fraction of the invalidation"
+        "\nprotocol's bandwidth — with zero server-side bookkeeping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Sizing a corporate proxy cache: capacity vs hit rate, by policy.
+
+The paper's simulations assume an unbounded cache ("valid entries are
+never evicted"); a real deployment has to pick a disk budget and a
+replacement policy.  This example drives one synthetic Microsoft-style
+weekday (Table 2 access mix, 10% dynamic requests) through a bounded
+cache at several capacities and replacement policies, and reports the
+hit-rate curve a capacity planner would use.
+
+Netscape's 1995 claim that "a single local proxy server can reduce
+internetwork demands by up to 65%" (the paper's introduction) is
+directly checkable here: look at which capacity/policy combinations
+reach that bar.
+
+Run:
+    python examples/capacity_planning.py [--requests 30000]
+"""
+
+import argparse
+
+from repro.analysis.report import format_table, pct
+from repro.core import Cache, SimulatorMode, simulate
+from repro.core.protocols import AlexProtocol
+from repro.core.replacement import POLICIES, make_policy
+from repro.workload import MicrosoftProxyWorkload
+
+CAPACITY_FRACTIONS = (0.05, 0.15, 0.40, 1.00)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=30_000,
+                        help="weekday request volume to simulate")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workload = MicrosoftProxyWorkload(
+        sites=20, files_per_site=80, requests=args.requests, seed=args.seed
+    ).build()
+    population_bytes = sum(
+        h.obj.size for h in workload.histories if h.obj.cacheable
+    )
+    print(f"{workload.name}")
+    print(f"static population: {population_bytes / 1e6:.1f} MB across "
+          f"{sum(1 for h in workload.histories if h.obj.cacheable)} objects\n")
+
+    def run(cache):
+        return simulate(
+            workload.server(), AlexProtocol.from_percent(20),
+            workload.requests, SimulatorMode.OPTIMIZED,
+            cache=cache, preload=False, end_time=workload.duration,
+        )
+
+    unbounded = run(Cache())
+    rows = []
+    for fraction in CAPACITY_FRACTIONS:
+        capacity = max(1, int(population_bytes * fraction))
+        for name in sorted(POLICIES):
+            result = run(Cache(capacity_bytes=capacity,
+                               policy=make_policy(name)))
+            rows.append(
+                (
+                    f"{fraction:.0%}",
+                    name,
+                    pct(result.hit_rate),
+                    pct(result.miss_rate),
+                    f"{result.total_megabytes:.1f}",
+                )
+            )
+    rows.append(
+        ("unbounded", "(paper)", pct(unbounded.hit_rate),
+         pct(unbounded.miss_rate), f"{unbounded.total_megabytes:.1f}")
+    )
+    print(format_table(
+        ("capacity", "policy", "hit rate", "miss rate", "MB from origin"),
+        rows,
+        title="One weekday through the proxy, Alex(20%) consistency:",
+    ))
+    print(
+        "\nReading the table: hit rate buys origin bandwidth.  Dynamic"
+        "\nrequests (10% of traffic) are uncacheable and cap every row;"
+        "\nrecency-aware policies (lru/lfu) approach the unbounded"
+        "\nceiling at a fraction of the capacity, while fifo/size need"
+        "\nmore room for the same hit rate — the standard mid-90s"
+        "\nweb-caching result, reproduced on this workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Why flattening the cache hierarchy was a fair methodological move.
+
+The paper collapsed Worrell's hierarchical cache into a single cache and
+argued (Figure 1) that wherever this changes the invalidation-vs-
+time-based comparison, it biases *against* the time-based protocols —
+so the paper's pro-time-based conclusions survive the simplification.
+
+This example runs the four Figure 1 scenarios through a real two-level
+hierarchy simulator and its collapsed counterpart, printing the measured
+traffic side by side.
+
+Run:
+    python examples/hierarchy_bias.py
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.figure1 import SCENARIOS, _measure
+
+
+def main() -> None:
+    rows = []
+    for scenario in SCENARIOS:
+        data = _measure(scenario)
+        hier, flat = data["hierarchical"], data["collapsed"]
+
+        def ratio(d):
+            if d["inval_bytes"] == 0:
+                return "n/a"
+            return f"{100 * d['time_bytes'] / d['inval_bytes']:.0f}%"
+
+        rows.append(
+            (
+                scenario.key,
+                scenario.description,
+                f"{hier['time_bytes']}/{hier['inval_bytes']}",
+                ratio(hier),
+                f"{flat['time_bytes']}/{flat['inval_bytes']}",
+                ratio(flat),
+            )
+        )
+
+    print(format_table(
+        ("id", "scenario", "hier time/inval B", "ratio",
+         "flat time/inval B", "ratio"),
+        rows,
+        title="Figure 1 scenarios, measured (100-byte object, 5-day TTL):",
+    ))
+    print(
+        "\nReading the ratios: a lower time/invalidation ratio favours the"
+        "\ntime-based protocol.  Collapsing the hierarchy either leaves the"
+        "\nratio unchanged (a, b, c-all, d) or RAISES it (c-partial) — it"
+        "\nnever flatters the time-based side.  The paper's single-cache"
+        "\nresults therefore under-, not over-state the case for weak"
+        "\nconsistency."
+    )
+
+
+if __name__ == "__main__":
+    main()

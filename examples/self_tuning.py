@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Self-tuning cache consistency — the paper's future work, running.
+
+Section 5: "We are investigating algorithms by which caches can be
+self-tuning, by adjusting parameters based on the data type and the
+history of accesses to items of that type."
+
+This example runs the self-tuning protocol over the synthetic campus
+traces and shows (a) the per-file-type thresholds it converges to, and
+(b) that it lands in the tuned-Alex operating regime without anyone
+choosing a threshold.
+
+Run:
+    python examples/self_tuning.py
+"""
+
+from repro.analysis.report import format_table, pct
+from repro.core import SimulatorMode, simulate
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    SelfTuningProtocol,
+)
+from repro.workload import build_campus_workloads
+
+
+def main() -> None:
+    workloads = build_campus_workloads(seed=8)
+
+    rows = []
+    learned: dict[str, dict[str, float]] = {}
+    for name, workload in workloads.items():
+        for protocol in (
+            SelfTuningProtocol(initial_threshold=0.10),
+            AlexProtocol.from_percent(10),
+            InvalidationProtocol(),
+        ):
+            result = simulate(
+                workload.server(), protocol, workload.requests,
+                SimulatorMode.OPTIMIZED, end_time=workload.duration,
+            )
+            rows.append(
+                (
+                    name,
+                    result.protocol_name,
+                    f"{result.total_megabytes:.3f}",
+                    pct(result.stale_hit_rate),
+                    result.server_operations,
+                )
+            )
+            if isinstance(protocol, SelfTuningProtocol):
+                learned[name] = protocol.snapshot()
+
+    print(format_table(
+        ("trace", "protocol", "bandwidth MB", "stale rate", "server ops"),
+        rows,
+    ))
+
+    print("\nlearned per-type thresholds (fraction of object age):")
+    type_rows = []
+    for name, thresholds in learned.items():
+        for file_type, value in sorted(thresholds.items()):
+            type_rows.append((name, file_type, f"{value:.3f}"))
+    print(format_table(("trace", "file type", "threshold"), type_rows))
+    print(
+        "\nStable types (gif/jpg, long Table 2 life-spans) drift toward"
+        "\nlong check intervals; types that burn the cache drift down —"
+        "\nno manual parameter selection required."
+    )
+
+
+if __name__ == "__main__":
+    main()

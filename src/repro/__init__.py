@@ -1,0 +1,64 @@
+"""repro — a reproduction of Gwertzman & Seltzer, "World-Wide Web Cache
+Consistency" (USENIX Annual Technical Conference, 1996).
+
+The package provides:
+
+* ``repro.core`` — the consistency protocols (TTL, Alex adaptive
+  threshold, server invalidation, and baselines) and the trace-driven
+  single-cache and hierarchical simulators.
+* ``repro.http`` — the minimal HTTP/1.0 modelling the protocols ride on.
+* ``repro.workload`` — synthetic workload generators: Worrell's flat
+  lifetime model and the trace-shaped campus/Microsoft/Boston-University
+  workloads (Zipf popularity, bimodal lifetimes, popularity-mutability
+  anti-correlation).
+* ``repro.trace`` — extended Common-Log-Format traces, mutability
+  statistics (Table 1), and the daily-sampling life-span estimator
+  (Table 2).
+* ``repro.analysis`` — parameter sweeps, reports, ASCII plots.
+* ``repro.experiments`` — one module per paper table/figure;
+  ``python -m repro.experiments <id>`` regenerates any of them.
+
+Quickstart::
+
+    from repro.core import OriginServer, SimulatorMode, simulate
+    from repro.core.protocols import AlexProtocol
+    from repro.workload import WorrellWorkload
+
+    workload = WorrellWorkload(files=200, requests=5000, seed=7).build()
+    result = simulate(
+        OriginServer(workload.histories),
+        AlexProtocol.from_percent(10),
+        workload.requests,
+        SimulatorMode.OPTIMIZED,
+    )
+    print(result.total_megabytes, result.stale_hit_rate)
+"""
+
+from repro.core import (
+    Cache,
+    OriginServer,
+    Simulation,
+    SimulationResult,
+    SimulatorMode,
+    simulate,
+)
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    TTLProtocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlexProtocol",
+    "Cache",
+    "InvalidationProtocol",
+    "OriginServer",
+    "Simulation",
+    "SimulationResult",
+    "SimulatorMode",
+    "TTLProtocol",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""ASCII rendering of the paper's figures.
+
+The experiments print their figures to the terminal, so each panel is an
+ASCII scatter/line chart.  Log-scale y axes are supported because every
+bandwidth panel in the paper uses one ("Note the use of a log-scale to
+display the bandwidth with higher accuracy").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One plotted line: label, x values, y values, and a glyph."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    glyph: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.glyph or len(self.glyph) != 1:
+            raise ValueError(f"glyph must be a single character: {self.glyph!r}")
+
+
+_GLYPHS = "*o+x#@%"
+
+
+def assign_glyphs(labels: Sequence[str]) -> list[str]:
+    """Stable glyph assignment for up to seven series."""
+    return [_GLYPHS[i % len(_GLYPHS)] for i in range(len(labels))]
+
+
+def _nice_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:g}"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 68,
+    height: int = 18,
+    log_y: bool = False,
+    y_floor: Optional[float] = None,
+) -> str:
+    """Render series onto a character grid.
+
+    Args:
+        series: the lines to draw (later series overwrite earlier ones
+            where they collide).
+        log_y: plot log10(y); non-positive values are clamped to
+            ``y_floor`` (or the smallest positive y / 10).
+        y_floor: explicit positive floor for the log scale.
+
+    Returns:
+        The chart as a multi-line string.
+
+    Raises:
+        ValueError: when there is nothing to plot.
+    """
+    points = [
+        (x, y) for s in series for x, y in zip(s.xs, s.ys)
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    xs = [p[0] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    if log_y:
+        positive = [p[1] for p in points if p[1] > 0]
+        floor = y_floor if y_floor is not None else (
+            min(positive) / 10 if positive else 1e-3
+        )
+        if floor <= 0:
+            raise ValueError(f"y_floor must be positive: {floor}")
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+
+    ty = [transform(p[1]) for p in points]
+    y_min, y_max = min(ty), max(ty)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((transform(y) - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = s.glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = (
+        f"1e{y_max:.2f}" if log_y else _nice_value(y_max)
+    )
+    bottom_label = (
+        f"1e{y_min:.2f}" if log_y else _nice_value(y_min)
+    )
+    label_width = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + " "
+        + _nice_value(x_min)
+        + _nice_value(x_max).rjust(width - len(_nice_value(x_min)) - 1)
+    )
+    lines.append(x_axis)
+    if xlabel or ylabel or log_y:
+        lines.append(
+            " " * label_width
+            + f" x: {xlabel}" + (f"   y: {ylabel}" if ylabel else "")
+            + ("  [log y]" if log_y else "")
+        )
+    legend = "   ".join(f"{s.glyph} {s.label}" for s in series)
+    lines.append(" " * label_width + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Multi-seed replication: are the reproduced shapes seed-robust?
+
+The paper reports single runs; with synthetic workloads we can do
+better — rerun any scalar metric across independent seeds and summarize
+it with mean, standard deviation, and a normal-approximation confidence
+interval.  The robustness tests use this to show that the headline
+results (the order-of-magnitude bandwidth ratio, the server-load
+crossover) are properties of the workload *model*, not of one lucky
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Two-sided z value for a 95% normal confidence interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one scalar metric across seeds.
+
+    Attributes:
+        values: the per-seed observations, in seed order.
+        mean: sample mean.
+        stdev: sample standard deviation (0 for a single observation).
+        ci_half_width: half-width of the 95% CI on the mean.
+    """
+
+    values: tuple[float, ...]
+    mean: float
+    stdev: float
+    ci_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower edge of the 95% confidence interval."""
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        """Upper edge of the 95% confidence interval."""
+        return self.mean + self.ci_half_width
+
+    @property
+    def relative_spread(self) -> float:
+        """stdev / |mean| — dimensionless run-to-run variability."""
+        return self.stdev / abs(self.mean) if self.mean else math.inf
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.mean:.4g} ± {self.ci_half_width:.2g} "
+            f"(95% CI over {len(self.values)} seeds, "
+            f"stdev {self.stdev:.2g})"
+        )
+
+
+def replicate(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+) -> Replication:
+    """Evaluate ``metric(seed)`` for every seed and summarize.
+
+    Raises:
+        ValueError: for an empty seed list.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = tuple(float(metric(seed)) for seed in seeds)
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+    half = _Z95 * stdev / math.sqrt(len(values)) if len(values) > 1 else 0.0
+    return Replication(values=values, mean=mean, stdev=stdev,
+                       ci_half_width=half)
+
+
+def all_hold(
+    predicate: Callable[[int], bool],
+    seeds: Sequence[int],
+) -> tuple[bool, list[int]]:
+    """Evaluate a boolean claim per seed.
+
+    Returns:
+        ``(every seed passed, the seeds that failed)``.
+
+    Raises:
+        ValueError: for an empty seed list.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    failures = [seed for seed in seeds if not predicate(seed)]
+    return (not failures, failures)

@@ -1,0 +1,128 @@
+"""Text tables and shape-check reporting for the experiments.
+
+Every experiment renders a text report (tables + ASCII figures) and a
+list of :class:`ShapeCheck` results — the paper's qualitative claims
+("invalidation is superior until the TTL is quite large", "stale rate
+below 5%") evaluated against the measured series.  Benchmarks and tests
+assert on the same checks, so "does the reproduction hold" is answered
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, verified or not.
+
+    Attributes:
+        name: short identifier (e.g. ``stale-below-5pct``).
+        passed: whether the measured data satisfies the claim.
+        detail: the numbers behind the verdict, for the report.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+
+    def render(self) -> str:
+        """One report line: ``[ok] name: detail``."""
+        status = "ok" if self.passed else "FAIL"
+        return f"  [{status:4s}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ExperimentReport:
+    """The complete output of one experiment run.
+
+    Attributes:
+        experiment_id: ``figure2`` ... ``table2``.
+        title: the paper's caption-level description.
+        rendered: the full text report (tables and ASCII panels).
+        checks: shape checks evaluated on the measured data.
+        data: machine-readable series/rows for downstream use.
+    """
+
+    experiment_id: str
+    title: str
+    rendered: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every shape check holds."""
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        """The checks that did not hold."""
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        """The report plus the check summary."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "",
+            self.rendered,
+            "",
+            "shape checks:",
+        ]
+        lines.extend(check.render() for check in self.checks)
+        verdict = "ALL CHECKS PASSED" if self.all_passed else "CHECKS FAILED"
+        lines.append(f"  -> {verdict}")
+        return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Numeric cells are right-aligned; text cells left-aligned.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def align(value: str, i: int, numeric: bool) -> str:
+        return value.rjust(widths[i]) if numeric else value.ljust(widths[i])
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, cells):
+        lines.append(
+            "  ".join(
+                align(cell, i, isinstance(raw[i], (int, float)))
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def pct(value: float) -> str:
+    """Format a rate as a percentage string."""
+    return f"{100.0 * value:.2f}%"

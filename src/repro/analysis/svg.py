@@ -1,0 +1,228 @@
+"""Dependency-free SVG rendering of the figures.
+
+The ASCII panels are great in a terminal but poor in a paper or README.
+This module renders the same :class:`~repro.analysis.plots.Series`
+objects as standalone SVG line charts — pure string generation, no
+plotting library required.  The experiments CLI exposes it via
+``--svg DIR``.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.plots import Series
+
+#: Default stroke colours, cycled across series.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#17becf")
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 34
+_MARGIN_BOTTOM = 56
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:g}"
+
+
+def render_svg(
+    series: Sequence[Series],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 560,
+    height: int = 340,
+    log_y: bool = False,
+    y_floor: Optional[float] = None,
+) -> str:
+    """Render series as a standalone SVG document (a string).
+
+    Mirrors :func:`repro.analysis.plots.ascii_chart`'s interface: same
+    series, same log-scale semantics (non-positive values clamp to the
+    floor).
+
+    Raises:
+        ValueError: when there is nothing to plot or the floor is
+            non-positive under ``log_y``.
+    """
+    points = [(x, y) for s in series for x, y in zip(s.xs, s.ys)]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    xs = [p[0] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    if log_y:
+        positive = [p[1] for p in points if p[1] > 0]
+        floor = y_floor if y_floor is not None else (
+            min(positive) / 10 if positive else 1e-3
+        )
+        if floor <= 0:
+            raise ValueError(f"y_floor must be positive: {floor}")
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+
+    ty = [transform(p[1]) for p in points]
+    y_min, y_max = min(ty), max(ty)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def px(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+    def py(y: float) -> float:
+        ry = (transform(y) - y_min) / (y_max - y_min)
+        return _MARGIN_TOP + (1.0 - ry) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        # Plot frame.
+        f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#999"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+            f'font-size="13">{_escape(title)}</text>'
+        )
+
+    # Axis extremes.
+    y_top = f"1e{y_max:.2f}" if log_y else _fmt(y_max)
+    y_bot = f"1e{y_min:.2f}" if log_y else _fmt(y_min)
+    parts.extend(
+        [
+            f'<text x="{_MARGIN_LEFT - 6}" y="{_MARGIN_TOP + 10}" '
+            f'text-anchor="end">{y_top}</text>',
+            f'<text x="{_MARGIN_LEFT - 6}" y="{_MARGIN_TOP + plot_h}" '
+            f'text-anchor="end">{y_bot}</text>',
+            f'<text x="{_MARGIN_LEFT}" y="{height - _MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle">{_fmt(x_min)}</text>',
+            f'<text x="{_MARGIN_LEFT + plot_w}" '
+            f'y="{height - _MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle">{_fmt(x_max)}</text>',
+        ]
+    )
+    if xlabel:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_w / 2:.0f}" '
+            f'y="{height - _MARGIN_BOTTOM + 32}" text-anchor="middle">'
+            f'{_escape(xlabel)}{" [log y]" if log_y else ""}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="14" y="{_MARGIN_TOP + plot_h / 2:.0f}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{_MARGIN_TOP + plot_h / 2:.0f})">{_escape(ylabel)}</text>'
+        )
+
+    for index, s in enumerate(series):
+        colour = PALETTE[index % len(PALETTE)]
+        coords = " ".join(
+            f"{px(x):.1f},{py(y):.1f}" for x, y in zip(s.xs, s.ys)
+        )
+        if len(s.xs) > 1:
+            parts.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{colour}" stroke-width="1.5"/>'
+            )
+        for x, y in zip(s.xs, s.ys):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5" '
+                f'fill="{colour}"/>'
+            )
+        legend_y = height - _MARGIN_BOTTOM + 46
+        legend_x = _MARGIN_LEFT + index * (plot_w // max(len(series), 1))
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 8}" width="10" '
+            f'height="10" fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}">'
+            f'{_escape(s.label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    series: Sequence[Series],
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Render and write an SVG file; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(series, **kwargs), encoding="utf-8")
+    return path
+
+
+def dump_experiment_svg(
+    data: dict,
+    directory: Union[str, Path],
+    experiment_id: str,
+) -> list[Path]:
+    """Render an experiment's series data as SVG charts.
+
+    Every top-level value that is a dict of equal-length lists (the
+    convention the experiments use for their series) becomes one chart:
+    the first key is taken as the x axis, the remaining keys as lines.
+    A log y scale is chosen automatically when all values are positive
+    and span more than two decades.
+
+    Returns:
+        The paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for key, value in data.items():
+        if not (
+            isinstance(value, dict)
+            and len(value) >= 2
+            and all(isinstance(v, (list, tuple)) for v in value.values())
+        ):
+            continue
+        lengths = {len(v) for v in value.values()}
+        if len(lengths) != 1 or lengths == {0}:
+            continue
+        names = list(value)
+        xs = [float(v) for v in value[names[0]]]
+        series = [
+            Series(label=name, xs=xs, ys=[float(v) for v in value[name]])
+            for name in names[1:]
+        ]
+        ys = [y for s in series for y in s.ys]
+        log_y = bool(ys) and min(ys) > 0 and max(ys) / min(ys) > 100
+        path = directory / f"{experiment_id}_{key.replace('/', '_')}.svg"
+        write_svg(
+            series, path,
+            title=f"{experiment_id}: {key}",
+            xlabel=names[0],
+            log_y=log_y,
+        )
+        written.append(path)
+    return written
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

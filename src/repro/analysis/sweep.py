@@ -1,0 +1,183 @@
+"""Parameter sweeps over consistency protocols.
+
+Every figure in the paper's evaluation is a sweep: the Alex update
+threshold from 0-100% or the TTL from 0-500 hours, plotted against the
+invalidation protocol's (parameter-free) horizontal line.  Figure 6 adds
+averaging over the three campus traces.  This module runs those sweeps
+and returns tidy per-point metric dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.clock import hours
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    TTLProtocol,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import average_results
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.base import Workload
+
+#: Alex thresholds (percent) matching the figures' x axis, 0-100.
+ALEX_THRESHOLDS_PERCENT: tuple[float, ...] = tuple(range(0, 101, 5))
+#: TTL values (hours) matching the figures' x axis, 0-500.
+TTL_HOURS: tuple[float, ...] = tuple(range(0, 501, 25))
+
+
+@dataclass
+class SweepPoint:
+    """One sweep sample: a parameter value and the averaged metrics."""
+
+    parameter: float
+    metrics: dict[str, float]
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+
+@dataclass
+class SweepResult:
+    """A full sweep of one protocol family plus the invalidation baseline.
+
+    Attributes:
+        family: ``alex`` or ``ttl`` (or a custom label).
+        points: per-parameter averaged metrics, in parameter order.
+        invalidation: averaged metrics of the invalidation protocol on
+            the same workloads (the horizontal line in every figure).
+    """
+
+    family: str
+    points: list[SweepPoint]
+    invalidation: dict[str, float] = field(default_factory=dict)
+
+    def parameters(self) -> list[float]:
+        """The swept parameter values."""
+        return [p.parameter for p in self.points]
+
+    def series(self, key: str) -> list[float]:
+        """One metric across the sweep (e.g. ``total_mb``)."""
+        return [p.metrics[key] for p in self.points]
+
+    def point_at(self, parameter: float) -> SweepPoint:
+        """The sweep point for an exact parameter value.
+
+        Raises:
+            KeyError: when the parameter was not swept.
+        """
+        for p in self.points:
+            if p.parameter == parameter:
+                return p
+        raise KeyError(f"parameter {parameter!r} not in sweep")
+
+
+def run_protocol(
+    workloads: Sequence[Workload],
+    protocol_factory: Callable[[], ConsistencyProtocol],
+    mode: SimulatorMode,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> dict[str, float]:
+    """Run one protocol over every workload and average the metrics.
+
+    A fresh protocol instance is built per workload (protocols may hold
+    adaptive state).  Averaging weighs each workload equally, as Figure 6
+    does for FAS/HCS/DAS.
+    """
+    results = []
+    for workload in workloads:
+        result = simulate(
+            workload.server(),
+            protocol_factory(),
+            workload.requests,
+            mode,
+            costs=costs,
+            end_time=workload.duration,
+        )
+        results.append(result)
+    return average_results(results)
+
+
+def sweep_protocol(
+    workloads: Sequence[Workload],
+    make_protocol: Callable[[float], ConsistencyProtocol],
+    parameters: Sequence[float],
+    mode: SimulatorMode,
+    *,
+    family: str,
+    costs: MessageCosts = DEFAULT_COSTS,
+    include_invalidation: bool = True,
+) -> SweepResult:
+    """Sweep ``make_protocol(parameter)`` over ``parameters``."""
+    points = [
+        SweepPoint(
+            parameter=param,
+            metrics=run_protocol(
+                workloads, lambda p=param: make_protocol(p), mode, costs
+            ),
+        )
+        for param in parameters
+    ]
+    invalidation: dict[str, float] = {}
+    if include_invalidation:
+        invalidation = run_protocol(
+            workloads, InvalidationProtocol, mode, costs
+        )
+    return SweepResult(family=family, points=points, invalidation=invalidation)
+
+
+def sweep_alex(
+    workloads: Sequence[Workload],
+    mode: SimulatorMode,
+    thresholds_percent: Sequence[float] = ALEX_THRESHOLDS_PERCENT,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> SweepResult:
+    """The Alex update-threshold sweep (x axis of panels (a))."""
+    return sweep_protocol(
+        workloads,
+        AlexProtocol.from_percent,
+        thresholds_percent,
+        mode,
+        family="alex",
+        costs=costs,
+    )
+
+
+def sweep_ttl(
+    workloads: Sequence[Workload],
+    mode: SimulatorMode,
+    ttl_hours: Sequence[float] = TTL_HOURS,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> SweepResult:
+    """The TTL sweep in hours (x axis of panels (b))."""
+    return sweep_protocol(
+        workloads,
+        lambda h: TTLProtocol(hours(h)),
+        ttl_hours,
+        mode,
+        family="ttl",
+        costs=costs,
+    )
+
+
+def crossover_parameter(
+    sweep: SweepResult, key: str, threshold: Optional[float] = None
+) -> Optional[float]:
+    """First swept parameter at which ``key`` drops to/below a level.
+
+    The level defaults to the invalidation baseline's value of the same
+    metric — e.g. "Alex requires an update threshold of at least 64% in
+    order to achieve the same server load as the invalidation protocol".
+
+    Returns:
+        The parameter value, or None when the series never crosses.
+    """
+    level = threshold if threshold is not None else sweep.invalidation[key]
+    for point in sweep.points:
+        if point.metrics[key] <= level:
+            return point.parameter
+    return None

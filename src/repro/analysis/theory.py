@@ -1,0 +1,136 @@
+"""Closed-form models of the protocols, for validating the simulator.
+
+Trace-driven simulators earn trust by agreeing with theory where theory
+exists.  For memoryless (Poisson) modification processes several of the
+paper's quantities have closed forms; the theory-vs-simulation tests
+check the simulator against them, which guards the whole reproduction
+against accounting bugs that shape checks alone might miss.
+
+* :func:`ttl_stale_fraction` — the steady-state fraction of cache hits
+  that are stale under a TTL protocol when the object changes as a
+  Poisson process.
+* :func:`ttl_validation_rate` — validations per unit time under dense
+  access (one per TTL window).
+* :func:`alex_check_times` / :func:`alex_validation_count` — the Alex
+  protocol's geometric back-off on a never-changing object: check
+  intervals grow by ``(1 + threshold)`` each cycle, so the number of
+  checks over a window is logarithmic in the window/age ratio.
+* :func:`invalidation_message_bytes` — the invalidation protocol's
+  fixed message overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def ttl_stale_fraction(change_rate: float, ttl: float) -> float:
+    """Expected stale fraction of hits for TTL under Poisson changes.
+
+    With changes arriving at rate λ and the entry revalidated every
+    ``ttl`` (dense accesses), a hit at offset u into the window is stale
+    with probability 1 − e^(−λu); averaging over u ∈ (0, T):
+
+        stale = 1 − (1 − e^(−λT)) / (λT)
+
+    Args:
+        change_rate: λ, modifications per second.
+        ttl: the TTL window T in seconds.
+
+    Raises:
+        ValueError: for negative inputs.
+    """
+    if change_rate < 0 or ttl < 0:
+        raise ValueError("change_rate and ttl must be non-negative")
+    x = change_rate * ttl
+    if x == 0.0:
+        return 0.0
+    return 1.0 - (1.0 - math.exp(-x)) / x
+
+
+def ttl_validation_rate(ttl: float) -> float:
+    """Validations per second under dense access: one per window.
+
+    Raises:
+        ValueError: for non-positive ttl.
+    """
+    if ttl <= 0:
+        raise ValueError("ttl must be positive")
+    return 1.0 / ttl
+
+
+def alex_check_times(
+    initial_age: float, threshold: float, window: float
+) -> List[float]:
+    """The Alex protocol's validation instants on a never-changing object.
+
+    Starting from a validation at t=0 of an object of age A (dense
+    accesses, content never changes, every check returns 304 and leaves
+    Last-Modified alone): the k-th check happens when the time since the
+    previous check exceeds ``threshold x age-at-that-check``.  Ages grow
+    with wall-clock, so successive check times satisfy
+
+        t_{k+1} = t_k + threshold * (A + t_k)
+
+    i.e. ``(A + t)`` grows geometrically by ``(1 + threshold)`` per
+    check — the protocol's built-in exponential back-off.
+
+    Returns:
+        The check times in ``(0, window]``.
+
+    Raises:
+        ValueError: for non-positive age/threshold or negative window.
+    """
+    if initial_age <= 0:
+        raise ValueError(f"initial_age must be positive: {initial_age}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive: {threshold}")
+    if window < 0:
+        raise ValueError(f"window must be non-negative: {window}")
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t = t + threshold * (initial_age + t)
+        if t > window:
+            break
+        times.append(t)
+    return times
+
+
+def alex_validation_count(
+    initial_age: float, threshold: float, window: float
+) -> int:
+    """Closed-form count of Alex checks over a window (stable object).
+
+    ``(A + t_k) = A (1 + threshold)^k``, so checks fit in the window
+    while ``A ((1+θ)^k − 1) <= W``:
+
+        k_max = floor( log(1 + W/A) / log(1 + θ) )
+
+    Raises:
+        ValueError: as for :func:`alex_check_times`.
+    """
+    if initial_age <= 0 or threshold <= 0:
+        raise ValueError("initial_age and threshold must be positive")
+    if window < 0:
+        raise ValueError(f"window must be non-negative: {window}")
+    if window == 0:
+        return 0
+    return int(
+        math.floor(
+            math.log1p(window / initial_age) / math.log1p(threshold)
+            + 1e-9
+        )
+    )
+
+
+def invalidation_message_bytes(changes: int, message_size: int = 43) -> int:
+    """Total callback bytes: one message per change (Section 4.1).
+
+    Raises:
+        ValueError: for negative inputs.
+    """
+    if changes < 0 or message_size < 0:
+        raise ValueError("changes and message_size must be non-negative")
+    return changes * message_size

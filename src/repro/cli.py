@@ -1,0 +1,269 @@
+"""The ``repro`` command-line tool.
+
+Four subcommands cover the workflows a downstream user has:
+
+* ``repro synthesize`` — generate a synthetic campus/Worrell trace and
+  write it to disk as an extended Common-Log-Format file.
+* ``repro stats`` — compute Table-1-style mutability statistics from an
+  extended CLF file (yours or a synthesized one).
+* ``repro simulate`` — drive one consistency protocol over a trace file
+  and report bandwidth / miss / stale / server-load numbers.
+* ``repro sweep`` — sweep a protocol parameter over a trace file and
+  print the trade-off table.
+
+Examples::
+
+    repro synthesize hcs /tmp/hcs.log --seed 7
+    repro stats /tmp/hcs.log
+    repro simulate /tmp/hcs.log --protocol alex --parameter 10
+    repro sweep /tmp/hcs.log --protocol ttl
+
+The ``simulate``/``sweep`` commands reconstruct the origin server's
+modification schedules from the trace's Last-Modified extension: a
+modification is materialized at each observed Last-Modified transition.
+Changes invisible to the log (never straddled by requests) cannot be
+recovered — the same limitation the paper's own methodology has.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table, pct
+from repro.core.clock import hours
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.trace.reconstruct import server_from_trace, workload_from_trace
+from repro.trace.records import Trace
+from repro.trace.stats import mutability_from_trace
+from repro.trace.synthesis import read_trace, trace_from_workload, write_trace
+from repro.workload.campus import CAMPUS_SERVERS, CampusWorkload
+from repro.workload.worrell import WorrellWorkload
+
+_CAMPUS_BY_NAME = {spec.name.lower(): spec for spec in CAMPUS_SERVERS}
+
+PROTOCOLS = ("alex", "ttl", "invalidation", "poll", "cern", "selftuning")
+
+
+def build_protocol(name: str, parameter: float) -> ConsistencyProtocol:
+    """Construct a protocol from its CLI name and parameter.
+
+    The parameter means: Alex — update threshold in percent; TTL — hours;
+    CERN — the Last-Modified fraction; self-tuning — the initial
+    threshold in percent.  Invalidation and poll ignore it.
+
+    Raises:
+        ValueError: for an unknown protocol name.
+    """
+    key = name.lower()
+    if key == "alex":
+        return AlexProtocol.from_percent(parameter)
+    if key == "ttl":
+        return TTLProtocol(hours(parameter))
+    if key == "invalidation":
+        return InvalidationProtocol()
+    if key == "poll":
+        return PollEveryRequestProtocol()
+    if key == "cern":
+        return CERNPolicyProtocol(lm_fraction=parameter / 100.0)
+    if key == "selftuning":
+        return SelfTuningProtocol(initial_threshold=parameter / 100.0)
+    raise ValueError(
+        f"unknown protocol {name!r}; choose from {', '.join(PROTOCOLS)}"
+    )
+
+
+# -- subcommand implementations -----------------------------------------------
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    """Generate a trace and write it as extended CLF."""
+    name = args.workload.lower()
+    if name in _CAMPUS_BY_NAME:
+        workload = CampusWorkload(
+            _CAMPUS_BY_NAME[name], seed=args.seed,
+            request_scale=args.scale,
+        ).build()
+    elif name == "worrell":
+        workload = WorrellWorkload(
+            files=max(10, int(2085 * args.scale)),
+            requests=max(100, int(100_000 * args.scale)),
+            seed=args.seed,
+        ).build()
+    else:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{', '.join([*_CAMPUS_BY_NAME, 'worrell'])}",
+              file=sys.stderr)
+        return 2
+    trace = trace_from_workload(workload)
+    lines = write_trace(trace, args.output)
+    print(f"wrote {lines} records ({workload.file_count} objects, "
+          f"{workload.total_changes} modifications) to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print Table-1-style statistics for a trace file."""
+    trace = read_trace(args.trace)
+    stats = mutability_from_trace(trace)
+    print(format_table(
+        ("Server", "Files", "Requests", "% Remote", "Total Changes",
+         "% Mutable", "% Very Mutable"),
+        [stats.as_row()],
+        title=f"observable mutability statistics for {args.trace}:",
+    ))
+    days = trace.duration / 86_400 if trace.duration else 0.0
+    if days and stats.files:
+        prob = stats.total_changes / (stats.files * days)
+        print(f"\nper-file per-day observed change probability: "
+              f"{100 * prob:.2f}% over {days:.1f} days")
+    return 0
+
+
+def _simulate_trace(
+    trace: Trace, protocol: ConsistencyProtocol, mode: SimulatorMode
+):
+    workload = workload_from_trace(trace)
+    return simulate(
+        workload.server(), protocol, workload.requests, mode,
+        end_time=workload.duration,
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one protocol over a trace file and print its metrics."""
+    trace = read_trace(args.trace)
+    try:
+        protocol = build_protocol(args.protocol, args.parameter)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    mode = SimulatorMode(args.mode)
+    result = _simulate_trace(trace, protocol, mode)
+    print(format_table(
+        ("protocol", "mode", "bandwidth MB", "miss rate", "stale rate",
+         "server ops", "round trips/request"),
+        [(
+            result.protocol_name,
+            result.mode,
+            f"{result.total_megabytes:.3f}",
+            pct(result.miss_rate),
+            pct(result.stale_hit_rate),
+            result.server_operations,
+            f"{result.counters.mean_round_trips:.3f}",
+        )],
+        title=f"{args.trace}: {len(trace)} requests",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep a protocol parameter over a trace file."""
+    trace = read_trace(args.trace)
+    if args.protocol.lower() == "alex":
+        parameters = [float(p) for p in range(0, 101, args.step or 10)]
+    elif args.protocol.lower() == "ttl":
+        parameters = [float(p) for p in range(0, 501, args.step or 50)]
+    else:
+        print("sweep supports --protocol alex or ttl", file=sys.stderr)
+        return 2
+    mode = SimulatorMode(args.mode)
+    # One reconstruction serves every sweep point.
+    server = server_from_trace(trace)
+    requests = trace.requests()
+    end = requests[-1][0] if requests else 0.0
+    rows = []
+    for parameter in parameters:
+        result = simulate(
+            server, build_protocol(args.protocol, parameter), requests,
+            mode, end_time=end,
+        )
+        rows.append(
+            (
+                parameter,
+                f"{result.total_megabytes:.3f}",
+                pct(result.miss_rate),
+                pct(result.stale_hit_rate),
+                result.server_operations,
+            )
+        )
+    inval = simulate(server, InvalidationProtocol(), requests, mode,
+                     end_time=end)
+    rows.append(
+        ("inval", f"{inval.total_megabytes:.3f}", pct(inval.miss_rate),
+         pct(inval.stale_hit_rate), inval.server_operations)
+    )
+    unit = "threshold %" if args.protocol.lower() == "alex" else "TTL hours"
+    print(format_table(
+        (unit, "MB", "miss", "stale", "server ops"), rows,
+        title=f"{args.protocol} sweep over {args.trace} ({mode.value} mode):",
+    ))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web cache-consistency simulation toolkit "
+                    "(Gwertzman & Seltzer, USENIX 1996).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize",
+                           help="generate a synthetic trace file")
+    p_syn.add_argument("workload",
+                       help="das, fas, hcs, or worrell")
+    p_syn.add_argument("output", type=Path, help="output .log path")
+    p_syn.add_argument("--seed", type=int, default=0)
+    p_syn.add_argument("--scale", type=float, default=1.0)
+    p_syn.set_defaults(func=cmd_synthesize)
+
+    p_stats = sub.add_parser("stats",
+                             help="mutability statistics from a trace")
+    p_stats.add_argument("trace", type=Path)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_sim = sub.add_parser("simulate",
+                           help="run one protocol over a trace")
+    p_sim.add_argument("trace", type=Path)
+    p_sim.add_argument("--protocol", default="alex",
+                       choices=list(PROTOCOLS))
+    p_sim.add_argument("--parameter", type=float, default=10.0,
+                       help="alex/selftuning: threshold %%; ttl: hours; "
+                            "cern: LM fraction %%")
+    p_sim.add_argument("--mode", default="optimized",
+                       choices=[m.value for m in SimulatorMode])
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser("sweep",
+                             help="sweep alex/ttl parameters over a trace")
+    p_sweep.add_argument("trace", type=Path)
+    p_sweep.add_argument("--protocol", default="alex",
+                         choices=["alex", "ttl"])
+    p_sweep.add_argument("--step", type=int, default=None)
+    p_sweep.add_argument("--mode", default="optimized",
+                         choices=[m.value for m in SimulatorMode])
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The paper's network cost model.
+
+Section 4.1: "each message averages 43 bytes and each file averages several
+thousand bytes".  Everything the protocols exchange falls into one of two
+categories:
+
+* **control messages** — GET request headers, If-Modified-Since queries,
+  304 Not Modified replies, 200 response headers, invalidation notices.
+  Each is charged a flat :attr:`MessageCosts.control_message` bytes
+  (default 43).
+* **file bodies** — charged at the object's size in bytes.
+
+A *full retrieval* is request + response headers + body; a *validation
+exchange* that ends in 304 is request + reply (two control messages); a
+validation that discovers a change folds the new body into the reply
+("send this file if it has changed since a specific date"), so it costs
+two control messages plus the body.  An invalidation notice is a single
+one-way control message.
+
+All knobs are adjustable so benchmarks can probe sensitivity to the
+43-byte assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's measured average control-message size, in bytes.
+PAPER_MESSAGE_BYTES: int = 43
+
+
+@dataclass(frozen=True)
+class MessageCosts:
+    """Byte costs charged for each protocol exchange.
+
+    Attributes:
+        control_message: flat size of one control message (request header
+            block, response header block, 304 reply, or invalidation
+            notice).  The paper's measured average is 43 bytes.
+    """
+
+    control_message: int = PAPER_MESSAGE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.control_message < 0:
+            raise ValueError(
+                f"control_message must be non-negative, got {self.control_message}"
+            )
+
+    def full_retrieval(self, body_size: int) -> tuple[int, int]:
+        """Cost of an unconditional GET returning a body.
+
+        Returns:
+            ``(control_bytes, body_bytes)`` — two control messages
+            (request headers, response headers) plus the body.
+        """
+        _check_body(body_size)
+        return (2 * self.control_message, body_size)
+
+    def validation_not_modified(self) -> tuple[int, int]:
+        """Cost of an If-Modified-Since query answered by 304.
+
+        Returns:
+            ``(control_bytes, body_bytes)`` with zero body bytes.
+        """
+        return (2 * self.control_message, 0)
+
+    def validation_modified(self, body_size: int) -> tuple[int, int]:
+        """Cost of an If-Modified-Since query answered with a new body.
+
+        Returns:
+            ``(control_bytes, body_bytes)``.
+        """
+        _check_body(body_size)
+        return (2 * self.control_message, body_size)
+
+    def invalidation_notice(self) -> tuple[int, int]:
+        """Cost of one server→cache invalidation callback message.
+
+        Returns:
+            ``(control_bytes, body_bytes)`` with zero body bytes.
+        """
+        return (self.control_message, 0)
+
+
+def _check_body(body_size: int) -> None:
+    if body_size < 0:
+        raise ValueError(f"body_size must be non-negative, got {body_size}")
+
+
+#: Default cost model used throughout the reproduction.
+DEFAULT_COSTS = MessageCosts()

@@ -1,0 +1,419 @@
+"""Hierarchical caching — the topology the paper flattened, rebuilt.
+
+Section 3.0 argues that collapsing Worrell's cache hierarchy to a single
+cache never biases the comparison *toward* time-based protocols; Figure 1
+walks four scenarios (a-d) showing the collapsed model is either neutral
+or favours invalidation.  To verify that argument rather than take it on
+faith, this module implements a real multi-level cache tree:
+
+* client requests arrive at leaf caches;
+* a miss or expiry is resolved through the parent (which may serve from
+  its own, possibly stale, copy — the characteristic hierarchy effect);
+* invalidation callbacks flow down the tree, each node notifying only the
+  children registered as holding the object;
+* every link (child ↔ parent, root ↔ origin) carries its own byte ledger,
+  so both total bytes and Worrell's hop-weighted bytes are measurable.
+
+Only optimized-mode (If-Modified-Since) semantics are implemented — the
+flattening argument concerns message flows, which are identical in both
+modes for the scenarios of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.cache import Cache, CacheEntry
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.metrics import (
+    FULL_RETRIEVAL,
+    INVALIDATION,
+    VALIDATION_200,
+    VALIDATION_304,
+    BandwidthLedger,
+    ConsistencyCounters,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.server import FetchResult, OriginServer
+
+
+class CacheNode:
+    """One cache in the hierarchy.
+
+    Args:
+        name: label for reports (e.g. ``cache-1a``).
+        protocol: the consistency protocol this node runs.
+        parent: the next cache toward the origin, or None for the root
+            (which talks to the origin server directly).
+        costs: byte cost model for the link to the parent/origin.
+
+    The node's :attr:`uplink` ledger records all traffic on the link
+    between this node and its parent (or the origin, for the root).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        protocol: ConsistencyProtocol,
+        parent: Optional["CacheNode"] = None,
+        costs: MessageCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.name = name
+        self.protocol = protocol
+        self.parent = parent
+        self.costs = costs
+        self.cache = Cache()
+        self.uplink = BandwidthLedger()
+        self.counters = ConsistencyCounters()
+        #: Children registered as holding each object (for invalidation
+        #: fan-out); populated as children fetch through this node.
+        self._holders: dict[str, set[CacheNode]] = {}
+        self._children: list[CacheNode] = []
+        if parent is not None:
+            parent._children.append(self)
+        self._origin: Optional[OriginServer] = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def children(self) -> tuple["CacheNode", ...]:
+        """Caches directly below this node."""
+        return tuple(self._children)
+
+    def attach_origin(self, server: OriginServer) -> None:
+        """Connect the root node to the origin server.
+
+        Raises:
+            ValueError: when called on a non-root node.
+        """
+        if self.parent is not None:
+            raise ValueError(f"{self.name} is not the root of its hierarchy")
+        self._origin = server
+
+    @property
+    def depth(self) -> int:
+        """Number of links between this node and the origin (root = 1)."""
+        node, hops = self, 1
+        while node.parent is not None:
+            node = node.parent
+            hops += 1
+        return hops
+
+    # -- upstream operations -------------------------------------------------------
+
+    def _origin_or_fail(self) -> OriginServer:
+        if self._origin is None:
+            raise RuntimeError(
+                f"root node {self.name!r} has no origin attached; "
+                "call attach_origin() first"
+            )
+        return self._origin
+
+    def _register_holder(self, object_id: str, child: "CacheNode") -> None:
+        self._holders.setdefault(object_id, set()).add(child)
+
+    def _store(self, object_id: str, file_type: str, result: FetchResult,
+               t: float) -> CacheEntry:
+        entry = CacheEntry(
+            object_id=object_id,
+            version=result.version,
+            size=result.size,
+            file_type=file_type,
+            fetched_at=t,
+            validated_at=t,
+            last_modified=result.last_modified,
+            valid=True,
+            server_expires=result.expires,
+        )
+        self.cache.store(entry)
+        self.protocol.on_stored(entry, t)
+        return entry
+
+    def ensure_fresh(self, object_id: str, t: float) -> CacheEntry:
+        """Return an entry this node considers servable at time ``t``.
+
+        Resolves misses and expiries through the parent (or origin at the
+        root), charging the uplink.  The returned entry may still be
+        *stale* with respect to the origin — that is the whole point of
+        weak consistency.
+        """
+        entry = self.cache.lookup(object_id)
+        if entry is not None and self.protocol.is_fresh(entry, t):
+            return entry
+
+        if entry is None:
+            result = self._fetch_full(object_id, t)
+            self.counters.misses += 1
+            self.counters.full_retrievals += 1
+            return self._store(object_id, self._file_type(object_id), result, t)
+
+        # Present but not fresh: conditional retrieval upstream.
+        self.counters.validations += 1
+        result = self._fetch_conditional(object_id, t, entry.last_modified)
+        if result is None:
+            self.counters.validations_not_modified += 1
+            entry.validated_at = t
+            entry.valid = True
+            self.protocol.on_stored(entry, t)
+            self.protocol.on_validation_result(entry, t, was_modified=False)
+            return entry
+        self.counters.misses += 1
+        entry = self._store(object_id, self._file_type(object_id), result, t)
+        self.protocol.on_validation_result(entry, t, was_modified=True)
+        return entry
+
+    def _file_type(self, object_id: str) -> str:
+        node: CacheNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node._origin_or_fail().object(object_id).file_type
+
+    def _fetch_full(self, object_id: str, t: float) -> FetchResult:
+        if self.parent is None:
+            result = self._origin_or_fail().get(object_id, t)
+            self.counters.server_gets += 1
+        else:
+            upstream = self.parent.ensure_fresh(object_id, t)
+            self.parent._register_holder(object_id, self)
+            result = FetchResult(
+                version=upstream.version,
+                last_modified=upstream.last_modified,
+                size=upstream.size,
+                expires=upstream.server_expires,
+            )
+        control, body = self.costs.full_retrieval(result.size)
+        self.uplink.charge(FULL_RETRIEVAL, control, body)
+        return result
+
+    def _fetch_conditional(
+        self, object_id: str, t: float, since: float
+    ) -> Optional[FetchResult]:
+        if self.parent is None:
+            self.counters.server_ims_queries += 1
+            result = self._origin_or_fail().if_modified_since(object_id, t, since)
+        else:
+            upstream = self.parent.ensure_fresh(object_id, t)
+            self.parent._register_holder(object_id, self)
+            if upstream.last_modified <= since:
+                result = None
+            else:
+                result = FetchResult(
+                    version=upstream.version,
+                    last_modified=upstream.last_modified,
+                    size=upstream.size,
+                    expires=upstream.server_expires,
+                )
+        if result is None:
+            control, body = self.costs.validation_not_modified()
+            self.uplink.charge(VALIDATION_304, control, body)
+        else:
+            control, body = self.costs.validation_modified(result.size)
+            self.uplink.charge(VALIDATION_200, control, body)
+        return result
+
+    # -- invalidation fan-out ----------------------------------------------------------
+
+    def receive_invalidation(self, object_id: str) -> None:
+        """Handle an invalidation callback for ``object_id``.
+
+        Marks the local entry invalid (if valid and resident) and forwards
+        the notice to every registered child holder, charging each child's
+        uplink one control message.  Registration is consumed: a child
+        must fetch through again to receive future callbacks.
+        """
+        if self.cache.invalidate(object_id):
+            self.counters.invalidations_received += 1
+        holders = self._holders.pop(object_id, set())
+        control, body = self.costs.invalidation_notice()
+        for child in holders:
+            child.uplink.charge(INVALIDATION, control, body)
+            self.counters.server_invalidations_sent += 1
+            child.receive_invalidation(object_id)
+
+
+class HierarchySimulation:
+    """Drive client requests against a cache tree.
+
+    Args:
+        server: the origin.
+        root: the root cache node (will have the origin attached).
+        leaves: the caches that receive client requests.
+        deliver_invalidations: when True, the origin's modification feed
+            is delivered to the root (which fans out) before each request,
+            as the invalidation protocol requires.
+    """
+
+    def __init__(
+        self,
+        server: OriginServer,
+        root: CacheNode,
+        leaves: Iterable[CacheNode],
+        *,
+        deliver_invalidations: bool = False,
+        costs: MessageCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.server = server
+        self.root = root
+        self.leaves = {leaf.name: leaf for leaf in leaves}
+        self.costs = costs
+        root.attach_origin(server)
+        self._deliver = deliver_invalidations
+        self._feed = server.invalidation_feed() if deliver_invalidations else ()
+        self._feed_idx = 0
+        self._now = 0.0
+
+    def preload(self, at: float = 0.0) -> None:
+        """Load valid copies of every object into every node, registering
+        holder relationships so invalidations can fan out."""
+        for node in self._all_nodes():
+            node.cache.preload_from(self.server, at=at)
+            for entry in node.cache:
+                node.protocol.on_stored(entry, at)
+            if node.parent is not None:
+                for oid in self.server.object_ids:
+                    node.parent._register_holder(oid, node)
+
+    def _all_nodes(self) -> list[CacheNode]:
+        nodes, frontier = [], [self.root]
+        while frontier:
+            node = frontier.pop()
+            nodes.append(node)
+            frontier.extend(node.children)
+        return nodes
+
+    def _deliver_until(self, t: float) -> None:
+        feed = self._feed
+        idx = self._feed_idx
+        while idx < len(feed) and feed[idx][0] <= t:
+            _, oid = feed[idx]
+            idx += 1
+            # The origin notifies the root over the root's uplink.
+            if self.root.cache.peek(oid) is not None and self.root.cache.peek(oid).valid:
+                control, body = self.costs.invalidation_notice()
+                self.root.uplink.charge(INVALIDATION, control, body)
+                self.root.counters.server_invalidations_sent += 1
+            self.root.receive_invalidation(oid)
+        self._feed_idx = idx
+
+    def request(self, leaf_name: str, object_id: str, t: float) -> bool:
+        """Serve one client request at the named leaf.
+
+        Returns:
+            True when the response content was stale relative to the
+            origin at time ``t``.
+
+        Raises:
+            KeyError: for an unknown leaf.
+            ValueError: for out-of-order timestamps.
+        """
+        if t < self._now:
+            raise ValueError(f"request at {t!r} precedes {self._now!r}")
+        self._now = t
+        if self._deliver:
+            self._deliver_until(t)
+        leaf = self.leaves[leaf_name]
+        leaf.counters.requests += 1
+        entry = leaf.ensure_fresh(object_id, t)
+        stale = entry.version < self.server.version_at(object_id, t)
+        if stale:
+            leaf.counters.stale_hits += 1
+        return stale
+
+    def finish(self, end_time: float) -> None:
+        """Deliver any trailing invalidations up to ``end_time``."""
+        if self._deliver:
+            self._deliver_until(end_time)
+
+    # -- measurement ---------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total bytes moved on every link of the hierarchy."""
+        return sum(node.uplink.total_bytes for node in self._all_nodes())
+
+    def hop_weighted_bytes(self) -> int:
+        """Worrell's goodness metric: bytes on each link weighted by the
+        link's distance from the origin (root link = 1)."""
+        return sum(
+            node.uplink.total_bytes * node.depth for node in self._all_nodes()
+        )
+
+    def message_count(self) -> int:
+        """Total exchanges (control-level events) across all links."""
+        return sum(
+            sum(node.uplink.exchanges.values()) for node in self._all_nodes()
+        )
+
+    def leaf_counters(self) -> ConsistencyCounters:
+        """Merged request-level counters across all leaf caches."""
+        merged = ConsistencyCounters()
+        for leaf in self.leaves.values():
+            merged.requests += leaf.counters.requests
+            merged.stale_hits += leaf.counters.stale_hits
+        return merged
+
+
+def two_level_tree(
+    protocol_factory: "Callable[[], ConsistencyProtocol]",
+    fan_out: int = 2,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> tuple[CacheNode, list[CacheNode]]:
+    """Build the paper's topology: one second-level cache over N leaves.
+
+    Returns:
+        ``(root, leaves)`` ready to hand to :class:`HierarchySimulation`.
+
+    Raises:
+        ValueError: for a non-positive fan-out.
+    """
+    if fan_out <= 0:
+        raise ValueError(f"fan_out must be positive: {fan_out}")
+    root = CacheNode("cache-2", protocol_factory(), costs=costs)
+    leaves = [
+        CacheNode(f"cache-1{chr(ord('a') + i)}", protocol_factory(),
+                  parent=root, costs=costs)
+        for i in range(fan_out)
+    ]
+    return root, leaves
+
+
+def drive_workload(
+    server: OriginServer,
+    protocol_factory: "Callable[[], ConsistencyProtocol]",
+    workload_requests: "Iterable[tuple[float, str]]",
+    *,
+    clients: "Optional[list[str]]" = None,
+    fan_out: int = 2,
+    deliver_invalidations: bool = False,
+    end_time: Optional[float] = None,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> HierarchySimulation:
+    """Run a full request stream through a two-level hierarchy.
+
+    Each client hostname is pinned to one leaf cache (stable CRC32 hash,
+    so runs are reproducible across processes), modelling the regional
+    caches of Worrell's topology; workloads without client labels
+    alternate leaves per request.
+
+    Returns:
+        The completed :class:`HierarchySimulation`, ready for its
+        measurement accessors.
+    """
+    root, leaves = two_level_tree(protocol_factory, fan_out, costs)
+    sim = HierarchySimulation(
+        server, root, leaves,
+        deliver_invalidations=deliver_invalidations, costs=costs,
+    )
+    sim.preload(at=0.0)
+    from zlib import crc32
+
+    names = [leaf.name for leaf in leaves]
+    last_t = 0.0
+    for index, (t, oid) in enumerate(workload_requests):
+        if clients is not None:
+            leaf = names[crc32(clients[index].encode()) % fan_out]
+        else:
+            leaf = names[index % fan_out]
+        sim.request(leaf, oid, t)
+        last_t = t
+    sim.finish(end_time if end_time is not None else last_t)
+    return sim

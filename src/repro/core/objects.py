@@ -1,0 +1,162 @@
+"""Web objects and their modification histories.
+
+A :class:`WebObject` is one URL's worth of content on an origin server:
+an identifier, a body size, a file type (gif/html/...), and a creation
+(first-modification) time.  Its :class:`ModificationSchedule` is the full
+list of times at which the object's content changes during (and before)
+the simulated period.
+
+Versions are integers: version 0 is the content as of the creation time,
+and each modification increments the version.  Version arithmetic is done
+with :func:`bisect.bisect_right` over the sorted modification times, which
+makes "what version did the server hold at time t" an O(log n) query —
+the only question the simulator ever asks about content.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class WebObject:
+    """One cacheable object (URL) on an origin server.
+
+    Attributes:
+        object_id: unique identifier; by convention a URL path such as
+            ``/courses/cs161/syllabus.html``.
+        size: body size in bytes.  The paper treats sizes as fixed per
+            object ("each file averages several thousand bytes").
+        file_type: coarse content type used by the Table-2 analyses
+            (``gif``, ``html``, ``jpg``, ``cgi``, ``other``).
+        created: simulation time of the object's initial publication, i.e.
+            the Last-Modified timestamp of version 0.  Usually negative:
+            objects exist (and have age) before the trace window opens.
+        cacheable: False for dynamically generated responses (cgi); the
+            paper's Microsoft trace found 10% of requests were dynamic.
+        expires_after: when set, the server attaches an ``Expires`` header
+            ``expires_after`` seconds after each retrieval — the a-priori
+            lifetime knob used by objects "with a known lifetime, such as
+            online newspapers that change daily".  ``None`` (the default)
+            means the server sends no Expires header.
+    """
+
+    object_id: str
+    size: int
+    file_type: str = "html"
+    created: float = 0.0
+    cacheable: bool = True
+    expires_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.object_id:
+            raise ValueError("object_id must be non-empty")
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+
+
+class ModificationSchedule:
+    """The sorted sequence of times at which an object's content changes.
+
+    The schedule answers the two questions the simulator asks:
+
+    * :meth:`version_at` — which version the origin server holds at time t
+      (0 before the first modification).
+    * :meth:`last_modified_at` — the Last-Modified timestamp at time t
+      (the creation time while at version 0).
+    """
+
+    __slots__ = ("_created", "_times")
+
+    def __init__(self, created: float, times: Sequence[float] = ()) -> None:
+        self._created = float(created)
+        sorted_times = sorted(float(t) for t in times)
+        for t in sorted_times:
+            if t <= created:
+                raise ValueError(
+                    f"modification at {t!r} not after creation {created!r}"
+                )
+        self._times: tuple[float, ...] = tuple(sorted_times)
+
+    @property
+    def created(self) -> float:
+        """Creation time (Last-Modified of version 0)."""
+        return self._created
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """All modification times, ascending."""
+        return self._times
+
+    @property
+    def total_changes(self) -> int:
+        """Total number of modifications in the schedule."""
+        return len(self._times)
+
+    def version_at(self, t: float) -> int:
+        """Version held by the origin at time ``t``.
+
+        A modification at exactly ``t`` is already visible at ``t``.
+        """
+        return bisect_right(self._times, t)
+
+    def last_modified_at(self, t: float) -> float:
+        """Last-Modified timestamp at time ``t``."""
+        version = self.version_at(t)
+        if version == 0:
+            return self._created
+        return self._times[version - 1]
+
+    def changes_in(self, start: float, end: float) -> int:
+        """Number of modifications with ``start < time <= end``."""
+        if end < start:
+            raise ValueError(f"empty interval: ({start!r}, {end!r}]")
+        return bisect_right(self._times, end) - bisect_right(self._times, start)
+
+    def next_change_after(self, t: float) -> Optional[float]:
+        """The first modification time strictly after ``t``, or None."""
+        idx = bisect_right(self._times, t)
+        if idx < len(self._times):
+            return self._times[idx]
+        return None
+
+    def age_at(self, t: float) -> float:
+        """Time since last modification at ``t`` — the Alex protocol's
+        notion of an object's age."""
+        return t - self.last_modified_at(t)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModificationSchedule(created={self._created!r}, "
+            f"changes={len(self._times)})"
+        )
+
+
+@dataclass(frozen=True)
+class ObjectHistory:
+    """A :class:`WebObject` paired with its modification schedule.
+
+    This is the unit the workload generators produce and the origin server
+    consumes.
+    """
+
+    obj: WebObject
+    schedule: ModificationSchedule = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.schedule is None:
+            object.__setattr__(
+                self, "schedule", ModificationSchedule(self.obj.created)
+            )
+        elif self.schedule.created != self.obj.created:
+            raise ValueError(
+                "schedule creation time must match the object's created time: "
+                f"{self.schedule.created!r} != {self.obj.created!r}"
+            )
+
+    @property
+    def object_id(self) -> str:
+        """The underlying object's identifier."""
+        return self.obj.object_id

@@ -1,0 +1,28 @@
+"""The cache-consistency protocols the paper compares (plus baselines).
+
+* :class:`TTLProtocol` / :class:`ExpiresTTLProtocol` — time-to-live.
+* :class:`AlexProtocol` — the Alex FTP cache's adaptive threshold.
+* :class:`InvalidationProtocol` — server callbacks, perfect consistency.
+* :class:`PollEveryRequestProtocol` — the degenerate threshold-0 case.
+* :class:`CERNPolicyProtocol` — the CERN httpd policy (related work).
+* :class:`SelfTuningProtocol` — the paper's future-work self-tuner.
+"""
+
+from repro.core.protocols.adaptive import SelfTuningProtocol
+from repro.core.protocols.alex import AlexProtocol
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.protocols.cern import CERNPolicyProtocol
+from repro.core.protocols.invalidation import InvalidationProtocol
+from repro.core.protocols.polling import PollEveryRequestProtocol
+from repro.core.protocols.ttl import ExpiresTTLProtocol, TTLProtocol
+
+__all__ = [
+    "AlexProtocol",
+    "CERNPolicyProtocol",
+    "ConsistencyProtocol",
+    "ExpiresTTLProtocol",
+    "InvalidationProtocol",
+    "PollEveryRequestProtocol",
+    "SelfTuningProtocol",
+    "TTLProtocol",
+]

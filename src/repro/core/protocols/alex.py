@@ -1,0 +1,78 @@
+"""The Alex adaptive-threshold (client polling) protocol.
+
+From Section 1.0: the protocol "uses an update threshold to determine how
+frequently to poll the server.  The update threshold is expressed as a
+percentage of the object's age.  An object is invalidated when the time
+since last validation exceeds the update threshold times the object's
+age."
+
+The worked example from the paper (and our doctest):
+
+>>> from repro.core.cache import CacheEntry
+>>> from repro.core.clock import days
+>>> entry = CacheEntry(
+...     "/f", version=0, size=100, file_type="html",
+...     fetched_at=0.0, validated_at=days(29),
+...     last_modified=days(-1))           # age 30 days at validation
+>>> alex = AlexProtocol.from_percent(10)  # threshold 10% -> 3 days
+>>> alex.is_fresh(entry, days(29) + days(2.9))   # within 3 days: fresh
+True
+>>> alex.is_fresh(entry, days(29) + days(3.1))   # past 3 days: invalid
+False
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CacheEntry
+from repro.core.protocols.base import ConsistencyProtocol
+
+
+class AlexProtocol(ConsistencyProtocol):
+    """Adaptive TTL: validity is a fixed fraction of the object's age.
+
+    Args:
+        threshold: the update threshold as a *fraction* (0.10 for the
+            paper's "10%").  Zero means the cache checks with the server
+            on every request — the Figure 8 pathological case.
+
+    Raises:
+        ValueError: if ``threshold`` is negative.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = float(threshold)
+
+    @classmethod
+    def from_percent(cls, percent: float) -> "AlexProtocol":
+        """Build from the paper's percentage parameterization."""
+        return cls(percent / 100.0)
+
+    @property
+    def percent(self) -> float:
+        """The threshold as a percentage (the figures' x axis)."""
+        return self.threshold * 100.0
+
+    @property
+    def name(self) -> str:
+        return f"alex({self.percent:g}%)"
+
+    def is_fresh(self, entry: CacheEntry, now: float) -> bool:
+        """Fresh while time-since-validation < threshold * age.
+
+        The age is measured at the last validation
+        (``validated_at - last_modified``); a freshly-modified object has
+        age near zero and is re-checked almost immediately, while a
+        year-old object earns a long quiet period — "clients need to poll
+        less frequently for older objects".
+        """
+        age = entry.validated_at - entry.last_modified
+        if age <= 0.0:
+            return False
+        return (now - entry.validated_at) < self.threshold * age
+
+    def on_stored(self, entry: CacheEntry, now: float) -> None:
+        """Stamp the absolute expiry implied by the current age."""
+        age = entry.validated_at - entry.last_modified
+        entry.expires_at = entry.validated_at + self.threshold * max(age, 0.0)

@@ -1,0 +1,86 @@
+"""The CERN httpd expiration policy (related-work baseline).
+
+Section 2.0: "The CERN server assigns cached objects times to live based
+on (in order), the 'expires' header field, a configurable fraction of the
+'Last-Modified' header field, and a configurable default expiration
+time."
+
+This is a TTL-family protocol whose per-object TTL is derived at store
+time; the "fraction of Last-Modified" rule makes it an ancestor of the
+Alex idea (validity proportional to age), which is why it is worth having
+as a baseline next to the paper's three protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cache import CacheEntry
+from repro.core.clock import to_hours
+from repro.core.protocols.base import ConsistencyProtocol
+
+
+class CERNPolicyProtocol(ConsistencyProtocol):
+    """CERN httpd-style expiry: Expires header, else LM fraction, else default.
+
+    Args:
+        lm_fraction: the configurable fraction of the object's age
+            (now − Last-Modified) used as the TTL when the server sent no
+            Expires header.  CERN httpd shipped with 0.1 as the
+            conventional setting.
+        default_ttl: the TTL applied when there is no Expires header and
+            no Last-Modified-derived age (age <= 0).
+        max_ttl: optional clamp on the derived TTL (CERN's
+            ``CacheLastModifiedFactor`` interacted with a max-expiry
+            setting); ``None`` disables clamping.
+
+    Raises:
+        ValueError: on negative parameters.
+    """
+
+    def __init__(
+        self,
+        lm_fraction: float = 0.1,
+        default_ttl: float = 0.0,
+        max_ttl: Optional[float] = None,
+    ) -> None:
+        if lm_fraction < 0:
+            raise ValueError(f"lm_fraction must be non-negative: {lm_fraction}")
+        if default_ttl < 0:
+            raise ValueError(f"default_ttl must be non-negative: {default_ttl}")
+        if max_ttl is not None and max_ttl < 0:
+            raise ValueError(f"max_ttl must be non-negative: {max_ttl}")
+        self.lm_fraction = float(lm_fraction)
+        self.default_ttl = float(default_ttl)
+        self.max_ttl = max_ttl
+
+    @property
+    def name(self) -> str:
+        return (
+            f"cern(lm={self.lm_fraction:g}, "
+            f"default={to_hours(self.default_ttl):g}h)"
+        )
+
+    def _derive_expiry(self, entry: CacheEntry, now: float) -> float:
+        if entry.server_expires is not None:
+            return entry.server_expires
+        age = now - entry.last_modified
+        if age > 0:
+            ttl = self.lm_fraction * age
+        else:
+            ttl = self.default_ttl
+        if self.max_ttl is not None:
+            ttl = min(ttl, self.max_ttl)
+        return now + ttl
+
+    def is_fresh(self, entry: CacheEntry, now: float) -> bool:
+        """Fresh until the expiry derived at store time."""
+        if entry.expires_at is None:
+            # Entry stored before this protocol took over (e.g. preload);
+            # derive from its validation-time state.
+            entry.expires_at = self._derive_expiry(entry, entry.validated_at)
+        return now < entry.expires_at
+
+    def on_stored(self, entry: CacheEntry, now: float) -> None:
+        """Apply the three-rule policy to stamp the absolute expiry."""
+        entry.expires_at = self._derive_expiry(entry, now)

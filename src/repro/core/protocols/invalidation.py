@@ -1,0 +1,54 @@
+"""The server-driven invalidation protocol.
+
+"Invalidation protocols depend on the server keeping track of cached
+data; each time an item changes the server notifies caches that their
+copies are no longer valid" (Section 1.0).  Freshness is simply the
+entry's ``valid`` flag: True until a callback clears it.
+
+Worrell's optimization is preserved by default: "upon receipt of an
+invalidation message, objects were simply marked invalid, but not
+immediately retrieved.  This increased latency on subsequent accesses,
+but decreased bandwidth consumption if the object was not accessed
+again."  Constructing the protocol with ``eager=True`` selects the
+*pre-optimization* behaviour — the new copy is pushed immediately on
+every change — which trades that bandwidth back for zero client-visible
+latency.  The two variants bracket the latency/bandwidth trade the
+paper describes; the ``ext-latency`` extension experiment measures it.
+
+The callback delivery itself is the simulator's job (it interleaves the
+origin's invalidation feed with the request stream in time order); this
+class only declares the need for it via ``wants_invalidations``.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import CacheEntry
+from repro.core.protocols.base import ConsistencyProtocol
+
+
+class InvalidationProtocol(ConsistencyProtocol):
+    """Perfect consistency via server callbacks; zero stale hits.
+
+    Args:
+        eager: when True, every invalidation immediately refetches the
+            new content (prefetch), so no client request ever waits on
+            the origin; when False (Worrell's optimization, the paper's
+            configuration), entries are merely marked invalid.
+    """
+
+    wants_invalidations = True
+
+    def __init__(self, eager: bool = False) -> None:
+        self.eager = bool(eager)
+
+    @property
+    def name(self) -> str:
+        return "invalidation(eager)" if self.eager else "invalidation"
+
+    def is_fresh(self, entry: CacheEntry, now: float) -> bool:
+        """Fresh exactly while no invalidation callback has arrived."""
+        return entry.valid
+
+    def on_stored(self, entry: CacheEntry, now: float) -> None:
+        """A (re)fetch re-establishes the callback promise."""
+        entry.expires_at = None

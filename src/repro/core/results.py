@@ -1,0 +1,170 @@
+"""Simulation result container and cross-trace aggregation.
+
+Figure 6's caption — "These results depict the averages of the FAS, HCS,
+and DAS traces" — requires averaging results across independent
+simulation runs; :func:`average_results` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.metrics import BandwidthLedger, ConsistencyCounters
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports.
+
+    Attributes:
+        protocol_name: human-readable protocol label (e.g. ``alex(10%)``).
+        mode: ``base`` or ``optimized`` simulator mode.
+        counters: request/server event counts.
+        bandwidth: byte accounting.
+        duration: simulated time covered by the run, in seconds.
+    """
+
+    protocol_name: str
+    mode: str
+    counters: ConsistencyCounters = field(default_factory=ConsistencyCounters)
+    bandwidth: BandwidthLedger = field(default_factory=BandwidthLedger)
+    duration: float = 0.0
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total consistency bandwidth in MB."""
+        return self.bandwidth.total_megabytes
+
+    @property
+    def miss_rate(self) -> float:
+        """Cache miss rate over the run."""
+        return self.counters.miss_rate
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over the run."""
+        return self.counters.hit_rate
+
+    @property
+    def stale_hit_rate(self) -> float:
+        """Stale hit rate over the run."""
+        return self.counters.stale_hit_rate
+
+    @property
+    def server_operations(self) -> int:
+        """Total server operations over the run (Figure 8's metric)."""
+        return self.counters.server_operations
+
+    @property
+    def mean_round_trips(self) -> float:
+        """Average synchronous server round trips per request (latency)."""
+        return self.counters.mean_round_trips
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict of the headline metrics, for reports and tests."""
+        return {
+            "total_mb": self.total_megabytes,
+            "miss_rate": self.miss_rate,
+            "stale_hit_rate": self.stale_hit_rate,
+            "server_operations": float(self.server_operations),
+            "requests": float(self.counters.requests),
+            "mean_round_trips": self.mean_round_trips,
+        }
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Serialize a result to a JSON-compatible dict.
+
+    Everything a stored run needs to be compared later: protocol, mode,
+    duration, full counters, and the per-category byte ledger.
+    """
+    counters = result.counters
+    return {
+        "protocol_name": result.protocol_name,
+        "mode": result.mode,
+        "duration": result.duration,
+        "counters": {
+            field_name: getattr(counters, field_name)
+            for field_name in (
+                "requests", "hits", "misses", "stale_hits", "stale_age_sum",
+                "validations", "validations_not_modified", "full_retrievals",
+                "invalidations_received", "prefetches", "server_gets",
+                "server_ims_queries", "server_invalidations_sent",
+            )
+        },
+        "bandwidth": {
+            "control_bytes": dict(result.bandwidth.control_bytes),
+            "body_bytes": dict(result.bandwidth.body_bytes),
+            "exchanges": dict(result.bandwidth.exchanges),
+        },
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Rebuild a result serialized by :func:`result_to_dict`.
+
+    Raises:
+        KeyError: when required fields are missing.
+        ValueError: when the ledger contains unknown categories.
+    """
+    result = SimulationResult(
+        protocol_name=data["protocol_name"],
+        mode=data["mode"],
+        duration=float(data["duration"]),
+    )
+    for field_name, value in data["counters"].items():
+        if not hasattr(result.counters, field_name):
+            raise KeyError(f"unknown counter field: {field_name!r}")
+        setattr(result.counters, field_name, value)
+    ledger = result.bandwidth
+    bw = data["bandwidth"]
+    for table_name in ("control_bytes", "body_bytes", "exchanges"):
+        table = getattr(ledger, table_name)
+        for category, value in bw[table_name].items():
+            if category not in table:
+                raise ValueError(f"unknown ledger category: {category!r}")
+            table[category] = value
+    return result
+
+
+def merge_results(results: Sequence[SimulationResult]) -> SimulationResult:
+    """Sum counters and bandwidth across runs (e.g. the three campus traces).
+
+    The merged result keeps the protocol name and mode of the first run;
+    all runs must share them.
+
+    Raises:
+        ValueError: on an empty sequence or mismatched protocols/modes.
+    """
+    if not results:
+        raise ValueError("cannot merge zero results")
+    first = results[0]
+    for r in results[1:]:
+        if r.protocol_name != first.protocol_name or r.mode != first.mode:
+            raise ValueError(
+                "cannot merge results from different protocols/modes: "
+                f"{r.protocol_name}/{r.mode} vs {first.protocol_name}/{first.mode}"
+            )
+    merged = SimulationResult(first.protocol_name, first.mode)
+    for r in results:
+        merged.counters.merge(r.counters)
+        merged.bandwidth.merge(r.bandwidth)
+        merged.duration = max(merged.duration, r.duration)
+    return merged
+
+
+def average_results(results: Sequence[SimulationResult]) -> dict[str, float]:
+    """Average the headline metrics across runs, as Figure 6 does.
+
+    Bandwidth is averaged in MB; rates are averaged as rates (each trace
+    weighted equally, matching "the averages of the FAS, HCS, and DAS
+    traces").
+    """
+    if not results:
+        raise ValueError("cannot average zero results")
+    n = len(results)
+    keys = results[0].summary().keys()
+    return {
+        key: sum(r.summary()[key] for r in results) / n for key in keys
+    }

@@ -1,0 +1,346 @@
+"""The single-cache trace-driven simulator.
+
+This is the paper's measurement instrument: one proxy cache in front of
+one origin server, driven by a time-ordered request stream, with the
+origin's modification schedule running underneath.  Two modes reproduce
+the paper's two simulator generations:
+
+* :attr:`SimulatorMode.BASE` — Worrell's behaviour with the hierarchy
+  flattened: when a time-based protocol's entry expires, "the next
+  request for the object will cause the object to be requested from its
+  original source" — an *unconditional* full retrieval, even if the
+  content never changed (Figures 2-3).
+* :attr:`SimulatorMode.OPTIMIZED` — the authors' conditional-retrieval
+  optimization: expiry merely marks the entry; the next request issues an
+  If-Modified-Since query and the body moves only when it truly changed.
+  "Cache misses are recorded only when a file actually needs to be
+  transferred to the cache" (Figures 4-8).
+
+The invalidation protocol behaves identically in both modes because
+Worrell had already applied the analogous optimization to it: callbacks
+mark entries invalid without refetching.
+
+Event interleaving: before serving a request at time *t*, every origin
+modification with timestamp <= *t* is delivered to caches registered for
+callbacks (the invalidation protocol).  Per Section 4.1 — "The
+invalidation protocol sends an invalidation message every time that a
+file changes" — a notice is charged for every modification of a resident
+entry, whether or not the entry was already invalid.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, Optional
+
+from repro.core.cache import Cache, CacheEntry
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.metrics import (
+    FULL_RETRIEVAL,
+    INVALIDATION,
+    PREFETCH,
+    VALIDATION_200,
+    VALIDATION_304,
+    BandwidthLedger,
+    ConsistencyCounters,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import SimulationResult
+from repro.core.server import FetchResult, OriginServer
+
+#: Callback signature for per-event tracing: ``observer(kind, time, id)``.
+#: Kinds: ``hit``, ``stale_hit``, ``miss``, ``validation_304``,
+#: ``validation_200``, ``invalidation``, ``prefetch``, ``dynamic_fetch``.
+EventObserver = Callable[[str, float, str], None]
+
+
+class SimulatorMode(enum.Enum):
+    """Which generation of the paper's simulator to model."""
+
+    #: Expired entries are refetched unconditionally (Figures 2-3).
+    BASE = "base"
+    #: Expired entries are revalidated with If-Modified-Since (Figures 4-8).
+    OPTIMIZED = "optimized"
+
+
+class Simulation:
+    """One simulation run: a cache, a protocol, and a request stream.
+
+    Args:
+        server: the origin server (population + modification schedules).
+        protocol: the consistency protocol governing the cache.
+        mode: base or optimized simulator behaviour.
+        costs: byte cost model (defaults to the paper's 43-byte messages).
+        cache: an existing cache to drive; a fresh unbounded one when None.
+        preload: when True (the paper's configuration), load a valid copy
+            of every cacheable object before the run starts.
+        start_time: simulation time at which the run begins; preloaded
+            entries are stamped as validated at this instant.
+        observer: optional per-event callback (see :data:`EventObserver`)
+            for tracing and custom statistics; adds one comparison per
+            event when unset.
+    """
+
+    def __init__(
+        self,
+        server: OriginServer,
+        protocol: ConsistencyProtocol,
+        mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+        *,
+        costs: MessageCosts = DEFAULT_COSTS,
+        cache: Optional[Cache] = None,
+        preload: bool = True,
+        start_time: float = 0.0,
+        observer: Optional["EventObserver"] = None,
+    ) -> None:
+        self.server = server
+        self.protocol = protocol
+        self.mode = mode
+        self.costs = costs
+        self.cache = cache if cache is not None else Cache()
+        self.counters = ConsistencyCounters()
+        self.bandwidth = BandwidthLedger()
+        self._observe = observer
+        self.start_time = float(start_time)
+        self._now = float(start_time)
+        self._feed: tuple[tuple[float, str], ...] = ()
+        self._feed_idx = 0
+        if protocol.wants_invalidations:
+            self._feed = server.invalidation_feed()
+            # Skip modifications that predate the run; preloaded entries
+            # already reflect them.
+            while (
+                self._feed_idx < len(self._feed)
+                and self._feed[self._feed_idx][0] <= self.start_time
+            ):
+                self._feed_idx += 1
+        if preload:
+            loaded = self.cache.preload_from(server, at=self.start_time)
+            for entry in self.cache:
+                protocol.on_stored(entry, self.start_time)
+            del loaded
+
+    # -- internals -------------------------------------------------------------
+
+    def _deliver_invalidations_until(self, t: float) -> None:
+        feed = self._feed
+        idx = self._feed_idx
+        peek = self.cache.peek
+        counters = self.counters
+        charge = self.bandwidth.charge
+        control, body = self.costs.invalidation_notice()
+        eager = getattr(self.protocol, "eager", False)
+        n = len(feed)
+        while idx < n and feed[idx][0] <= t:
+            mod_time, oid = feed[idx]
+            idx += 1
+            entry = peek(oid)
+            if entry is not None:
+                entry.valid = False
+                counters.invalidations_received += 1
+                counters.server_invalidations_sent += 1
+                charge(INVALIDATION, control, body)
+                if self._observe is not None:
+                    self._observe("invalidation", mod_time, oid)
+                if eager:
+                    # Pre-optimization invalidation: the new copy is
+                    # pushed with the notice, off any client's critical
+                    # path.  Not a cache miss — no request is waiting.
+                    result = self.server.get(oid, mod_time)
+                    p_control, p_body = self.costs.full_retrieval(result.size)
+                    charge(PREFETCH, p_control, p_body)
+                    counters.prefetches += 1
+                    counters.server_gets += 1
+                    obj = self.server.object(oid)
+                    self._store(oid, obj.file_type, result, mod_time)
+                    if self._observe is not None:
+                        self._observe("prefetch", mod_time, oid)
+        self._feed_idx = idx
+
+    def _full_fetch(self, object_id: str, t: float) -> FetchResult:
+        result = self.server.get(object_id, t)
+        control, body = self.costs.full_retrieval(result.size)
+        self.bandwidth.charge(FULL_RETRIEVAL, control, body)
+        self.counters.full_retrievals += 1
+        self.counters.server_gets += 1
+        self.counters.misses += 1
+        return result
+
+    def _store(self, object_id: str, file_type: str, result: FetchResult,
+               t: float) -> CacheEntry:
+        entry = CacheEntry(
+            object_id=object_id,
+            version=result.version,
+            size=result.size,
+            file_type=file_type,
+            fetched_at=t,
+            validated_at=t,
+            last_modified=result.last_modified,
+            valid=True,
+            server_expires=result.expires,
+        )
+        self.cache.store(entry)
+        self.protocol.on_stored(entry, t)
+        return entry
+
+    # -- public API --------------------------------------------------------------
+
+    def step(self, t: float, object_id: str) -> None:
+        """Serve one client request for ``object_id`` at time ``t``.
+
+        Requests must be presented in non-decreasing time order.
+
+        Raises:
+            ValueError: when ``t`` precedes the previous request.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"request at {t!r} precedes current time {self._now!r}; "
+                "request streams must be time-ordered"
+            )
+        self._now = t
+        if self._feed:
+            self._deliver_invalidations_until(t)
+        self.counters.requests += 1
+
+        obj = self.server.object(object_id)
+        if not obj.cacheable:
+            # Dynamic content: always regenerated at the origin.
+            self._full_fetch(object_id, t)
+            if self._observe is not None:
+                self._observe("dynamic_fetch", t, object_id)
+            return
+
+        entry = self.cache.lookup(object_id)
+        if entry is None:
+            result = self._full_fetch(object_id, t)
+            self._store(object_id, obj.file_type, result, t)
+            if self._observe is not None:
+                self._observe("miss", t, object_id)
+            return
+
+        if self.protocol.is_fresh(entry, t):
+            self.counters.hits += 1
+            schedule = self.server.schedule(object_id)
+            if entry.version < schedule.version_at(t):
+                self.counters.stale_hits += 1
+                # How long has this entry been stale?  It went stale at
+                # the first modification after the Last-Modified it holds.
+                became_stale = schedule.next_change_after(entry.last_modified)
+                if became_stale is not None:
+                    self.counters.stale_age_sum += t - became_stale
+                if self._observe is not None:
+                    self._observe("stale_hit", t, object_id)
+            elif self._observe is not None:
+                self._observe("hit", t, object_id)
+            return
+
+        if self.mode is SimulatorMode.BASE:
+            # Unconditional refetch, even when nothing changed.
+            result = self._full_fetch(object_id, t)
+            self._store(object_id, obj.file_type, result, t)
+            if self._observe is not None:
+                self._observe("miss", t, object_id)
+            return
+
+        # Optimized mode: conditional retrieval.
+        self.counters.validations += 1
+        self.counters.server_ims_queries += 1
+        result = self.server.if_modified_since(object_id, t, entry.last_modified)
+        if result is None:
+            control, body = self.costs.validation_not_modified()
+            self.bandwidth.charge(VALIDATION_304, control, body)
+            self.counters.validations_not_modified += 1
+            entry.validated_at = t
+            entry.valid = True
+            self.protocol.on_stored(entry, t)
+            self.protocol.on_validation_result(entry, t, was_modified=False)
+            # Served from cache, and the origin just confirmed it current.
+            self.counters.hits += 1
+            if self._observe is not None:
+                self._observe("validation_304", t, object_id)
+            return
+        control, body = self.costs.validation_modified(result.size)
+        self.bandwidth.charge(VALIDATION_200, control, body)
+        self.counters.misses += 1
+        entry = self._store(object_id, obj.file_type, result, t)
+        self.protocol.on_validation_result(entry, t, was_modified=True)
+        if self._observe is not None:
+            self._observe("validation_200", t, object_id)
+
+    def finish(self, end_time: Optional[float] = None) -> SimulationResult:
+        """Flush trailing invalidations and return the run's result.
+
+        Args:
+            end_time: when provided, invalidation callbacks for
+                modifications up to this time are still delivered (and
+                charged) even though no further requests arrive — the
+                server keeps notifying caches whether or not clients are
+                interested.
+        """
+        if end_time is not None:
+            if end_time < self._now:
+                raise ValueError(
+                    f"end_time {end_time!r} precedes last request {self._now!r}"
+                )
+            self._now = end_time
+            if self._feed:
+                self._deliver_invalidations_until(end_time)
+        result = SimulationResult(
+            protocol_name=self.protocol.name,
+            mode=self.mode.value,
+            counters=self.counters,
+            bandwidth=self.bandwidth,
+            duration=self._now - self.start_time,
+        )
+        result.counters.check_invariants()
+        return result
+
+    def run(
+        self,
+        requests: Iterable[tuple[float, str]],
+        end_time: Optional[float] = None,
+    ) -> SimulationResult:
+        """Drive the full request stream and return the result."""
+        step = self.step
+        for t, object_id in requests:
+            step(t, object_id)
+        return self.finish(end_time)
+
+
+def simulate(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    cache: Optional[Cache] = None,
+    preload: bool = True,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+) -> SimulationResult:
+    """Run one complete simulation and return its result.
+
+    This is the one-call entry point used by the experiments:
+
+    >>> from repro.core.protocols import AlexProtocol
+    >>> from repro.core.objects import ObjectHistory, WebObject
+    >>> from repro.core.server import OriginServer
+    >>> server = OriginServer(
+    ...     [ObjectHistory(WebObject("/a", size=1000, created=-100.0))])
+    >>> result = simulate(
+    ...     server, AlexProtocol.from_percent(10), [(1.0, "/a"), (2.0, "/a")])
+    >>> result.counters.requests
+    2
+    """
+    sim = Simulation(
+        server,
+        protocol,
+        mode,
+        costs=costs,
+        cache=cache,
+        preload=preload,
+        start_time=start_time,
+    )
+    return sim.run(requests, end_time=end_time)

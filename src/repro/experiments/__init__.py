@@ -1,0 +1,25 @@
+"""Experiments: one module per table/figure of the paper's evaluation.
+
+Run them from the command line::
+
+    python -m repro.experiments all
+    python -m repro.experiments figure6 --scale 0.25
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("figure8", scale=0.25)
+    print(report.render())
+"""
+
+__all__ = ["run_experiment", "all_ids"]
+
+
+def __getattr__(name: str):
+    # Lazy: the registry imports every experiment module; keep
+    # `import repro.experiments.figure2` cheap and cycle-free.
+    if name in __all__:
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments figure6            # one experiment
+    python -m repro.experiments all                # everything
+    python -m repro.experiments figure2 --scale 0.2 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import all_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their reports.
+
+    Returns a non-zero exit status when any shape check fails.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of Gwertzman & Seltzer, "
+            "'World-Wide Web Cache Consistency' (USENIX 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*all_ids(), "all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (1.0 = paper-calibrated size)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, metavar="DIR",
+        help="also dump each experiment's data series/tables as CSV "
+             "files into DIR",
+    )
+    parser.add_argument(
+        "--svg", type=str, default=None, metavar="DIR",
+        help="also render each experiment's series as SVG charts in DIR",
+    )
+    args = parser.parse_args(argv)
+
+    ids = all_ids() if args.experiment == "all" else [args.experiment]
+    failures = 0
+    for experiment_id in ids:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(report.render())
+        print(f"  ({elapsed:.1f}s)")
+        if args.csv:
+            from repro.analysis.export import dump_experiment_data
+
+            written = dump_experiment_data(
+                report.data, args.csv, experiment_id
+            )
+            print(f"  csv: {', '.join(str(p) for p in written)}")
+        if args.svg:
+            from repro.analysis.svg import dump_experiment_svg
+
+            rendered_svgs = dump_experiment_svg(
+                report.data, args.svg, experiment_id
+            )
+            if rendered_svgs:
+                print(
+                    f"  svg: {', '.join(str(p) for p in rendered_svgs)}"
+                )
+        print()
+        if not report.all_passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

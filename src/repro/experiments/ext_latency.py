@@ -1,0 +1,127 @@
+"""Extension: the latency side of the consistency trade (beyond the paper).
+
+The paper measures bandwidth, staleness, and server load, and mentions
+latency only qualitatively: Worrell's mark-don't-fetch invalidation
+optimization "increased latency on subsequent accesses, but decreased
+bandwidth consumption if the object was not accessed again" (Section
+2.0), and the optimized simulator likewise "traded the latency of the
+query request for the bandwidth savings" (Section 3.0).
+
+This experiment quantifies that axis with the mean number of synchronous
+server round trips per client request:
+
+* **eager invalidation** (pre-optimization: push the new body with every
+  notice) — zero client-visible latency, maximum bandwidth;
+* **lazy invalidation** (the paper's configuration) — bandwidth saved,
+  latency paid on the first access after each change;
+* **Alex across its threshold sweep** and the poll-every-request
+  degenerate case.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import Series, ascii_chart
+from repro.analysis.report import ExperimentReport, ShapeCheck, format_table, pct
+from repro.analysis.sweep import run_protocol
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+)
+from repro.core.simulator import SimulatorMode
+from repro.experiments.common import campus_sweeps, campus_workloads
+
+EXPERIMENT_ID = "ext-latency"
+TITLE = "Extension: client-visible latency (server round trips per request)"
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+    """Measure mean round trips per request across the protocol space."""
+    workloads = list(campus_workloads(scale, seed))
+    alex_sweep, _ = campus_sweeps(scale, seed)
+
+    lazy = run_protocol(workloads, InvalidationProtocol,
+                        SimulatorMode.OPTIMIZED)
+    eager = run_protocol(
+        workloads, lambda: InvalidationProtocol(eager=True),
+        SimulatorMode.OPTIMIZED,
+    )
+    poll = run_protocol(workloads, PollEveryRequestProtocol,
+                        SimulatorMode.OPTIMIZED)
+    alex5 = run_protocol(
+        workloads, lambda: AlexProtocol.from_percent(5),
+        SimulatorMode.OPTIMIZED,
+    )
+
+    rows = [
+        ("invalidation (eager push)", f"{eager['mean_round_trips']:.4f}",
+         f"{eager['total_mb']:.3f}", pct(eager["stale_hit_rate"])),
+        ("invalidation (lazy, paper)", f"{lazy['mean_round_trips']:.4f}",
+         f"{lazy['total_mb']:.3f}", pct(lazy["stale_hit_rate"])),
+        ("alex(5%)", f"{alex5['mean_round_trips']:.4f}",
+         f"{alex5['total_mb']:.3f}", pct(alex5["stale_hit_rate"])),
+        ("poll-every-request", f"{poll['mean_round_trips']:.4f}",
+         f"{poll['total_mb']:.3f}", pct(poll["stale_hit_rate"])),
+    ]
+    table = format_table(
+        ("protocol", "round trips/request", "bandwidth MB", "stale rate"),
+        rows,
+        title="Latency vs bandwidth vs staleness (campus traces, averaged):",
+    )
+    chart = ascii_chart(
+        [
+            Series("alex round trips/request", alex_sweep.parameters(),
+                   alex_sweep.series("mean_round_trips"), glyph="*"),
+            Series(f"lazy invalidation ({lazy['mean_round_trips']:.4f})",
+                   alex_sweep.parameters(),
+                   [lazy["mean_round_trips"]] * len(alex_sweep.points),
+                   glyph="o"),
+        ],
+        title="Alex latency across the update-threshold sweep",
+        xlabel="Update Threshold (percent)",
+        ylabel="round trips per request",
+        log_y=True,
+        y_floor=1e-4,
+    )
+
+    checks = [
+        ShapeCheck(
+            "eager-invalidation-has-no-client-latency",
+            eager["mean_round_trips"] < 0.001,
+            f"eager {eager['mean_round_trips']:.5f} round trips/request",
+        ),
+        ShapeCheck(
+            "eager-pays-for-it-in-bandwidth",
+            eager["total_mb"] > lazy["total_mb"],
+            f"eager {eager['total_mb']:.3f} MB vs lazy "
+            f"{lazy['total_mb']:.3f} MB — Worrell's optimization saves "
+            f"{eager['total_mb'] - lazy['total_mb']:.3f} MB",
+        ),
+        ShapeCheck(
+            "both-invalidation-variants-perfectly-consistent",
+            eager["stale_hit_rate"] == 0.0 and lazy["stale_hit_rate"] == 0.0,
+            "stale rate 0.00% for both",
+        ),
+        ShapeCheck(
+            "poll-every-request-pays-a-round-trip-every-time",
+            poll["mean_round_trips"] >= 0.999,
+            f"poll {poll['mean_round_trips']:.4f} round trips/request",
+        ),
+        ShapeCheck(
+            "alex-latency-falls-with-threshold",
+            alex_sweep.series("mean_round_trips")[-1]
+            < alex_sweep.series("mean_round_trips")[0] / 10,
+            f"{alex_sweep.series('mean_round_trips')[0]:.3f} at 0% -> "
+            f"{alex_sweep.series('mean_round_trips')[-1]:.4f} at 100%",
+        ),
+    ]
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=f"{table}\n\n{chart}",
+        checks=checks,
+        data={
+            "eager": eager, "lazy": lazy, "poll": poll, "alex5": alex5,
+            "alex_sweep_round_trips": alex_sweep.series("mean_round_trips"),
+        },
+    )

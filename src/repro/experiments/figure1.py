@@ -1,0 +1,238 @@
+"""Figure 1 — hierarchical vs collapsed caching, the flattening argument.
+
+Section 3.0 justifies collapsing Worrell's hierarchy to a single cache by
+walking four scenarios and claiming that wherever the collapse changes
+the relative traffic of invalidation vs time-based protocols, "it does so
+in a manner that favors invalidation protocols".  This experiment builds
+both topologies with the real hierarchy simulator and *measures* the four
+scenarios:
+
+  (a) data changed, never accessed again;
+  (b) data changed, accessed again before timing out;
+  (c) data changed, accessed after timing out — in two variants, all
+      leaves accessing vs only cache-1a (the caption's "if some of the
+      caches do not later access the data");
+  (d) data did not change, timed out and later accessed.
+
+The object body is deliberately small (100 bytes) so that message-count
+effects are visible in the byte ratios; with multi-kilobyte bodies every
+ratio collapses toward 1 and the bias, though still present in message
+counts, disappears from the bandwidth figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.report import ExperimentReport, ShapeCheck, format_table
+from repro.core.clock import days
+from repro.core.hierarchy import CacheNode, HierarchySimulation
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.server import OriginServer
+
+EXPERIMENT_ID = "figure1"
+TITLE = "Hierarchical vs collapsed caching: the flattening-bias scenarios"
+
+_OBJECT_ID = "/f"
+_BODY_SIZE = 100
+_TTL = days(5)
+_WINDOW = days(10)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One Figure 1 panel: a change schedule and an access pattern."""
+
+    key: str
+    description: str
+    change_times: tuple[float, ...]
+    #: (time, leaf) accesses; leaf is "1a" or "1b" (mapped to the single
+    #: cache in the collapsed topology).
+    accesses: tuple[tuple[float, str], ...]
+
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        "a", "data changed, never accessed again",
+        change_times=(days(1),), accesses=(),
+    ),
+    Scenario(
+        "b", "data changed, accessed again before timing out",
+        change_times=(days(1),),
+        accesses=((days(2), "1a"), (days(2.1), "1b")),
+    ),
+    Scenario(
+        "c-all", "data changed, accessed after timing out (all caches)",
+        change_times=(days(1),),
+        accesses=((days(6), "1a"), (days(6.1), "1b")),
+    ),
+    Scenario(
+        "c-partial",
+        "data changed, accessed after timing out (cache-1b never asks)",
+        change_times=(days(1),),
+        accesses=((days(6), "1a"),),
+    ),
+    Scenario(
+        "d", "data did not change, timed out and later accessed",
+        change_times=(), accesses=((days(6), "1a"),),
+    ),
+)
+
+
+def _make_server(scenario: Scenario) -> OriginServer:
+    created = -days(30)
+    obj = WebObject(_OBJECT_ID, size=_BODY_SIZE, created=created)
+    return OriginServer(
+        [ObjectHistory(obj, ModificationSchedule(created, scenario.change_times))]
+    )
+
+
+def _run_topology(
+    scenario: Scenario,
+    hierarchical: bool,
+    protocol_factory: Callable[[], object],
+    invalidations: bool,
+) -> HierarchySimulation:
+    server = _make_server(scenario)
+    if hierarchical:
+        root = CacheNode("cache-2", protocol_factory())
+        leaf_a = CacheNode("1a", protocol_factory(), parent=root)
+        leaf_b = CacheNode("1b", protocol_factory(), parent=root)
+        leaves = [leaf_a, leaf_b]
+    else:
+        root = CacheNode("cache", protocol_factory())
+        leaves = [root]
+    sim = HierarchySimulation(
+        server, root, leaves, deliver_invalidations=invalidations
+    )
+    sim.preload(at=0.0)
+    for t, leaf in scenario.accesses:
+        name = leaf if hierarchical else "cache"
+        sim.request(name, _OBJECT_ID, t)
+    sim.finish(_WINDOW)
+    return sim
+
+
+def _measure(scenario: Scenario) -> dict[str, dict[str, int]]:
+    """Total bytes for each (topology, protocol) combination."""
+    out: dict[str, dict[str, int]] = {}
+    for topo, hierarchical in (("hierarchical", True), ("collapsed", False)):
+        time_sim = _run_topology(
+            scenario, hierarchical, lambda: TTLProtocol(_TTL), False
+        )
+        inval_sim = _run_topology(
+            scenario, hierarchical, InvalidationProtocol, True
+        )
+        out[topo] = {
+            "time_bytes": time_sim.total_bytes(),
+            "inval_bytes": inval_sim.total_bytes(),
+            "time_msgs": time_sim.message_count(),
+            "inval_msgs": inval_sim.message_count(),
+        }
+    return out
+
+
+def _ratio(time_bytes: int, inval_bytes: int) -> Optional[float]:
+    return time_bytes / inval_bytes if inval_bytes else None
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+    """Measure the four Figure 1 scenarios in both topologies.
+
+    ``scale`` and ``seed`` are accepted for interface uniformity; the
+    scenarios are deterministic micro-benchmarks.
+    """
+    del scale, seed
+    rows = []
+    measured: dict[str, dict] = {}
+    for scenario in SCENARIOS:
+        data = _measure(scenario)
+        measured[scenario.key] = data
+        for topo in ("hierarchical", "collapsed"):
+            d = data[topo]
+            ratio = _ratio(d["time_bytes"], d["inval_bytes"])
+            rows.append(
+                (
+                    scenario.key,
+                    topo,
+                    d["time_bytes"],
+                    d["inval_bytes"],
+                    "n/a" if ratio is None else f"{100 * ratio:.0f}%",
+                    d["time_msgs"],
+                    d["inval_msgs"],
+                )
+            )
+
+    checks: list[ShapeCheck] = []
+    for key in ("a", "b"):
+        d = measured[key]
+        checks.append(
+            ShapeCheck(
+                f"scenario-{key}-time-based-traffic-is-zero",
+                d["hierarchical"]["time_bytes"] == 0
+                and d["collapsed"]["time_bytes"] == 0
+                and d["hierarchical"]["inval_bytes"] > 0,
+                f"time-based 0 B in both topologies; invalidation "
+                f"{d['hierarchical']['inval_bytes']} B (hier) / "
+                f"{d['collapsed']['inval_bytes']} B (collapsed)",
+            )
+        )
+
+    call = measured["c-all"]
+    r_h = _ratio(call["hierarchical"]["time_bytes"],
+                 call["hierarchical"]["inval_bytes"])
+    r_c = _ratio(call["collapsed"]["time_bytes"],
+                 call["collapsed"]["inval_bytes"])
+    checks.append(
+        ShapeCheck(
+            "scenario-c-all-ratios-agree",
+            r_h is not None and r_c is not None and abs(r_h - r_c) <= 0.10,
+            f"time/invalidation ratio: hierarchical {100 * r_h:.0f}% vs "
+            f"collapsed {100 * r_c:.0f}% (caption: both ~100%)",
+        )
+    )
+
+    part = measured["c-partial"]
+    p_h = _ratio(part["hierarchical"]["time_bytes"],
+                 part["hierarchical"]["inval_bytes"])
+    p_c = _ratio(part["collapsed"]["time_bytes"],
+                 part["collapsed"]["inval_bytes"])
+    checks.append(
+        ShapeCheck(
+            "scenario-c-partial-collapse-biases-against-time-based",
+            p_h is not None and p_c is not None and p_c > p_h,
+            f"time/invalidation ratio rises from {100 * p_h:.0f}% "
+            f"(hierarchical) to {100 * p_c:.0f}% (collapsed)",
+        )
+    )
+
+    d = measured["d"]
+    checks.append(
+        ShapeCheck(
+            "scenario-d-only-time-based-pays",
+            d["hierarchical"]["inval_bytes"] == 0
+            and d["collapsed"]["inval_bytes"] == 0
+            and d["collapsed"]["time_bytes"] > 0,
+            f"invalidation 0 B in both topologies; time-based pays "
+            f"{d['collapsed']['time_bytes']} B even in the collapsed model",
+        )
+    )
+
+    rendered = format_table(
+        ("scenario", "topology", "time-based B", "invalidation B",
+         "time/inval", "time msgs", "inval msgs"),
+        rows,
+        title=(
+            f"Single {_BODY_SIZE}-byte object, TTL {_TTL / days(1):g} days, "
+            f"{_WINDOW / days(1):g}-day window:"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=rendered,
+        checks=checks,
+        data={"scenarios": measured},
+    )

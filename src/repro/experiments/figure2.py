@@ -1,0 +1,93 @@
+"""Figure 2 — bandwidth usage in the base simulator.
+
+"The cache is pre-loaded with valid copies of all the files held in the
+primary server. ... The invalidation protocol is superior to both TTL
+and Alex until the update threshold or TTL is quite large.  This result
+is similar to Worrell's result for TTL protocols and indicates that Alex
+behaves comparably."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport, ShapeCheck
+from repro.analysis.sweep import SweepResult
+from repro.experiments.common import worrell_sweeps
+from repro.experiments.panels import bandwidth_panel, two_panel_report
+
+EXPERIMENT_ID = "figure2"
+TITLE = "Bandwidth usage in the base simulator (Worrell workload)"
+
+
+def _non_increasing(values: list[float], tolerance: float = 1.10) -> bool:
+    """Monotone decrease up to small stochastic wobble."""
+    return all(b <= a * tolerance for a, b in zip(values, values[1:]))
+
+
+def _checks(alex: SweepResult, ttl: SweepResult) -> list[ShapeCheck]:
+    checks = []
+
+    alex_mb = alex.series("total_mb")
+    ttl_mb = ttl.series("total_mb")
+    checks.append(
+        ShapeCheck(
+            "alex-bandwidth-decreases-with-threshold",
+            _non_increasing(alex_mb),
+            f"MB from {alex_mb[0]:.1f} at 0% to {alex_mb[-1]:.1f} at 100%",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "ttl-bandwidth-decreases-with-ttl",
+            _non_increasing(ttl_mb),
+            f"MB from {ttl_mb[0]:.1f} at 0h to {ttl_mb[-1]:.1f} at 500h",
+        )
+    )
+
+    inval_mb = alex.invalidation["total_mb"]
+    small_alex = [
+        p.metrics["total_mb"] for p in alex.points if p.parameter <= 40
+    ]
+    small_ttl = [
+        p.metrics["total_mb"] for p in ttl.points if p.parameter <= 100
+    ]
+    checks.append(
+        ShapeCheck(
+            "invalidation-superior-at-small-parameters",
+            all(mb > inval_mb for mb in small_alex)
+            and all(mb > inval_mb for mb in small_ttl),
+            f"invalidation {inval_mb:.1f} MB vs Alex<=40% min "
+            f"{min(small_alex):.1f} MB, TTL<=100h min {min(small_ttl):.1f} MB",
+        )
+    )
+
+    checks.append(
+        ShapeCheck(
+            "unconditional-refetch-is-expensive-at-threshold-0",
+            alex_mb[0] > 5 * inval_mb,
+            f"Alex(0%) {alex_mb[0]:.1f} MB vs invalidation {inval_mb:.1f} MB",
+        )
+    )
+    return checks
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+    """Regenerate Figure 2 at the given workload scale."""
+    alex, ttl = worrell_sweeps("base", scale, seed)
+    rendered = two_panel_report(alex, ttl, bandwidth_panel)
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=rendered,
+        checks=_checks(alex, ttl),
+        data={
+            "alex": {
+                "threshold_percent": alex.parameters(),
+                "total_mb": alex.series("total_mb"),
+            },
+            "ttl": {
+                "ttl_hours": ttl.parameters(),
+                "total_mb": ttl.series("total_mb"),
+            },
+            "invalidation_mb": alex.invalidation["total_mb"],
+        },
+    )

@@ -1,0 +1,95 @@
+"""Figure 3 — cache miss and stale-hit rates in the base simulator.
+
+"The increases in update threshold and TTL that induced bandwidth
+savings in Figure 2 also induce an increase in the stale hit rate.  The
+invalidation protocol provides perfect consistency resulting in a 0%
+stale hit rate."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport, ShapeCheck, pct
+from repro.analysis.sweep import SweepResult
+from repro.experiments.common import worrell_sweeps
+from repro.experiments.panels import rate_panel, two_panel_report
+
+EXPERIMENT_ID = "figure3"
+TITLE = "Cache miss and stale-hit rates in the base simulator"
+
+
+def _checks(alex: SweepResult, ttl: SweepResult) -> list[ShapeCheck]:
+    checks = []
+    checks.append(
+        ShapeCheck(
+            "invalidation-stale-rate-is-zero",
+            alex.invalidation["stale_hit_rate"] == 0.0
+            and ttl.invalidation["stale_hit_rate"] == 0.0,
+            f"invalidation stale rate {pct(alex.invalidation['stale_hit_rate'])}",
+        )
+    )
+    for sweep, label in ((alex, "alex"), (ttl, "ttl")):
+        stale = sweep.series("stale_hit_rate")
+        grew = stale[-1] > stale[0] and max(stale) == max(stale[len(stale) // 2:])
+        checks.append(
+            ShapeCheck(
+                f"{label}-stale-rate-grows-with-parameter",
+                grew,
+                f"stale {pct(stale[0])} -> {pct(stale[-1])}",
+            )
+        )
+        miss = sweep.series("miss_rate")
+        checks.append(
+            ShapeCheck(
+                f"{label}-miss-rate-shrinks-with-parameter",
+                miss[-1] < miss[0],
+                f"miss {pct(miss[0])} -> {pct(miss[-1])}",
+            )
+        )
+    checks.append(
+        ShapeCheck(
+            "invalidation-miss-rate-near-perfect",
+            alex.invalidation["miss_rate"]
+            <= min(p.metrics["miss_rate"] for p in alex.points) + 1e-9,
+            f"invalidation miss {pct(alex.invalidation['miss_rate'])} vs best "
+            f"Alex {pct(min(p.metrics['miss_rate'] for p in alex.points))}",
+        )
+    )
+    # The paper's working example: a ~25% stale rate needs a TTL around
+    # 125 hours.  Our calibration differs in absolute request rate, so
+    # assert the ballpark, not the digit.
+    try:
+        at_125 = ttl.point_at(125.0).metrics["stale_hit_rate"]
+        detail = f"stale at TTL 125h = {pct(at_125)} (paper: 25%)"
+        ok = 0.08 <= at_125 <= 0.50
+    except KeyError:
+        mid = [p for p in ttl.points if 100 <= p.parameter <= 200]
+        at_mid = max(p.metrics["stale_hit_rate"] for p in mid) if mid else 0.0
+        detail = f"stale near TTL 100-200h = {pct(at_mid)} (paper: ~25% at 125h)"
+        ok = 0.08 <= at_mid <= 0.50
+    checks.append(ShapeCheck("ttl-125h-stale-ballpark", ok, detail))
+    return checks
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+    """Regenerate Figure 3 at the given workload scale."""
+    alex, ttl = worrell_sweeps("base", scale, seed)
+    rendered = two_panel_report(alex, ttl, rate_panel)
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=rendered,
+        checks=_checks(alex, ttl),
+        data={
+            "alex": {
+                "threshold_percent": alex.parameters(),
+                "miss_rate": alex.series("miss_rate"),
+                "stale_hit_rate": alex.series("stale_hit_rate"),
+            },
+            "ttl": {
+                "ttl_hours": ttl.parameters(),
+                "miss_rate": ttl.series("miss_rate"),
+                "stale_hit_rate": ttl.series("stale_hit_rate"),
+            },
+            "invalidation_miss_rate": alex.invalidation["miss_rate"],
+        },
+    )

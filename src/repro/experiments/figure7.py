@@ -1,0 +1,95 @@
+"""Figure 7 — miss and stale rates with the modified-workload simulator.
+
+"Both protocols provide extremely low stale data rates using
+trace-driven simulation.  The cache miss rates for the invalidation
+protocol, Alex, and TTL are all less than 0.04%."  And from Section 4.0:
+"an update threshold as low as 5% returns stale data less than 1% of the
+time".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport, ShapeCheck, pct
+from repro.analysis.sweep import SweepResult
+from repro.experiments.common import campus_sweeps
+from repro.experiments.panels import rate_panel, two_panel_report
+
+EXPERIMENT_ID = "figure7"
+TITLE = "Miss and stale rates with the modified-workload simulator"
+
+#: Our miss rates will not hit the paper's 0.04% digit (request volumes
+#: differ); "near zero" here means below half a percent at full scale.
+#: Body-transfer counts are nearly request-volume-invariant (they track
+#: the change schedule), so at reduced scale the ceiling relaxes by 1/scale.
+MISS_RATE_CEILING = 0.005
+#: The conclusions' acceptability bar for stale hits.
+STALE_RATE_CEILING = 0.05
+
+
+def _checks(alex: SweepResult, ttl: SweepResult,
+            scale: float) -> list[ShapeCheck]:
+    checks = []
+    ceiling = MISS_RATE_CEILING / min(max(scale, 1e-9), 1.0)
+    inval_miss = alex.invalidation["miss_rate"]
+    for sweep, label in ((alex, "alex"), (ttl, "ttl")):
+        worst_miss = max(sweep.series("miss_rate"))
+        checks.append(
+            ShapeCheck(
+                f"{label}-miss-rate-near-zero",
+                worst_miss <= ceiling and inval_miss <= ceiling,
+                f"worst {label} miss {pct(worst_miss)}, invalidation "
+                f"{pct(inval_miss)} (paper: all < 0.04%)",
+            )
+        )
+        worst_stale = max(sweep.series("stale_hit_rate"))
+        checks.append(
+            ShapeCheck(
+                f"{label}-stale-rate-low-across-sweep",
+                worst_stale <= STALE_RATE_CEILING * 1.5,
+                f"worst {label} stale {pct(worst_stale)} "
+                f"(paper: extremely low throughout)",
+            )
+        )
+    low = [p for p in alex.points if 0 < p.parameter <= 5]
+    if low:
+        stale_at_5 = max(p.metrics["stale_hit_rate"] for p in low)
+        checks.append(
+            ShapeCheck(
+                "alex-5pct-threshold-under-1pct-stale",
+                stale_at_5 < 0.01,
+                f"stale at threshold <=5%: {pct(stale_at_5)} (paper: <1%)",
+            )
+        )
+    checks.append(
+        ShapeCheck(
+            "invalidation-stale-rate-is-zero",
+            alex.invalidation["stale_hit_rate"] == 0.0,
+            f"invalidation stale {pct(alex.invalidation['stale_hit_rate'])}",
+        )
+    )
+    return checks
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
+    """Regenerate Figure 7 at the given workload scale."""
+    alex, ttl = campus_sweeps(scale, seed)
+    rendered = two_panel_report(alex, ttl, rate_panel)
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=rendered,
+        checks=_checks(alex, ttl, scale),
+        data={
+            "alex": {
+                "threshold_percent": alex.parameters(),
+                "miss_rate": alex.series("miss_rate"),
+                "stale_hit_rate": alex.series("stale_hit_rate"),
+            },
+            "ttl": {
+                "ttl_hours": ttl.parameters(),
+                "miss_rate": ttl.series("miss_rate"),
+                "stale_hit_rate": ttl.series("stale_hit_rate"),
+            },
+            "invalidation_miss_rate": alex.invalidation["miss_rate"],
+        },
+    )

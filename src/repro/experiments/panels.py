@@ -1,0 +1,128 @@
+"""Rendering helpers shared by the figure experiments.
+
+Each paper figure has two panels: (a) the Alex protocol against its
+update threshold and (b) TTL against its value in hours, each with the
+invalidation protocol's parameter-free line as the baseline.  The
+helpers here turn a pair of :class:`SweepResult` objects into those
+panels as ASCII charts plus a compact data table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import Series, ascii_chart
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepResult
+
+_PANEL_XLABEL = {
+    "alex": "Update Threshold (percent)",
+    "ttl": "TTL value (hours)",
+}
+_PANEL_TITLE = {
+    "alex": "(a) Alex Cache Consistency Protocol",
+    "ttl": "(b) Time to Live Fields",
+}
+
+
+def _flat_baseline(sweep: SweepResult, key: str) -> Series:
+    xs = sweep.parameters()
+    level = sweep.invalidation[key]
+    return Series(
+        label=f"invalidation ({level:.3g})",
+        xs=xs,
+        ys=[level] * len(xs),
+        glyph="o",
+    )
+
+
+def bandwidth_panel(sweep: SweepResult, label: str) -> str:
+    """One bandwidth panel: protocol MB vs invalidation MB, log-y."""
+    return ascii_chart(
+        [
+            Series(f"{label}: bandwidth (MB)", sweep.parameters(),
+                   sweep.series("total_mb"), glyph="*"),
+            _flat_baseline(sweep, "total_mb"),
+        ],
+        title=_PANEL_TITLE[sweep.family],
+        xlabel=_PANEL_XLABEL[sweep.family],
+        ylabel="MB exchanged",
+        log_y=True,
+    )
+
+
+def rate_panel(sweep: SweepResult, label: str) -> str:
+    """One rates panel: miss and stale-hit percentages (linear y)."""
+    to_pct = lambda ys: [100.0 * y for y in ys]  # noqa: E731
+    inval_miss = 100.0 * sweep.invalidation["miss_rate"]
+    xs = sweep.parameters()
+    return ascii_chart(
+        [
+            Series(f"invalidation misses ({inval_miss:.2f}%)", xs,
+                   [inval_miss] * len(xs), glyph="o"),
+            Series(f"{label} misses", xs, to_pct(sweep.series("miss_rate")),
+                   glyph="*"),
+            Series(f"{label} stale hits", xs,
+                   to_pct(sweep.series("stale_hit_rate")), glyph="+"),
+        ],
+        title=_PANEL_TITLE[sweep.family],
+        xlabel=_PANEL_XLABEL[sweep.family],
+        ylabel="percent of requests",
+        log_y=False,
+    )
+
+
+def server_load_panel(sweep: SweepResult, label: str) -> str:
+    """One server-load panel: operations vs invalidation, log-y."""
+    return ascii_chart(
+        [
+            Series(f"{label}: server load", sweep.parameters(),
+                   sweep.series("server_operations"), glyph="*"),
+            _flat_baseline(sweep, "server_operations"),
+        ],
+        title=_PANEL_TITLE[sweep.family],
+        xlabel=_PANEL_XLABEL[sweep.family],
+        ylabel="server operations",
+        log_y=True,
+    )
+
+
+def sweep_table(sweep: SweepResult, parameter_name: str) -> str:
+    """Compact metric table across the sweep, plus the baseline row."""
+    rows = [
+        (
+            point.parameter,
+            point.metrics["total_mb"],
+            100.0 * point.metrics["miss_rate"],
+            100.0 * point.metrics["stale_hit_rate"],
+            int(point.metrics["server_operations"]),
+        )
+        for point in sweep.points
+    ]
+    rows.append(
+        (
+            "inval",
+            sweep.invalidation["total_mb"],
+            100.0 * sweep.invalidation["miss_rate"],
+            100.0 * sweep.invalidation["stale_hit_rate"],
+            int(sweep.invalidation["server_operations"]),
+        )
+    )
+    return format_table(
+        (parameter_name, "MB", "miss %", "stale %", "server ops"),
+        rows,
+    )
+
+
+def two_panel_report(
+    alex_sweep: SweepResult,
+    ttl_sweep: SweepResult,
+    panel_fn,
+) -> str:
+    """Render both panels and both data tables."""
+    return "\n\n".join(
+        [
+            panel_fn(alex_sweep, "Alex"),
+            sweep_table(alex_sweep, "threshold %"),
+            panel_fn(ttl_sweep, "TTL"),
+            sweep_table(ttl_sweep, "TTL hours"),
+        ]
+    )

@@ -1,0 +1,64 @@
+"""The experiment registry: every table and figure, by id.
+
+Each experiment module exposes ``EXPERIMENT_ID``, ``TITLE``, and
+``run(scale, seed) -> ExperimentReport``; this registry maps ids to those
+runners for the CLI, the tests, and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments import (
+    ext_dynamic,
+    ext_latency,
+    ext_scalability,
+    ext_worrell,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+    table2,
+)
+
+#: Paper experiments first (in paper order), then the extensions that
+#: implement Section 5's future-work directions.
+_MODULES = (
+    figure1, figure2, figure3, figure4, figure5,
+    figure6, figure7, figure8, table1, table2,
+    ext_latency, ext_dynamic, ext_scalability, ext_worrell,
+)
+
+#: id -> (title, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentReport]]] = {
+    module.EXPERIMENT_ID: (module.TITLE, module.run) for module in _MODULES
+}
+
+
+def all_ids() -> list[str]:
+    """Every registered experiment id, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, seed: int = 0
+) -> ExperimentReport:
+    """Run one experiment by id.
+
+    Raises:
+        KeyError: for an unknown id (message lists the valid ones).
+    """
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid ids: "
+            f"{', '.join(all_ids())}"
+        ) from None
+    return runner(scale=scale, seed=seed)

@@ -1,0 +1,54 @@
+"""Minimal HTTP/1.0 modelling substrate.
+
+Provides RFC 1123 date handling, case-insensitive headers with typed
+accessors for the consistency-relevant fields (``Expires``,
+``Last-Modified``, ``If-Modified-Since``), and concrete request/response/
+invalidation message objects with on-the-wire byte sizes that ground the
+simulator's 43-byte control-message cost model.
+"""
+
+from repro.http.datefmt import (
+    HTTPDateError,
+    format_http_date,
+    parse_http_date,
+    sim_to_unix,
+    unix_to_sim,
+)
+from repro.http.headers import (
+    EXPIRES,
+    IF_MODIFIED_SINCE,
+    LAST_MODIFIED,
+    Headers,
+)
+from repro.http.messages import (
+    HTTPParseError,
+    InvalidationNotice,
+    Request,
+    Response,
+    make_conditional_get,
+    make_get,
+    make_not_modified,
+    make_ok,
+    parse_request,
+)
+
+__all__ = [
+    "EXPIRES",
+    "HTTPDateError",
+    "HTTPParseError",
+    "Headers",
+    "IF_MODIFIED_SINCE",
+    "InvalidationNotice",
+    "LAST_MODIFIED",
+    "Request",
+    "Response",
+    "format_http_date",
+    "make_conditional_get",
+    "make_get",
+    "make_not_modified",
+    "make_ok",
+    "parse_http_date",
+    "parse_request",
+    "sim_to_unix",
+    "unix_to_sim",
+]

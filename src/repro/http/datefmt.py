@@ -1,0 +1,91 @@
+"""RFC 1123 (HTTP-date) formatting and parsing.
+
+HTTP/1.0 headers such as ``Expires``, ``Last-Modified`` and
+``If-Modified-Since`` carry timestamps in the RFC 1123 format, e.g.
+``Sun, 06 Nov 1994 08:49:37 GMT``.  The simulator works in simulation
+seconds, but the trace reader/writer and the HTTP message models round-trip
+real header strings, so the conversion lives here.
+
+Simulation time zero maps to an arbitrary but fixed real-world epoch
+(:data:`SIM_EPOCH_UNIX`) chosen inside the period the paper studied
+(1995).  Using a fixed epoch keeps synthetic traces byte-for-byte
+reproducible.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+
+#: Unix timestamp corresponding to simulation time 0.0.
+#: Wed, 01 Mar 1995 00:00:00 GMT — inside the paper's measurement window.
+SIM_EPOCH_UNIX: int = 794_016_000
+
+_WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+_MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+_MONTH_INDEX = {name: i + 1 for i, name in enumerate(_MONTHS)}
+
+
+def sim_to_unix(t: float) -> int:
+    """Map a simulation timestamp to a Unix timestamp (whole seconds)."""
+    return SIM_EPOCH_UNIX + int(t)
+
+
+def unix_to_sim(ts: int | float) -> float:
+    """Map a Unix timestamp back to a simulation timestamp."""
+    return float(ts) - SIM_EPOCH_UNIX
+
+
+def format_http_date(t: float) -> str:
+    """Format simulation time ``t`` as an RFC 1123 HTTP-date string."""
+    st = time.gmtime(sim_to_unix(t))
+    weekday = _WEEKDAYS[st.tm_wday]
+    month = _MONTHS[st.tm_mon - 1]
+    return (
+        f"{weekday}, {st.tm_mday:02d} {month} {st.tm_year:04d} "
+        f"{st.tm_hour:02d}:{st.tm_min:02d}:{st.tm_sec:02d} GMT"
+    )
+
+
+class HTTPDateError(ValueError):
+    """Raised when an HTTP-date string cannot be parsed."""
+
+
+def parse_http_date(value: str) -> float:
+    """Parse an RFC 1123 HTTP-date string into simulation time.
+
+    Only the RFC 1123 fixed-length format is accepted (the format this
+    library emits).  The obsolete RFC 850 and asctime formats that HTTP/1.0
+    servers tolerated are intentionally not supported; synthetic traces
+    never contain them.
+
+    Raises:
+        HTTPDateError: if ``value`` is not a well-formed RFC 1123 date.
+    """
+    parts = value.strip().split()
+    if len(parts) != 6 or parts[5] != "GMT":
+        raise HTTPDateError(f"not an RFC 1123 HTTP-date: {value!r}")
+    weekday, day_s, month_s, year_s, clock, _zone = parts
+    if weekday.rstrip(",") not in _WEEKDAYS or not weekday.endswith(","):
+        raise HTTPDateError(f"bad weekday in HTTP-date: {value!r}")
+    if month_s not in _MONTH_INDEX:
+        raise HTTPDateError(f"bad month in HTTP-date: {value!r}")
+    try:
+        day = int(day_s)
+        year = int(year_s)
+        hh_s, mm_s, ss_s = clock.split(":")
+        hh, mm, ss = int(hh_s), int(mm_s), int(ss_s)
+    except ValueError as exc:
+        raise HTTPDateError(f"bad numeric field in HTTP-date: {value!r}") from exc
+    if not (1 <= day <= 31 and 0 <= hh < 24 and 0 <= mm < 60 and 0 <= ss < 60):
+        raise HTTPDateError(f"field out of range in HTTP-date: {value!r}")
+    try:
+        unix = calendar.timegm(
+            (year, _MONTH_INDEX[month_s], day, hh, mm, ss, 0, 0, 0)
+        )
+    except (ValueError, OverflowError) as exc:
+        raise HTTPDateError(f"invalid calendar date: {value!r}") from exc
+    return unix_to_sim(unix)

@@ -1,0 +1,171 @@
+"""Concrete HTTP/1.0 message models behind the simulator's cost accounting.
+
+The paper's cost model is deliberately coarse: "each message averages 43
+bytes and each file averages several thousand bytes".  The simulator
+therefore charges a flat per-message byte cost (see
+:mod:`repro.core.costs`).  This module provides the concrete message
+objects that cost model abstracts: plain GETs, conditional GETs
+(If-Modified-Since), 200/304 responses, and the out-of-band invalidation
+notice used by the invalidation protocol.
+
+These objects are used by the trace tooling and the examples to render
+realistic exchanges, and by tests to sanity-check that the 43-byte flat
+cost is the right order of magnitude for real HTTP/1.0 control messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.http.headers import (
+    CONTENT_LENGTH,
+    IF_MODIFIED_SINCE,
+    LAST_MODIFIED,
+    Headers,
+)
+
+#: Status line + reason phrases used by HTTP/1.0 servers of the era.
+_REASONS = {200: "OK", 304: "Not Modified", 404: "Not Found"}
+
+
+@dataclass
+class Request:
+    """An HTTP/1.0 request.
+
+    A conditional GET is an ordinary GET carrying ``If-Modified-Since`` —
+    the paper's combined "send this file if it has changed since a specific
+    date" message that the optimized simulator relies on.
+    """
+
+    method: str
+    path: str
+    headers: Headers = field(default_factory=Headers)
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when this request carries ``If-Modified-Since``."""
+        return IF_MODIFIED_SINCE in self.headers
+
+    def request_line(self) -> str:
+        """The HTTP/1.0 request line, without the trailing CRLF."""
+        return f"{self.method} {self.path} HTTP/1.0"
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: request line + headers + blank line."""
+        return len(self.request_line()) + 2 + self.headers.wire_size() + 2
+
+    def serialize(self) -> str:
+        """Render the full request text."""
+        lines = [self.request_line()]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        return "\r\n".join(lines) + "\r\n\r\n"
+
+
+@dataclass
+class Response:
+    """An HTTP/1.0 response; ``body_size`` stands in for the entity body."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.body_size < 0:
+            raise ValueError(f"negative body_size: {self.body_size}")
+        if self.status == 304 and self.body_size:
+            raise ValueError("304 Not Modified must not carry a body")
+
+    def status_line(self) -> str:
+        """The HTTP/1.0 status line, without the trailing CRLF."""
+        reason = _REASONS.get(self.status, "Unknown")
+        return f"HTTP/1.0 {self.status} {reason}"
+
+    def header_size(self) -> int:
+        """Bytes of status line + headers + blank line (excluding body)."""
+        return len(self.status_line()) + 2 + self.headers.wire_size() + 2
+
+    def wire_size(self) -> int:
+        """Total bytes on the wire including the entity body."""
+        return self.header_size() + self.body_size
+
+
+@dataclass
+class InvalidationNotice:
+    """The server→cache callback message of the invalidation protocol.
+
+    HTTP/1.0 has no such message; the paper's invalidation protocol assumes
+    server modifications à la AFS callbacks.  We model it as a one-line
+    datagram naming the object, which lands near the paper's 43-byte
+    average control-message size.
+    """
+
+    path: str
+
+    def wire_size(self) -> int:
+        """Bytes on the wire for the notice."""
+        return len(self.serialize())
+
+    def serialize(self) -> str:
+        """Render the notice text."""
+        return f"INVALIDATE {self.path} CACHE/1.0\r\n\r\n"
+
+
+class HTTPParseError(ValueError):
+    """Raised when a serialized HTTP message cannot be parsed."""
+
+
+def parse_request(text: str) -> Request:
+    """Parse a serialized HTTP/1.0 request back into a :class:`Request`.
+
+    Accepts exactly what :meth:`Request.serialize` emits (request line,
+    ``Name: value`` headers, blank-line terminator), with either CRLF or
+    bare-LF line endings — real 1995 clients produced both.
+
+    Raises:
+        HTTPParseError: for malformed request lines or header fields.
+    """
+    normalized = text.replace("\r\n", "\n")
+    head, _, _body = normalized.partition("\n\n")
+    lines = head.split("\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HTTPParseError(f"bad request line: {lines[0]!r}")
+    method, path, _version = parts
+    if not path.startswith("/"):
+        raise HTTPParseError(f"bad request path: {path!r}")
+    request = Request(method, path)
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HTTPParseError(f"bad header on line {lineno}: {line!r}")
+        request.headers.set(name.strip(), value.strip())
+    return request
+
+
+def make_get(path: str) -> Request:
+    """Build a plain (unconditional) GET request."""
+    return Request("GET", path)
+
+
+def make_conditional_get(path: str, since: float) -> Request:
+    """Build a GET carrying ``If-Modified-Since: <since>``."""
+    req = Request("GET", path)
+    req.headers.set_date(IF_MODIFIED_SINCE, since)
+    return req
+
+
+def make_ok(body_size: int, last_modified: Optional[float] = None) -> Response:
+    """Build a 200 response of ``body_size`` bytes."""
+    resp = Response(200, body_size=body_size)
+    resp.headers.set(CONTENT_LENGTH, str(body_size))
+    if last_modified is not None:
+        resp.headers.set_date(LAST_MODIFIED, last_modified)
+    return resp
+
+
+def make_not_modified() -> Response:
+    """Build a 304 Not Modified response."""
+    return Response(304)

@@ -1,0 +1,117 @@
+"""Trace records — the paper's modified server-log format, as data.
+
+"The server logs were taken from several campus Web servers, modified to
+store the last-modified timestamps with each file request satisfied by
+the servers.  We used the file system's last modification time for the
+timestamp."  (Section 4.2)
+
+A :class:`TraceRecord` is one such log line: who asked for what, when,
+how many bytes were returned, and what the file's Last-Modified time was
+at that instant.  A :class:`Trace` is a time-ordered sequence of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One access-log line.
+
+    Attributes:
+        timestamp: request time in simulation seconds.
+        client: requesting host name.
+        path: the object's URL path.
+        status: HTTP status code returned.
+        size: body bytes returned.
+        last_modified: the object's Last-Modified at request time — the
+            paper's log extension; None when the server did not record it
+            (e.g. dynamic content).
+    """
+
+    timestamp: float
+    client: str
+    path: str
+    status: int = 200
+    size: int = 0
+    last_modified: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("path must be non-empty")
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative: {self.size}")
+
+
+class Trace:
+    """A time-ordered access trace.
+
+    Args:
+        records: the log lines; they are sorted by timestamp on ingest
+            (stable, so equal-time lines keep their order).
+        name: label for reports.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord], name: str = "trace") -> None:
+        self._records = sorted(records, key=lambda r: r.timestamp)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self._records[idx]
+
+    @property
+    def duration(self) -> float:
+        """Time span from the first to the last record (0 when empty)."""
+        if not self._records:
+            return 0.0
+        return self._records[-1].timestamp - self._records[0].timestamp
+
+    def paths(self) -> set[str]:
+        """Distinct object paths referenced."""
+        return {r.path for r in self._records}
+
+    def requests(self) -> list[tuple[float, str]]:
+        """The ``(time, path)`` stream the simulator consumes."""
+        return [(r.timestamp, r.path) for r in self._records]
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        """A new trace containing only records matching ``predicate``."""
+        return Trace(
+            (r for r in self._records if predicate(r)),
+            name=f"{self.name}|filtered",
+        )
+
+    def request_counts(self) -> dict[str, int]:
+        """Requests per path."""
+        counts: dict[str, int] = {}
+        for r in self._records:
+            counts[r.path] = counts.get(r.path, 0) + 1
+        return counts
+
+    def observed_changes(self) -> dict[str, int]:
+        """Per-path content changes *observable from the log*.
+
+        A change is observed when two successive requests for the same
+        path report different Last-Modified timestamps — exactly what the
+        paper's modified logs make visible.  Changes between which no
+        request falls are invisible, which is why observed counts can
+        undercount the schedule's ground truth.
+        """
+        last_seen: dict[str, float] = {}
+        changes: dict[str, int] = {}
+        for r in self._records:
+            if r.last_modified is None:
+                continue
+            previous = last_seen.get(r.path)
+            if previous is not None and r.last_modified != previous:
+                changes[r.path] = changes.get(r.path, 0) + 1
+            last_seen[r.path] = r.last_modified
+        return changes

@@ -1,0 +1,99 @@
+"""Bimodal file-lifetime modelling.
+
+Section 3.0: "Files tend to exhibit bimodal lifetimes.  Either a file
+will remain unmodified for a long period of time or it will be modified
+frequently within a short time period."
+
+This module generates the two modes:
+
+* :func:`stable_change_times` — at most a couple of isolated changes at
+  uniform positions in the window (the long-lived mode);
+* :func:`burst_change_times` — a burst of many changes packed into a few
+  days (the actively-edited mode that produces the "very mutable" files
+  of Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clock import DAY
+
+
+def stable_change_times(
+    rng: np.random.Generator,
+    count: int,
+    window: float,
+) -> list[float]:
+    """``count`` isolated change times uniform over ``(0, window)``.
+
+    Used for ordinary mutable files — a page touched once or twice over
+    the month.
+
+    Raises:
+        ValueError: for negative ``count`` or non-positive ``window``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative: {count}")
+    if window <= 0:
+        raise ValueError(f"window must be positive: {window}")
+    times = rng.uniform(0.0, window, size=count)
+    return sorted(float(t) for t in times)
+
+
+def burst_change_times(
+    rng: np.random.Generator,
+    count: int,
+    window: float,
+    burst_span: float = 3 * DAY,
+) -> list[float]:
+    """``count`` change times packed into one burst inside the window.
+
+    The burst's start is uniform over the window (clamped so the burst
+    fits); individual edits fall at uniform offsets within
+    ``burst_span``.  This reproduces the actively-edited mode: a page
+    being written changes many times over a few days, then stabilizes.
+
+    Raises:
+        ValueError: for negative ``count`` or non-positive spans.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative: {count}")
+    if window <= 0 or burst_span <= 0:
+        raise ValueError("window and burst_span must be positive")
+    span = min(burst_span, window)
+    start = rng.uniform(0.0, max(window - span, 1e-9))
+    offsets = rng.uniform(0.0, span, size=count)
+    times = start + offsets
+    # Distinct, strictly increasing times: perturb any collisions.
+    times = np.sort(times)
+    for i in range(1, len(times)):
+        if times[i] <= times[i - 1]:
+            times[i] = np.nextafter(times[i - 1], np.inf)
+    return [float(t) for t in times]
+
+
+def mixed_change_times(
+    rng: np.random.Generator,
+    count: int,
+    window: float,
+    burst_fraction: float = 0.8,
+    burst_span: float = 3 * DAY,
+) -> list[float]:
+    """Changes split between one burst and isolated edits.
+
+    ``burst_fraction`` of the changes form a burst; the rest are isolated.
+    Files with many changes in real traces usually show both behaviours.
+    """
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError(f"burst_fraction outside [0, 1]: {burst_fraction}")
+    in_burst = int(round(count * burst_fraction))
+    isolated = count - in_burst
+    times = burst_change_times(rng, in_burst, window, burst_span)
+    times.extend(stable_change_times(rng, isolated, window))
+    times.sort()
+    # Enforce strict monotonicity across the merge as well.
+    for i in range(1, len(times)):
+        if times[i] <= times[i - 1]:
+            times[i] = float(np.nextafter(times[i - 1], np.inf))
+    return times

@@ -1,0 +1,97 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plots import Series, ascii_chart, assign_glyphs
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1.0])
+
+    def test_bad_glyph_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1], [1.0], glyph="ab")
+        with pytest.raises(ValueError):
+            Series("s", [1], [1.0], glyph="")
+
+
+class TestAssignGlyphs:
+    def test_distinct_for_small_sets(self):
+        glyphs = assign_glyphs(["a", "b", "c"])
+        assert len(set(glyphs)) == 3
+
+    def test_cycles_beyond_seven(self):
+        assert len(assign_glyphs([str(i) for i in range(9)])) == 9
+
+
+class TestAsciiChart:
+    def _one(self, **kwargs):
+        return ascii_chart(
+            [Series("line", [0, 50, 100], [1.0, 10.0, 100.0])], **kwargs
+        )
+
+    def test_contains_title_and_legend(self):
+        out = self._one(title="My Chart")
+        assert "My Chart" in out
+        assert "* line" in out
+
+    def test_contains_axis_labels(self):
+        out = self._one(xlabel="threshold", ylabel="MB")
+        assert "x: threshold" in out
+        assert "y: MB" in out
+
+    def test_log_scale_marks_output(self):
+        out = self._one(log_y=True)
+        assert "[log y]" in out
+        assert "1e" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_chart(
+            [Series("s", [0, 1], [0.0, 1.0])], width=30, height=5
+        )
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 5
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in plot_rows)
+
+    def test_extremes_plotted_at_edges(self):
+        out = ascii_chart(
+            [Series("s", [0, 100], [0.0, 1.0])], width=20, height=4
+        )
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("*")    # max y at top-right
+        assert rows[-1].startswith("*")          # min y at bottom-left
+
+    def test_multiple_series_glyphs(self):
+        out = ascii_chart(
+            [
+                Series("a", [0, 1], [1.0, 2.0], glyph="*"),
+                Series("b", [0, 1], [2.0, 1.0], glyph="o"),
+            ]
+        )
+        assert "*" in out and "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", [], [])])
+
+    def test_log_scale_handles_zeros(self):
+        out = ascii_chart(
+            [Series("s", [0, 1, 2], [0.0, 1.0, 10.0])], log_y=True
+        )
+        assert "*" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart([Series("s", [0, 1], [5.0, 5.0])])
+        assert "*" in out
+
+    def test_single_point(self):
+        out = ascii_chart([Series("s", [3], [7.0])])
+        assert "*" in out
+
+    def test_negative_y_floor_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", [0], [1.0])], log_y=True, y_floor=-1.0)

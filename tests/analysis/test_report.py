@@ -1,0 +1,85 @@
+"""Report tables and shape checks."""
+
+from repro.analysis.report import (
+    ExperimentReport,
+    ShapeCheck,
+    format_table,
+    pct,
+)
+
+
+class TestShapeCheck:
+    def test_render_ok(self):
+        line = ShapeCheck("my-check", True, "42 < 43").render()
+        assert "[ok" in line and "my-check" in line and "42 < 43" in line
+
+    def test_render_fail(self):
+        assert "[FAIL" in ShapeCheck("c", False, "d").render()
+
+
+class TestExperimentReport:
+    def _report(self, passes):
+        return ExperimentReport(
+            experiment_id="figureX",
+            title="Title",
+            rendered="body",
+            checks=[ShapeCheck(f"c{i}", ok, "detail")
+                    for i, ok in enumerate(passes)],
+        )
+
+    def test_all_passed(self):
+        assert self._report([True, True]).all_passed
+        assert not self._report([True, False]).all_passed
+
+    def test_failed_checks(self):
+        report = self._report([True, False, False])
+        assert len(report.failed_checks()) == 2
+
+    def test_render_includes_everything(self):
+        text = self._report([True]).render()
+        assert "figureX" in text
+        assert "body" in text
+        assert "ALL CHECKS PASSED" in text
+
+    def test_render_flags_failures(self):
+        assert "CHECKS FAILED" in self._report([False]).render()
+
+    def test_no_checks_counts_as_passed(self):
+        assert self._report([]).all_passed
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ("name", "value"),
+            [("alpha", 1.5), ("b", 22)],
+            title="T:",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T:"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_numeric_right_aligned(self):
+        out = format_table(("n",), [(5,), (123,)])
+        rows = out.splitlines()[1:]
+        assert rows[-1].startswith("123")
+        assert rows[-2].endswith("5")
+
+    def test_empty_rows(self):
+        out = format_table(("a", "b"), [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.00012345,), (12345.6,), (0.0,)])
+        assert "1.234e-04" in out or "1.235e-04" in out
+        assert "1.235e+04" in out or "1.2346e+04" in out
+        assert "0" in out
+
+
+class TestPct:
+    def test_formats_rate(self):
+        assert pct(0.0512) == "5.12%"
+        assert pct(0.0) == "0.00%"
+        assert pct(1.0) == "100.00%"

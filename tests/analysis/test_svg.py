@@ -1,0 +1,106 @@
+"""The dependency-free SVG chart renderer."""
+
+import pytest
+
+from repro.analysis.plots import Series
+from repro.analysis.svg import dump_experiment_svg, render_svg, write_svg
+
+
+def series():
+    return [
+        Series("alex", [0, 50, 100], [5.0, 2.0, 1.0]),
+        Series("invalidation", [0, 50, 100], [3.0, 3.0, 3.0]),
+    ]
+
+
+class TestRenderSvg:
+    def test_valid_svg_document(self):
+        text = render_svg(series(), title="T", xlabel="x", ylabel="y")
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in text
+
+    def test_contains_series_geometry_and_legend(self):
+        text = render_svg(series())
+        assert text.count("<polyline") == 2
+        assert text.count("<circle") == 6
+        assert "alex" in text and "invalidation" in text
+
+    def test_title_and_labels(self):
+        text = render_svg(series(), title="Figure 6", xlabel="threshold",
+                          ylabel="MB")
+        assert "Figure 6" in text
+        assert "threshold" in text and "MB" in text
+
+    def test_log_scale_marks_axis(self):
+        text = render_svg(series(), log_y=True, xlabel="x")
+        assert "[log y]" in text
+        assert "1e" in text
+
+    def test_escapes_markup(self):
+        text = render_svg(
+            [Series("a<b&c>", [0, 1], [1.0, 2.0])], title="x<y"
+        )
+        assert "a&lt;b&amp;c&gt;" in text
+        assert "x&lt;y" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg([])
+
+    def test_log_handles_zeros(self):
+        text = render_svg(
+            [Series("s", [0, 1], [0.0, 10.0])], log_y=True
+        )
+        assert "<polyline" in text
+
+    def test_single_point_no_polyline(self):
+        text = render_svg([Series("s", [1], [2.0])])
+        assert "<polyline" not in text
+        assert "<circle" in text
+
+    def test_xml_parses(self):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(render_svg(series(), title="ok & fine"))
+
+
+class TestWriteSvg:
+    def test_writes_file(self, tmp_path):
+        path = write_svg(series(), tmp_path / "chart.svg", title="t")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestDumpExperimentSvg:
+    def test_series_dicts_rendered(self, tmp_path):
+        data = {
+            "alex": {"threshold": [0, 50, 100], "mb": [5.0, 2.0, 1.0]},
+            "scalar": 3.0,
+            "rows": [("a", 1)],
+        }
+        written = dump_experiment_svg(data, tmp_path, "figX")
+        assert [p.name for p in written] == ["figX_alex.svg"]
+
+    def test_log_scale_chosen_for_wide_ranges(self, tmp_path):
+        data = {"s": {"x": [0, 1], "y": [0.01, 100.0]}}
+        written = dump_experiment_svg(data, tmp_path, "e")
+        assert "[log y]" in written[0].read_text()
+
+    def test_real_experiment_renders(self, tmp_path):
+        from repro.experiments.registry import run_experiment
+
+        report = run_experiment("figure1")
+        # figure1's data is nested scenario dicts: no series, no files.
+        assert dump_experiment_svg(report.data, tmp_path, "figure1") == []
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.experiments import common
+        from repro.experiments.__main__ import main
+
+        common.clear_caches()
+        assert main(["figure2", "--scale", "0.05",
+                     "--svg", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "svg:" in out
+        assert (tmp_path / "figure2_alex.svg").exists()

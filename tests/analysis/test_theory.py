@@ -1,0 +1,126 @@
+"""Theory vs simulation: the closed-form models match the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    alex_check_times,
+    alex_validation_count,
+    invalidation_message_bytes,
+    ttl_stale_fraction,
+    ttl_validation_rate,
+)
+from repro.core.clock import DAY, days, hours
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import AlexProtocol, TTLProtocol
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+
+
+class TestFormulas:
+    def test_ttl_stale_zero_at_zero(self):
+        assert ttl_stale_fraction(0.0, hours(10)) == 0.0
+        assert ttl_stale_fraction(1.0 / DAY, 0.0) == 0.0
+
+    def test_ttl_stale_monotone_in_both_arguments(self):
+        base = ttl_stale_fraction(1.0 / (5 * DAY), hours(100))
+        assert ttl_stale_fraction(1.0 / (2 * DAY), hours(100)) > base
+        assert ttl_stale_fraction(1.0 / (5 * DAY), hours(300)) > base
+
+    def test_ttl_stale_approaches_one(self):
+        assert ttl_stale_fraction(1.0, 1e7) > 0.99
+
+    def test_ttl_stale_invalid(self):
+        with pytest.raises(ValueError):
+            ttl_stale_fraction(-1.0, 10.0)
+
+    def test_validation_rate(self):
+        assert ttl_validation_rate(hours(10)) == pytest.approx(1 / hours(10))
+        with pytest.raises(ValueError):
+            ttl_validation_rate(0.0)
+
+    def test_alex_check_times_geometric(self):
+        times = alex_check_times(days(10), 0.5, days(100))
+        ages = [days(10) + t for t in times]
+        ratios = [b / a for a, b in zip([days(10), *ages], ages)]
+        assert all(r == pytest.approx(1.5) for r in ratios)
+
+    def test_alex_count_matches_times(self):
+        for age_days, theta, window_days in (
+            (10, 0.5, 100), (85, 0.1, 30), (1, 1.0, 365), (50, 0.05, 25),
+        ):
+            times = alex_check_times(days(age_days), theta, days(window_days))
+            count = alex_validation_count(
+                days(age_days), theta, days(window_days)
+            )
+            assert count == len(times)
+
+    def test_alex_count_logarithmic(self):
+        # Doubling the window adds ~log(2)/log(1+theta) checks, not 2x.
+        small = alex_validation_count(days(10), 0.5, days(100))
+        big = alex_validation_count(days(10), 0.5, days(200))
+        assert big - small <= 2
+
+    def test_invalidation_bytes(self):
+        assert invalidation_message_bytes(260) == 260 * 43
+        with pytest.raises(ValueError):
+            invalidation_message_bytes(-1)
+
+
+class TestTheoryVsSimulation:
+    def test_ttl_stale_fraction_matches_simulation(self):
+        """One Poisson-changing file under dense access: the measured
+        stale-hit fraction matches the renewal-theory formula."""
+        rng = np.random.default_rng(7)
+        rate = 1.0 / (4 * DAY)
+        window = 400 * DAY
+        # Poisson modification times.
+        times, t = [], float(rng.exponential(1 / rate))
+        while t < window:
+            times.append(t)
+            t += float(rng.exponential(1 / rate))
+        server = OriginServer(
+            [ObjectHistory(
+                WebObject("/f", size=1000, created=-30 * DAY),
+                ModificationSchedule(-30 * DAY, times),
+            )]
+        )
+        ttl = hours(48)
+        step = hours(1)           # dense: 48 accesses per TTL window
+        requests = [(k * step, "/f") for k in range(1, int(window / step))]
+        result = simulate(server, TTLProtocol(ttl), requests,
+                          SimulatorMode.OPTIMIZED, end_time=window)
+        # Hits are (requests - validations); stale fraction over *hits*.
+        stale_of_hits = result.counters.stale_hits / result.counters.hits
+        predicted = ttl_stale_fraction(rate, ttl)
+        assert stale_of_hits == pytest.approx(predicted, abs=0.03)
+
+    def test_alex_backoff_matches_simulation(self):
+        """A never-changing object under dense access: the simulator
+        issues exactly the validations the geometric model predicts."""
+        initial_age = days(10)
+        window = days(120)
+        for percent in (10, 50, 100):
+            server = OriginServer(
+                [ObjectHistory(
+                    WebObject("/f", size=1000, created=-initial_age)
+                )]
+            )
+            step = hours(2)
+            requests = [
+                (k * step, "/f") for k in range(1, int(window / step))
+            ]
+            result = simulate(
+                server, AlexProtocol.from_percent(percent), requests,
+                SimulatorMode.OPTIMIZED, end_time=window,
+            )
+            predicted = alex_validation_count(
+                initial_age, percent / 100.0, window
+            )
+            # Dense-access discretization can defer a boundary check by
+            # one step; allow off-by-one.
+            assert abs(result.counters.validations - predicted) <= 1, (
+                percent,
+                result.counters.validations,
+                predicted,
+            )

@@ -1,0 +1,153 @@
+"""The proxy cache: entries, preload, invalidation, LRU eviction."""
+
+import pytest
+
+from repro.core.cache import Cache, CacheEntry
+from repro.core.clock import days
+from repro.core.server import OriginServer
+from tests.conftest import make_history
+
+
+def entry(oid="/x", size=100, version=0, validated_at=0.0,
+          last_modified=-days(10)) -> CacheEntry:
+    return CacheEntry(
+        object_id=oid, version=version, size=size, file_type="html",
+        fetched_at=validated_at, validated_at=validated_at,
+        last_modified=last_modified,
+    )
+
+
+class TestEntry:
+    def test_age_measured_at_validation(self):
+        e = entry(validated_at=days(5), last_modified=-days(25))
+        assert e.age == days(30)
+
+    def test_repr_mentions_state(self):
+        assert "/x" in repr(entry())
+
+
+class TestBasicOperations:
+    def test_store_and_lookup(self):
+        cache = Cache()
+        cache.store(entry())
+        found = cache.lookup("/x")
+        assert found is not None and found.object_id == "/x"
+
+    def test_lookup_missing_is_none(self):
+        assert Cache().lookup("/nope") is None
+
+    def test_contains_len_iter(self):
+        cache = Cache()
+        cache.store(entry("/a"))
+        cache.store(entry("/b"))
+        assert "/a" in cache and len(cache) == 2
+        assert {e.object_id for e in cache} == {"/a", "/b"}
+
+    def test_replace_updates_usage(self):
+        cache = Cache()
+        cache.store(entry(size=100))
+        cache.store(entry(size=300))
+        assert cache.used_bytes == 300
+        assert len(cache) == 1
+
+    def test_drop(self):
+        cache = Cache()
+        cache.store(entry())
+        cache.drop("/x")
+        assert "/x" not in cache
+        assert cache.used_bytes == 0
+        cache.drop("/x")  # idempotent
+
+
+class TestInvalidate:
+    def test_marks_invalid_returns_true(self):
+        cache = Cache()
+        cache.store(entry())
+        assert cache.invalidate("/x") is True
+        assert cache.peek("/x").valid is False
+
+    def test_already_invalid_returns_false(self):
+        cache = Cache()
+        cache.store(entry())
+        cache.invalidate("/x")
+        assert cache.invalidate("/x") is False
+
+    def test_absent_returns_false(self):
+        assert Cache().invalidate("/ghost") is False
+
+    def test_entry_stays_resident(self):
+        cache = Cache()
+        cache.store(entry())
+        cache.invalidate("/x")
+        assert "/x" in cache  # marked, not evicted (Worrell's optimization)
+
+
+class TestCapacityAndLRU:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=-5)
+
+    def test_evicts_least_recently_used(self):
+        cache = Cache(capacity_bytes=250)
+        cache.store(entry("/a", size=100))
+        cache.store(entry("/b", size=100))
+        cache.lookup("/a")                  # /a now more recent than /b
+        cache.store(entry("/c", size=100))  # overflows: /b must go
+        assert "/b" not in cache
+        assert "/a" in cache and "/c" in cache
+        assert cache.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = Cache(capacity_bytes=100)
+        with pytest.raises(ValueError, match="exceeds"):
+            cache.store(entry(size=200))
+
+    def test_unbounded_never_evicts(self):
+        cache = Cache()
+        for i in range(100):
+            cache.store(entry(f"/f{i}", size=10_000))
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+    def test_peek_does_not_touch_lru(self):
+        cache = Cache(capacity_bytes=250)
+        cache.store(entry("/a", size=100))
+        cache.store(entry("/b", size=100))
+        cache.peek("/a")                    # must NOT refresh /a
+        cache.store(entry("/c", size=100))
+        assert "/a" not in cache
+
+
+class TestPreload:
+    def test_loads_all_cacheable(self):
+        server = OriginServer(
+            [
+                make_history("/a"),
+                make_history("/dyn", cacheable=False),
+            ]
+        )
+        cache = Cache()
+        assert cache.preload_from(server) == 1
+        assert "/a" in cache and "/dyn" not in cache
+
+    def test_preloaded_entries_carry_pretrace_age(self):
+        server = OriginServer([make_history("/a", created=-days(40))])
+        cache = Cache()
+        cache.preload_from(server, at=0.0)
+        e = cache.peek("/a")
+        assert e.last_modified == -days(40)
+        assert e.validated_at == 0.0
+        assert e.age == days(40)
+        assert e.valid
+
+    def test_preload_respects_modifications_before_start(self):
+        server = OriginServer(
+            [make_history("/a", created=-days(40), changes=(days(2),))]
+        )
+        cache = Cache()
+        cache.preload_from(server, at=days(5))
+        e = cache.peek("/a")
+        assert e.version == 1
+        assert e.last_modified == days(2)

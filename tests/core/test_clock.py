@@ -1,0 +1,64 @@
+"""Time units and the monotonic simulation clock."""
+
+import pytest
+
+from repro.core.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    SimClock,
+    days,
+    hours,
+    minutes,
+    seconds,
+    to_days,
+    to_hours,
+)
+
+
+class TestUnits:
+    def test_constants_consistent(self):
+        assert MINUTE == 60 * 1.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert MONTH == 30 * DAY
+
+    def test_helpers(self):
+        assert seconds(5) == 5.0
+        assert minutes(2) == 120.0
+        assert hours(2) == 7200.0
+        assert days(1.5) == 1.5 * DAY
+
+    def test_inverse_helpers(self):
+        assert to_hours(hours(125)) == 125.0
+        assert to_days(days(56)) == 56.0
+
+    def test_paper_ttl_range(self):
+        # Figures sweep TTL 0..500 hours; make the unit algebra explicit.
+        assert to_days(hours(500)) == pytest.approx(20.833, abs=0.001)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance_to(10.0) == 10.0
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(now=5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_backwards_rejected(self):
+        clock = SimClock(now=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.9)
+
+    def test_elapsed(self):
+        clock = SimClock(now=100.0)
+        clock.advance_to(250.0)
+        assert clock.elapsed == 150.0

@@ -1,0 +1,57 @@
+"""The paper's 43-byte message cost model."""
+
+import pytest
+
+from repro.core.costs import DEFAULT_COSTS, PAPER_MESSAGE_BYTES, MessageCosts
+
+
+class TestDefaults:
+    def test_paper_message_size(self):
+        assert PAPER_MESSAGE_BYTES == 43
+        assert DEFAULT_COSTS.control_message == 43
+
+
+class TestExchangeCosts:
+    def test_full_retrieval_two_messages_plus_body(self):
+        control, body = DEFAULT_COSTS.full_retrieval(5000)
+        assert control == 86
+        assert body == 5000
+
+    def test_validation_not_modified_two_messages(self):
+        control, body = DEFAULT_COSTS.validation_not_modified()
+        assert control == 86
+        assert body == 0
+
+    def test_validation_modified_folds_body_into_reply(self):
+        control, body = DEFAULT_COSTS.validation_modified(7000)
+        assert control == 86
+        assert body == 7000
+
+    def test_invalidation_single_one_way_message(self):
+        control, body = DEFAULT_COSTS.invalidation_notice()
+        assert control == 43
+        assert body == 0
+
+    def test_custom_message_size_propagates(self):
+        costs = MessageCosts(control_message=100)
+        assert costs.full_retrieval(1)[0] == 200
+        assert costs.invalidation_notice()[0] == 100
+
+    def test_zero_cost_messages_allowed(self):
+        costs = MessageCosts(control_message=0)
+        assert costs.validation_not_modified() == (0, 0)
+
+
+class TestValidation:
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(ValueError):
+            MessageCosts(control_message=-1)
+
+    @pytest.mark.parametrize("method", ["full_retrieval", "validation_modified"])
+    def test_negative_body_rejected(self, method):
+        with pytest.raises(ValueError):
+            getattr(DEFAULT_COSTS, method)(-5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COSTS.control_message = 10

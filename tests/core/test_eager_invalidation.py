@@ -1,0 +1,116 @@
+"""The eager (push-on-change) invalidation variant and latency accounting."""
+
+import pytest
+
+from repro.core.clock import days, hours
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+from tests.conftest import make_history
+
+
+class TestEagerInvalidation:
+    def test_name_distinguishes_variants(self):
+        assert InvalidationProtocol().name == "invalidation"
+        assert InvalidationProtocol(eager=True).name == "invalidation(eager)"
+
+    def test_push_on_every_change(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            [], SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        # 4 changes: 4 notices AND 4 body pushes, zero client requests.
+        assert result.counters.server_invalidations_sent == 4
+        assert result.counters.prefetches == 4
+        assert result.counters.server_gets == 4
+        assert result.counters.full_retrievals == 0
+        assert result.bandwidth.exchanges["prefetch"] == 4
+
+    def test_prefetch_bytes_charged(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            [], SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        # /hot (1000 B) pushed 3x, /warm (2000 B) once, + 86 B handshake
+        # each, + 43 B notice each.
+        expected = 3 * (1000 + 86) + (2000 + 86) + 4 * 43
+        assert result.bandwidth.total_bytes == expected
+
+    def test_accesses_after_push_are_free_hits(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            [(days(1.5), "/hot"), (days(5), "/hot")],
+            SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        assert result.counters.hits == 2
+        assert result.counters.misses == 0
+        assert result.counters.stale_hits == 0
+        assert result.counters.mean_round_trips == 0.0
+
+    def test_eager_costs_more_bandwidth_than_lazy(self, changing_server):
+        requests = [(days(10), "/hot")]
+        eager = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            requests, SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        lazy = simulate(
+            changing_server, InvalidationProtocol(),
+            requests, SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        # Lazy transfers one body (latest version on access); eager
+        # pushed all four.
+        assert eager.bandwidth.total_bytes > lazy.bandwidth.total_bytes
+        assert lazy.counters.mean_round_trips == 1.0
+        assert eager.counters.mean_round_trips == 0.0
+
+    def test_invariants_hold_with_prefetches(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            [(days(0.5 * i), "/warm") for i in range(1, 40)],
+            SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        result.counters.check_invariants()
+
+
+class TestRoundTripAccounting:
+    def test_fresh_hits_cost_nothing(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(1), "/cold"), (days(2), "/cold")],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.round_trips == 0
+
+    def test_validation_costs_one(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(days(2), "/cold")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.round_trips == 1
+
+    def test_poll_every_request_is_one_per_request(self, changing_server):
+        requests = [(days(0.5 * i), "/cold") for i in range(1, 11)]
+        result = simulate(
+            changing_server, PollEveryRequestProtocol(),
+            requests, SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.mean_round_trips == 1.0
+
+    def test_base_mode_counts_full_fetches(self, changing_server):
+        result = simulate(
+            changing_server, AlexProtocol.from_percent(0),
+            [(days(1), "/cold")], SimulatorMode.BASE,
+        )
+        assert result.counters.round_trips == 1
+
+    def test_summary_includes_round_trips(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(days(2), "/cold")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.summary()["mean_round_trips"] == 1.0

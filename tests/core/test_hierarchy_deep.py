@@ -1,0 +1,93 @@
+"""Three-level hierarchies: deeper than the paper's topology."""
+
+import pytest
+
+from repro.core.clock import days, hours
+from repro.core.hierarchy import CacheNode, HierarchySimulation
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.server import OriginServer
+from tests.conftest import make_history
+
+
+def three_level(protocol_factory):
+    """origin — national — 2 regional — 4 local caches."""
+    national = CacheNode("national", protocol_factory())
+    regionals = [
+        CacheNode(f"regional-{i}", protocol_factory(), parent=national)
+        for i in range(2)
+    ]
+    locals_ = [
+        CacheNode(f"local-{i}{j}", protocol_factory(), parent=regionals[i])
+        for i in range(2)
+        for j in range(2)
+    ]
+    return national, regionals, locals_
+
+
+class TestThreeLevels:
+    def test_depths(self):
+        national, regionals, locals_ = three_level(
+            lambda: TTLProtocol(hours(1))
+        )
+        assert national.depth == 1
+        assert regionals[0].depth == 2
+        assert locals_[0].depth == 3
+
+    def test_validation_walks_the_full_chain(self):
+        server = OriginServer([make_history("/f", size=100)])
+        national, regionals, locals_ = three_level(
+            lambda: TTLProtocol(days(5))
+        )
+        sim = HierarchySimulation(server, national, locals_)
+        sim.preload(at=0.0)
+        sim.request("local-00", "/f", days(6))
+        # One 304 exchange on each of the three links in the chain.
+        assert locals_[0].uplink.total_bytes == 86
+        assert regionals[0].uplink.total_bytes == 86
+        assert national.uplink.total_bytes == 86
+        # The sibling subtree saw no traffic.
+        assert regionals[1].uplink.total_bytes == 0
+
+    def test_hop_weighted_bytes_reflect_depth(self):
+        server = OriginServer([make_history("/f", size=100)])
+        national, regionals, locals_ = three_level(
+            lambda: TTLProtocol(days(5))
+        )
+        sim = HierarchySimulation(server, national, locals_)
+        sim.preload(at=0.0)
+        sim.request("local-00", "/f", days(6))
+        assert sim.total_bytes() == 86 * 3
+        assert sim.hop_weighted_bytes() == 86 * (1 + 2 + 3)
+
+    def test_intermediate_serves_second_subtree(self):
+        server = OriginServer([make_history("/f", size=100,
+                                            changes=(days(1),))])
+        national, regionals, locals_ = three_level(
+            lambda: TTLProtocol(days(5))
+        )
+        sim = HierarchySimulation(server, national, locals_)
+        sim.preload(at=0.0)
+        sim.request("local-00", "/f", days(6))   # refresh whole chain
+        sim.request("local-01", "/f", days(6.5))
+        # local-01 shares regional-0, which is now fresh: the request
+        # never reaches national or the origin a second time.
+        assert national.counters.server_ims_queries == 1
+        assert national.uplink.exchanges["validation_200"] == 1
+
+    def test_invalidation_cascades_three_levels(self):
+        server = OriginServer([make_history("/f", changes=(days(1),))])
+        national, regionals, locals_ = three_level(InvalidationProtocol)
+        sim = HierarchySimulation(server, national, locals_,
+                                  deliver_invalidations=True)
+        sim.preload(at=0.0)
+        sim.finish(days(2))
+        # Everyone heard about the change.
+        for node in (national, *regionals, *locals_):
+            assert node.cache.peek("/f").valid is False
+        # Notices: origin->national (1), national->regionals (2),
+        # regionals->locals (4).
+        total_notices = sum(
+            node.uplink.exchanges["invalidation"]
+            for node in (national, *regionals, *locals_)
+        )
+        assert total_notices == 7

@@ -1,0 +1,123 @@
+"""Workload-scale hierarchy runs: the Figure 1 argument beyond toy cases."""
+
+import pytest
+
+from repro.core.clock import hours
+from repro.core.hierarchy import drive_workload, two_level_tree
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import HCS, CampusWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CampusWorkload(HCS, seed=13, request_scale=0.1).build()
+
+
+class TestTwoLevelTree:
+    def test_shape(self):
+        root, leaves = two_level_tree(lambda: TTLProtocol(hours(1)),
+                                      fan_out=3)
+        assert len(leaves) == 3
+        assert all(leaf.parent is root for leaf in leaves)
+        assert [leaf.name for leaf in leaves] == [
+            "cache-1a", "cache-1b", "cache-1c",
+        ]
+
+    def test_invalid_fan_out(self):
+        with pytest.raises(ValueError):
+            two_level_tree(lambda: TTLProtocol(1.0), fan_out=0)
+
+
+class TestDriveWorkload:
+    def test_all_requests_served(self, workload):
+        sim = drive_workload(
+            workload.server(), lambda: TTLProtocol(hours(125)),
+            workload.requests, clients=workload.clients,
+            end_time=workload.duration,
+        )
+        assert sim.leaf_counters().requests == len(workload.requests)
+
+    def test_clients_pinned_to_leaves(self, workload):
+        """The same client always reaches the same leaf cache."""
+        sim = drive_workload(
+            workload.server(), lambda: TTLProtocol(hours(125)),
+            workload.requests[:200], clients=workload.clients[:200],
+            end_time=workload.duration,
+        )
+        served = sum(
+            leaf.counters.requests for leaf in sim.leaves.values()
+        )
+        assert served == 200
+
+    def test_invalidation_never_stale_at_scale(self, workload):
+        sim = drive_workload(
+            workload.server(), InvalidationProtocol,
+            workload.requests, clients=workload.clients,
+            deliver_invalidations=True, end_time=workload.duration,
+        )
+        assert sim.leaf_counters().stale_hits == 0
+
+    def test_flattening_never_favours_time_based(self, workload):
+        """Figure 1's argument at workload scale: the collapsed model's
+        time/invalidation bandwidth ratio is no lower than the
+        hierarchy's."""
+        server = workload.server()
+
+        def hier_bytes(protocol_factory, invalidations):
+            sim = drive_workload(
+                server, protocol_factory, workload.requests,
+                clients=workload.clients,
+                deliver_invalidations=invalidations,
+                end_time=workload.duration,
+            )
+            return sim.total_bytes()
+
+        hier_time = hier_bytes(lambda: TTLProtocol(hours(125)), False)
+        hier_inval = hier_bytes(InvalidationProtocol, True)
+
+        flat_time = simulate(
+            server, TTLProtocol(hours(125)), workload.requests,
+            SimulatorMode.OPTIMIZED, end_time=workload.duration,
+        ).bandwidth.total_bytes
+        flat_inval = simulate(
+            server, InvalidationProtocol(), workload.requests,
+            SimulatorMode.OPTIMIZED, end_time=workload.duration,
+        ).bandwidth.total_bytes
+
+        assert hier_inval > 0 and flat_inval > 0
+        assert flat_time / flat_inval >= hier_time / hier_inval * 0.999
+
+    def test_heterogeneous_protocols_per_level(self, workload):
+        """Nothing requires every level to run the same protocol: a
+        conservative leaf tier over a relaxed parent tier works and
+        stays within the leaf tier's staleness envelope."""
+        from repro.core.hierarchy import CacheNode, HierarchySimulation
+        from repro.core.protocols import AlexProtocol
+
+        root = CacheNode("cache-2", AlexProtocol.from_percent(100))
+        leaves = [
+            CacheNode("1a", AlexProtocol.from_percent(5), parent=root),
+            CacheNode("1b", AlexProtocol.from_percent(5), parent=root),
+        ]
+        sim = HierarchySimulation(workload.server(), root, leaves)
+        sim.preload(at=0.0)
+        names = ["1a", "1b"]
+        stale = 0
+        for i, (t, oid) in enumerate(workload.requests):
+            stale += sim.request(names[i % 2], oid, t)
+        sim.finish(workload.duration)
+        # The relaxed parent can serve slightly stale content to a
+        # freshly-validating leaf, but the envelope stays small.
+        assert stale / len(workload.requests) < 0.10
+        assert sim.leaf_counters().requests == len(workload.requests)
+
+    def test_hop_weighting_exceeds_flat_bytes(self, workload):
+        """Worrell's hops x bytes metric is strictly larger than raw
+        bytes whenever any leaf traffic exists."""
+        sim = drive_workload(
+            workload.server(), lambda: TTLProtocol(hours(50)),
+            workload.requests, clients=workload.clients,
+            end_time=workload.duration,
+        )
+        assert sim.hop_weighted_bytes() > sim.total_bytes()

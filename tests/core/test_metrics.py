@@ -1,0 +1,108 @@
+"""Bandwidth ledger and consistency counters."""
+
+import pytest
+
+from repro.core.metrics import (
+    FULL_RETRIEVAL,
+    INVALIDATION,
+    VALIDATION_200,
+    VALIDATION_304,
+    BandwidthLedger,
+    ConsistencyCounters,
+)
+
+
+class TestBandwidthLedger:
+    def test_starts_empty(self):
+        ledger = BandwidthLedger()
+        assert ledger.total_bytes == 0
+        assert ledger.total_megabytes == 0.0
+
+    def test_charge_accumulates(self):
+        ledger = BandwidthLedger()
+        ledger.charge(FULL_RETRIEVAL, 86, 5000)
+        ledger.charge(FULL_RETRIEVAL, 86, 3000)
+        assert ledger.control_bytes[FULL_RETRIEVAL] == 172
+        assert ledger.body_bytes[FULL_RETRIEVAL] == 8000
+        assert ledger.exchanges[FULL_RETRIEVAL] == 2
+
+    def test_totals_cross_categories(self):
+        ledger = BandwidthLedger()
+        ledger.charge(VALIDATION_304, 86, 0)
+        ledger.charge(VALIDATION_200, 86, 1000)
+        ledger.charge(INVALIDATION, 43, 0)
+        assert ledger.total_control_bytes == 215
+        assert ledger.total_body_bytes == 1000
+        assert ledger.total_bytes == 1215
+
+    def test_megabytes_decimal(self):
+        ledger = BandwidthLedger()
+        ledger.charge(FULL_RETRIEVAL, 0, 2_500_000)
+        assert ledger.total_megabytes == 2.5
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            BandwidthLedger().charge("bogus", 1, 1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger().charge(FULL_RETRIEVAL, -1, 0)
+
+    def test_merge(self):
+        a, b = BandwidthLedger(), BandwidthLedger()
+        a.charge(FULL_RETRIEVAL, 86, 100)
+        b.charge(FULL_RETRIEVAL, 86, 200)
+        b.charge(INVALIDATION, 43, 0)
+        a.merge(b)
+        assert a.body_bytes[FULL_RETRIEVAL] == 300
+        assert a.exchanges[INVALIDATION] == 1
+
+
+class TestConsistencyCounters:
+    def test_rates_zero_when_idle(self):
+        counters = ConsistencyCounters()
+        assert counters.miss_rate == 0.0
+        assert counters.hit_rate == 0.0
+        assert counters.stale_hit_rate == 0.0
+
+    def test_rates(self):
+        counters = ConsistencyCounters(
+            requests=10, hits=8, misses=2, stale_hits=1
+        )
+        assert counters.miss_rate == 0.2
+        assert counters.hit_rate == 0.8
+        assert counters.stale_hit_rate == 0.1
+
+    def test_server_operations_sum(self):
+        counters = ConsistencyCounters(
+            server_gets=3, server_ims_queries=5, server_invalidations_sent=7
+        )
+        assert counters.server_operations == 15
+
+    def test_merge(self):
+        a = ConsistencyCounters(requests=5, hits=5)
+        b = ConsistencyCounters(requests=3, hits=1, misses=2, stale_hits=1)
+        a.merge(b)
+        assert a.requests == 8
+        assert a.hits == 6
+        assert a.misses == 2
+        assert a.stale_hits == 1
+
+    def test_invariants_pass_when_consistent(self):
+        counters = ConsistencyCounters(
+            requests=4, hits=3, misses=1, stale_hits=2,
+            validations=2, validations_not_modified=1,
+            server_ims_queries=2, full_retrievals=1, server_gets=1,
+        )
+        counters.check_invariants()
+
+    def test_invariants_catch_hit_miss_mismatch(self):
+        counters = ConsistencyCounters(requests=4, hits=1, misses=1)
+        with pytest.raises(AssertionError):
+            counters.check_invariants()
+
+    def test_invariants_catch_stale_exceeding_hits(self):
+        counters = ConsistencyCounters(requests=2, hits=1, misses=1,
+                                       stale_hits=2)
+        with pytest.raises(AssertionError):
+            counters.check_invariants()

@@ -1,0 +1,120 @@
+"""Web objects and modification schedules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+
+
+class TestWebObject:
+    def test_defaults(self):
+        obj = WebObject("/x", size=100)
+        assert obj.file_type == "html"
+        assert obj.cacheable
+        assert obj.expires_after is None
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            WebObject("", size=100)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WebObject("/x", size=-1)
+
+    def test_frozen(self):
+        obj = WebObject("/x", size=100)
+        with pytest.raises(AttributeError):
+            obj.size = 200
+
+
+class TestModificationSchedule:
+    def test_empty_schedule(self):
+        sched = ModificationSchedule(created=-100.0)
+        assert sched.total_changes == 0
+        assert sched.version_at(0.0) == 0
+        assert sched.last_modified_at(0.0) == -100.0
+
+    def test_versions_increment_at_change_times(self):
+        sched = ModificationSchedule(0.0, [10.0, 20.0, 30.0])
+        assert sched.version_at(5.0) == 0
+        assert sched.version_at(10.0) == 1   # visible at exactly t
+        assert sched.version_at(15.0) == 1
+        assert sched.version_at(30.0) == 3
+        assert sched.version_at(1e9) == 3
+
+    def test_last_modified_tracks_versions(self):
+        sched = ModificationSchedule(0.0, [10.0, 20.0])
+        assert sched.last_modified_at(5.0) == 0.0
+        assert sched.last_modified_at(10.0) == 10.0
+        assert sched.last_modified_at(25.0) == 20.0
+
+    def test_times_sorted_on_ingest(self):
+        sched = ModificationSchedule(0.0, [30.0, 10.0, 20.0])
+        assert sched.times == (10.0, 20.0, 30.0)
+
+    def test_change_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            ModificationSchedule(0.0, [-5.0])
+        with pytest.raises(ValueError):
+            ModificationSchedule(0.0, [0.0])  # must be strictly after
+
+    def test_changes_in_half_open_interval(self):
+        sched = ModificationSchedule(0.0, [10.0, 20.0, 30.0])
+        assert sched.changes_in(0.0, 30.0) == 3
+        assert sched.changes_in(10.0, 20.0) == 1  # (10, 20] excludes 10
+        assert sched.changes_in(30.0, 40.0) == 0
+
+    def test_changes_in_rejects_inverted_interval(self):
+        sched = ModificationSchedule(0.0)
+        with pytest.raises(ValueError):
+            sched.changes_in(10.0, 5.0)
+
+    def test_next_change_after(self):
+        sched = ModificationSchedule(0.0, [10.0, 20.0])
+        assert sched.next_change_after(5.0) == 10.0
+        assert sched.next_change_after(10.0) == 20.0
+        assert sched.next_change_after(20.0) is None
+
+    def test_age_at(self):
+        sched = ModificationSchedule(-100.0, [50.0])
+        assert sched.age_at(0.0) == 100.0
+        assert sched.age_at(60.0) == 10.0
+
+    def test_repr(self):
+        assert "changes=2" in repr(ModificationSchedule(0.0, [1.0, 2.0]))
+
+
+class TestObjectHistory:
+    def test_default_schedule_from_object(self):
+        history = ObjectHistory(WebObject("/x", size=10, created=-5.0))
+        assert history.schedule.created == -5.0
+        assert history.schedule.total_changes == 0
+
+    def test_mismatched_creation_rejected(self):
+        obj = WebObject("/x", size=10, created=-5.0)
+        with pytest.raises(ValueError):
+            ObjectHistory(obj, ModificationSchedule(0.0))
+
+    def test_object_id_passthrough(self):
+        history = ObjectHistory(WebObject("/y", size=10))
+        assert history.object_id == "/y"
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+        max_size=50,
+    ),
+    probe=st.floats(min_value=-10.0, max_value=1.1e6, allow_nan=False),
+)
+def test_version_consistency_property(times, probe):
+    """version_at(t) always equals the number of changes at or before t,
+    and last_modified_at(t) <= t whenever version > 0."""
+    sched = ModificationSchedule(0.0, times)
+    version = sched.version_at(probe)
+    assert version == sum(1 for t in sorted(times) if t <= probe)
+    if version > 0:
+        assert sched.last_modified_at(probe) <= probe
+    else:
+        assert sched.last_modified_at(probe) == 0.0

@@ -1,0 +1,102 @@
+"""The simulator's per-event observer hook."""
+
+import pytest
+
+from repro.core.clock import days, hours
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.server import OriginServer
+from repro.core.simulator import Simulation, SimulatorMode
+from tests.conftest import make_history
+
+
+class Recorder:
+    def __init__(self):
+        self.events: list[tuple[str, float, str]] = []
+
+    def __call__(self, kind: str, t: float, oid: str) -> None:
+        self.events.append((kind, t, oid))
+
+    def kinds(self) -> list[str]:
+        return [kind for kind, _, _ in self.events]
+
+
+def run(server, protocol, requests, mode=SimulatorMode.OPTIMIZED,
+        end_time=None):
+    recorder = Recorder()
+    sim = Simulation(server, protocol, mode, observer=recorder)
+    for t, oid in requests:
+        sim.step(t, oid)
+    sim.finish(end_time)
+    return recorder, sim
+
+
+class TestObserverEvents:
+    def test_hit_and_stale_hit(self, changing_server):
+        recorder, _ = run(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(1), "/cold"), (days(11), "/warm")],
+        )
+        assert recorder.kinds() == ["hit", "stale_hit"]
+
+    def test_validation_events(self, changing_server):
+        recorder, _ = run(
+            changing_server, TTLProtocol(hours(10)),
+            [(days(2), "/cold"), (days(12), "/warm")],
+        )
+        assert recorder.kinds() == ["validation_304", "validation_200"]
+
+    def test_miss_on_base_mode_refetch(self, changing_server):
+        recorder, _ = run(
+            changing_server, TTLProtocol(hours(10)),
+            [(days(2), "/cold")], mode=SimulatorMode.BASE,
+        )
+        assert recorder.kinds() == ["miss"]
+
+    def test_invalidation_and_prefetch_events(self, changing_server):
+        recorder, _ = run(
+            changing_server, InvalidationProtocol(eager=True),
+            [], end_time=days(30),
+        )
+        kinds = recorder.kinds()
+        assert kinds.count("invalidation") == 4
+        assert kinds.count("prefetch") == 4
+        # Notices precede their pushes, pairwise.
+        assert kinds[0] == "invalidation" and kinds[1] == "prefetch"
+
+    def test_dynamic_fetch_event(self):
+        server = OriginServer([make_history("/cgi", cacheable=False)])
+        recorder, _ = run(server, TTLProtocol(hours(1)), [(1.0, "/cgi")])
+        assert recorder.kinds() == ["dynamic_fetch"]
+
+    def test_event_times_and_ids(self, changing_server):
+        recorder, _ = run(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(11), "/warm")],
+        )
+        kind, t, oid = recorder.events[0]
+        assert (kind, t, oid) == ("stale_hit", days(11), "/warm")
+
+    def test_events_match_counters(self, changing_server):
+        requests = [(days(0.3 * i), "/hot") for i in range(1, 60)]
+        recorder, sim = run(
+            changing_server, TTLProtocol(hours(24)), requests,
+            end_time=days(30),
+        )
+        kinds = recorder.kinds()
+        counters = sim.counters
+        assert kinds.count("stale_hit") == counters.stale_hits
+        assert kinds.count("validation_304") == counters.validations_not_modified
+        assert (
+            kinds.count("validation_200") + kinds.count("miss")
+            == counters.misses
+        )
+        assert (
+            kinds.count("hit") + kinds.count("stale_hit")
+            + kinds.count("validation_304")
+            == counters.hits
+        )
+
+    def test_no_observer_no_error(self, changing_server):
+        sim = Simulation(changing_server, TTLProtocol(hours(1)))
+        sim.step(days(1), "/cold")
+        assert sim.finish().counters.requests == 1

@@ -1,0 +1,94 @@
+"""The full protocol x mode matrix over one standard workload.
+
+Every protocol the library ships must run cleanly through both simulator
+modes on a realistic workload, satisfy the counter invariants, and honor
+its own consistency contract.  This is the compatibility gate a new
+protocol implementation has to pass.
+"""
+
+import pytest
+
+from repro.core.clock import hours
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import HCS, CampusWorkload
+
+PROTOCOL_FACTORIES = [
+    pytest.param(lambda: TTLProtocol(hours(125)), id="ttl"),
+    pytest.param(lambda: ExpiresTTLProtocol(hours(125)), id="expires"),
+    pytest.param(lambda: AlexProtocol.from_percent(10), id="alex"),
+    pytest.param(lambda: InvalidationProtocol(), id="invalidation"),
+    pytest.param(lambda: InvalidationProtocol(eager=True), id="inval-eager"),
+    pytest.param(lambda: PollEveryRequestProtocol(), id="poll"),
+    pytest.param(lambda: CERNPolicyProtocol(lm_fraction=0.1), id="cern"),
+    pytest.param(lambda: SelfTuningProtocol(), id="selftuning"),
+]
+
+PERFECTLY_CONSISTENT = {"invalidation", "inval-eager", "poll"}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CampusWorkload(HCS, seed=77, request_scale=0.15).build()
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOL_FACTORIES)
+@pytest.mark.parametrize("mode", list(SimulatorMode), ids=lambda m: m.value)
+def test_protocol_mode_matrix(make_protocol, mode, workload):
+    protocol = make_protocol()
+    result = simulate(
+        workload.server(), protocol, workload.requests, mode,
+        end_time=workload.duration,
+    )
+    counters = result.counters
+    counters.check_invariants()
+    assert counters.requests == len(workload.requests)
+    assert result.bandwidth.total_bytes > 0
+
+    name = protocol.name
+    if any(tag in name for tag in ("invalidation", "poll")):
+        assert counters.stale_hits == 0, name
+    # Stale hits always come with positive stale-age accounting.
+    if counters.stale_hits:
+        assert counters.stale_age_sum > 0.0
+    # Server load identity.
+    assert counters.server_operations == (
+        counters.server_gets
+        + counters.server_ims_queries
+        + counters.server_invalidations_sent
+    )
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOL_FACTORIES)
+def test_optimized_never_more_bytes_than_base(make_protocol, workload):
+    base = simulate(
+        workload.server(), make_protocol(), workload.requests,
+        SimulatorMode.BASE, end_time=workload.duration,
+    )
+    optimized = simulate(
+        workload.server(), make_protocol(), workload.requests,
+        SimulatorMode.OPTIMIZED, end_time=workload.duration,
+    )
+    assert (
+        optimized.bandwidth.total_bytes <= base.bandwidth.total_bytes
+    ), make_protocol().name
+
+
+@pytest.mark.parametrize("make_protocol", PROTOCOL_FACTORIES)
+def test_protocols_are_deterministic(make_protocol, workload):
+    runs = [
+        simulate(
+            workload.server(), make_protocol(), workload.requests,
+            SimulatorMode.OPTIMIZED, end_time=workload.duration,
+        ).summary()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]

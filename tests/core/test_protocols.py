@@ -1,0 +1,244 @@
+"""The consistency protocols: TTL, Expires, Alex, invalidation, polling,
+CERN policy, and the self-tuning extension."""
+
+import pytest
+
+from repro.core.cache import CacheEntry
+from repro.core.clock import DAY, days, hours
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+
+
+def entry(validated_at=0.0, last_modified=-days(30), valid=True,
+          server_expires=None, file_type="html") -> CacheEntry:
+    return CacheEntry(
+        object_id="/x", version=0, size=100, file_type=file_type,
+        fetched_at=validated_at, validated_at=validated_at,
+        last_modified=last_modified, valid=valid,
+        server_expires=server_expires,
+    )
+
+
+class TestTTL:
+    def test_fresh_within_window(self):
+        ttl = TTLProtocol(hours(10))
+        assert ttl.is_fresh(entry(validated_at=0.0), hours(9.9))
+
+    def test_stale_at_window_boundary(self):
+        ttl = TTLProtocol(hours(10))
+        assert not ttl.is_fresh(entry(validated_at=0.0), hours(10))
+
+    def test_zero_ttl_never_fresh(self):
+        assert not TTLProtocol(0.0).is_fresh(entry(), 0.0)
+
+    def test_window_restarts_at_validation(self):
+        ttl = TTLProtocol(hours(10))
+        e = entry(validated_at=hours(100))
+        assert ttl.is_fresh(e, hours(105))
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            TTLProtocol(-1.0)
+
+    def test_on_stored_stamps_expiry(self):
+        ttl = TTLProtocol(hours(10))
+        e = entry(validated_at=hours(5))
+        ttl.on_stored(e, hours(5))
+        assert e.expires_at == hours(15)
+
+    def test_name_in_hours(self):
+        assert TTLProtocol(hours(125)).name == "ttl(125h)"
+        assert not TTLProtocol(hours(1)).wants_invalidations
+
+
+class TestExpiresTTL:
+    def test_server_expires_governs(self):
+        proto = ExpiresTTLProtocol(hours(10))
+        e = entry(server_expires=hours(2))
+        assert proto.is_fresh(e, hours(1.9))
+        assert not proto.is_fresh(e, hours(2.0))
+
+    def test_falls_back_to_default(self):
+        proto = ExpiresTTLProtocol(hours(10))
+        assert proto.is_fresh(entry(), hours(9))
+
+    def test_on_stored_prefers_server_expiry(self):
+        proto = ExpiresTTLProtocol(hours(10))
+        e = entry(server_expires=hours(2))
+        proto.on_stored(e, 0.0)
+        assert e.expires_at == hours(2)
+
+
+class TestAlex:
+    def test_paper_worked_example(self):
+        # Age one month, threshold 10% -> three-day validity.
+        alex = AlexProtocol.from_percent(10)
+        e = entry(validated_at=0.0, last_modified=-days(30))
+        assert alex.is_fresh(e, days(2.9))
+        assert not alex.is_fresh(e, days(3.1))
+
+    def test_validity_proportional_to_age(self):
+        alex = AlexProtocol.from_percent(50)
+        young = entry(last_modified=-days(2))
+        old = entry(last_modified=-days(200))
+        assert not alex.is_fresh(young, days(1.1))
+        assert alex.is_fresh(old, days(99))
+
+    def test_zero_threshold_never_fresh(self):
+        assert not AlexProtocol(0.0).is_fresh(entry(), 1e-9)
+
+    def test_zero_age_never_fresh(self):
+        alex = AlexProtocol.from_percent(50)
+        just_changed = entry(validated_at=10.0, last_modified=10.0)
+        assert not alex.is_fresh(just_changed, 10.0 + 1e-9)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AlexProtocol(-0.1)
+
+    def test_percent_round_trip(self):
+        assert AlexProtocol.from_percent(64).percent == pytest.approx(64.0)
+        assert AlexProtocol.from_percent(10).name == "alex(10%)"
+
+    def test_on_stored_stamps_expiry(self):
+        alex = AlexProtocol.from_percent(10)
+        e = entry(validated_at=days(1), last_modified=-days(29))
+        alex.on_stored(e, days(1))
+        assert e.expires_at == pytest.approx(days(1) + 0.1 * days(30))
+
+
+class TestInvalidation:
+    def test_fresh_while_valid(self):
+        proto = InvalidationProtocol()
+        assert proto.is_fresh(entry(valid=True), 1e12)
+
+    def test_stale_after_callback(self):
+        proto = InvalidationProtocol()
+        assert not proto.is_fresh(entry(valid=False), 0.0)
+
+    def test_declares_callback_need(self):
+        assert InvalidationProtocol().wants_invalidations
+        assert InvalidationProtocol().name == "invalidation"
+
+
+class TestPolling:
+    def test_never_fresh(self):
+        proto = PollEveryRequestProtocol()
+        assert not proto.is_fresh(entry(), 0.0)
+        assert not proto.wants_invalidations
+
+
+class TestCERNPolicy:
+    def test_expires_header_wins(self):
+        proto = CERNPolicyProtocol(lm_fraction=0.1, default_ttl=hours(1))
+        e = entry(server_expires=hours(3))
+        proto.on_stored(e, 0.0)
+        assert e.expires_at == hours(3)
+
+    def test_lm_fraction_rule(self):
+        proto = CERNPolicyProtocol(lm_fraction=0.1)
+        e = entry(last_modified=-days(30))
+        proto.on_stored(e, 0.0)
+        assert e.expires_at == pytest.approx(days(3))
+        assert proto.is_fresh(e, days(2.9))
+        assert not proto.is_fresh(e, days(3.1))
+
+    def test_default_ttl_when_no_age(self):
+        proto = CERNPolicyProtocol(default_ttl=hours(12))
+        e = entry(validated_at=5.0, last_modified=5.0)
+        proto.on_stored(e, 5.0)
+        assert e.expires_at == 5.0 + hours(12)
+
+    def test_max_ttl_clamps(self):
+        proto = CERNPolicyProtocol(lm_fraction=0.5, max_ttl=hours(1))
+        e = entry(last_modified=-days(100))
+        proto.on_stored(e, 0.0)
+        assert e.expires_at == hours(1)
+
+    def test_is_fresh_derives_for_preloaded_entries(self):
+        proto = CERNPolicyProtocol(lm_fraction=0.1)
+        e = entry(last_modified=-days(30))   # no expires_at stamped
+        assert proto.is_fresh(e, days(1))
+        assert e.expires_at is not None
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(lm_fraction=-1), dict(default_ttl=-1),
+                   dict(max_ttl=-1)]
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CERNPolicyProtocol(**kwargs)
+
+
+class TestSelfTuning:
+    def test_starts_at_initial_threshold(self):
+        proto = SelfTuningProtocol(initial_threshold=0.2)
+        assert proto.threshold_for("gif") == 0.2
+
+    def test_304_raises_threshold(self):
+        proto = SelfTuningProtocol(initial_threshold=0.1, increase_factor=2.0)
+        proto.on_validation_result(entry(file_type="gif"), 0.0,
+                                   was_modified=False)
+        assert proto.threshold_for("gif") == pytest.approx(0.2)
+
+    def test_change_lowers_threshold(self):
+        proto = SelfTuningProtocol(initial_threshold=0.2, decrease_factor=0.5)
+        proto.on_validation_result(entry(file_type="html"), 0.0,
+                                   was_modified=True)
+        assert proto.threshold_for("html") == pytest.approx(0.1)
+
+    def test_clamped_to_bounds(self):
+        proto = SelfTuningProtocol(
+            initial_threshold=0.5, min_threshold=0.4, max_threshold=0.6
+        )
+        for _ in range(10):
+            proto.on_validation_result(entry(), 0.0, was_modified=True)
+        assert proto.threshold_for("html") == 0.4
+        for _ in range(10):
+            proto.on_validation_result(entry(), 0.0, was_modified=False)
+        assert proto.threshold_for("html") == 0.6
+
+    def test_types_tuned_independently(self):
+        proto = SelfTuningProtocol()
+        proto.on_validation_result(entry(file_type="gif"), 0.0, False)
+        assert proto.threshold_for("gif") != proto.threshold_for("html")
+
+    def test_freshness_uses_per_type_threshold(self):
+        proto = SelfTuningProtocol(initial_threshold=0.1)
+        e = entry(last_modified=-days(30))
+        assert proto.is_fresh(e, days(2.9))
+        assert not proto.is_fresh(e, days(3.1))
+
+    def test_history_recorded(self):
+        proto = SelfTuningProtocol()
+        proto.on_validation_result(entry(file_type="gif"), 0.0, True)
+        proto.on_validation_result(entry(file_type="gif"), 0.0, False)
+        assert proto.history["gif"] == [1, 1]
+
+    def test_snapshot(self):
+        proto = SelfTuningProtocol()
+        assert proto.snapshot() == {}
+        proto.on_validation_result(entry(file_type="jpg"), 0.0, False)
+        assert "jpg" in proto.snapshot()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_threshold=0.0),
+            dict(min_threshold=0.5, max_threshold=0.4),
+            dict(initial_threshold=2.0),
+            dict(increase_factor=0.9),
+            dict(decrease_factor=0.0),
+            dict(decrease_factor=1.5),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SelfTuningProtocol(**kwargs)

@@ -1,0 +1,69 @@
+"""JSON-compatible serialization of simulation results."""
+
+import json
+
+import pytest
+
+from repro.core.clock import days, hours
+from repro.core.protocols import InvalidationProtocol, TTLProtocol
+from repro.core.results import result_from_dict, result_to_dict
+from repro.core.simulator import SimulatorMode, simulate
+
+
+@pytest.fixture
+def result(changing_server):
+    requests = [(days(0.4 * i), "/hot") for i in range(1, 50)]
+    return simulate(
+        changing_server, TTLProtocol(hours(50)), requests,
+        SimulatorMode.OPTIMIZED, end_time=days(30),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_is_json_compatible(self, result):
+        text = json.dumps(result_to_dict(result))
+        assert "ttl(50h)" in text
+
+    def test_round_trip_preserves_everything(self, result):
+        rebuilt = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))
+        )
+        assert rebuilt.protocol_name == result.protocol_name
+        assert rebuilt.mode == result.mode
+        assert rebuilt.duration == result.duration
+        assert rebuilt.summary() == result.summary()
+        assert rebuilt.bandwidth.total_bytes == result.bandwidth.total_bytes
+        assert (
+            rebuilt.counters.mean_stale_age == result.counters.mean_stale_age
+        )
+        rebuilt.counters.check_invariants()
+
+    def test_round_trip_with_invalidation_run(self, changing_server):
+        original = simulate(
+            changing_server, InvalidationProtocol(eager=True),
+            [(days(5), "/hot")], SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.counters.prefetches == original.counters.prefetches
+        assert (
+            rebuilt.bandwidth.exchanges["prefetch"]
+            == original.bandwidth.exchanges["prefetch"]
+        )
+
+
+class TestValidation:
+    def test_unknown_counter_rejected(self, result):
+        data = result_to_dict(result)
+        data["counters"]["bogus"] = 1
+        with pytest.raises(KeyError, match="bogus"):
+            result_from_dict(data)
+
+    def test_unknown_category_rejected(self, result):
+        data = result_to_dict(result)
+        data["bandwidth"]["exchanges"]["teleport"] = 1
+        with pytest.raises(ValueError, match="teleport"):
+            result_from_dict(data)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(KeyError):
+            result_from_dict({"protocol_name": "x"})

@@ -1,0 +1,93 @@
+"""The origin server model."""
+
+import pytest
+
+from repro.core.clock import days
+from repro.core.server import OriginServer, UnknownObjectError
+from tests.conftest import make_history
+
+
+class TestPopulation:
+    def test_len_and_contains(self, static_server):
+        assert len(static_server) == 3
+        assert "/a" in static_server
+        assert "/missing" not in static_server
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OriginServer([make_history("/a"), make_history("/a")])
+
+    def test_unknown_object_error(self, static_server):
+        with pytest.raises(UnknownObjectError):
+            static_server.get("/missing", 0.0)
+
+    def test_object_and_schedule_accessors(self, changing_server):
+        assert changing_server.object("/hot").size == 1000
+        assert changing_server.schedule("/hot").total_changes == 3
+
+    def test_total_changes_in_window(self, changing_server):
+        assert changing_server.total_changes(0.0, days(30)) == 4
+        assert changing_server.total_changes(0.0, days(5)) == 3
+        assert changing_server.total_changes(days(3), days(30)) == 1
+
+
+class TestGet:
+    def test_returns_current_version(self, changing_server):
+        before = changing_server.get("/hot", days(0.5))
+        after = changing_server.get("/hot", days(1.5))
+        assert before.version == 0
+        assert after.version == 1
+        assert after.last_modified == days(1)
+        assert after.size == 1000
+
+    def test_expires_attached_when_configured(self):
+        server = OriginServer([make_history("/news", expires_after=3600.0)])
+        result = server.get("/news", 100.0)
+        assert result.expires == 3700.0
+
+    def test_no_expires_by_default(self, static_server):
+        assert static_server.get("/a", 0.0).expires is None
+
+
+class TestIfModifiedSince:
+    def test_not_modified_returns_none(self, changing_server):
+        assert (
+            changing_server.if_modified_since("/cold", days(20), since=-days(30))
+            is None
+        )
+
+    def test_modified_returns_fetch(self, changing_server):
+        result = changing_server.if_modified_since(
+            "/warm", days(15), since=-days(30)
+        )
+        assert result is not None
+        assert result.version == 1
+        assert result.last_modified == days(10)
+
+    def test_boundary_equal_since_is_not_modified(self, changing_server):
+        # IMS with since == last-modified means "unchanged".
+        assert (
+            changing_server.if_modified_since("/warm", days(15), since=days(10))
+            is None
+        )
+
+
+class TestInvalidationFeed:
+    def test_feed_is_time_ordered(self, changing_server):
+        feed = changing_server.invalidation_feed()
+        times = [t for t, _ in feed]
+        assert times == sorted(times)
+        assert len(feed) == 4
+
+    def test_feed_cached(self, changing_server):
+        assert changing_server.invalidation_feed() is (
+            changing_server.invalidation_feed()
+        )
+
+    def test_feed_between(self, changing_server):
+        window = list(changing_server.feed_between(days(1), days(3)))
+        # (days(1), days(3)] excludes the day-1 change, includes 2 and 3.
+        assert [oid for _, oid in window] == ["/hot", "/hot"]
+
+    def test_feed_between_empty_range(self, changing_server):
+        assert list(changing_server.feed_between(days(20), days(30))) == []

@@ -1,0 +1,258 @@
+"""The single-cache simulator: exact accounting on hand-computed scenarios."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.clock import days, hours
+from repro.core.costs import MessageCosts
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import Simulation, SimulatorMode, simulate
+from tests.conftest import make_history
+
+BODY = 1000           # size of /hot in the changing_server fixture
+MSG = 43
+
+
+class TestBaseMode:
+    def test_fresh_hit_costs_nothing(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(1), "/cold")], SimulatorMode.BASE,
+        )
+        assert result.counters.hits == 1
+        assert result.bandwidth.total_bytes == 0
+
+    def test_expired_entry_refetched_unconditionally(self, changing_server):
+        # /cold never changes, but base mode refetches the body anyway.
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(20), "/cold")], SimulatorMode.BASE,
+        )
+        assert result.counters.misses == 1
+        assert result.counters.full_retrievals == 1
+        # Two control messages + a 4000-byte body (fixture /cold size).
+        assert result.bandwidth.total_bytes == 2 * MSG + 4000
+
+    def test_miss_counts_refetch_of_unchanged_file(self, changing_server):
+        # The base-mode hallmark (Figure 3's terrible miss rates).
+        result = simulate(
+            changing_server, TTLProtocol(hours(1)),
+            [(hours(2 * i), "/cold") for i in range(1, 6)],
+            SimulatorMode.BASE,
+        )
+        assert result.counters.misses == 5
+
+    def test_refetch_resets_freshness_window(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(20), "/cold"), (hours(25), "/cold")],
+            SimulatorMode.BASE,
+        )
+        assert result.counters.misses == 1
+        assert result.counters.hits == 1
+
+
+class TestOptimizedMode:
+    def test_expired_unchanged_entry_validates_304(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(20), "/cold")], SimulatorMode.OPTIMIZED,
+        )
+        counters = result.counters
+        assert counters.validations == 1
+        assert counters.validations_not_modified == 1
+        assert counters.misses == 0
+        assert counters.hits == 1
+        assert result.bandwidth.total_bytes == 2 * MSG
+
+    def test_expired_changed_entry_transfers_body(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(days(12), "/warm")], SimulatorMode.OPTIMIZED,
+        )
+        counters = result.counters
+        assert counters.validations == 1
+        assert counters.validations_not_modified == 0
+        assert counters.misses == 1
+        assert result.bandwidth.total_bytes == 2 * MSG + 2000
+
+    def test_304_resets_freshness_window(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(20), "/cold"), (hours(25), "/cold")],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.validations == 1
+        assert result.counters.hits == 2
+
+    def test_validation_updates_last_modified_for_alex(self, changing_server):
+        # Threshold 1% of a 30-day preload age = ~7 hours of validity, so
+        # the day-2.5 request must revalidate (changes landed at days 1, 2).
+        sim = Simulation(
+            changing_server, AlexProtocol.from_percent(1),
+            SimulatorMode.OPTIMIZED,
+        )
+        sim.step(days(2.5), "/hot")
+        entry = sim.cache.peek("/hot")
+        assert entry.last_modified == days(2)
+        assert entry.validated_at == days(2.5)
+
+
+class TestStaleHits:
+    def test_stale_hit_detected(self, changing_server):
+        # /warm changes at day 10; TTL 500h (~21d) keeps the preload fresh.
+        result = simulate(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(11), "/warm")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.hits == 1
+        assert result.counters.stale_hits == 1
+
+    def test_current_hit_not_stale(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(9), "/warm")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_hits == 0
+
+    def test_stale_never_exceeds_hits(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(500)),
+            [(days(d), "/hot") for d in range(1, 20)],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_hits <= result.counters.hits
+
+
+class TestInvalidationProtocol:
+    def test_callback_charged_per_change(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(),
+            [], SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        # /hot changes 3 times, /warm once: 4 notices, no bodies.
+        assert result.counters.server_invalidations_sent == 4
+        assert result.bandwidth.total_bytes == 4 * MSG
+
+    def test_notice_sent_even_when_already_invalid(self, changing_server):
+        # Section 4.1: a message is sent every time a file changes.
+        result = simulate(
+            changing_server, InvalidationProtocol(),
+            [(days(20), "/hot")], SimulatorMode.OPTIMIZED,
+            end_time=days(30),
+        )
+        assert result.counters.server_invalidations_sent == 4
+
+    def test_invalid_entry_refetched_on_access(self, changing_server):
+        result = simulate(
+            changing_server, InvalidationProtocol(),
+            [(days(1.5), "/hot")], SimulatorMode.OPTIMIZED,
+            end_time=days(1.5),
+        )
+        assert result.counters.misses == 1
+        assert result.counters.stale_hits == 0
+
+    def test_never_stale(self, changing_server):
+        requests = [(days(0.1 + 0.2 * i), "/hot") for i in range(100)]
+        result = simulate(
+            changing_server, InvalidationProtocol(),
+            requests, SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        assert result.counters.stale_hits == 0
+
+    def test_same_time_change_and_access_not_stale(self):
+        server = OriginServer([make_history("/f", changes=(days(1),))])
+        result = simulate(
+            server, InvalidationProtocol(),
+            [(days(1), "/f")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_hits == 0
+        assert result.counters.misses == 1
+
+    def test_base_and_optimized_equivalent(self, changing_server):
+        requests = [(days(0.5 * i), "/hot") for i in range(1, 40)]
+        results = [
+            simulate(changing_server, InvalidationProtocol(), requests, mode,
+                     end_time=days(30))
+            for mode in (SimulatorMode.BASE, SimulatorMode.OPTIMIZED)
+        ]
+        assert results[0].counters.misses == results[1].counters.misses
+        assert results[0].counters.stale_hits == results[1].counters.stale_hits
+
+
+class TestColdCacheAndDynamic:
+    def test_no_preload_first_access_misses(self, static_server):
+        result = simulate(
+            static_server, TTLProtocol(hours(10)),
+            [(1.0, "/a"), (2.0, "/a")], SimulatorMode.OPTIMIZED,
+            preload=False,
+        )
+        assert result.counters.misses == 1
+        assert result.counters.hits == 1
+
+    def test_dynamic_objects_always_fetched(self):
+        server = OriginServer([make_history("/cgi", cacheable=False)])
+        result = simulate(
+            server, TTLProtocol(hours(100)),
+            [(1.0, "/cgi"), (2.0, "/cgi")], SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.misses == 2
+        assert result.counters.hits == 0
+
+
+class TestMechanics:
+    def test_out_of_order_requests_rejected(self, static_server):
+        sim = Simulation(static_server, TTLProtocol(hours(1)))
+        sim.step(10.0, "/a")
+        with pytest.raises(ValueError, match="time-ordered"):
+            sim.step(9.0, "/a")
+
+    def test_end_time_before_last_request_rejected(self, static_server):
+        sim = Simulation(static_server, TTLProtocol(hours(1)))
+        sim.step(10.0, "/a")
+        with pytest.raises(ValueError):
+            sim.finish(end_time=5.0)
+
+    def test_start_time_skips_pre_run_invalidations(self):
+        server = OriginServer([make_history("/f", changes=(days(1),))])
+        result = simulate(
+            server, InvalidationProtocol(), [],
+            SimulatorMode.OPTIMIZED, start_time=days(2), end_time=days(3),
+        )
+        assert result.counters.server_invalidations_sent == 0
+
+    def test_custom_costs_respected(self, changing_server):
+        result = simulate(
+            changing_server, TTLProtocol(hours(10)),
+            [(hours(20), "/cold")], SimulatorMode.OPTIMIZED,
+            costs=MessageCosts(control_message=100),
+        )
+        assert result.bandwidth.total_bytes == 200
+
+    def test_result_metadata(self, static_server):
+        result = simulate(
+            static_server, AlexProtocol.from_percent(25),
+            [(5.0, "/a")], SimulatorMode.BASE, end_time=100.0,
+        )
+        assert result.protocol_name == "alex(25%)"
+        assert result.mode == "base"
+        assert result.duration == 100.0
+
+    def test_reusing_supplied_cache(self, static_server):
+        cache = Cache()
+        simulate(static_server, TTLProtocol(hours(1)), [(1.0, "/a")],
+                 cache=cache)
+        assert "/a" in cache
+
+    def test_invariants_hold_after_run(self, changing_server):
+        result = simulate(
+            changing_server, AlexProtocol.from_percent(10),
+            [(days(0.3 * i), "/hot") for i in range(1, 50)],
+            SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        result.counters.check_invariants()  # raises on violation

@@ -1,0 +1,188 @@
+"""Property-based tests: simulator invariants over random workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import DAY, days, hours
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+
+DURATION = 20 * DAY
+
+
+@st.composite
+def small_workloads(draw):
+    """A tiny random population plus a time-ordered request stream."""
+    n_files = draw(st.integers(min_value=1, max_value=6))
+    histories = []
+    for i in range(n_files):
+        created = -draw(st.floats(min_value=1.0, max_value=100.0)) * DAY
+        n_changes = draw(st.integers(min_value=0, max_value=8))
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.01 * DAY, max_value=DURATION),
+                    min_size=n_changes, max_size=n_changes, unique=True,
+                )
+            )
+        )
+        size = draw(st.integers(min_value=64, max_value=50_000))
+        histories.append(
+            ObjectHistory(
+                WebObject(f"/f{i}", size=size, created=created),
+                ModificationSchedule(created, times),
+            )
+        )
+    n_requests = draw(st.integers(min_value=0, max_value=60))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=DURATION),
+                st.integers(min_value=0, max_value=n_files - 1),
+            ),
+            min_size=n_requests, max_size=n_requests,
+        )
+    )
+    requests = sorted(
+        (t, histories[i].object_id) for t, i in raw
+    )
+    return histories, requests
+
+
+def protocols():
+    return st.sampled_from(
+        [
+            lambda: TTLProtocol(hours(0)),
+            lambda: TTLProtocol(hours(24)),
+            lambda: TTLProtocol(hours(500)),
+            lambda: AlexProtocol.from_percent(0),
+            lambda: AlexProtocol.from_percent(10),
+            lambda: AlexProtocol.from_percent(100),
+            InvalidationProtocol,
+        ]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=small_workloads(), make_protocol=protocols(),
+       mode=st.sampled_from(list(SimulatorMode)))
+def test_counter_invariants(workload, make_protocol, mode):
+    """Bookkeeping identities hold for every protocol/mode/workload."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    result = simulate(server, make_protocol(), requests, mode,
+                      end_time=DURATION)
+    c = result.counters
+    c.check_invariants()
+    assert c.requests == len(requests)
+    assert result.bandwidth.total_bytes >= 0
+    # Every body transfer is a miss and vice versa.
+    body_events = (
+        result.bandwidth.exchanges["full_retrieval"]
+        + result.bandwidth.exchanges["validation_200"]
+    )
+    assert body_events == c.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=small_workloads(), mode=st.sampled_from(list(SimulatorMode)))
+def test_invalidation_protocol_is_perfectly_consistent(workload, mode):
+    """The invalidation protocol never serves stale data (Figure 3/7)."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    result = simulate(server, InvalidationProtocol(), requests, mode,
+                      end_time=DURATION)
+    assert result.counters.stale_hits == 0
+    # One notice per in-window change of a resident (preloaded) object.
+    assert result.counters.server_invalidations_sent == sum(
+        h.schedule.changes_in(0.0, DURATION) for h in histories
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=small_workloads())
+def test_weak_protocols_never_transfer_more_bodies_than_invalidation(workload):
+    """Section 4.1: "neither Alex nor TTL will ever transmit more file
+    information than the invalidation protocol" (optimized mode)."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    inval = simulate(server, InvalidationProtocol(), requests,
+                     SimulatorMode.OPTIMIZED, end_time=DURATION)
+    for proto in (TTLProtocol(hours(24)), AlexProtocol.from_percent(20)):
+        weak = simulate(server, proto, requests, SimulatorMode.OPTIMIZED,
+                        end_time=DURATION)
+        assert (
+            weak.bandwidth.total_body_bytes
+            <= inval.bandwidth.total_body_bytes
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=small_workloads())
+def test_poll_every_request_never_stale(workload):
+    """Alex(0) queries on every request, so it can never return stale
+    data — the Figure 8 "poorly designed servers" configuration."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    result = simulate(server, AlexProtocol.from_percent(0), requests,
+                      SimulatorMode.OPTIMIZED, end_time=DURATION)
+    assert result.counters.stale_hits == 0
+    assert result.counters.validations + result.counters.full_retrievals >= (
+        len(requests)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=small_workloads(),
+       ttl_pair=st.tuples(st.integers(0, 500), st.integers(0, 500)))
+def test_base_mode_bandwidth_monotone_in_ttl(workload, ttl_pair):
+    """In base mode a longer TTL can only reduce total traffic (fewer
+    unconditional refetches of identical content)."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    lo, hi = sorted(ttl_pair)
+    result_lo = simulate(server, TTLProtocol(hours(lo)), requests,
+                         SimulatorMode.BASE, end_time=DURATION)
+    result_hi = simulate(server, TTLProtocol(hours(hi)), requests,
+                         SimulatorMode.BASE, end_time=DURATION)
+    assert result_hi.bandwidth.total_bytes <= result_lo.bandwidth.total_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=small_workloads(), percent=st.integers(0, 100))
+def test_optimized_never_costs_more_than_base(workload, percent):
+    """Conditional retrieval is a pure bandwidth optimization for any
+    time-based protocol parameter (Figure 2 vs Figure 4)."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    base = simulate(server, AlexProtocol.from_percent(percent), requests,
+                    SimulatorMode.BASE, end_time=DURATION)
+    opt = simulate(server, AlexProtocol.from_percent(percent), requests,
+                   SimulatorMode.OPTIMIZED, end_time=DURATION)
+    assert opt.bandwidth.total_bytes <= base.bandwidth.total_bytes
+    # And it never changes what the user sees: stale counts match.
+    assert opt.counters.stale_hits == base.counters.stale_hits
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=small_workloads(), seed=st.integers(0, 10))
+def test_simulation_is_deterministic(workload, seed):
+    """Same inputs, same outputs — byte for byte."""
+    del seed
+    histories, requests = workload
+    server = OriginServer(histories)
+    a = simulate(server, AlexProtocol.from_percent(15), requests,
+                 SimulatorMode.OPTIMIZED, end_time=DURATION)
+    b = simulate(server, AlexProtocol.from_percent(15), requests,
+                 SimulatorMode.OPTIMIZED, end_time=DURATION)
+    assert a.summary() == b.summary()
+    assert a.bandwidth.total_bytes == b.bandwidth.total_bytes

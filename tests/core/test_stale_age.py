@@ -1,0 +1,97 @@
+"""Staleness-severity accounting (mean stale age)."""
+
+import pytest
+
+from repro.core.clock import days, hours
+from repro.core.metrics import ConsistencyCounters
+from repro.core.protocols import AlexProtocol, InvalidationProtocol, TTLProtocol
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+from tests.conftest import make_history
+
+
+class TestCounter:
+    def test_zero_when_no_stale_hits(self):
+        assert ConsistencyCounters().mean_stale_age == 0.0
+
+    def test_mean(self):
+        counters = ConsistencyCounters(stale_hits=2, stale_age_sum=10.0)
+        assert counters.mean_stale_age == 5.0
+
+    def test_merge_sums(self):
+        a = ConsistencyCounters(stale_hits=1, stale_age_sum=4.0)
+        b = ConsistencyCounters(stale_hits=1, stale_age_sum=6.0)
+        a.merge(b)
+        assert a.mean_stale_age == 5.0
+
+
+class TestSimulatorAccounting:
+    def test_exact_lag_single_stale_hit(self):
+        # /f changes at day 3; request at day 5 under a 500h TTL is
+        # served stale, 2 days after the change.
+        server = OriginServer([make_history("/f", changes=(days(3),))])
+        result = simulate(
+            server, TTLProtocol(hours(500)), [(days(5), "/f")],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_hits == 1
+        assert result.counters.stale_age_sum == pytest.approx(days(2))
+
+    def test_lag_measured_from_first_missed_change(self):
+        # Two changes (days 3 and 4); the entry went stale at day 3.
+        server = OriginServer(
+            [make_history("/f", changes=(days(3), days(4)))]
+        )
+        result = simulate(
+            server, TTLProtocol(hours(500)), [(days(5), "/f")],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_age_sum == pytest.approx(days(2))
+
+    def test_fresh_hits_add_nothing(self):
+        server = OriginServer([make_history("/f", changes=(days(3),))])
+        result = simulate(
+            server, TTLProtocol(hours(500)), [(days(1), "/f")],
+            SimulatorMode.OPTIMIZED,
+        )
+        assert result.counters.stale_age_sum == 0.0
+
+    def test_invalidation_never_accumulates(self, changing_server):
+        requests = [(days(0.3 * i), "/hot") for i in range(1, 60)]
+        result = simulate(
+            changing_server, InvalidationProtocol(), requests,
+            SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        assert result.counters.stale_age_sum == 0.0
+
+    def test_ttl_bounds_stale_age(self, changing_server):
+        """A stale TTL entry cannot have been stale longer than the TTL
+        itself (it would have revalidated)."""
+        ttl = hours(48)
+        requests = [(days(0.2 * i), "/hot") for i in range(1, 120)]
+        result = simulate(
+            changing_server, TTLProtocol(ttl), requests,
+            SimulatorMode.OPTIMIZED, end_time=days(30),
+        )
+        if result.counters.stale_hits:
+            assert result.counters.mean_stale_age <= ttl
+
+    def test_alex_stale_age_grows_with_threshold(self):
+        """Higher thresholds do not only make staleness more frequent —
+        they make it deeper."""
+        server = OriginServer(
+            [make_history(f"/f{i}", changes=(days(2 + i),))
+             for i in range(8)]
+        )
+        requests = sorted(
+            (days(0.5 * k + 0.25), f"/f{k % 8}") for k in range(70)
+        )
+        ages = []
+        for percent in (20, 100):
+            result = simulate(
+                server, AlexProtocol.from_percent(percent), requests,
+                SimulatorMode.OPTIMIZED, end_time=days(40),
+            )
+            assert result.counters.stale_hits > 0
+            ages.append(result.counters.mean_stale_age)
+        assert ages[1] > ages[0]

@@ -1,0 +1,70 @@
+"""Every example script runs to completion and prints its story.
+
+The examples are the library's front door; a broken one is a bug.  Each
+is executed in-process (imported as a module and its ``main`` called)
+with reduced arguments where the script supports them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    """Execute an example script as __main__ with the given argv."""
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script), *argv]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "invalidation" in out
+        assert "stale rate" in out
+
+    def test_campus_proxy(self, tmp_path, capsys):
+        out = run_example(
+            "campus_proxy.py", ["--log", str(tmp_path / "hcs.log")], capsys
+        )
+        assert "wrote" in out
+        assert "alex(10%)" in out
+
+    def test_tune_stale_rate(self, capsys):
+        out = run_example(
+            "tune_stale_rate.py", ["--scale", "0.1", "--budget", "0.05"],
+            capsys,
+        )
+        assert "recommended threshold" in out
+
+    def test_news_site(self, capsys):
+        out = run_example("news_site.py", [], capsys)
+        assert "expires" in out
+        assert "112" in out   # one validation per page per edition
+
+    def test_hierarchy_bias(self, capsys):
+        out = run_example("hierarchy_bias.py", [], capsys)
+        assert "c-partial" in out
+        assert "never flatters" in out or "never" in out
+
+    def test_self_tuning(self, capsys):
+        out = run_example("self_tuning.py", [], capsys)
+        assert "self-tuning" in out
+        assert "learned per-type thresholds" in out
+
+    def test_capacity_planning(self, capsys):
+        out = run_example(
+            "capacity_planning.py", ["--requests", "4000"], capsys
+        )
+        assert "unbounded" in out
+        assert "lfu" in out

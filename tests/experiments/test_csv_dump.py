@@ -1,0 +1,67 @@
+"""CSV dumping of experiment data (the --csv flag)."""
+
+import pytest
+
+from repro.analysis.export import dump_experiment_data, read_csv_rows
+
+
+class TestDumpExperimentData:
+    def test_series_dict_becomes_columns(self, tmp_path):
+        data = {"alex": {"threshold": [0, 50], "mb": [5.0, 2.0]}}
+        written = dump_experiment_data(data, tmp_path, "figX")
+        assert [p.name for p in written] == ["figX_alex.csv"]
+        headers, rows = read_csv_rows(written[0])
+        assert headers == ["threshold", "mb"]
+        assert rows == [["0", "5.0"], ["50", "2.0"]]
+
+    def test_row_table_becomes_positional_columns(self, tmp_path):
+        data = {"paper": [("DAS", 1403), ("FAS", 290)]}
+        written = dump_experiment_data(data, tmp_path, "table1")
+        headers, rows = read_csv_rows(written[0])
+        assert headers == ["c0", "c1"]
+        assert rows[0] == ["DAS", "1403"]
+
+    def test_scalars_collected_into_summary(self, tmp_path):
+        data = {"invalidation_mb": 1.5, "crossover": None}
+        written = dump_experiment_data(data, tmp_path, "fig8")
+        assert written[0].name == "fig8_summary.csv"
+        headers, rows = read_csv_rows(written[0])
+        assert ["invalidation_mb", "1.5"] in rows
+
+    def test_nested_dict_flattened(self, tmp_path):
+        data = {"scenarios": {"a": {"x": 1}, "b": {"y": 2}}}
+        written = dump_experiment_data(data, tmp_path, "fig1")
+        _, rows = read_csv_rows(written[0])
+        keys = {row[0] for row in rows}
+        assert keys == {"scenarios.a", "scenarios.b"}
+
+    def test_ragged_series_rejected(self, tmp_path):
+        data = {"bad": {"x": [1, 2], "y": [1]}}
+        with pytest.raises(ValueError, match="ragged"):
+            dump_experiment_data(data, tmp_path, "x")
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        dump_experiment_data({"v": 1}, target, "e")
+        assert target.is_dir()
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure1", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "csv:" in out
+        assert (tmp_path / "figure1_summary.csv").exists()
+
+    def test_every_experiment_dumps_cleanly(self, tmp_path):
+        """No experiment's data dict trips the dumper."""
+        from repro.experiments import common
+        from repro.experiments.registry import all_ids, run_experiment
+
+        common.clear_caches()
+        for experiment_id in all_ids():
+            report = run_experiment(experiment_id, scale=0.1, seed=0)
+            written = dump_experiment_data(
+                report.data, tmp_path, experiment_id
+            )
+            assert written, experiment_id

@@ -1,0 +1,101 @@
+"""The figure-rendering helpers and the shared experiment machinery."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, sweep_alex, sweep_ttl
+from repro.core.simulator import SimulatorMode
+from repro.experiments import common
+from repro.experiments.panels import (
+    bandwidth_panel,
+    rate_panel,
+    server_load_panel,
+    sweep_table,
+    two_panel_report,
+)
+from repro.workload.worrell import WorrellWorkload
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    workload = WorrellWorkload(files=60, requests=1500, seed=2).build()
+    alex = sweep_alex([workload], SimulatorMode.OPTIMIZED,
+                      thresholds_percent=(0, 50, 100))
+    ttl = sweep_ttl([workload], SimulatorMode.OPTIMIZED,
+                    ttl_hours=(0, 250, 500))
+    return alex, ttl
+
+
+class TestPanels:
+    def test_bandwidth_panel_structure(self, sweeps):
+        alex, _ = sweeps
+        text = bandwidth_panel(alex, "Alex")
+        assert "(a) Alex Cache Consistency Protocol" in text
+        assert "Update Threshold (percent)" in text
+        assert "invalidation" in text
+        assert "[log y]" in text
+
+    def test_rate_panel_structure(self, sweeps):
+        _, ttl = sweeps
+        text = rate_panel(ttl, "TTL")
+        assert "(b) Time to Live Fields" in text
+        assert "TTL stale hits" in text
+        assert "percent of requests" in text
+
+    def test_server_load_panel_structure(self, sweeps):
+        alex, _ = sweeps
+        text = server_load_panel(alex, "Alex")
+        assert "server operations" in text
+
+    def test_sweep_table_has_baseline_row(self, sweeps):
+        alex, _ = sweeps
+        table = sweep_table(alex, "threshold %")
+        assert "inval" in table
+        assert "server ops" in table
+        # One row per sweep point plus header, rule, and baseline.
+        assert len(table.splitlines()) == 3 + 2 + 1
+
+    def test_two_panel_report_combines_everything(self, sweeps):
+        alex, ttl = sweeps
+        text = two_panel_report(alex, ttl, bandwidth_panel)
+        assert "(a) Alex" in text and "(b) Time to Live" in text
+        assert text.count("inval") >= 4   # two legends + two table rows
+
+
+class TestCommon:
+    def test_sweep_grids_full_scale(self):
+        alex_grid, ttl_grid = common.sweep_grids(1.0)
+        assert alex_grid[0] == 0 and alex_grid[-1] == 100
+        assert ttl_grid[0] == 0 and ttl_grid[-1] == 500
+        assert len(alex_grid) == 21
+
+    def test_sweep_grids_thinned_but_anchored(self):
+        alex_grid, ttl_grid = common.sweep_grids(0.1)
+        assert alex_grid[0] == 0 and alex_grid[-1] == 100
+        assert ttl_grid[-1] == 500
+        assert len(alex_grid) < 21
+
+    def test_workloads_memoized(self):
+        common.clear_caches()
+        a = common.worrell_workload(0.05, 1)
+        b = common.worrell_workload(0.05, 1)
+        assert a is b
+        common.clear_caches()
+        c = common.worrell_workload(0.05, 1)
+        assert c is not a
+
+    def test_campus_workloads_all_three(self):
+        workloads = common.campus_workloads(0.05, 0)
+        assert [w.name for w in workloads] == ["DAS", "FAS", "HCS"]
+
+    def test_worrell_scale_shrinks_population(self):
+        common.clear_caches()
+        small = common.worrell_workload(0.05, 0)
+        assert small.file_count == round(common.WORRELL_FILES * 0.05)
+        assert len(small.requests) == round(common.WORRELL_REQUESTS * 0.05)
+
+    def test_sweeps_cached_across_figures(self):
+        common.clear_caches()
+        first = common.worrell_sweeps("base", 0.02, 0)
+        second = common.worrell_sweeps("base", 0.02, 0)
+        assert first is second
+        common.clear_caches()

@@ -1,0 +1,53 @@
+"""The experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, all_ids, run_experiment
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        assert set(all_ids()) == {
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure6", "figure7", "figure8", "table1", "table2",
+            "ext-latency", "ext-dynamic", "ext-scalability", "ext-worrell",
+        }
+
+    def test_paper_experiments_precede_extensions(self):
+        ids = all_ids()
+        assert ids.index("table2") < ids.index("ext-latency")
+
+    def test_titles_present(self):
+        for title, runner in EXPERIMENTS.values():
+            assert title
+            assert callable(runner)
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(KeyError, match="figure2"):
+            run_experiment("figure99")
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("figure1")
+        assert report.experiment_id == "figure1"
+        assert report.rendered
+
+
+class TestCLI:
+    def test_main_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "ALL CHECKS PASSED" in out
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_scale_and_seed_flags(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table2", "--scale", "0.5", "--seed", "3"]) == 0

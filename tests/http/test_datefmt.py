@@ -1,0 +1,77 @@
+"""RFC 1123 date formatting/parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.http.datefmt import (
+    SIM_EPOCH_UNIX,
+    HTTPDateError,
+    format_http_date,
+    parse_http_date,
+    sim_to_unix,
+    unix_to_sim,
+)
+
+
+class TestEpochMapping:
+    def test_epoch_is_fixed(self):
+        assert sim_to_unix(0.0) == SIM_EPOCH_UNIX
+
+    def test_round_trip_unix(self):
+        assert unix_to_sim(sim_to_unix(12345.0)) == 12345.0
+
+    def test_fractional_seconds_truncate(self):
+        assert sim_to_unix(1.9) == SIM_EPOCH_UNIX + 1
+
+
+class TestFormat:
+    def test_epoch_renders_1995(self):
+        assert format_http_date(0.0) == "Wed, 01 Mar 1995 00:00:00 GMT"
+
+    def test_one_day_later(self):
+        assert format_http_date(86400.0) == "Thu, 02 Mar 1995 00:00:00 GMT"
+
+    def test_negative_times_render_before_epoch(self):
+        assert "Feb 1995" in format_http_date(-86400.0)
+
+    def test_always_gmt_suffix(self):
+        assert format_http_date(123456.0).endswith(" GMT")
+
+
+class TestParse:
+    def test_round_trip_epoch(self):
+        assert parse_http_date("Wed, 01 Mar 1995 00:00:00 GMT") == 0.0
+
+    def test_parse_arbitrary(self):
+        t = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT")
+        assert format_http_date(t) == "Sun, 06 Nov 1994 08:49:37 GMT"
+
+    def test_whitespace_tolerated(self):
+        assert parse_http_date("  Wed, 01 Mar 1995 00:00:00 GMT ") == 0.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "not a date",
+            "Wed, 01 Mar 1995 00:00:00",          # missing zone
+            "Wed, 01 Mar 1995 00:00:00 PST",      # wrong zone
+            "Wed 01 Mar 1995 00:00:00 GMT",       # missing comma
+            "Xyz, 01 Mar 1995 00:00:00 GMT",      # bad weekday
+            "Wed, 01 Xyz 1995 00:00:00 GMT",      # bad month
+            "Wed, 41 Mar 1995 00:00:00 GMT",      # day out of range
+            "Wed, 01 Mar 1995 25:00:00 GMT",      # hour out of range
+            "Wed, 01 Mar 1995 00:61:00 GMT",      # minute out of range
+            "Wed, aa Mar 1995 00:00:00 GMT",      # non-numeric day
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(HTTPDateError):
+            parse_http_date(bad)
+
+
+@given(st.integers(min_value=-10 * 365 * 86400, max_value=10 * 365 * 86400))
+def test_format_parse_round_trip(t):
+    """Whole-second times survive the format/parse round trip exactly."""
+    assert parse_http_date(format_http_date(float(t))) == float(t)

@@ -1,0 +1,115 @@
+"""Case-insensitive header container and typed accessors."""
+
+import pytest
+
+from repro.http.datefmt import HTTPDateError
+from repro.http.headers import (
+    EXPIRES,
+    IF_MODIFIED_SINCE,
+    LAST_MODIFIED,
+    Headers,
+)
+
+
+class TestBasicOperations:
+    def test_set_get(self):
+        h = Headers()
+        h.set("Content-Type", "text/html")
+        assert h.get("Content-Type") == "text/html"
+
+    def test_case_insensitive_get(self):
+        h = Headers()
+        h.set("Content-Type", "text/html")
+        assert h.get("content-type") == "text/html"
+        assert h.get("CONTENT-TYPE") == "text/html"
+
+    def test_first_casing_preserved(self):
+        h = Headers()
+        h.set("X-Custom", "1")
+        h.set("x-custom", "2")
+        assert list(h) == [("X-Custom", "2")]
+
+    def test_get_default(self):
+        assert Headers().get("Missing", "fallback") == "fallback"
+        assert Headers().get("Missing") is None
+
+    def test_contains(self):
+        h = Headers({"Expires": "x"})
+        assert "expires" in h
+        assert "EXPIRES" in h
+        assert "other" not in h
+        assert 42 not in h
+
+    def test_remove(self):
+        h = Headers({"A": "1"})
+        h.remove("a")
+        assert "A" not in h
+        h.remove("a")  # idempotent
+
+    def test_len_and_init_mapping(self):
+        h = Headers({"A": "1", "B": "2"})
+        assert len(h) == 2
+
+    def test_equality(self):
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+        assert Headers({"A": "1"}) != Headers({"A": "2"})
+        assert Headers() != "not headers"
+
+    def test_repr_contains_fields(self):
+        assert "A: 1" in repr(Headers({"A": "1"}))
+
+
+class TestDateAccessors:
+    def test_set_and_get_date(self):
+        h = Headers()
+        h.set_date(LAST_MODIFIED, 86400.0)
+        assert h.get_date(LAST_MODIFIED) == 86400.0
+
+    def test_absent_date_is_none(self):
+        h = Headers()
+        assert h.expires is None
+        assert h.last_modified is None
+        assert h.if_modified_since is None
+
+    def test_named_properties(self):
+        h = Headers()
+        h.set_date(EXPIRES, 100.0)
+        h.set_date(LAST_MODIFIED, 200.0)
+        h.set_date(IF_MODIFIED_SINCE, 300.0)
+        assert h.expires == 100.0
+        assert h.last_modified == 200.0
+        assert h.if_modified_since == 300.0
+
+    def test_malformed_date_raises(self):
+        h = Headers({LAST_MODIFIED: "garbage"})
+        with pytest.raises(HTTPDateError):
+            _ = h.last_modified
+
+
+class TestContentLength:
+    def test_parses_int(self):
+        assert Headers({"Content-Length": "1234"}).content_length == 1234
+
+    def test_absent_is_none(self):
+        assert Headers().content_length is None
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(HTTPDateError):
+            _ = Headers({"Content-Length": "abc"}).content_length
+
+    def test_negative_raises(self):
+        with pytest.raises(HTTPDateError):
+            _ = Headers({"Content-Length": "-1"}).content_length
+
+
+class TestWireSize:
+    def test_empty_is_zero(self):
+        assert Headers().wire_size() == 0
+
+    def test_counts_name_colon_space_value_crlf(self):
+        h = Headers({"A": "b"})
+        assert h.wire_size() == len("A: b\r\n")
+
+    def test_additive(self):
+        h = Headers({"A": "b", "CC": "dd"})
+        assert h.wire_size() == len("A: b\r\n") + len("CC: dd\r\n")

@@ -1,0 +1,137 @@
+"""HTTP message models and the 43-byte cost grounding."""
+
+import pytest
+
+from repro.core.costs import PAPER_MESSAGE_BYTES
+from repro.http.messages import (
+    InvalidationNotice,
+    Request,
+    Response,
+    make_conditional_get,
+    make_get,
+    make_not_modified,
+    make_ok,
+)
+
+
+class TestRequest:
+    def test_plain_get_is_not_conditional(self):
+        assert not make_get("/x").is_conditional
+
+    def test_conditional_get_carries_ims(self):
+        req = make_conditional_get("/x", since=0.0)
+        assert req.is_conditional
+        assert req.headers.if_modified_since == 0.0
+
+    def test_request_line(self):
+        assert make_get("/a/b.html").request_line() == "GET /a/b.html HTTP/1.0"
+
+    def test_serialize_ends_with_blank_line(self):
+        assert make_get("/x").serialize().endswith("\r\n\r\n")
+
+    def test_wire_size_matches_serialization(self):
+        for req in (make_get("/x"), make_conditional_get("/path/y", 86400.0)):
+            assert req.wire_size() == len(req.serialize())
+
+
+class TestResponse:
+    def test_ok_carries_content_length(self):
+        resp = make_ok(5000, last_modified=0.0)
+        assert resp.status == 200
+        assert resp.headers.content_length == 5000
+        assert resp.headers.last_modified == 0.0
+
+    def test_not_modified_has_no_body(self):
+        resp = make_not_modified()
+        assert resp.status == 304
+        assert resp.body_size == 0
+
+    def test_304_with_body_rejected(self):
+        with pytest.raises(ValueError):
+            Response(304, body_size=10)
+
+    def test_negative_body_rejected(self):
+        with pytest.raises(ValueError):
+            Response(200, body_size=-1)
+
+    def test_wire_size_includes_body(self):
+        resp = make_ok(5000)
+        assert resp.wire_size() == resp.header_size() + 5000
+
+    def test_status_lines(self):
+        assert Response(200).status_line() == "HTTP/1.0 200 OK"
+        assert Response(304).status_line() == "HTTP/1.0 304 Not Modified"
+        assert Response(500).status_line() == "HTTP/1.0 500 Unknown"
+
+
+class TestInvalidationNotice:
+    def test_names_the_object(self):
+        notice = InvalidationNotice("/x/y.html")
+        assert "/x/y.html" in notice.serialize()
+
+    def test_wire_size_matches(self):
+        notice = InvalidationNotice("/f")
+        assert notice.wire_size() == len(notice.serialize())
+
+
+class TestPaperCostGrounding:
+    """The flat 43-byte control-message cost should be the right order of
+    magnitude for the concrete messages it abstracts."""
+
+    def test_plain_get_near_43_bytes(self):
+        size = make_get("/img/logo.gif").wire_size()
+        assert PAPER_MESSAGE_BYTES / 2 <= size <= PAPER_MESSAGE_BYTES * 2
+
+    def test_invalidation_notice_near_43_bytes(self):
+        size = InvalidationNotice("/img/logo.gif").wire_size()
+        assert PAPER_MESSAGE_BYTES / 2 <= size <= PAPER_MESSAGE_BYTES * 2
+
+    def test_304_reply_near_43_bytes(self):
+        size = make_not_modified().header_size()
+        assert size <= PAPER_MESSAGE_BYTES * 2
+
+
+class TestParseRequest:
+    def test_round_trip_plain_get(self):
+        from repro.http.messages import parse_request
+
+        original = make_get("/a/b.html")
+        assert parse_request(original.serialize()) == original
+
+    def test_round_trip_conditional_get(self):
+        from repro.http.messages import parse_request
+
+        original = make_conditional_get("/x", since=86_400.0)
+        parsed = parse_request(original.serialize())
+        assert parsed.is_conditional
+        assert parsed.headers.if_modified_since == 86_400.0
+
+    def test_bare_lf_accepted(self):
+        from repro.http.messages import parse_request
+
+        parsed = parse_request("GET /x HTTP/1.0\nHost: h\n\n")
+        assert parsed.path == "/x"
+        assert parsed.headers.get("host") == "h"
+
+    def test_header_whitespace_normalized(self):
+        from repro.http.messages import parse_request
+
+        parsed = parse_request("GET /x HTTP/1.0\r\nA:   spaced   \r\n\r\n")
+        assert parsed.headers.get("A") == "spaced"
+
+    def test_malformed_request_line_rejected(self):
+        import pytest as _pytest
+
+        from repro.http.messages import HTTPParseError, parse_request
+
+        for bad in ("", "GET /x", "GET /x FTP/1.0", "GET x HTTP/1.0"):
+            with _pytest.raises(HTTPParseError):
+                parse_request(bad + "\r\n\r\n")
+
+    def test_malformed_header_rejected(self):
+        import pytest as _pytest
+
+        from repro.http.messages import HTTPParseError, parse_request
+
+        with _pytest.raises(HTTPParseError, match="line 2"):
+            parse_request("GET /x HTTP/1.0\r\nnot-a-header\r\n\r\n")

@@ -1,0 +1,104 @@
+"""Cross-validation: two independent simulator implementations agree.
+
+A "hierarchy" of exactly one cache node is the same system as the flat
+single-cache simulator in optimized mode.  The two code paths share no
+request-handling logic (``core/simulator.py`` vs ``core/hierarchy.py``),
+so requiring byte-for-byte agreement between them is a strong check that
+neither implementation smuggles in an accounting bug.
+
+Invalidation protocols are excluded: the hierarchy's callback
+registration is deliberately consume-on-notify (AFS-style) while the
+flat simulator follows Section 4.1's notify-on-every-change, so their
+notice counts legitimately differ.  Time-based protocols have no such
+modelling freedom.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import DAY, hours
+from repro.core.hierarchy import CacheNode, HierarchySimulation
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import AlexProtocol, TTLProtocol
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+
+DURATION = 15 * DAY
+
+
+@st.composite
+def workloads(draw):
+    n_files = draw(st.integers(1, 4))
+    histories = []
+    for i in range(n_files):
+        created = -draw(st.floats(min_value=1.0, max_value=60.0)) * DAY
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.01 * DAY, max_value=DURATION),
+                    max_size=5, unique=True,
+                )
+            )
+        )
+        histories.append(
+            ObjectHistory(
+                WebObject(f"/f{i}", size=draw(st.integers(64, 20_000)),
+                          created=created),
+                ModificationSchedule(created, times),
+            )
+        )
+    n_requests = draw(st.integers(0, 40))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=DURATION),
+                st.integers(0, n_files - 1),
+            ),
+            min_size=n_requests, max_size=n_requests,
+        )
+    )
+    requests = sorted((t, histories[i].object_id) for t, i in raw)
+    return histories, requests
+
+
+def protocols():
+    return st.sampled_from(
+        [
+            lambda: TTLProtocol(hours(0)),
+            lambda: TTLProtocol(hours(36)),
+            lambda: TTLProtocol(hours(400)),
+            lambda: AlexProtocol.from_percent(5),
+            lambda: AlexProtocol.from_percent(60),
+            lambda: AlexProtocol.from_percent(100),
+        ]
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(workload=workloads(), make_protocol=protocols())
+def test_single_node_hierarchy_equals_flat_simulator(workload, make_protocol):
+    histories, requests = workload
+    server = OriginServer(histories)
+
+    flat = simulate(server, make_protocol(), requests,
+                    SimulatorMode.OPTIMIZED, end_time=DURATION)
+
+    node = CacheNode("cache", make_protocol())
+    tree = HierarchySimulation(server, node, [node])
+    tree.preload(at=0.0)
+    stale_hits = 0
+    for t, oid in requests:
+        if tree.request("cache", oid, t):
+            stale_hits += 1
+    tree.finish(DURATION)
+
+    assert node.uplink.total_bytes == flat.bandwidth.total_bytes
+    assert stale_hits == flat.counters.stale_hits
+    assert node.counters.misses == flat.counters.misses
+    assert node.counters.validations == flat.counters.validations
+    assert (
+        node.counters.validations_not_modified
+        == flat.counters.validations_not_modified
+    )
+    assert node.counters.server_gets == flat.counters.server_gets
+    assert node.counters.server_ims_queries == flat.counters.server_ims_queries

@@ -1,0 +1,113 @@
+"""Cross-module integration: the full paper pipeline on one workload.
+
+Generate a campus trace → write it to disk as extended CLF → read it back
+→ drive all three protocols through both simulator modes → verify the
+paper's qualitative orderings hold on the single trace.
+"""
+
+import pytest
+
+from repro.core import SimulatorMode, simulate
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.clock import hours
+from repro.trace.synthesis import read_trace, trace_from_workload, write_trace
+from repro.workload.campus import HCS, CampusWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CampusWorkload(HCS, seed=21, request_scale=0.3).build()
+
+
+@pytest.fixture(scope="module")
+def disk_requests(workload, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "hcs.log"
+    write_trace(trace_from_workload(workload), path)
+    return read_trace(path).requests()
+
+
+class TestDiskDrivenSimulation:
+    def test_disk_and_memory_requests_agree(self, workload, disk_requests):
+        assert [oid for _, oid in disk_requests] == [
+            oid for _, oid in workload.requests
+        ]
+        # Timestamps round to whole seconds in the log format.
+        for (t_mem, _), (t_disk, _) in zip(workload.requests, disk_requests):
+            assert abs(t_mem - t_disk) < 1.0
+
+    def test_simulation_from_disk_matches_memory(self, workload,
+                                                 disk_requests):
+        mem = simulate(
+            workload.server(), AlexProtocol.from_percent(20),
+            workload.requests, SimulatorMode.OPTIMIZED,
+            end_time=workload.duration,
+        )
+        disk = simulate(
+            workload.server(), AlexProtocol.from_percent(20),
+            disk_requests, SimulatorMode.OPTIMIZED,
+            end_time=workload.duration,
+        )
+        assert disk.counters.requests == mem.counters.requests
+        # Sub-second timestamp rounding can flip boundary freshness
+        # decisions on a handful of requests, no more.
+        assert abs(disk.counters.misses - mem.counters.misses) <= 3
+
+
+class TestPaperOrderings:
+    """The qualitative results on one trace, protocol by protocol."""
+
+    def _run(self, workload, protocol, mode=SimulatorMode.OPTIMIZED):
+        return simulate(
+            workload.server(), protocol, workload.requests, mode,
+            end_time=workload.duration,
+        )
+
+    def test_invalidation_perfect_but_not_cheapest(self, workload):
+        inval = self._run(workload, InvalidationProtocol())
+        alex = self._run(workload, AlexProtocol.from_percent(50))
+        assert inval.counters.stale_hits == 0
+        assert alex.counters.stale_hits > 0
+        assert alex.bandwidth.total_bytes < inval.bandwidth.total_bytes
+
+    def test_alex_tunable_below_5pct_stale(self, workload):
+        alex = self._run(workload, AlexProtocol.from_percent(10))
+        assert alex.stale_hit_rate < 0.05
+
+    def test_ttl_loads_server_more_than_alex(self, workload):
+        ttl = self._run(workload, TTLProtocol(hours(200)))
+        alex = self._run(workload, AlexProtocol.from_percent(50))
+        assert alex.server_operations < ttl.server_operations
+
+    def test_optimized_mode_strictly_cheaper_than_base(self, workload):
+        for protocol_factory in (
+            lambda: TTLProtocol(hours(100)),
+            lambda: AlexProtocol.from_percent(25),
+        ):
+            base = self._run(workload, protocol_factory(),
+                             SimulatorMode.BASE)
+            opt = self._run(workload, protocol_factory(),
+                            SimulatorMode.OPTIMIZED)
+            assert opt.bandwidth.total_bytes < base.bandwidth.total_bytes
+
+    def test_self_tuning_competitive_without_manual_tuning(self, workload):
+        """The Section 5 extension: self-tuning lands in the same regime
+        as a hand-tuned Alex without anyone picking the threshold."""
+        tuned = self._run(workload, AlexProtocol.from_percent(10))
+        auto = self._run(workload, SelfTuningProtocol())
+        assert auto.stale_hit_rate < 0.05
+        assert auto.bandwidth.total_bytes < 3 * tuned.bandwidth.total_bytes
+
+    def test_self_tuning_learns_per_type_thresholds(self, workload):
+        proto = SelfTuningProtocol()
+        self._run(workload, proto)
+        learned = proto.snapshot()
+        assert learned, "expected at least one type to be tuned"
+        assert all(
+            proto.min_threshold <= v <= proto.max_threshold
+            for v in learned.values()
+        )

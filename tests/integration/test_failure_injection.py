@@ -1,0 +1,105 @@
+"""Failure injection: corrupted inputs fail loudly, never silently.
+
+A simulation study's worst bug is garbage-in/plausible-out.  These tests
+inject the realistic failure modes — requests for unknown objects,
+corrupt log files, empty traces, schedule/trace mismatches — and require
+a loud, typed error (or a sound degraded result), never a quietly wrong
+number.
+"""
+
+import pytest
+
+from repro.cli import main, server_from_trace
+from repro.core.clock import days, hours
+from repro.core.protocols import TTLProtocol
+from repro.core.server import OriginServer, UnknownObjectError
+from repro.core.simulator import Simulation, SimulatorMode, simulate
+from repro.trace.clf import CLFParseError
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.synthesis import read_trace
+from tests.conftest import make_history
+
+
+class TestSimulatorInputFailures:
+    def test_unknown_object_raises(self, static_server):
+        with pytest.raises(UnknownObjectError):
+            simulate(static_server, TTLProtocol(hours(1)),
+                     [(1.0, "/ghost")])
+
+    def test_partial_progress_is_visible_after_failure(self, static_server):
+        sim = Simulation(static_server, TTLProtocol(hours(1)))
+        sim.step(1.0, "/a")
+        with pytest.raises(UnknownObjectError):
+            sim.step(2.0, "/ghost")
+        # The failed request was never counted as served.
+        assert sim.counters.requests == 2  # presented
+        assert sim.counters.hits + sim.counters.misses == 1
+
+    def test_empty_request_stream_is_sound(self, static_server):
+        result = simulate(static_server, TTLProtocol(hours(1)), [])
+        assert result.counters.requests == 0
+        assert result.miss_rate == 0.0
+        result.counters.check_invariants()
+
+
+class TestCorruptTraceFiles:
+    def test_truncated_file_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.log"
+        good = ('h - - [01/Mar/1995:00:00:00 +0000] '
+                '"GET /x HTTP/1.0" 200 10 "-"')
+        path.write_text(good + "\n" + good[: len(good) // 2] + "\n")
+        with pytest.raises(CLFParseError, match="line 2"):
+            read_trace(path)
+
+    def test_binary_garbage_rejected(self, tmp_path):
+        path = tmp_path / "binary.log"
+        path.write_bytes(b"GET\x01\x02\x03 nonsense\n")
+        with pytest.raises((CLFParseError, UnicodeDecodeError)):
+            read_trace(path)
+
+    def test_cli_surfaces_parse_errors(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_text("this is not a log\n")
+        with pytest.raises(CLFParseError):
+            main(["stats", str(path)])
+
+    def test_empty_trace_file_yields_empty_stats(self, tmp_path, capsys):
+        path = tmp_path / "empty.log"
+        path.write_text("# just a comment\n")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0" in out
+
+
+class TestScheduleTraceMismatch:
+    def test_reconstruction_survives_lm_going_backwards(self):
+        """A log whose Last-Modified regresses (clock skew on the 1995
+        server) still reconstructs a usable, sorted schedule."""
+        trace = Trace([
+            TraceRecord(timestamp=1.0, client="h", path="/a", size=10,
+                        last_modified=100.0),
+            TraceRecord(timestamp=2.0, client="h", path="/a", size=10,
+                        last_modified=50.0),   # regression!
+        ])
+        server = server_from_trace(trace)
+        schedule = server.schedule("/a")
+        assert schedule.created == 50.0
+        assert schedule.times == (100.0,)
+
+    def test_simulating_the_skewed_trace_is_sound(self):
+        trace = Trace([
+            TraceRecord(timestamp=days(1), client="h", path="/a", size=10,
+                        last_modified=days(0.5)),
+            TraceRecord(timestamp=days(2), client="h", path="/a", size=10,
+                        last_modified=-days(3)),
+        ])
+        server = server_from_trace(trace)
+        result = simulate(server, TTLProtocol(hours(1)), trace.requests(),
+                          SimulatorMode.OPTIMIZED)
+        result.counters.check_invariants()
+
+
+class TestDuplicatePopulation:
+    def test_duplicate_object_ids_rejected_up_front(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OriginServer([make_history("/same"), make_history("/same")])

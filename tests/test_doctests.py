@@ -1,0 +1,26 @@
+"""Run the library's embedded doctests.
+
+Docstring examples are part of the public documentation; if they drift
+from the code they are worse than no examples.  This keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.protocols.alex
+import repro.core.simulator
+
+MODULES_WITH_DOCTESTS = [
+    repro.core.protocols.alex,
+    repro.core.simulator,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,134 @@
+"""Extended Common-Log-Format round trips."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.clf import (
+    CLFParseError,
+    format_clf_time,
+    format_record,
+    parse_clf_time,
+    parse_record,
+    read_clf,
+    write_clf,
+)
+from repro.trace.records import TraceRecord
+
+
+def record(**kwargs) -> TraceRecord:
+    defaults = dict(
+        timestamp=86_400.0, client="ws01.das.harvard.edu",
+        path="/das/doc0001.html", status=200, size=5120,
+        last_modified=-86_400.0,
+    )
+    defaults.update(kwargs)
+    return TraceRecord(**defaults)
+
+
+class TestClfTime:
+    def test_format(self):
+        assert format_clf_time(0.0) == "01/Mar/1995:00:00:00 +0000"
+
+    def test_round_trip(self):
+        for t in (0.0, 86_400.0, 123_456.0):
+            assert parse_clf_time(format_clf_time(t)) == t
+
+    def test_zone_offset_applied(self):
+        base = parse_clf_time("01/Mar/1995:12:00:00 +0000")
+        plus = parse_clf_time("01/Mar/1995:12:00:00 +0100")
+        assert plus == base - 3600
+
+    @pytest.mark.parametrize(
+        "bad", ["", "garbage", "01/Xxx/1995:00:00:00 +0000",
+                "1/Mar/1995:00:00:00 +0000"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_clf_time(bad)
+
+
+class TestRecordLine:
+    def test_format_contains_fields(self):
+        line = format_record(record())
+        assert "ws01.das.harvard.edu" in line
+        assert '"GET /das/doc0001.html HTTP/1.0"' in line
+        assert " 200 5120 " in line
+        assert line.endswith('GMT"')
+
+    def test_round_trip(self):
+        original = record()
+        parsed = parse_record(format_record(original))
+        assert parsed == original
+
+    def test_missing_lm_renders_dash(self):
+        line = format_record(record(last_modified=None))
+        assert line.endswith('"-"')
+        assert parse_record(line).last_modified is None
+
+    def test_plain_clf_without_extension_accepted(self):
+        line = ('h - - [01/Mar/1995:00:00:00 +0000] '
+                '"GET /x HTTP/1.0" 200 10')
+        parsed = parse_record(line)
+        assert parsed.last_modified is None
+        assert parsed.size == 10
+
+    def test_dash_size_parsed_as_zero(self):
+        line = ('h - - [01/Mar/1995:00:00:00 +0000] '
+                '"GET /x HTTP/1.0" 304 -')
+        assert parse_record(line).size == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a log line",
+            'h - - [bad time] "GET /x HTTP/1.0" 200 10',
+            'h - - [01/Mar/1995:00:00:00 +0000] "GET /x HTTP/1.0" 200 10 "bad date"',
+        ],
+    )
+    def test_malformed_line_raises_with_lineno(self, bad):
+        with pytest.raises(CLFParseError) as exc_info:
+            parse_record(bad, lineno=7)
+        assert exc_info.value.lineno == 7
+        assert "line 7" in str(exc_info.value)
+
+
+class TestStreamIO:
+    def test_write_read_round_trip(self):
+        records = [record(timestamp=float(i * 3600)) for i in range(10)]
+        buffer = io.StringIO()
+        assert write_clf(records, buffer) == 10
+        buffer.seek(0)
+        trace = read_clf(buffer, name="t")
+        assert len(trace) == 10
+        assert list(trace) == records
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n" + format_record(record()) + "\n"
+        trace = read_clf(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_error_reports_line_number(self):
+        text = "# header\ngarbage\n"
+        with pytest.raises(CLFParseError, match="line 2"):
+            read_clf(io.StringIO(text))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    timestamp=st.integers(min_value=0, max_value=365 * 86400).map(float),
+    size=st.integers(min_value=0, max_value=10**8),
+    status=st.sampled_from([200, 304, 404]),
+    lm=st.one_of(
+        st.none(),
+        st.integers(min_value=-365 * 86400, max_value=365 * 86400).map(float),
+    ),
+)
+def test_round_trip_property(timestamp, size, status, lm):
+    original = TraceRecord(
+        timestamp=timestamp, client="host.example.net", path="/p/q.gif",
+        status=status, size=size, last_modified=lm,
+    )
+    assert parse_record(format_record(original)) == original

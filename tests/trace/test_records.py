@@ -1,0 +1,90 @@
+"""Trace records and the observed-change computation."""
+
+import pytest
+
+from repro.trace.records import Trace, TraceRecord
+
+
+def record(t, path="/a", client="h1", lm=None, size=100) -> TraceRecord:
+    return TraceRecord(timestamp=t, client=client, path=path, size=size,
+                       last_modified=lm)
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        r = record(1.0)
+        assert r.status == 200
+        assert r.last_modified is None
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp=0, client="h", path="")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(timestamp=0, client="h", path="/a", size=-1)
+
+
+class TestTrace:
+    def test_sorted_on_ingest(self):
+        trace = Trace([record(3.0), record(1.0), record(2.0)])
+        assert [r.timestamp for r in trace] == [1.0, 2.0, 3.0]
+
+    def test_len_getitem(self):
+        trace = Trace([record(1.0), record(2.0)])
+        assert len(trace) == 2
+        assert trace[0].timestamp == 1.0
+
+    def test_duration(self):
+        assert Trace([record(1.0), record(9.0)]).duration == 8.0
+        assert Trace([]).duration == 0.0
+
+    def test_paths_and_requests(self):
+        trace = Trace([record(1.0, "/a"), record(2.0, "/b")])
+        assert trace.paths() == {"/a", "/b"}
+        assert trace.requests() == [(1.0, "/a"), (2.0, "/b")]
+
+    def test_filter(self):
+        trace = Trace([record(1.0, client="x"), record(2.0, client="y")])
+        filtered = trace.filter(lambda r: r.client == "x")
+        assert len(filtered) == 1
+
+    def test_request_counts(self):
+        trace = Trace([record(1.0, "/a"), record(2.0, "/a"),
+                       record(3.0, "/b")])
+        assert trace.request_counts() == {"/a": 2, "/b": 1}
+
+
+class TestObservedChanges:
+    def test_lm_transition_counts_as_change(self):
+        trace = Trace([record(1.0, lm=-100.0), record(2.0, lm=50.0)])
+        assert trace.observed_changes() == {"/a": 1}
+
+    def test_stable_lm_no_change(self):
+        trace = Trace([record(1.0, lm=-100.0), record(2.0, lm=-100.0)])
+        assert trace.observed_changes() == {}
+
+    def test_changes_between_requests_collapse(self):
+        """Two content changes with no request in between are observed
+        as one — the undercounting the paper's method inherits."""
+        trace = Trace([record(1.0, lm=0.0), record(10.0, lm=9.0)])
+        assert trace.observed_changes() == {"/a": 1}
+
+    def test_multiple_transitions(self):
+        trace = Trace([
+            record(1.0, lm=0.0), record(2.0, lm=1.5),
+            record(3.0, lm=2.5), record(4.0, lm=2.5),
+        ])
+        assert trace.observed_changes() == {"/a": 2}
+
+    def test_per_path_isolation(self):
+        trace = Trace([
+            record(1.0, "/a", lm=0.0), record(2.0, "/b", lm=0.0),
+            record(3.0, "/a", lm=2.0),
+        ])
+        assert trace.observed_changes() == {"/a": 1}
+
+    def test_records_without_lm_ignored(self):
+        trace = Trace([record(1.0, lm=None), record(2.0, lm=1.0),
+                       record(3.0, lm=None), record(4.0, lm=3.0)])
+        assert trace.observed_changes() == {"/a": 1}

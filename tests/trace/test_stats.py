@@ -1,0 +1,117 @@
+"""Table 1 mutability statistics."""
+
+import pytest
+
+from repro.core.clock import DAY, days
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.stats import (
+    MutabilityStats,
+    daily_change_probability,
+    default_is_remote,
+    mutability_from_histories,
+    mutability_from_trace,
+)
+from tests.conftest import make_history
+
+
+class TestFromHistories:
+    def test_counts_and_percentages(self):
+        histories = [
+            make_history("/stable"),
+            make_history("/once", changes=(days(1),)),
+            make_history("/burst",
+                         changes=tuple(days(1 + 0.1 * i) for i in range(7))),
+            make_history("/later", changes=(days(40),)),  # outside window
+        ]
+        stats = mutability_from_histories(histories, window=days(30))
+        assert stats.files == 4
+        assert stats.total_changes == 8
+        assert stats.pct_mutable == pytest.approx(50.0)
+        assert stats.pct_very_mutable == pytest.approx(25.0)
+
+    def test_exactly_five_changes_not_very_mutable(self):
+        histories = [
+            make_history("/five",
+                         changes=tuple(days(i + 1) for i in range(5))),
+        ]
+        stats = mutability_from_histories(histories, window=days(30))
+        assert stats.pct_very_mutable == 0.0
+        assert stats.pct_mutable == 100.0
+
+    def test_six_changes_is_very_mutable(self):
+        histories = [
+            make_history("/six",
+                         changes=tuple(days(i + 1) for i in range(6))),
+        ]
+        stats = mutability_from_histories(histories, window=days(30))
+        assert stats.pct_very_mutable == 100.0
+
+    def test_empty_population(self):
+        stats = mutability_from_histories([], window=days(30))
+        assert stats.files == 0
+        assert stats.pct_mutable == 0.0
+
+    def test_as_row_order(self):
+        stats = MutabilityStats("X", 10, 100, 50.0, 5, 20.0, 10.0)
+        assert stats.as_row() == ("X", 10, 100, 50.0, 5, 20.0, 10.0)
+
+
+class TestDailyChangeProbability:
+    def test_paper_hcs_example(self):
+        # "573 files changing 260 times over 25 days ... 1.8%"
+        prob = daily_change_probability(260, 573, 25)
+        assert prob == pytest.approx(0.018, abs=0.001)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            daily_change_probability(1, 0, 25)
+        with pytest.raises(ValueError):
+            daily_change_probability(1, 10, 0)
+
+
+class TestIsRemote:
+    def test_campus_domain_local(self):
+        assert not default_is_remote("ws01.das.harvard.edu")
+
+    def test_everything_else_remote(self):
+        assert default_is_remote("dialup7.aol.com")
+        assert default_is_remote("harvard.edu.evil.net")
+
+
+class TestFromTrace:
+    def _record(self, t, path, lm, client="remote.isp.net"):
+        return TraceRecord(timestamp=t, client=client, path=path, size=10,
+                           last_modified=lm)
+
+    def test_observed_changes_counted(self):
+        trace = Trace([
+            self._record(days(1), "/a", lm=-days(10)),
+            self._record(days(2), "/a", lm=days(1.5)),
+            self._record(days(3), "/b", lm=-days(10),
+                         client="x.harvard.edu"),
+        ])
+        stats = mutability_from_trace(trace)
+        assert stats.files == 2
+        assert stats.requests == 3
+        assert stats.total_changes == 1
+        assert stats.pct_mutable == pytest.approx(50.0)
+        assert stats.pct_remote == pytest.approx(100 * 2 / 3)
+
+    def test_custom_is_remote(self):
+        trace = Trace([self._record(1.0, "/a", None, client="inside.corp")])
+        stats = mutability_from_trace(
+            trace, is_remote=lambda c: not c.endswith(".corp")
+        )
+        assert stats.pct_remote == 0.0
+
+    def test_observed_undercounts_ground_truth(self):
+        """Changes with no straddling request are invisible in the log."""
+        history = make_history("/a", changes=(days(5), days(6), days(7)))
+        trace = Trace([
+            self._record(days(1), "/a", lm=history.schedule.last_modified_at(days(1))),
+            self._record(days(10), "/a", lm=history.schedule.last_modified_at(days(10))),
+        ])
+        observed = mutability_from_trace(trace)
+        truth = mutability_from_histories([history], window=days(30))
+        assert observed.total_changes == 1
+        assert truth.total_changes == 3

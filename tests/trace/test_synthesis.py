@@ -1,0 +1,103 @@
+"""Workload → trace rendering and on-disk round trips."""
+
+import pytest
+
+from repro.core.clock import days
+from repro.trace.stats import mutability_from_trace
+from repro.trace.synthesis import (
+    DEFAULT_CLIENT,
+    read_trace,
+    trace_from_workload,
+    write_trace,
+)
+from repro.workload.base import Workload
+from repro.workload.campus import FAS, CampusWorkload
+from tests.conftest import make_history
+
+
+def tiny_workload(clients=None) -> Workload:
+    return Workload(
+        histories=[
+            make_history("/a", size=500, changes=(days(2),)),
+            make_history("/dyn", cacheable=False, size=100),
+        ],
+        requests=[(days(1), "/a"), (days(3), "/a"), (days(4), "/dyn")],
+        duration=days(10),
+        clients=clients,
+        name="tiny",
+    )
+
+
+class TestTraceFromWorkload:
+    def test_record_per_request(self):
+        trace = trace_from_workload(tiny_workload())
+        assert len(trace) == 3
+        assert trace.name == "tiny"
+
+    def test_last_modified_tracks_schedule(self):
+        trace = trace_from_workload(tiny_workload())
+        assert trace[0].last_modified == -days(30)   # before the change
+        assert trace[1].last_modified == days(2)     # after the change
+
+    def test_dynamic_objects_log_no_lm(self):
+        trace = trace_from_workload(tiny_workload())
+        assert trace[2].last_modified is None
+
+    def test_sizes_recorded(self):
+        trace = trace_from_workload(tiny_workload())
+        assert trace[0].size == 500
+
+    def test_default_client_when_absent(self):
+        trace = trace_from_workload(tiny_workload())
+        assert trace[0].client == DEFAULT_CLIENT
+
+    def test_clients_preserved(self):
+        trace = trace_from_workload(tiny_workload(clients=["c1", "c2", "c3"]))
+        assert [r.client for r in trace] == ["c1", "c2", "c3"]
+
+
+class TestDiskRoundTrip:
+    def test_write_read(self, tmp_path):
+        trace = trace_from_workload(tiny_workload())
+        path = tmp_path / "tiny.log"
+        assert write_trace(trace, path) == 3
+        loaded = read_trace(path)
+        assert len(loaded) == 3
+        assert loaded.requests() == trace.requests()
+        assert [r.size for r in loaded] == [r.size for r in trace]
+
+    def test_written_file_has_header_comment(self, tmp_path):
+        path = tmp_path / "t.log"
+        write_trace(trace_from_workload(tiny_workload()), path)
+        assert path.read_text().startswith("# extended CLF trace: tiny")
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace(tmp_path / "nope.log")
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "fas-march.log"
+        write_trace(trace_from_workload(tiny_workload()), path)
+        assert read_trace(path).name == "fas-march"
+
+
+class TestEndToEndStatistics:
+    def test_campus_trace_statistics_survive_disk(self, tmp_path):
+        """Synthesize FAS, write to disk, read back, recompute Table 1
+        observables — the full paper pipeline."""
+        workload = CampusWorkload(FAS, seed=5, request_scale=0.2).build()
+        trace = trace_from_workload(workload)
+        path = tmp_path / "fas.log"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+
+        stats = mutability_from_trace(loaded)
+        assert stats.requests == len(workload.requests)
+        assert stats.files <= FAS.files       # only requested files appear
+        assert abs(stats.pct_remote - FAS.pct_remote) < 6.0
+        # Observed changes never exceed scheduled ones.
+        truth = sum(
+            h.schedule.changes_in(0.0, workload.duration)
+            for h in workload.histories
+        )
+        assert stats.total_changes <= truth

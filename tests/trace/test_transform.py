@@ -1,0 +1,106 @@
+"""Trace transformations."""
+
+import pytest
+
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.transform import (
+    anonymize_clients,
+    clip_window,
+    filter_paths,
+    merge_traces,
+    sample_every,
+    shift_times,
+)
+
+
+def record(t, path="/a.html", client="h1", lm=None):
+    return TraceRecord(timestamp=t, client=client, path=path, size=10,
+                       last_modified=lm)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [
+            record(1.0, "/a.html", "alice.example.net", lm=-5.0),
+            record(2.0, "/b.gif", "bob.example.net"),
+            record(3.0, "/a.html", "alice.example.net", lm=1.5),
+            record(4.0, "/c.jpg", "carol.example.net"),
+        ],
+        name="t",
+    )
+
+
+class TestMerge:
+    def test_interleaves_in_time_order(self):
+        a = Trace([record(1.0), record(5.0)])
+        b = Trace([record(3.0)])
+        merged = merge_traces([a, b])
+        assert [r.timestamp for r in merged] == [1.0, 3.0, 5.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_inputs_untouched(self, trace):
+        before = len(trace)
+        merge_traces([trace, trace])
+        assert len(trace) == before
+
+
+class TestClipAndShift:
+    def test_clip_half_open(self, trace):
+        clipped = clip_window(trace, 2.0, 4.0)
+        assert [r.timestamp for r in clipped] == [2.0, 3.0]
+
+    def test_clip_inverted_rejected(self, trace):
+        with pytest.raises(ValueError):
+            clip_window(trace, 5.0, 1.0)
+
+    def test_shift_moves_lm_too(self, trace):
+        shifted = shift_times(trace, 100.0)
+        assert shifted[0].timestamp == 101.0
+        assert shifted[0].last_modified == 95.0
+        assert shifted[1].last_modified is None
+
+    def test_clip_then_rebase(self, trace):
+        window = shift_times(clip_window(trace, 2.0, 4.0), -2.0)
+        assert window[0].timestamp == 0.0
+
+
+class TestAnonymize:
+    def test_labels_stable_and_opaque(self, trace):
+        anon = anonymize_clients(trace)
+        assert anon[0].client == "client000"
+        assert anon[2].client == "client000"   # same original client
+        assert anon[1].client == "client001"
+        assert "alice" not in "".join(r.client for r in anon)
+
+    def test_structure_preserved(self, trace):
+        anon = anonymize_clients(trace)
+        assert anon.requests() == trace.requests()
+        assert anon.observed_changes() == trace.observed_changes()
+
+    def test_custom_prefix(self, trace):
+        assert anonymize_clients(trace, "host")[0].client == "host000"
+
+
+class TestSampleAndFilter:
+    def test_sample_every_keeps_first(self, trace):
+        thinned = sample_every(trace, 2)
+        assert [r.timestamp for r in thinned] == [1.0, 3.0]
+
+    def test_sample_one_is_identity(self, trace):
+        assert len(sample_every(trace, 1)) == len(trace)
+
+    def test_sample_invalid(self, trace):
+        with pytest.raises(ValueError):
+            sample_every(trace, 0)
+
+    def test_filter_paths(self, trace):
+        images = filter_paths(trace, (".gif", ".jpg"))
+        assert {r.path for r in images} == {"/b.gif", "/c.jpg"}
+
+    def test_filter_composes_with_clip(self, trace):
+        sliced = filter_paths(clip_window(trace, 0.0, 3.5), (".html",))
+        assert len(sliced) == 2

@@ -1,0 +1,62 @@
+"""The Workload container."""
+
+import pytest
+
+from repro.core.clock import days
+from repro.workload.base import Workload, sorted_request_times
+from tests.conftest import make_history
+
+
+def make_workload(**kwargs) -> Workload:
+    defaults = dict(
+        histories=[make_history("/a", changes=(days(1),)),
+                   make_history("/b")],
+        requests=[(1.0, "/a"), (2.0, "/b"), (3.0, "/a")],
+        duration=days(30),
+    )
+    defaults.update(kwargs)
+    return Workload(**defaults)
+
+
+class TestWorkload:
+    def test_server_built_once(self):
+        workload = make_workload()
+        assert workload.server() is workload.server()
+
+    def test_total_changes_in_window(self):
+        assert make_workload().total_changes == 1
+
+    def test_file_count(self):
+        assert make_workload().file_count == 2
+
+    def test_request_counts(self):
+        assert make_workload().request_counts() == {"/a": 2, "/b": 1}
+
+    def test_unsorted_requests_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            make_workload(requests=[(2.0, "/a"), (1.0, "/b")])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload(duration=-1.0)
+
+    def test_misaligned_clients_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            make_workload(clients=["h1"])
+
+    def test_aligned_clients_accepted(self):
+        workload = make_workload(clients=["h1", "h2", "h3"])
+        assert workload.clients == ["h1", "h2", "h3"]
+
+
+class TestSortedRequestTimes:
+    def test_sorted_and_bounded(self, rng):
+        times = sorted_request_times(rng, 500, days(10))
+        assert list(times) == sorted(times)
+        assert 0 <= times[0] and times[-1] <= days(10)
+
+    def test_count(self, rng):
+        assert len(sorted_request_times(rng, 123, days(1))) == 123
+
+    def test_empty(self, rng):
+        assert len(sorted_request_times(rng, 0, days(1))) == 0

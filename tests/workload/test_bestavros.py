@@ -1,0 +1,122 @@
+"""Popularity↔mutability selection."""
+
+import numpy as np
+import pytest
+
+from repro.workload.bestavros import (
+    choose_mutable_files,
+    choose_mutable_files_banded,
+    expected_stale_exposure,
+)
+from repro.workload.zipf import zipf_weights
+
+
+class TestChooseMutable:
+    def test_count_and_uniqueness(self, rng):
+        chosen = choose_mutable_files(rng, 100, 20)
+        assert len(chosen) == 20
+        assert len(set(chosen.tolist())) == 20
+
+    def test_sorted_output(self, rng):
+        chosen = choose_mutable_files(rng, 100, 20)
+        assert list(chosen) == sorted(chosen)
+
+    def test_bias_prefers_unpopular(self):
+        rng = np.random.default_rng(0)
+        biased = [
+            choose_mutable_files(rng, 200, 20, bias=3.0).mean()
+            for _ in range(30)
+        ]
+        rng = np.random.default_rng(0)
+        uniform = [
+            choose_mutable_files(rng, 200, 20, bias=0.0).mean()
+            for _ in range(30)
+        ]
+        assert np.mean(biased) > np.mean(uniform)
+
+    def test_zero_mutable(self, rng):
+        assert len(choose_mutable_files(rng, 10, 0)) == 0
+
+    def test_all_mutable(self, rng):
+        chosen = choose_mutable_files(rng, 10, 10)
+        assert list(chosen) == list(range(10))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_files=0, n_mutable=0),
+            dict(n_files=10, n_mutable=11),
+            dict(n_files=10, n_mutable=-1),
+            dict(n_files=10, n_mutable=5, bias=-1),
+        ],
+    )
+    def test_invalid_inputs(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            choose_mutable_files(rng, **kwargs)
+
+
+class TestBandedSelection:
+    def test_respects_band(self, rng):
+        chosen = choose_mutable_files_banded(
+            rng, 100, 10, top_exclude=0.1, bottom_exclude=0.3
+        )
+        assert chosen.min() >= 10
+        assert chosen.max() < 70
+
+    def test_top_ranks_never_mutable(self, rng):
+        for _ in range(20):
+            chosen = choose_mutable_files_banded(rng, 200, 30,
+                                                 top_exclude=0.05)
+            assert chosen.min() >= 10
+
+    def test_band_widens_when_too_narrow(self, rng):
+        # Band [10, 20) of 100 holds 10 files; asking for 50 must widen.
+        chosen = choose_mutable_files_banded(
+            rng, 100, 50, top_exclude=0.10, bottom_exclude=0.80
+        )
+        assert len(chosen) == 50
+
+    def test_zero_mutable(self, rng):
+        assert len(choose_mutable_files_banded(rng, 10, 0)) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(top_exclude=-0.1),
+            dict(bottom_exclude=1.0),
+            dict(top_exclude=0.6, bottom_exclude=0.5),
+        ],
+    )
+    def test_invalid_fractions(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            choose_mutable_files_banded(rng, 100, 5, **kwargs)
+
+    def test_count_overflow_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choose_mutable_files_banded(rng, 10, 11)
+
+
+class TestStaleExposure:
+    def test_anticorrelation_lowers_exposure(self):
+        weights = zipf_weights(100, 1.0)
+        aligned = np.zeros(100)
+        aligned[:10] = 0.1          # popular files change
+        inverted = np.zeros(100)
+        inverted[-10:] = 0.1        # unpopular files change
+        assert expected_stale_exposure(weights, inverted) < (
+            expected_stale_exposure(weights, aligned)
+        )
+
+    def test_exact_value(self):
+        exposure = expected_stale_exposure(
+            np.array([0.5, 0.5]), np.array([0.2, 0.0])
+        )
+        assert exposure == pytest.approx(0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expected_stale_exposure(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expected_stale_exposure(np.array([]), np.array([]))

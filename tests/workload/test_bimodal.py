@@ -1,0 +1,90 @@
+"""Bimodal change-time generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import DAY
+from repro.workload.bimodal import (
+    burst_change_times,
+    mixed_change_times,
+    stable_change_times,
+)
+
+WINDOW = 30 * DAY
+
+
+class TestStable:
+    def test_count_and_range(self, rng):
+        times = stable_change_times(rng, 5, WINDOW)
+        assert len(times) == 5
+        assert all(0 <= t <= WINDOW for t in times)
+
+    def test_sorted(self, rng):
+        times = stable_change_times(rng, 20, WINDOW)
+        assert times == sorted(times)
+
+    def test_zero_count(self, rng):
+        assert stable_change_times(rng, 0, WINDOW) == []
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            stable_change_times(rng, -1, WINDOW)
+        with pytest.raises(ValueError):
+            stable_change_times(rng, 1, 0.0)
+
+
+class TestBurst:
+    def test_all_within_one_span(self, rng):
+        times = burst_change_times(rng, 10, WINDOW, burst_span=3 * DAY)
+        assert max(times) - min(times) <= 3 * DAY
+
+    def test_strictly_increasing(self, rng):
+        times = burst_change_times(rng, 50, WINDOW, burst_span=1 * DAY)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_fits_inside_window(self, rng):
+        for _ in range(20):
+            times = burst_change_times(rng, 5, WINDOW, burst_span=10 * DAY)
+            assert 0 <= min(times) and max(times) <= WINDOW
+
+    def test_span_clamped_to_window(self, rng):
+        times = burst_change_times(rng, 5, 2 * DAY, burst_span=100 * DAY)
+        assert max(times) <= 2 * DAY
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            burst_change_times(rng, -1, WINDOW)
+        with pytest.raises(ValueError):
+            burst_change_times(rng, 1, WINDOW, burst_span=0)
+
+
+class TestMixed:
+    def test_count_preserved(self, rng):
+        assert len(mixed_change_times(rng, 9, WINDOW)) == 9
+
+    def test_strictly_increasing_after_merge(self, rng):
+        for _ in range(20):
+            times = mixed_change_times(rng, 12, WINDOW)
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_burst_fraction_one_is_pure_burst(self, rng):
+        times = mixed_change_times(rng, 8, WINDOW, burst_fraction=1.0,
+                                   burst_span=2 * DAY)
+        assert max(times) - min(times) <= 2 * DAY
+
+    def test_burst_fraction_zero_is_pure_stable(self, rng):
+        times = mixed_change_times(rng, 8, WINDOW, burst_fraction=0.0)
+        assert len(times) == 8
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            mixed_change_times(rng, 5, WINDOW, burst_fraction=1.5)
+
+    def test_valid_modification_schedule_input(self, rng):
+        """Outputs must be accepted by ModificationSchedule (strictly
+        after creation, strictly increasing)."""
+        from repro.core.objects import ModificationSchedule
+
+        times = mixed_change_times(rng, 15, WINDOW)
+        sched = ModificationSchedule(-1.0, times)
+        assert sched.total_changes == 15

@@ -1,0 +1,79 @@
+"""The Boston University population substrate."""
+
+import pytest
+
+from repro.core.clock import DAY
+from repro.workload.boston import BU_WINDOW, BostonPopulation
+
+
+class TestBuild:
+    @pytest.fixture(scope="class")
+    def population(self):
+        builder = BostonPopulation(files=600, seed=11)
+        return builder, builder.build()
+
+    def test_counts(self, population):
+        builder, histories = population
+        assert len(histories) == 600
+
+    def test_no_dynamic_content(self, population):
+        _, histories = population
+        assert all(h.obj.file_type != "cgi" for h in histories)
+
+    def test_window_is_186_days(self):
+        assert BU_WINDOW == 186 * DAY
+
+    def test_changes_within_window(self, population):
+        _, histories = population
+        for h in histories:
+            assert all(0 < t < BU_WINDOW for t in h.schedule.times)
+
+    def test_hot_set_carries_most_changes(self, population):
+        builder, histories = population
+        counts = sorted(
+            (h.schedule.total_changes for h in histories), reverse=True
+        )
+        hot = counts[: max(1, int(600 * builder.hot_fraction * 2))]
+        assert sum(hot) > 0.5 * sum(counts)
+
+    def test_total_change_volume_scales_with_paper(self):
+        builder = BostonPopulation(files=2500, seed=7)
+        histories = builder.build()
+        total = builder.total_changes(histories)
+        # Paper: ~14,000 changes for ~2,500 files over 186 days.  The
+        # two-mode mixture lands in the same regime.
+        assert 4_000 <= total <= 30_000
+
+    def test_cold_files_change_rarely(self, population):
+        _, histories = population
+        cold_like = [
+            h for h in histories
+            if h.obj.file_type == "gif" and h.schedule.total_changes <= 3
+        ]
+        assert len(cold_like) > 0.7 * sum(
+            1 for h in histories if h.obj.file_type == "gif"
+        )
+
+    def test_pretrace_ages(self, population):
+        _, histories = population
+        assert all(h.obj.created <= -DAY for h in histories)
+
+    def test_deterministic(self):
+        a = BostonPopulation(files=100, seed=3).build()
+        b = BostonPopulation(files=100, seed=3).build()
+        assert [h.schedule.times for h in a] == [h.schedule.times for h in b]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(files=0),
+            dict(window=0),
+            dict(hot_fraction=1.5),
+            dict(hot_interval=0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BostonPopulation(**kwargs)

@@ -1,0 +1,146 @@
+"""The synthetic campus workloads behind Table 1 and Figures 6-8."""
+
+import pytest
+
+from repro.core.clock import DAY
+from repro.trace.stats import mutability_from_histories
+from repro.workload.campus import (
+    CAMPUS_SERVERS,
+    DAS,
+    FAS,
+    HCS,
+    VERY_MUTABLE_CHANGES,
+    CampusServerSpec,
+    CampusWorkload,
+    build_campus_workloads,
+)
+
+
+class TestSpecs:
+    def test_paper_rows(self):
+        assert DAS.files == 1403 and DAS.requests == 30_093
+        assert FAS.files == 290 and FAS.total_changes == 11
+        assert HCS.files == 573 and HCS.duration == 25 * DAY
+
+    def test_derived_counts(self):
+        assert DAS.n_mutable == 96
+        assert DAS.n_very_mutable == 37
+        assert FAS.n_very_mutable == 0
+        assert HCS.n_mutable == 134
+
+    def test_hcs_infeasibility_documented(self):
+        """The published HCS row is internally inconsistent: the minimum
+        feasible change total exceeds the reported 260."""
+        assert HCS.min_feasible_changes > HCS.total_changes
+        assert HCS.target_changes == HCS.min_feasible_changes
+
+    def test_das_fas_feasible(self):
+        assert DAS.target_changes == DAS.total_changes
+        assert FAS.target_changes == FAS.total_changes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(files=0),
+            dict(duration=0),
+            dict(pct_remote=101),
+            dict(pct_mutable=5, pct_very_mutable=6),
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs):
+        base = dict(
+            name="X", files=10, requests=10, duration=30 * DAY,
+            pct_remote=50, total_changes=5, pct_mutable=10,
+            pct_very_mutable=0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CampusServerSpec(**base)
+
+
+class TestGeneratedStatistics:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return build_campus_workloads(seed=3)
+
+    @pytest.mark.parametrize("spec", CAMPUS_SERVERS, ids=lambda s: s.name)
+    def test_table1_row_matches(self, workloads, spec):
+        workload = workloads[spec.name]
+        stats = mutability_from_histories(workload.histories,
+                                          workload.duration)
+        assert stats.files == spec.files
+        assert abs(stats.pct_mutable - spec.pct_mutable) <= 0.5
+        assert abs(stats.pct_very_mutable - spec.pct_very_mutable) <= 0.5
+        assert stats.total_changes == pytest.approx(
+            spec.target_changes, rel=0.1
+        )
+
+    @pytest.mark.parametrize("spec", CAMPUS_SERVERS, ids=lambda s: s.name)
+    def test_request_volume(self, workloads, spec):
+        assert len(workloads[spec.name].requests) == spec.requests
+
+    @pytest.mark.parametrize("spec", CAMPUS_SERVERS, ids=lambda s: s.name)
+    def test_remote_fraction(self, workloads, spec):
+        workload = workloads[spec.name]
+        remote = sum(1 for c in workload.clients if "remote" in c)
+        pct = 100 * remote / len(workload.clients)
+        assert abs(pct - spec.pct_remote) <= 2.0
+
+    def test_very_mutable_threshold_respected(self, workloads):
+        for workload in workloads.values():
+            for h in workload.histories:
+                changes = h.schedule.changes_in(0.0, workload.duration)
+                # Plain mutable files stay strictly below the cutoff.
+                assert changes == 0 or changes == h.schedule.total_changes
+
+    def test_popular_files_stable(self, workloads):
+        """Bestavros: the most requested files do not change."""
+        workload = workloads["HCS"]
+        counts = workload.request_counts()
+        by_requests = sorted(counts, key=counts.get, reverse=True)
+        top20 = by_requests[:20]
+        histories = {h.object_id: h for h in workload.histories}
+        changed_top = sum(
+            1 for oid in top20
+            if histories[oid].schedule.changes_in(0.0, workload.duration)
+        )
+        assert changed_top <= 2
+
+    def test_zipf_request_skew(self, workloads):
+        counts = workloads["FAS"].request_counts()
+        ordered = sorted(counts.values(), reverse=True)
+        top_decile = sum(ordered[: len(ordered) // 10])
+        assert top_decile > 0.3 * sum(ordered)
+
+
+class TestBuilderKnobs:
+    def test_request_scale(self):
+        workload = CampusWorkload(HCS, seed=1, request_scale=0.1).build()
+        assert len(workload.requests) == pytest.approx(3255, abs=1)
+
+    def test_deterministic(self):
+        a = CampusWorkload(FAS, seed=9).build()
+        b = CampusWorkload(FAS, seed=9).build()
+        assert a.requests == b.requests
+
+    def test_distinct_seeds_per_server(self):
+        workloads = build_campus_workloads(seed=0)
+        assert len({tuple(w.requests[:5]) for w in workloads.values()}) == 3
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CampusWorkload(FAS, request_scale=0)
+
+    def test_mutable_file_count_exact(self):
+        workload = CampusWorkload(DAS, seed=4).build()
+        mutable = sum(
+            1 for h in workload.histories
+            if h.schedule.changes_in(0.0, workload.duration) > 0
+        )
+        assert mutable == DAS.n_mutable
+        very = sum(
+            1 for h in workload.histories
+            if h.schedule.changes_in(0.0, workload.duration)
+            > VERY_MUTABLE_CHANGES - 1
+        )
+        assert very == DAS.n_very_mutable

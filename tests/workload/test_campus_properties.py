@@ -1,0 +1,47 @@
+"""Property tests: the campus generator honours Table 1 at every seed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.stats import mutability_from_histories
+from repro.workload.campus import CAMPUS_SERVERS, CampusWorkload
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    spec=st.sampled_from(CAMPUS_SERVERS),
+)
+def test_table1_constraints_hold_for_every_seed(seed, spec):
+    workload = CampusWorkload(spec, seed=seed, request_scale=0.02).build()
+    stats = mutability_from_histories(workload.histories, workload.duration)
+    assert stats.files == spec.files
+    assert abs(stats.pct_mutable - spec.pct_mutable) <= 0.5
+    assert abs(stats.pct_very_mutable - spec.pct_very_mutable) <= 0.5
+    # Feasible change target hit within 10%.
+    assert abs(stats.total_changes - spec.target_changes) <= max(
+        2, 0.1 * spec.target_changes
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_all_changes_inside_the_window(seed):
+    workload = CampusWorkload(
+        CAMPUS_SERVERS[2], seed=seed, request_scale=0.02
+    ).build()
+    for history in workload.histories:
+        for t in history.schedule.times:
+            assert 0.0 < t <= workload.duration
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_requests_always_resolvable(seed):
+    """Every generated request names an object the server holds."""
+    workload = CampusWorkload(
+        CAMPUS_SERVERS[1], seed=seed, request_scale=0.02,
+        dynamic_fraction=0.1,
+    ).build()
+    server = workload.server()
+    assert all(oid in server for _, oid in workload.requests)

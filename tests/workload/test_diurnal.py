@@ -1,0 +1,78 @@
+"""Diurnal request-arrival modulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import DAY, HOUR
+from repro.workload.base import diurnal_request_times
+from repro.workload.microsoft import MicrosoftProxyWorkload
+
+
+class TestDiurnalTimes:
+    def test_count_sorted_bounded(self, rng):
+        times = diurnal_request_times(rng, 5000, 1 * DAY)
+        assert len(times) == 5000
+        assert list(times) == sorted(times)
+        assert 0 <= times[0] and times[-1] <= DAY
+
+    def test_peak_hours_busier_than_trough(self, rng):
+        times = diurnal_request_times(
+            rng, 50_000, 1 * DAY, peak_hour=14.0, amplitude=0.8
+        )
+        peak_window = np.sum((times >= 12 * HOUR) & (times < 16 * HOUR))
+        trough_window = np.sum((times >= 0 * HOUR) & (times < 4 * HOUR))
+        assert peak_window > 2 * trough_window
+
+    def test_zero_amplitude_ok(self, rng):
+        # Degenerates to uniform sampling (all proposals accepted).
+        times = diurnal_request_times(rng, 1000, DAY, amplitude=0.0)
+        assert len(times) == 1000
+
+    def test_multi_day_cycles(self, rng):
+        times = diurnal_request_times(rng, 30_000, 3 * DAY, amplitude=0.8)
+        # Each day's peak window beats its own trough.
+        for day in range(3):
+            base = day * DAY
+            peak = np.sum((times >= base + 12 * HOUR)
+                          & (times < base + 16 * HOUR))
+            trough = np.sum((times >= base) & (times < base + 4 * HOUR))
+            assert peak > trough
+
+    def test_zero_count(self, rng):
+        assert len(diurnal_request_times(rng, 0, DAY)) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(amplitude=1.0), dict(amplitude=-0.1),
+                   dict(duration=0.0)]
+    )
+    def test_invalid_inputs(self, rng, kwargs):
+        params = dict(count=10, duration=DAY)
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            diurnal_request_times(rng, **params)
+
+    def test_deterministic(self):
+        a = diurnal_request_times(np.random.default_rng(5), 500, DAY)
+        b = diurnal_request_times(np.random.default_rng(5), 500, DAY)
+        assert (a == b).all()
+
+
+class TestMicrosoftDiurnal:
+    def test_workload_accepts_diurnal(self):
+        workload = MicrosoftProxyWorkload(
+            sites=3, files_per_site=20, requests=8000,
+            diurnal_amplitude=0.8, seed=4,
+        ).build()
+        times = np.array([t for t, _ in workload.requests])
+        peak = np.sum((times >= 12 * HOUR) & (times < 16 * HOUR))
+        trough = np.sum(times < 4 * HOUR)
+        assert peak > 1.5 * trough
+
+    def test_default_remains_uniform(self):
+        workload = MicrosoftProxyWorkload(
+            sites=3, files_per_site=20, requests=8000, seed=4
+        ).build()
+        times = np.array([t for t, _ in workload.requests])
+        peak = np.sum((times >= 12 * HOUR) & (times < 16 * HOUR))
+        trough = np.sum(times < 4 * HOUR)
+        assert peak == pytest.approx(trough, rel=0.2)

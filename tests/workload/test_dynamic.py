@@ -1,0 +1,72 @@
+"""The dynamic-content workload knob (Section 5 extension)."""
+
+import pytest
+
+from repro.core.protocols import AlexProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.workload.campus import FAS, HCS, CampusWorkload
+
+
+def build(fraction, spec=HCS, seed=5, scale=0.1):
+    return CampusWorkload(
+        spec, seed=seed, request_scale=scale, dynamic_fraction=fraction
+    ).build()
+
+
+class TestDynamicFraction:
+    def test_default_has_no_dynamic_objects(self):
+        workload = build(0.0)
+        assert all(h.obj.cacheable for h in workload.histories)
+
+    def test_fraction_of_requests_redirected(self):
+        workload = build(0.2)
+        dynamic = sum(1 for _, oid in workload.requests if "cgi-bin" in oid)
+        share = dynamic / len(workload.requests)
+        assert share == pytest.approx(0.2, abs=0.03)
+
+    def test_dynamic_objects_are_cgi_and_uncacheable(self):
+        workload = build(0.1)
+        dynamic = [h for h in workload.histories if not h.obj.cacheable]
+        assert dynamic
+        assert all(h.obj.file_type == "cgi" for h in dynamic)
+        assert all("cgi-bin" in h.object_id for h in dynamic)
+
+    def test_static_population_untouched(self):
+        with_dynamic = build(0.3, seed=9)
+        static = [h for h in with_dynamic.histories if h.obj.cacheable]
+        assert len(static) == HCS.files
+
+    def test_pool_sized_to_ten_percent_of_files(self):
+        workload = build(0.1, spec=FAS)
+        dynamic = [h for h in workload.histories if not h.obj.cacheable]
+        assert len(dynamic) == max(1, round(FAS.files * 0.1))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CampusWorkload(HCS, dynamic_fraction=1.0)
+        with pytest.raises(ValueError):
+            CampusWorkload(HCS, dynamic_fraction=-0.1)
+
+    def test_dynamic_requests_always_fetch(self):
+        workload = build(0.25)
+        result = simulate(
+            workload.server(), AlexProtocol.from_percent(10),
+            workload.requests, SimulatorMode.OPTIMIZED,
+            end_time=workload.duration,
+        )
+        dynamic = sum(1 for _, oid in workload.requests if "cgi-bin" in oid)
+        # Every dynamic request is a full retrieval (plus any static ones).
+        assert result.counters.full_retrievals >= dynamic
+
+    def test_bandwidth_grows_with_fraction(self):
+        results = []
+        for fraction in (0.0, 0.15, 0.3):
+            workload = build(fraction)
+            results.append(
+                simulate(
+                    workload.server(), AlexProtocol.from_percent(10),
+                    workload.requests, SimulatorMode.OPTIMIZED,
+                    end_time=workload.duration,
+                ).bandwidth.total_bytes
+            )
+        assert results[0] < results[1] < results[2]

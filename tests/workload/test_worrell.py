@@ -1,0 +1,106 @@
+"""The Worrell flat-lifetime workload (base-simulator input)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import DAY, days
+from repro.workload.worrell import WorrellWorkload
+
+
+def small() -> WorrellWorkload:
+    return WorrellWorkload(files=100, requests=2000, duration=days(56),
+                           seed=42)
+
+
+class TestCalibration:
+    def test_paper_run_change_count(self):
+        """Default parameters reproduce the paper's reported run:
+        2085 files changing ~19,898 times over 56 days."""
+        expected = WorrellWorkload().expected_changes()
+        assert expected == pytest.approx(19_898, rel=0.02)
+
+    def test_generated_changes_near_expectation(self):
+        workload = WorrellWorkload(files=400, requests=0, seed=1).build()
+        expected = WorrellWorkload(files=400, requests=0).expected_changes()
+        assert workload.total_changes == pytest.approx(expected, rel=0.1)
+
+    def test_daily_change_probability_near_17_percent(self):
+        workload = WorrellWorkload(files=400, requests=0, seed=2).build()
+        prob = workload.total_changes / (400 * 56)
+        assert prob == pytest.approx(0.17, abs=0.03)
+
+
+class TestStructure:
+    def test_counts(self):
+        workload = small().build()
+        assert workload.file_count == 100
+        assert len(workload.requests) == 2000
+
+    def test_requests_sorted_and_in_window(self):
+        workload = small().build()
+        times = [t for t, _ in workload.requests]
+        assert times == sorted(times)
+        assert 0 <= times[0] and times[-1] <= workload.duration
+
+    def test_uniform_access_distribution(self):
+        workload = WorrellWorkload(files=10, requests=20_000, seed=3).build()
+        counts = workload.request_counts()
+        # Uniform: every file near 2000 requests.
+        assert min(counts.values()) > 1700
+        assert max(counts.values()) < 2300
+
+    def test_periodic_modification_gaps(self):
+        workload = small().build()
+        for history in workload.histories:
+            times = history.schedule.times
+            if len(times) >= 3:
+                gaps = np.diff(times)
+                assert np.allclose(gaps, gaps[0])
+                assert days(1) <= gaps[0] <= days(18)
+
+    def test_files_carry_pretrace_age(self):
+        workload = small().build()
+        assert all(h.obj.created < 0 for h in workload.histories)
+
+    def test_sizes_positive_with_expected_mean(self):
+        workload = WorrellWorkload(files=2000, requests=0, seed=5).build()
+        sizes = [h.obj.size for h in workload.histories]
+        assert min(sizes) >= 64
+        assert np.mean(sizes) == pytest.approx(10_000, rel=0.1)
+
+    def test_constant_size_mode(self):
+        workload = WorrellWorkload(files=10, requests=0, size_sigma=0,
+                                   seed=6).build()
+        assert {h.obj.size for h in workload.histories} == {10_000}
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a, b = small().build(), small().build()
+        assert a.requests == b.requests
+        assert [h.schedule.times for h in a.histories] == [
+            h.schedule.times for h in b.histories
+        ]
+
+    def test_different_seed_differs(self):
+        a = small().build()
+        b = WorrellWorkload(files=100, requests=2000, duration=days(56),
+                            seed=43).build()
+        assert a.requests != b.requests
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(files=0),
+            dict(requests=-1),
+            dict(duration=0),
+            dict(min_lifetime=0),
+            dict(min_lifetime=days(5), max_lifetime=days(2)),
+            dict(mean_size=0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorrellWorkload(**kwargs)

@@ -1,0 +1,83 @@
+"""Zipf popularity sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import ZipfSampler, zipf_weights
+
+
+class TestWeights:
+    def test_normalized(self):
+        assert zipf_weights(100, 0.9).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_s_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_classic_ratio(self):
+        # With s=1, rank 1 gets twice rank 2's probability.
+        weights = zipf_weights(100, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+
+class TestSampler:
+    def test_ranks_in_range(self, rng):
+        sampler = ZipfSampler(20, 0.9)
+        ranks = sampler.sample(rng, 1000)
+        assert ranks.min() >= 0 and ranks.max() < 20
+
+    def test_empirical_skew(self, rng):
+        sampler = ZipfSampler(100, 0.9)
+        ranks = sampler.sample(rng, 50_000)
+        top = np.mean(ranks < 10)
+        bottom = np.mean(ranks >= 90)
+        assert top > 5 * bottom
+
+    def test_empirical_matches_theoretical(self, rng):
+        sampler = ZipfSampler(10, 0.8)
+        ranks = sampler.sample(rng, 100_000)
+        empirical = np.mean(ranks == 0)
+        assert empirical == pytest.approx(sampler.probability(0), abs=0.01)
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(17, 1.1)
+        total = sum(sampler.probability(r) for r in range(17))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_bounds_checked(self):
+        sampler = ZipfSampler(5, 1.0)
+        with pytest.raises(IndexError):
+            sampler.probability(5)
+        with pytest.raises(IndexError):
+            sampler.probability(-1)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(5, 1.0).sample(rng, -1)
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(30, 0.9)
+        a = sampler.sample(np.random.default_rng(7), 100)
+        b = sampler.sample(np.random.default_rng(7), 100)
+        assert (a == b).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 500), s=st.floats(0.0, 2.0))
+def test_weights_always_valid_distribution(n, s):
+    weights = zipf_weights(n, s)
+    assert len(weights) == n
+    assert (weights > 0).all()
+    assert weights.sum() == pytest.approx(1.0)
