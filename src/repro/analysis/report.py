@@ -11,7 +11,9 @@ in exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
+
+from repro.runtime import RunStats
 
 
 @dataclass(frozen=True)
@@ -44,6 +46,10 @@ class ExperimentReport:
         rendered: the full text report (tables and ASCII panels).
         checks: shape checks evaluated on the measured data.
         data: machine-readable series/rows for downstream use.
+        stats: run instrumentation (wall time, simulated requests,
+            workers) attached by ``run_experiment``.  Deliberately not
+            part of :meth:`render`, so figure/table output stays
+            byte-identical across worker counts and machines.
     """
 
     experiment_id: str
@@ -51,6 +57,7 @@ class ExperimentReport:
     rendered: str
     checks: list[ShapeCheck] = field(default_factory=list)
     data: dict = field(default_factory=dict)
+    stats: Optional[RunStats] = field(default=None, compare=False, repr=False)
 
     @property
     def all_passed(self) -> bool:

@@ -5,10 +5,37 @@ threshold from 0-100% or the TTL from 0-500 hours, plotted against the
 invalidation protocol's (parameter-free) horizontal line.  Figure 6 adds
 averaging over the three campus traces.  This module runs those sweeps
 and returns tidy per-point metric dictionaries.
+
+Sweep points are independent simulations, so :func:`sweep_protocol`
+executes them through the :mod:`repro.runtime` engine: pass ``workers``
+(or set ``REPRO_WORKERS`` / :func:`repro.runtime.default_workers`) to
+fan the grid out across processes.  The serial path (``workers=1``, the
+default) and the parallel path produce bit-identical
+:class:`SweepResult` values; only the attached :class:`RunStats`
+instrumentation differs, and it is excluded from equality.
+
+The containers are plain data and easy to build by hand, which is how
+the report/plot layers are tested:
+
+>>> point = SweepPoint(parameter=50.0, metrics={"total_mb": 12.5})
+>>> point["total_mb"]
+12.5
+>>> sweep = SweepResult(
+...     family="alex",
+...     points=[SweepPoint(0.0, {"ops": 400.0}), SweepPoint(50.0, {"ops": 80.0})],
+...     invalidation={"ops": 100.0},
+... )
+>>> sweep.parameters()
+[0.0, 50.0]
+>>> sweep.series("ops")
+[400.0, 80.0]
+>>> crossover_parameter(sweep, "ops")
+50.0
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -22,12 +49,17 @@ from repro.core.protocols import (
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import average_results
 from repro.core.simulator import SimulatorMode, simulate
+from repro.runtime import RunStats, map_ordered, record, resolve_workers
 from repro.workload.base import Workload
 
 #: Alex thresholds (percent) matching the figures' x axis, 0-100.
 ALEX_THRESHOLDS_PERCENT: tuple[float, ...] = tuple(range(0, 101, 5))
 #: TTL values (hours) matching the figures' x axis, 0-500.
 TTL_HOURS: tuple[float, ...] = tuple(range(0, 501, 25))
+
+#: Grid marker for the invalidation baseline task (so the baseline
+#: parallelizes alongside the swept points).
+_BASELINE = object()
 
 
 @dataclass
@@ -50,11 +82,18 @@ class SweepResult:
         points: per-parameter averaged metrics, in parameter order.
         invalidation: averaged metrics of the invalidation protocol on
             the same workloads (the horizontal line in every figure).
+        stats: run instrumentation for the sweep that produced this
+            result (None for hand-built results).  Excluded from
+            equality: identical sweeps compare equal however long they
+            took and however many workers ran them.
     """
 
     family: str
     points: list[SweepPoint]
     invalidation: dict[str, float] = field(default_factory=dict)
+    stats: Optional[RunStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     def parameters(self) -> list[float]:
         """The swept parameter values."""
@@ -111,23 +150,70 @@ def sweep_protocol(
     family: str,
     costs: MessageCosts = DEFAULT_COSTS,
     include_invalidation: bool = True,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Sweep ``make_protocol(parameter)`` over ``parameters``."""
-    points = [
-        SweepPoint(
-            parameter=param,
+    """Sweep ``make_protocol(parameter)`` over ``parameters``.
+
+    Each grid point (and the invalidation baseline) is an independent
+    task run through :func:`repro.runtime.map_ordered`: serial when the
+    resolved worker count is 1, forked across a process pool otherwise,
+    with results reassembled in parameter order either way.  The
+    returned result carries :class:`~repro.runtime.RunStats`
+    instrumentation and is also reported to any active
+    :func:`repro.runtime.collecting` context.
+
+    Args:
+        workloads: the workloads to average over (fresh protocol
+            instance per workload).
+        make_protocol: parameter -> protocol factory.
+        parameters: the grid, in presentation order.
+        mode: base or optimized simulator behaviour.
+        costs: byte cost model.
+        include_invalidation: also run the invalidation baseline.
+        workers: process-pool size; None resolves via
+            :func:`repro.runtime.resolve_workers` (flag > default >
+            ``REPRO_WORKERS`` > serial).
+    """
+    resolved = resolve_workers(workers)
+    started = time.perf_counter()
+
+    tasks: list = list(parameters)
+    if include_invalidation:
+        tasks.append(_BASELINE)
+
+    def run_task(task):
+        if task is _BASELINE:
+            return run_protocol(workloads, InvalidationProtocol, mode, costs)
+        return SweepPoint(
+            parameter=task,
             metrics=run_protocol(
-                workloads, lambda p=param: make_protocol(p), mode, costs
+                workloads, lambda: make_protocol(task), mode, costs
             ),
         )
-        for param in parameters
-    ]
+
+    outcomes = map_ordered(run_task, tasks, workers=resolved)
+
     invalidation: dict[str, float] = {}
     if include_invalidation:
-        invalidation = run_protocol(
-            workloads, InvalidationProtocol, mode, costs
-        )
-    return SweepResult(family=family, points=points, invalidation=invalidation)
+        invalidation = outcomes.pop()
+    points: list[SweepPoint] = outcomes
+
+    simulated = sum(
+        round(p.metrics["requests"]) * len(workloads) for p in points
+    )
+    if invalidation:
+        simulated += round(invalidation["requests"]) * len(workloads)
+    stats = RunStats(
+        wall_seconds=time.perf_counter() - started,
+        simulated_requests=simulated,
+        workers=resolved,
+        grid_points=len(points),
+        peak_grid_size=len(points),
+    )
+    record(stats)
+    return SweepResult(
+        family=family, points=points, invalidation=invalidation, stats=stats
+    )
 
 
 def sweep_alex(
@@ -135,6 +221,7 @@ def sweep_alex(
     mode: SimulatorMode,
     thresholds_percent: Sequence[float] = ALEX_THRESHOLDS_PERCENT,
     costs: MessageCosts = DEFAULT_COSTS,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """The Alex update-threshold sweep (x axis of panels (a))."""
     return sweep_protocol(
@@ -144,6 +231,7 @@ def sweep_alex(
         mode,
         family="alex",
         costs=costs,
+        workers=workers,
     )
 
 
@@ -152,6 +240,7 @@ def sweep_ttl(
     mode: SimulatorMode,
     ttl_hours: Sequence[float] = TTL_HOURS,
     costs: MessageCosts = DEFAULT_COSTS,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """The TTL sweep in hours (x axis of panels (b))."""
     return sweep_protocol(
@@ -161,6 +250,7 @@ def sweep_ttl(
         mode,
         family="ttl",
         costs=costs,
+        workers=workers,
     )
 
 

@@ -16,7 +16,11 @@ Examples::
     repro synthesize hcs /tmp/hcs.log --seed 7
     repro stats /tmp/hcs.log
     repro simulate /tmp/hcs.log --protocol alex --parameter 10
-    repro sweep /tmp/hcs.log --protocol ttl
+    repro sweep /tmp/hcs.log --protocol ttl --workers 4
+
+``sweep`` runs its points through the :mod:`repro.runtime` process-pool
+engine: ``--workers N`` (or the ``REPRO_WORKERS`` environment variable)
+fans them out with identical output; see ``docs/PERFORMANCE.md``.
 
 The ``simulate``/``sweep`` commands reconstruct the origin server's
 modification schedules from the trace's Last-Modified extension: a
@@ -44,6 +48,7 @@ from repro.core.protocols import (
 )
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.simulator import SimulatorMode, simulate
+from repro.runtime import map_ordered
 from repro.trace.reconstruct import server_from_trace, workload_from_trace
 from repro.trace.records import Trace
 from repro.trace.stats import mutability_from_trace
@@ -183,21 +188,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     server = server_from_trace(trace)
     requests = trace.requests()
     end = requests[-1][0] if requests else 0.0
-    rows = []
-    for parameter in parameters:
+
+    def run_point(parameter: float) -> tuple:
         result = simulate(
             server, build_protocol(args.protocol, parameter), requests,
             mode, end_time=end,
         )
-        rows.append(
-            (
-                parameter,
-                f"{result.total_megabytes:.3f}",
-                pct(result.miss_rate),
-                pct(result.stale_hit_rate),
-                result.server_operations,
-            )
+        return (
+            parameter,
+            f"{result.total_megabytes:.3f}",
+            pct(result.miss_rate),
+            pct(result.stale_hit_rate),
+            result.server_operations,
         )
+
+    # Sweep points are independent; fan them out across the engine's
+    # process pool (serial for --workers 1, identical output either way).
+    rows = map_ordered(run_point, parameters, workers=args.workers)
     inval = simulate(server, InvalidationProtocol(), requests, mode,
                      end_time=end)
     rows.append(
@@ -255,6 +262,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--step", type=int, default=None)
     p_sweep.add_argument("--mode", default="optimized",
                          choices=[m.value for m in SimulatorMode])
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for the sweep points (default: "
+             "$REPRO_WORKERS, else 1 = serial; output is identical "
+             "either way — see docs/PERFORMANCE.md)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
     return parser
 

@@ -3,17 +3,48 @@
 Usage::
 
     python -m repro.experiments figure6            # one experiment
-    python -m repro.experiments all                # everything
+    python -m repro.experiments all                # everything, serially
+    python -m repro.experiments all --workers 4    # everything, in parallel
     python -m repro.experiments figure2 --scale 0.2 --seed 7
+
+Parallelism (see ``docs/PERFORMANCE.md``): ``--workers N`` (default: the
+``REPRO_WORKERS`` environment variable, else 1) fans work out across
+processes on two axes.  A single experiment parallelizes across its
+parameter-grid points.  ``all`` first warms the sweep caches shared by
+several figures with grid-level parallelism, then fans the experiment
+ids themselves out across the pool — the forked workers inherit the
+warmed caches, so nothing is computed twice.  Output is byte-identical
+for every worker count; reports print in registry order regardless of
+completion order.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro.analysis.report import ExperimentReport
+from repro.experiments.common import warm_shared_sweeps
 from repro.experiments.registry import all_ids, run_experiment
+from repro.runtime import default_workers, map_ordered, resolve_workers
+
+
+def _run_all_parallel(
+    ids: list[str], scale: float, seed: int, workers: int
+) -> list[ExperimentReport]:
+    """Run many experiments across a process pool (warm caches first)."""
+    with default_workers(workers):
+        warm_shared_sweeps(scale=scale, seed=seed)
+    # Each forked worker inherits the warmed sweep caches; within a
+    # worker the sweeps that remain run serially (workers=1) — the pool
+    # is already saturated at the experiment level.
+    return map_ordered(
+        lambda experiment_id: run_experiment(
+            experiment_id, scale=scale, seed=seed, workers=1
+        ),
+        ids,
+        workers=workers,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,6 +72,12 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0, help="base RNG seed"
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for sweeps and the 'all' fan-out "
+             "(default: $REPRO_WORKERS, else 1 = serial; results are "
+             "byte-identical either way — see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--csv", type=str, default=None, metavar="DIR",
         help="also dump each experiment's data series/tables as CSV "
              "files into DIR",
@@ -52,13 +89,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     ids = all_ids() if args.experiment == "all" else [args.experiment]
+    workers = resolve_workers(args.workers)
+    if len(ids) > 1 and workers > 1:
+        reports = _run_all_parallel(ids, args.scale, args.seed, workers)
+    else:
+        reports = (
+            run_experiment(i, scale=args.scale, seed=args.seed,
+                           workers=workers)
+            for i in ids
+        )
+
     failures = 0
-    for experiment_id in ids:
-        started = time.perf_counter()
-        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - started
+    for experiment_id, report in zip(ids, reports):
         print(report.render())
-        print(f"  ({elapsed:.1f}s)")
+        if report.stats is not None:
+            print(f"  ({report.stats.render()})")
         if args.csv:
             from repro.analysis.export import dump_experiment_data
 

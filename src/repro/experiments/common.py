@@ -36,13 +36,25 @@ WORRELL_REQUESTS = 100_000
 
 
 def _sparse(values: tuple, step: int) -> tuple:
-    """Thin a parameter grid, always keeping the first and last points."""
+    """Thin a parameter grid, always keeping the first and last points.
+
+    The thinned grid is returned in ascending order: when the stride
+    lands short of the final value, that anchor is *inserted in order*
+    rather than appended (a plain append could emit an out-of-order tail
+    point for grids whose last stride point exceeds the final value,
+    breaking the sorted-grid assumption of crossover detection and the
+    figures' x axes).
+
+    >>> _sparse((0, 25, 50, 75, 100), 2)
+    (0, 50, 100)
+    >>> _sparse((0, 20, 40, 30), 2)   # stride point 40 > final value 30
+    (0, 30, 40)
+    """
     if step <= 1:
         return values
-    kept = list(values[::step])
-    if values[-1] not in kept:
-        kept.append(values[-1])
-    return tuple(kept)
+    kept = set(values[::step])
+    kept.add(values[-1])
+    return tuple(sorted(kept))
 
 
 def sweep_grids(scale: float) -> tuple[tuple, tuple]:
@@ -100,6 +112,23 @@ def campus_sweeps(
                    thresholds_percent=alex_grid),
         sweep_ttl(workloads, SimulatorMode.OPTIMIZED, ttl_hours=ttl_grid),
     )
+
+
+def warm_shared_sweeps(scale: float = 1.0, seed: int = 0) -> None:
+    """Pre-compute the sweep groups shared by several experiments.
+
+    Figures 2/3 share the base Worrell sweep, Figures 4/5 the optimized
+    Worrell sweep, and Figures 6/7/8 (plus ``ext-latency``) the campus
+    sweep.  ``python -m repro.experiments all --workers N`` calls this
+    *before* fanning experiments out across processes: the shared sweeps
+    run once here with grid-level parallelism, and the forked experiment
+    workers inherit the warmed memo caches instead of each recomputing
+    them.  Serial runs get the same effect implicitly from the
+    ``lru_cache`` memoization.
+    """
+    worrell_sweeps("base", scale, seed)
+    worrell_sweeps("optimized", scale, seed)
+    campus_sweeps(scale, seed)
 
 
 def clear_caches() -> None:

@@ -1,13 +1,34 @@
 """The experiment registry: every table and figure, by id.
 
 Each experiment module exposes ``EXPERIMENT_ID``, ``TITLE``, and
-``run(scale, seed) -> ExperimentReport``; this registry maps ids to those
-runners for the CLI, the tests, and the benchmarks.
+``run(scale, seed) -> ExperimentReport``; this registry maps ids to
+those runners for the CLI, the tests, and the benchmarks.  Paper
+experiments come first, in paper order (``figure1`` … ``table2``),
+followed by the extensions that implement Section 5's future-work
+directions:
+
+>>> all_ids()[:3]
+['figure1', 'figure2', 'figure3']
+>>> all_ids()[-1]
+'ext-worrell'
+>>> "figure8" in EXPERIMENTS
+True
+
+:func:`run_experiment` is the one entry point everything else goes
+through.  It resolves the worker count (``workers`` argument >
+:func:`repro.runtime.default_workers` > ``REPRO_WORKERS`` > serial),
+scopes it as the default so every sweep the runner triggers fans out
+accordingly, and attaches aggregated
+:class:`~repro.runtime.RunStats` instrumentation to the returned
+report.  Results are bit-identical for every worker count; only the
+instrumentation (which is excluded from report equality) differs.  See
+``docs/PERFORMANCE.md`` for the execution model.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import Callable, Optional
 
 from repro.analysis.report import ExperimentReport
 from repro.experiments import (
@@ -26,6 +47,7 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.runtime import RunStats, collecting, default_workers, resolve_workers
 
 #: Paper experiments first (in paper order), then the extensions that
 #: implement Section 5's future-work directions.
@@ -47,9 +69,25 @@ def all_ids() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, seed: int = 0
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
-    """Run one experiment by id.
+    """Run one experiment by id and attach run instrumentation.
+
+    Args:
+        experiment_id: one of :func:`all_ids`.
+        scale: workload scale factor (1.0 = paper-calibrated size).
+        seed: base RNG seed, forwarded to the experiment's workloads.
+        workers: process-pool size for the sweeps the experiment runs;
+            None resolves via :func:`repro.runtime.resolve_workers`.
+
+    Returns:
+        The experiment's report with ``report.stats`` populated: wall
+        time of the whole run, simulated requests summed over the sweeps
+        that actually executed (memoized sweeps contribute zero), and
+        the resolved worker count.
 
     Raises:
         KeyError: for an unknown id (message lists the valid ones).
@@ -61,4 +99,13 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; valid ids: "
             f"{', '.join(all_ids())}"
         ) from None
-    return runner(scale=scale, seed=seed)
+    resolved = resolve_workers(workers)
+    started = time.perf_counter()
+    with default_workers(resolved), collecting() as recorded:
+        report = runner(scale=scale, seed=seed)
+    report.stats = RunStats.combine(
+        recorded,
+        wall_seconds=time.perf_counter() - started,
+        workers=resolved,
+    )
+    return report

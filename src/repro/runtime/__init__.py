@@ -1,0 +1,39 @@
+"""Parallel execution and run instrumentation for the reproduction.
+
+Every figure in the paper is a sweep over independent (protocol,
+parameter) points — 21 Alex thresholds and 21 TTL intervals per
+workload — and the experiment registry runs 14 independent experiments.
+This package provides the machinery to fan that work out across
+processes without changing a single output byte:
+
+* :mod:`repro.runtime.engine` — a process-pool map with deterministic
+  ordered reassembly, a serial fallback for ``workers=1``, worker-count
+  resolution (``--workers`` flag > :func:`default_workers` context >
+  ``REPRO_WORKERS`` env var > serial), and per-task seed derivation.
+* :mod:`repro.runtime.stats` — :class:`RunStats` (wall time, simulated
+  requests, requests/sec, peak grid size, worker count) plus the
+  collector that aggregates per-sweep stats into per-experiment stats.
+
+See ``docs/PERFORMANCE.md`` for the architecture, the determinism
+guarantees, and measured serial-vs-parallel numbers.
+"""
+
+from repro.runtime.engine import (
+    default_workers,
+    derive_seed,
+    map_ordered,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.runtime.stats import RunStats, collecting, record
+
+__all__ = [
+    "RunStats",
+    "collecting",
+    "default_workers",
+    "derive_seed",
+    "map_ordered",
+    "record",
+    "resolve_workers",
+    "set_default_workers",
+]

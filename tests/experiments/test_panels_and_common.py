@@ -74,6 +74,18 @@ class TestCommon:
         assert ttl_grid[-1] == 500
         assert len(alex_grid) < 21
 
+    def test_sweep_grids_stay_sorted(self):
+        for scale in (0.05, 0.1, 0.25, 0.5, 1.0):
+            for grid in common.sweep_grids(scale):
+                assert list(grid) == sorted(grid)
+
+    def test_sparse_reinserts_final_anchor_in_order(self):
+        # The stride point (40) exceeds the final value (30): the
+        # re-appended anchor must not land out of order at the tail.
+        assert common._sparse((0, 20, 40, 30), 2) == (0, 30, 40)
+        assert common._sparse((0, 25, 50, 75, 90), 2) == (0, 50, 90)
+        assert common._sparse((0, 25, 50), 1) == (0, 25, 50)
+
     def test_workloads_memoized(self):
         common.clear_caches()
         a = common.worrell_workload(0.05, 1)

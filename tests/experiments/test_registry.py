@@ -51,3 +51,23 @@ class TestCLI:
         from repro.experiments.__main__ import main
 
         assert main(["table2", "--scale", "0.5", "--seed", "3"]) == 0
+
+    def test_workers_flag_single_experiment(self, capsys):
+        from repro.experiments import common
+        from repro.experiments.__main__ import main
+
+        common.clear_caches()
+        try:
+            assert main(["figure2", "--scale", "0.02", "--workers", "2"]) == 0
+        finally:
+            common.clear_caches()
+        out = capsys.readouterr().out
+        assert "workers 2" in out
+        assert "ALL CHECKS PASSED" in out
+
+    def test_help_documents_workers_env_var(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "REPRO_WORKERS" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""RunStats instrumentation and its threading through sweeps/experiments."""
+
+import pytest
+
+from repro.analysis.sweep import sweep_alex
+from repro.core.simulator import SimulatorMode
+from repro.experiments import common
+from repro.experiments.registry import run_experiment
+from repro.runtime import RunStats, collecting, record
+from repro.workload.worrell import WorrellWorkload
+
+
+class TestRunStats:
+    def test_requests_per_second(self):
+        stats = RunStats(wall_seconds=2.0, simulated_requests=100_000,
+                         workers=4)
+        assert stats.requests_per_second == pytest.approx(50_000.0)
+
+    def test_zero_wall_time_guard(self):
+        assert RunStats(0.0, 100).requests_per_second == 0.0
+
+    def test_render_mentions_every_headline(self):
+        stats = RunStats(wall_seconds=1.5, simulated_requests=3_000,
+                         workers=2, grid_points=21, peak_grid_size=21)
+        text = stats.render()
+        assert "1.5s wall" in text
+        assert "3,000 simulated requests" in text
+        assert "req/s" in text
+        assert "peak grid 21" in text
+        assert "workers 2" in text
+
+    def test_as_dict_round_trip(self):
+        stats = RunStats(2.0, 10, workers=3, grid_points=5, peak_grid_size=5)
+        data = stats.as_dict()
+        assert data["wall_seconds"] == 2.0
+        assert data["requests_per_second"] == pytest.approx(5.0)
+        assert data["workers"] == 3
+
+    def test_combine_sums_requests_and_takes_peak(self):
+        combined = RunStats.combine(
+            [RunStats(1.0, 100, workers=1, grid_points=5, peak_grid_size=5),
+             RunStats(2.0, 300, workers=4, grid_points=21, peak_grid_size=21)],
+        )
+        assert combined.simulated_requests == 400
+        assert combined.grid_points == 26
+        assert combined.peak_grid_size == 21
+        assert combined.wall_seconds == pytest.approx(3.0)
+        assert combined.workers == 4
+
+    def test_combine_empty_needs_wall_anchor(self):
+        with pytest.raises(ValueError):
+            RunStats.combine([])
+        anchored = RunStats.combine([], wall_seconds=0.5, workers=2)
+        assert anchored.simulated_requests == 0
+        assert anchored.workers == 2
+
+
+class TestCollector:
+    def test_collects_only_inside_context(self):
+        record(RunStats(1.0, 1))  # no active collector: dropped
+        with collecting() as bucket:
+            record(RunStats(1.0, 2))
+        record(RunStats(1.0, 3))
+        assert [s.simulated_requests for s in bucket] == [2]
+
+    def test_nested_contexts_both_see_records(self):
+        with collecting() as outer:
+            record(RunStats(1.0, 1))
+            with collecting() as inner:
+                record(RunStats(1.0, 2))
+        assert [s.simulated_requests for s in outer] == [1, 2]
+        assert [s.simulated_requests for s in inner] == [2]
+
+
+class TestSweepInstrumentation:
+    def test_sweep_populates_stats(self):
+        workload = WorrellWorkload(files=15, requests=400, seed=1).build()
+        sweep = sweep_alex([workload], SimulatorMode.OPTIMIZED,
+                           thresholds_percent=(0, 50, 100))
+        stats = sweep.stats
+        assert stats is not None
+        assert stats.wall_seconds > 0.0
+        # 3 grid points + the invalidation baseline, 400 requests each.
+        assert stats.simulated_requests == 4 * 400
+        assert stats.requests_per_second > 0.0
+        assert stats.grid_points == 3
+        assert stats.peak_grid_size == 3
+        assert stats.workers == 1
+
+
+class TestExperimentInstrumentation:
+    def test_run_experiment_attaches_aggregate_stats(self):
+        common.clear_caches()
+        try:
+            report = run_experiment("figure2", scale=0.02, seed=0)
+        finally:
+            common.clear_caches()
+        stats = report.stats
+        assert stats is not None
+        assert stats.wall_seconds > 0.0
+        assert stats.simulated_requests > 0
+        assert stats.requests_per_second > 0.0
+        assert stats.peak_grid_size > 0
+        assert stats.workers == 1
+
+    def test_memoized_rerun_reports_zero_new_work(self):
+        common.clear_caches()
+        try:
+            run_experiment("figure2", scale=0.02, seed=0)
+            cached = run_experiment("figure2", scale=0.02, seed=0)
+        finally:
+            common.clear_caches()
+        assert cached.stats.simulated_requests == 0

@@ -8,12 +8,22 @@ import doctest
 
 import pytest
 
+import repro.analysis.sweep
 import repro.core.protocols.alex
 import repro.core.simulator
+import repro.experiments.common
+import repro.experiments.registry
+import repro.runtime.engine
+import repro.runtime.stats
 
 MODULES_WITH_DOCTESTS = [
+    repro.analysis.sweep,
     repro.core.protocols.alex,
     repro.core.simulator,
+    repro.experiments.common,
+    repro.experiments.registry,
+    repro.runtime.engine,
+    repro.runtime.stats,
 ]
 
 
