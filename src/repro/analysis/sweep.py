@@ -47,9 +47,10 @@ from repro.core.protocols import (
     TTLProtocol,
 )
 from repro.core.protocols.base import ConsistencyProtocol
-from repro.core.results import average_results
-from repro.core.simulator import SimulatorMode, simulate
+from repro.core.results import SimulationResult, average_results
+from repro.core.simulator import SimulatorMode
 from repro.runtime import RunStats, map_ordered, record, resolve_workers
+from repro.verify.oracle import checked_simulate, is_enabled
 from repro.workload.base import Workload
 
 #: Alex thresholds (percent) matching the figures' x axis, 0-100.
@@ -115,6 +116,33 @@ class SweepResult:
         raise KeyError(f"parameter {parameter!r} not in sweep")
 
 
+def verify_run(
+    workload: Workload,
+    protocol: ConsistencyProtocol,
+    mode: SimulatorMode,
+    costs: MessageCosts = DEFAULT_COSTS,
+) -> SimulationResult:
+    """Run one workload, self-checking through the consistency oracle.
+
+    This is the oracle hook for every sweep task: it delegates to
+    :func:`repro.verify.checked_simulate`, which replays the run through
+    the brute-force :class:`~repro.verify.spec.SpecModel` and raises
+    :class:`~repro.verify.ConsistencyViolation` on any counter,
+    bandwidth-ledger, or event divergence — but only when verification is
+    enabled (``--verify`` / ``REPRO_VERIFY=1``).  Forked sweep workers
+    inherit the enable flag from the parent process, so each worker
+    verifies its own grid points.
+    """
+    return checked_simulate(
+        workload.server(),
+        protocol,
+        workload.requests,
+        mode,
+        costs=costs,
+        end_time=workload.duration,
+    )
+
+
 def run_protocol(
     workloads: Sequence[Workload],
     protocol_factory: Callable[[], ConsistencyProtocol],
@@ -125,19 +153,12 @@ def run_protocol(
 
     A fresh protocol instance is built per workload (protocols may hold
     adaptive state).  Averaging weighs each workload equally, as Figure 6
-    does for FAS/HCS/DAS.
+    does for FAS/HCS/DAS.  Each run goes through :func:`verify_run`, so
+    an enabled oracle checks every simulation behind every sweep point.
     """
     results = []
     for workload in workloads:
-        result = simulate(
-            workload.server(),
-            protocol_factory(),
-            workload.requests,
-            mode,
-            costs=costs,
-            end_time=workload.duration,
-        )
-        results.append(result)
+        results.append(verify_run(workload, protocol_factory(), mode, costs))
     return average_results(results)
 
 
@@ -209,6 +230,7 @@ def sweep_protocol(
         workers=resolved,
         grid_points=len(points),
         peak_grid_size=len(points),
+        verified_runs=len(tasks) * len(workloads) if is_enabled() else 0,
     )
     record(stats)
     return SweepResult(

@@ -47,8 +47,9 @@ from repro.core.protocols import (
     TTLProtocol,
 )
 from repro.core.protocols.base import ConsistencyProtocol
-from repro.core.simulator import SimulatorMode, simulate
+from repro.core.simulator import SimulatorMode
 from repro.runtime import map_ordered
+from repro.verify import checked_simulate, set_enabled
 from repro.trace.reconstruct import server_from_trace, workload_from_trace
 from repro.trace.records import Trace
 from repro.trace.stats import mutability_from_trace
@@ -140,7 +141,7 @@ def _simulate_trace(
     trace: Trace, protocol: ConsistencyProtocol, mode: SimulatorMode
 ):
     workload = workload_from_trace(trace)
-    return simulate(
+    return checked_simulate(
         workload.server(), protocol, workload.requests, mode,
         end_time=workload.duration,
     )
@@ -148,6 +149,8 @@ def _simulate_trace(
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one protocol over a trace file and print its metrics."""
+    if args.verify:
+        set_enabled(True)
     trace = read_trace(args.trace)
     try:
         protocol = build_protocol(args.protocol, args.parameter)
@@ -175,6 +178,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep a protocol parameter over a trace file."""
+    if args.verify:
+        # Must happen before map_ordered forks its pool: workers inherit
+        # the flag and each one oracle-checks its own sweep points.
+        set_enabled(True)
     trace = read_trace(args.trace)
     if args.protocol.lower() == "alex":
         parameters = [float(p) for p in range(0, 101, args.step or 10)]
@@ -190,7 +197,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     end = requests[-1][0] if requests else 0.0
 
     def run_point(parameter: float) -> tuple:
-        result = simulate(
+        result = checked_simulate(
             server, build_protocol(args.protocol, parameter), requests,
             mode, end_time=end,
         )
@@ -205,8 +212,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # Sweep points are independent; fan them out across the engine's
     # process pool (serial for --workers 1, identical output either way).
     rows = map_ordered(run_point, parameters, workers=args.workers)
-    inval = simulate(server, InvalidationProtocol(), requests, mode,
-                     end_time=end)
+    inval = checked_simulate(server, InvalidationProtocol(), requests, mode,
+                             end_time=end)
     rows.append(
         ("inval", f"{inval.total_megabytes:.3f}", pct(inval.miss_rate),
          pct(inval.stale_hit_rate), inval.server_operations)
@@ -252,6 +259,11 @@ def make_parser() -> argparse.ArgumentParser:
                             "cern: LM fraction %%")
     p_sim.add_argument("--mode", default="optimized",
                        choices=[m.value for m in SimulatorMode])
+    p_sim.add_argument(
+        "--verify", action="store_true",
+        help="replay the run through the repro.verify consistency "
+             "oracle and fail on any counter/bandwidth divergence",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser("sweep",
@@ -267,6 +279,11 @@ def make_parser() -> argparse.ArgumentParser:
         help="process-pool size for the sweep points (default: "
              "$REPRO_WORKERS, else 1 = serial; output is identical "
              "either way — see docs/PERFORMANCE.md)",
+    )
+    p_sweep.add_argument(
+        "--verify", action="store_true",
+        help="oracle-check every sweep point (workers inherit the flag; "
+             "see docs/PROTOCOLS.md 'Invariants & verification')",
     )
     p_sweep.set_defaults(func=cmd_sweep)
     return parser

@@ -243,12 +243,18 @@ class Cache:
         return True
 
     def drop(self, object_id: str) -> None:
-        """Remove an entry outright (used by eviction experiments)."""
+        """Remove an entry outright (used by eviction experiments).
+
+        Counts toward :attr:`evictions` exactly like a capacity eviction
+        (and notifies the policy the same way), so eviction statistics do
+        not depend on which code path removed the entry.
+        """
         entry = self._entries.pop(object_id, None)
         if entry is not None:
             self._used_bytes -= entry.size
             if self._policy is not None:
                 self._policy.on_evict(entry)
+            self.evictions += 1
 
     def preload_from(self, server: OriginServer, at: float = 0.0) -> int:
         """Load a valid copy of every cacheable server object.

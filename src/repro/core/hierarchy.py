@@ -34,7 +34,7 @@ from repro.core.metrics import (
     ConsistencyCounters,
 )
 from repro.core.protocols.base import ConsistencyProtocol
-from repro.core.server import FetchResult, OriginServer
+from repro.core.server import FetchResult, NotModified, OriginServer
 
 
 class CacheNode:
@@ -62,6 +62,12 @@ class CacheNode:
         self.protocol = protocol
         self.parent = parent
         self.costs = costs
+        #: Section 4.1 charging policy (see the single-cache simulator):
+        #: False (the hierarchy default) counts an invalidation only when
+        #: it flips a valid entry — holder registration means a node is
+        #: never re-notified about an entry it already knows is invalid.
+        #: :class:`HierarchySimulation` propagates its own flag here.
+        self.charge_per_modification = False
         self.cache = Cache()
         self.uplink = BandwidthLedger()
         self.counters = ConsistencyCounters()
@@ -150,10 +156,13 @@ class CacheNode:
         # Present but not fresh: conditional retrieval upstream.
         self.counters.validations += 1
         result = self._fetch_conditional(object_id, t, entry.last_modified)
-        if result is None:
+        if isinstance(result, NotModified):
             self.counters.validations_not_modified += 1
             entry.validated_at = t
             entry.valid = True
+            # The 304 carries a refreshed Expires (see the single-cache
+            # simulator): apply it before the protocol re-stamps expiry.
+            entry.server_expires = result.expires
             self.protocol.on_stored(entry, t)
             self.protocol.on_validation_result(entry, t, was_modified=False)
             return entry
@@ -187,7 +196,7 @@ class CacheNode:
 
     def _fetch_conditional(
         self, object_id: str, t: float, since: float
-    ) -> Optional[FetchResult]:
+    ) -> "FetchResult | NotModified":
         if self.parent is None:
             self.counters.server_ims_queries += 1
             result = self._origin_or_fail().if_modified_since(object_id, t, since)
@@ -195,7 +204,9 @@ class CacheNode:
             upstream = self.parent.ensure_fresh(object_id, t)
             self.parent._register_holder(object_id, self)
             if upstream.last_modified <= since:
-                result = None
+                # The parent's 304 forwards its own (possibly refreshed)
+                # Expires downstream, like the origin's does.
+                result = NotModified(expires=upstream.server_expires)
             else:
                 result = FetchResult(
                     version=upstream.version,
@@ -203,7 +214,7 @@ class CacheNode:
                     size=upstream.size,
                     expires=upstream.server_expires,
                 )
-        if result is None:
+        if isinstance(result, NotModified):
             control, body = self.costs.validation_not_modified()
             self.uplink.charge(VALIDATION_304, control, body)
         else:
@@ -221,7 +232,9 @@ class CacheNode:
         uplink one control message.  Registration is consumed: a child
         must fetch through again to receive future callbacks.
         """
-        if self.cache.invalidate(object_id):
+        resident = self.cache.peek(object_id) is not None
+        went_invalid = self.cache.invalidate(object_id)
+        if went_invalid or (resident and self.charge_per_modification):
             self.counters.invalidations_received += 1
         holders = self._holders.pop(object_id, set())
         control, body = self.costs.invalidation_notice()
@@ -241,6 +254,13 @@ class HierarchySimulation:
         deliver_invalidations: when True, the origin's modification feed
             is delivered to the root (which fans out) before each request,
             as the invalidation protocol requires.
+        charge_per_modification: Section 4.1 charging policy.  The
+            hierarchy default is False — holder registration is consumed
+            on callback, so a node is never re-notified about an entry it
+            already marked invalid, and the origin↔root link follows the
+            same transition-only rule.  True charges the root link for
+            every modification of a resident entry, matching the
+            single-cache simulator's default reading of §4.1.
     """
 
     def __init__(
@@ -250,6 +270,7 @@ class HierarchySimulation:
         leaves: Iterable[CacheNode],
         *,
         deliver_invalidations: bool = False,
+        charge_per_modification: bool = False,
         costs: MessageCosts = DEFAULT_COSTS,
     ) -> None:
         self.server = server
@@ -257,6 +278,9 @@ class HierarchySimulation:
         self.leaves = {leaf.name: leaf for leaf in leaves}
         self.costs = costs
         root.attach_origin(server)
+        self.charge_per_modification = bool(charge_per_modification)
+        for node in self._all_nodes():
+            node.charge_per_modification = self.charge_per_modification
         self._deliver = deliver_invalidations
         self._feed = server.invalidation_feed() if deliver_invalidations else ()
         self._feed_idx = 0
@@ -284,12 +308,17 @@ class HierarchySimulation:
     def _deliver_until(self, t: float) -> None:
         feed = self._feed
         idx = self._feed_idx
+        control, body = self.costs.invalidation_notice()
         while idx < len(feed) and feed[idx][0] <= t:
             _, oid = feed[idx]
             idx += 1
-            # The origin notifies the root over the root's uplink.
-            if self.root.cache.peek(oid) is not None and self.root.cache.peek(oid).valid:
-                control, body = self.costs.invalidation_notice()
+            # The origin notifies the root over the root's uplink —
+            # per §4.1 policy, either on every modification of a resident
+            # entry or only on the valid→invalid transition.
+            entry = self.root.cache.peek(oid)
+            if entry is not None and (
+                entry.valid or self.charge_per_modification
+            ):
                 self.root.uplink.charge(INVALIDATION, control, body)
                 self.root.counters.server_invalidations_sent += 1
             self.root.receive_invalidation(oid)
@@ -384,6 +413,7 @@ def drive_workload(
     clients: "Optional[list[str]]" = None,
     fan_out: int = 2,
     deliver_invalidations: bool = False,
+    charge_per_modification: bool = False,
     end_time: Optional[float] = None,
     costs: MessageCosts = DEFAULT_COSTS,
 ) -> HierarchySimulation:
@@ -401,7 +431,9 @@ def drive_workload(
     root, leaves = two_level_tree(protocol_factory, fan_out, costs)
     sim = HierarchySimulation(
         server, root, leaves,
-        deliver_invalidations=deliver_invalidations, costs=costs,
+        deliver_invalidations=deliver_invalidations,
+        charge_per_modification=charge_per_modification,
+        costs=costs,
     )
     sim.preload(at=0.0)
     from zlib import crc32

@@ -18,6 +18,7 @@ caches (the hierarchy experiments).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -38,6 +39,24 @@ class FetchResult:
     version: int
     last_modified: float
     size: int
+    expires: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NotModified:
+    """A 304 Not Modified reply.
+
+    No body travels, but response metadata does: a server that stamps
+    ``Expires`` headers re-stamps one on the 304, so an Expires-driven
+    cache gets a *fresh* lifetime from every successful revalidation
+    instead of re-validating forever against the first, long-lapsed
+    Expires it ever saw.
+
+    Attributes:
+        expires: the refreshed absolute Expires timestamp, or ``None``
+            when the object carries no a-priori lifetime.
+    """
+
     expires: Optional[float] = None
 
 
@@ -63,6 +82,7 @@ class OriginServer:
                 raise ValueError(f"duplicate object id: {oid!r}")
             self._histories[oid] = history
         self._invalidation_feed: Optional[tuple[tuple[float, str], ...]] = None
+        self._feed_times: Optional[tuple[float, ...]] = None
 
     # -- population introspection ------------------------------------------
 
@@ -128,20 +148,25 @@ class OriginServer:
 
     def if_modified_since(
         self, object_id: str, t: float, since: float
-    ) -> Optional[FetchResult]:
+    ) -> "FetchResult | NotModified":
         """A conditional GET.
 
         Implements the paper's combined query: "send this file if it has
         changed since a specific date".
 
         Returns:
-            ``None`` when the object has not been modified after ``since``
-            (a 304 Not Modified), otherwise the new version's
-            :class:`FetchResult`.
+            A :class:`NotModified` reply (carrying a refreshed Expires
+            timestamp when the object declares a lifetime) when the
+            object has not been modified after ``since``, otherwise the
+            new version's :class:`FetchResult`.
         """
         history = self.history(object_id)
         if history.schedule.last_modified_at(t) <= since:
-            return None
+            obj = history.obj
+            expires = None
+            if obj.expires_after is not None:
+                expires = t + obj.expires_after
+            return NotModified(expires=expires)
         return self.get(object_id, t)
 
     # -- invalidation support ------------------------------------------------
@@ -162,16 +187,30 @@ class OriginServer:
             ]
             events.sort()
             self._invalidation_feed = tuple(events)
+            self._feed_times = tuple(t for t, _ in events)
         return self._invalidation_feed
 
     def feed_between(
         self, start: float, end: float
     ) -> Iterator[tuple[float, str]]:
-        """Invalidation events with ``start < time <= end``, in order."""
-        from bisect import bisect_right
+        """Invalidation events with ``start < time <= end``, in order.
 
+        The timestamp array is computed once alongside the feed itself,
+        so each call is two bisections plus a slice — no per-call list
+        rebuild however often the window is queried.
+
+        >>> from repro.core.objects import (
+        ...     ModificationSchedule, ObjectHistory, WebObject)
+        >>> server = OriginServer([ObjectHistory(
+        ...     WebObject("/a", size=10, created=-1.0),
+        ...     ModificationSchedule(-1.0, [1.0, 2.0, 3.0]))])
+        >>> list(server.feed_between(1.0, 3.0))  # (start, end] window
+        [(2.0, '/a'), (3.0, '/a')]
+        >>> list(server.feed_between(3.0, 9.0))
+        []
+        """
         feed = self.invalidation_feed()
-        times = [t for t, _ in feed]
+        times = self._feed_times
         lo = bisect_right(times, start)
         hi = bisect_right(times, end)
         return iter(feed[lo:hi])

@@ -25,7 +25,13 @@ modification with timestamp <= *t* is delivered to caches registered for
 callbacks (the invalidation protocol).  Per Section 4.1 — "The
 invalidation protocol sends an invalidation message every time that a
 file changes" — a notice is charged for every modification of a resident
-entry, whether or not the entry was already invalid.
+entry by default, whether or not the entry was already invalid.  That
+charging policy is an explicit knob (``charge_per_modification``): pass
+``False`` to charge only on valid→invalid transitions, the accounting a
+server that tracks per-cache validity (like the hierarchy's
+holder-registration scheme) would do.  Either way the entry state itself
+is routed through :meth:`~repro.core.cache.Cache.invalidate`, so the
+single-cache and hierarchy paths share one state transition.
 """
 
 from __future__ import annotations
@@ -46,11 +52,23 @@ from repro.core.metrics import (
 )
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult
-from repro.core.server import FetchResult, OriginServer
+from repro.core.server import FetchResult, NotModified, OriginServer
+
+#: Every event kind an :data:`EventObserver` can receive.  The
+#: ``repro.verify`` oracle replays exactly this alphabet event-for-event.
+EVENT_KINDS: tuple[str, ...] = (
+    "hit",
+    "stale_hit",
+    "miss",
+    "validation_304",
+    "validation_200",
+    "invalidation",
+    "prefetch",
+    "dynamic_fetch",
+)
 
 #: Callback signature for per-event tracing: ``observer(kind, time, id)``.
-#: Kinds: ``hit``, ``stale_hit``, ``miss``, ``validation_304``,
-#: ``validation_200``, ``invalidation``, ``prefetch``, ``dynamic_fetch``.
+#: Kinds are the members of :data:`EVENT_KINDS`.
 EventObserver = Callable[[str, float, str], None]
 
 
@@ -79,6 +97,16 @@ class Simulation:
         observer: optional per-event callback (see :data:`EventObserver`)
             for tracing and custom statistics; adds one comparison per
             event when unset.
+        charge_per_modification: the Section 4.1 charging policy.  When
+            True (the paper's reading — "The invalidation protocol sends
+            an invalidation message every time that a file changes"), a
+            notice is charged for every modification of a resident entry,
+            even one already marked invalid.  When False, a notice is
+            charged only when the callback actually flips a valid entry
+            to invalid — the accounting of a server that tracks per-cache
+            validity, which is what the hierarchy's holder registration
+            does.  The entry state transition itself always goes through
+            :meth:`Cache.invalidate`.
     """
 
     def __init__(
@@ -92,6 +120,7 @@ class Simulation:
         preload: bool = True,
         start_time: float = 0.0,
         observer: Optional["EventObserver"] = None,
+        charge_per_modification: bool = True,
     ) -> None:
         self.server = server
         self.protocol = protocol
@@ -101,6 +130,7 @@ class Simulation:
         self.counters = ConsistencyCounters()
         self.bandwidth = BandwidthLedger()
         self._observe = observer
+        self.charge_per_modification = bool(charge_per_modification)
         self.start_time = float(start_time)
         self._now = float(start_time)
         self._feed: tuple[tuple[float, str], ...] = ()
@@ -126,35 +156,38 @@ class Simulation:
         feed = self._feed
         idx = self._feed_idx
         peek = self.cache.peek
+        invalidate = self.cache.invalidate
         counters = self.counters
         charge = self.bandwidth.charge
         control, body = self.costs.invalidation_notice()
         eager = getattr(self.protocol, "eager", False)
+        per_modification = self.charge_per_modification
         n = len(feed)
         while idx < n and feed[idx][0] <= t:
             mod_time, oid = feed[idx]
             idx += 1
-            entry = peek(oid)
-            if entry is not None:
-                entry.valid = False
+            if peek(oid) is None:
+                continue
+            went_invalid = invalidate(oid)
+            if went_invalid or per_modification:
                 counters.invalidations_received += 1
                 counters.server_invalidations_sent += 1
                 charge(INVALIDATION, control, body)
                 if self._observe is not None:
                     self._observe("invalidation", mod_time, oid)
-                if eager:
-                    # Pre-optimization invalidation: the new copy is
-                    # pushed with the notice, off any client's critical
-                    # path.  Not a cache miss — no request is waiting.
-                    result = self.server.get(oid, mod_time)
-                    p_control, p_body = self.costs.full_retrieval(result.size)
-                    charge(PREFETCH, p_control, p_body)
-                    counters.prefetches += 1
-                    counters.server_gets += 1
-                    obj = self.server.object(oid)
-                    self._store(oid, obj.file_type, result, mod_time)
-                    if self._observe is not None:
-                        self._observe("prefetch", mod_time, oid)
+            if eager:
+                # Pre-optimization invalidation: the new copy is
+                # pushed with the notice, off any client's critical
+                # path.  Not a cache miss — no request is waiting.
+                result = self.server.get(oid, mod_time)
+                p_control, p_body = self.costs.full_retrieval(result.size)
+                charge(PREFETCH, p_control, p_body)
+                counters.prefetches += 1
+                counters.server_gets += 1
+                obj = self.server.object(oid)
+                self._store(oid, obj.file_type, result, mod_time)
+                if self._observe is not None:
+                    self._observe("prefetch", mod_time, oid)
         self._feed_idx = idx
 
     def _full_fetch(self, object_id: str, t: float) -> FetchResult:
@@ -247,12 +280,16 @@ class Simulation:
         self.counters.validations += 1
         self.counters.server_ims_queries += 1
         result = self.server.if_modified_since(object_id, t, entry.last_modified)
-        if result is None:
+        if isinstance(result, NotModified):
             control, body = self.costs.validation_not_modified()
             self.bandwidth.charge(VALIDATION_304, control, body)
             self.counters.validations_not_modified += 1
             entry.validated_at = t
             entry.valid = True
+            # The 304 re-stamps the Expires header: without this an
+            # Expires-driven entry would revalidate on every request
+            # forever once its first Expires lapsed.
+            entry.server_expires = result.expires
             self.protocol.on_stored(entry, t)
             self.protocol.on_validation_result(entry, t, was_modified=False)
             # Served from cache, and the origin just confirmed it current.
@@ -319,6 +356,7 @@ def simulate(
     preload: bool = True,
     start_time: float = 0.0,
     end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
 ) -> SimulationResult:
     """Run one complete simulation and return its result.
 
@@ -342,5 +380,6 @@ def simulate(
         cache=cache,
         preload=preload,
         start_time=start_time,
+        charge_per_modification=charge_per_modification,
     )
     return sim.run(requests, end_time=end_time)

@@ -26,25 +26,37 @@ import sys
 from repro.analysis.report import ExperimentReport
 from repro.experiments.common import warm_shared_sweeps
 from repro.experiments.registry import all_ids, run_experiment
-from repro.runtime import default_workers, map_ordered, resolve_workers
+from repro.runtime import (
+    RunStats,
+    collecting,
+    default_workers,
+    map_ordered,
+    resolve_workers,
+)
 
 
 def _run_all_parallel(
     ids: list[str], scale: float, seed: int, workers: int
-) -> list[ExperimentReport]:
-    """Run many experiments across a process pool (warm caches first)."""
-    with default_workers(workers):
+) -> tuple[list[ExperimentReport], list[RunStats]]:
+    """Run many experiments across a process pool (warm caches first).
+
+    Returns the reports plus the warm-phase sweep instrumentation —
+    the warmed sweeps are served from cache inside the workers, so
+    their stats (including oracle verification counts) only exist here.
+    """
+    with default_workers(workers), collecting() as warm_stats:
         warm_shared_sweeps(scale=scale, seed=seed)
     # Each forked worker inherits the warmed sweep caches; within a
     # worker the sweeps that remain run serially (workers=1) — the pool
     # is already saturated at the experiment level.
-    return map_ordered(
+    reports = map_ordered(
         lambda experiment_id: run_experiment(
             experiment_id, scale=scale, seed=seed, workers=1
         ),
         ids,
         workers=workers,
     )
+    return reports, warm_stats
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,12 +98,29 @@ def main(argv: list[str] | None = None) -> int:
         "--svg", type=str, default=None, metavar="DIR",
         help="also render each experiment's series as SVG charts in DIR",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="replay every simulation through the repro.verify "
+             "consistency oracle; any counter, bandwidth-ledger, or "
+             "event divergence aborts with a diff (see docs/PROTOCOLS.md "
+             "'Invariants & verification')",
+    )
     args = parser.parse_args(argv)
+
+    if args.verify:
+        # Enable before anything forks: pool workers inherit the flag
+        # and oracle-check the runs they execute.
+        from repro.verify import set_enabled
+
+        set_enabled(True)
 
     ids = all_ids() if args.experiment == "all" else [args.experiment]
     workers = resolve_workers(args.workers)
+    warm_stats: list = []
     if len(ids) > 1 and workers > 1:
-        reports = _run_all_parallel(ids, args.scale, args.seed, workers)
+        reports, warm_stats = _run_all_parallel(
+            ids, args.scale, args.seed, workers
+        )
     else:
         reports = (
             run_experiment(i, scale=args.scale, seed=args.seed,
@@ -100,7 +129,9 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     failures = 0
+    printed: list[ExperimentReport] = []
     for experiment_id, report in zip(ids, reports):
+        printed.append(report)
         print(report.render())
         if report.stats is not None:
             print(f"  ({report.stats.render()})")
@@ -124,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.all_passed:
             failures += 1
+    if args.verify:
+        verified = sum(
+            r.stats.verified_runs for r in printed if r.stats is not None
+        ) + sum(s.verified_runs for s in warm_stats)
+        print(f"oracle: {verified} run(s) verified, zero divergence")
     if failures:
         print(f"{failures} experiment(s) had failing shape checks",
               file=sys.stderr)

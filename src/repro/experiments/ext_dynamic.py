@@ -19,7 +19,8 @@ from __future__ import annotations
 from repro.analysis.plots import Series, ascii_chart
 from repro.analysis.report import ExperimentReport, ShapeCheck, format_table, pct
 from repro.core.protocols import AlexProtocol
-from repro.core.simulator import SimulatorMode, simulate
+from repro.core.simulator import SimulatorMode
+from repro.verify import checked_simulate
 from repro.workload.campus import HCS, CampusWorkload
 
 EXPERIMENT_ID = "ext-dynamic"
@@ -36,7 +37,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
             HCS, seed=seed + 1, request_scale=scale,
             dynamic_fraction=fraction,
         ).build()
-        result = simulate(
+        result = checked_simulate(
             workload.server(), AlexProtocol.from_percent(10),
             workload.requests, SimulatorMode.OPTIMIZED,
             end_time=workload.duration,

@@ -24,7 +24,8 @@ from repro.analysis.plots import Series, ascii_chart
 from repro.analysis.report import ExperimentReport, ShapeCheck, format_table
 from repro.core.protocols import AlexProtocol, InvalidationProtocol
 from repro.core.results import merge_results
-from repro.core.simulator import Simulation, SimulatorMode
+from repro.core.simulator import SimulatorMode
+from repro.verify import checked_simulate
 from repro.workload.campus import HCS, CampusWorkload
 
 EXPERIMENT_ID = "ext-scalability"
@@ -41,15 +42,20 @@ def _partitioned_run(workload, protocol_factory, n_caches: int):
     requests; the merged result reports origin-side totals.
     """
     server = workload.server()
-    sims = [
-        Simulation(server, protocol_factory(), SimulatorMode.OPTIMIZED)
-        for _ in range(n_caches)
-    ]
     clients = workload.clients
+    shards: list[list[tuple[float, str]]] = [[] for _ in range(n_caches)]
     for index, (t, oid) in enumerate(workload.requests):
-        shard = crc32(clients[index].encode()) % n_caches
-        sims[shard].step(t, oid)
-    results = [sim.finish(workload.duration) for sim in sims]
+        shards[crc32(clients[index].encode()) % n_caches].append((t, oid))
+    # The caches are fully independent, so each shard runs start-to-end
+    # on its own (oracle-checkable) simulation; the interleaving of the
+    # original stream does not affect any per-cache outcome.
+    results = [
+        checked_simulate(
+            server, protocol_factory(), shard_requests,
+            SimulatorMode.OPTIMIZED, end_time=workload.duration,
+        )
+        for shard_requests in shards
+    ]
     return merge_results(results)
 
 

@@ -28,6 +28,7 @@ instrumentation (which is excluded from report equality) differs.  See
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.analysis.report import ExperimentReport
@@ -48,6 +49,7 @@ from repro.experiments import (
     table2,
 )
 from repro.runtime import RunStats, collecting, default_workers, resolve_workers
+from repro.verify.oracle import runs_verified
 
 #: Paper experiments first (in paper order), then the extensions that
 #: implement Section 5's future-work directions.
@@ -101,11 +103,19 @@ def run_experiment(
         ) from None
     resolved = resolve_workers(workers)
     started = time.perf_counter()
+    verified_before = runs_verified()
     with default_workers(resolved), collecting() as recorded:
         report = runner(scale=scale, seed=seed)
-    report.stats = RunStats.combine(
+    stats = RunStats.combine(
         recorded,
         wall_seconds=time.perf_counter() - started,
         workers=resolved,
     )
+    # Oracle accounting: serially-executed simulations increment this
+    # process's counter; sweeps that fanned out to a pool carry their
+    # workers' verification counts back in their own RunStats.
+    verified = (runs_verified() - verified_before) + sum(
+        r.verified_runs for r in recorded if r.workers > 1
+    )
+    report.stats = replace(stats, verified_runs=verified)
     return report

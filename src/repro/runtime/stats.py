@@ -42,6 +42,9 @@ class RunStats:
         grid_points: parameter points executed across all sweeps.
         peak_grid_size: the largest single parameter grid executed —
             the upper bound on useful sweep-level parallelism.
+        verified_runs: simulations that were replayed through the
+            ``repro.verify`` consistency oracle (0 when verification was
+            off for the run).
     """
 
     wall_seconds: float
@@ -49,6 +52,7 @@ class RunStats:
     workers: int = 1
     grid_points: int = 0
     peak_grid_size: int = 0
+    verified_runs: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -67,6 +71,8 @@ class RunStats:
         if self.peak_grid_size:
             parts.append(f"peak grid {self.peak_grid_size}")
         parts.append(f"workers {self.workers}")
+        if self.verified_runs:
+            parts.append(f"{self.verified_runs} oracle-verified runs")
         return ", ".join(parts)
 
     def as_dict(self) -> dict:
@@ -107,6 +113,7 @@ class RunStats:
             ),
             grid_points=sum(r.grid_points for r in runs),
             peak_grid_size=max((r.peak_grid_size for r in runs), default=0),
+            verified_runs=sum(r.verified_runs for r in runs),
         )
 
 

@@ -1,0 +1,220 @@
+"""Metamorphic properties: relations between *runs*, not within one.
+
+Where the oracle checks one run against the spec, these checks compare
+whole runs against each other — properties that must hold whatever the
+workload, straight from the paper:
+
+* **invalidation ⇒ zero stale hits** — "the server notifies caches that
+  their copies are no longer valid", so perfect consistency (§1).
+* **optimized bytes ≤ base bytes** — the conditional-retrieval
+  optimization can only remove body transfers, never add bytes
+  (Figure 4 vs Figure 2).  Holds for protocols whose freshness decisions
+  do not depend on validation outcomes (TTL, Alex, Expires,
+  invalidation) — an adaptive protocol's decisions differ between
+  modes, so the per-request dominance argument no longer applies.
+* **poll-every-request ⇒ validations == requests** — Figure 8's
+  threshold-0 pathology: every request checks with the server.
+* **hit/miss closure** — every request is exactly one of hit or miss.
+
+Each check runs the simulations it needs (through the oracle when
+verification is enabled) and returns a :class:`PropertyResult`;
+:func:`run_metamorphic_suite` bundles the whole list for one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    TTLProtocol,
+)
+from repro.core.results import SimulationResult
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode
+from repro.verify.oracle import checked_simulate
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """One metamorphic property's verdict."""
+
+    name: str
+    holds: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "ok" if self.holds else "VIOLATED"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def _run(
+    server: OriginServer,
+    protocol,
+    requests: Sequence[tuple[float, str]],
+    mode: SimulatorMode,
+    costs: MessageCosts,
+    end_time: Optional[float],
+) -> SimulationResult:
+    return checked_simulate(
+        server, protocol, requests, mode, costs=costs, end_time=end_time
+    )
+
+
+def check_invalidation_zero_stale(
+    server: OriginServer,
+    requests: Sequence[tuple[float, str]],
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    end_time: Optional[float] = None,
+) -> PropertyResult:
+    """Invalidation protocol must never serve stale content."""
+    result = _run(
+        server, InvalidationProtocol(), requests,
+        SimulatorMode.OPTIMIZED, costs, end_time,
+    )
+    stale = result.counters.stale_hits
+    return PropertyResult(
+        name="invalidation-zero-stale",
+        holds=stale == 0,
+        detail=f"stale_hits={stale} over {result.counters.requests} requests",
+    )
+
+
+def check_optimized_bytes_leq_base(
+    server: OriginServer,
+    requests: Sequence[tuple[float, str]],
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    end_time: Optional[float] = None,
+) -> PropertyResult:
+    """Optimized mode may never cost more bytes than base mode.
+
+    Checked for the paper's three Figure-2/4 protocols (fixed-rule
+    freshness, so both modes make identical decisions).
+    """
+    worst = ""
+    holds = True
+    for factory in (
+        lambda: TTLProtocol(ttl=36_000.0),
+        lambda: AlexProtocol.from_percent(10),
+        lambda: InvalidationProtocol(),
+    ):
+        base = _run(
+            server, factory(), requests, SimulatorMode.BASE, costs, end_time
+        )
+        optimized = _run(
+            server, factory(), requests,
+            SimulatorMode.OPTIMIZED, costs, end_time,
+        )
+        b, o = base.bandwidth.total_bytes, optimized.bandwidth.total_bytes
+        if o > b:
+            holds = False
+            worst = f"{base.protocol_name}: optimized={o} > base={b}; "
+        else:
+            worst += f"{base.protocol_name}: {o} <= {b}; "
+    return PropertyResult(
+        name="optimized-bytes-leq-base", holds=holds, detail=worst.strip("; ")
+    )
+
+
+def check_poll_validates_every_request(
+    server: OriginServer,
+    requests: Sequence[tuple[float, str]],
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    end_time: Optional[float] = None,
+) -> PropertyResult:
+    """TTL=0 / poll-every-request: each cacheable request validates.
+
+    With the paper's preloaded cache, every request for a cacheable
+    object finds a (never fresh) entry and issues an If-Modified-Since;
+    only dynamic objects bypass validation with a regeneration fetch.
+    """
+    result = _run(
+        server, PollEveryRequestProtocol(), requests,
+        SimulatorMode.OPTIMIZED, costs, end_time,
+    )
+    counters = result.counters
+    dynamic = sum(
+        1
+        for _, oid in requests
+        if not server.object(oid).cacheable
+    )
+    expected = counters.requests - dynamic
+    return PropertyResult(
+        name="poll-validates-every-request",
+        holds=counters.validations == expected,
+        detail=(
+            f"validations={counters.validations} expected={expected} "
+            f"({dynamic} dynamic)"
+        ),
+    )
+
+
+def check_hit_miss_closure(
+    server: OriginServer,
+    requests: Sequence[tuple[float, str]],
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    end_time: Optional[float] = None,
+) -> PropertyResult:
+    """Every request resolves to exactly one of hit or miss, for every
+    protocol family and both modes."""
+    detail = []
+    holds = True
+    factories = (
+        lambda: TTLProtocol(ttl=36_000.0),
+        lambda: AlexProtocol.from_percent(10),
+        lambda: InvalidationProtocol(),
+    )
+    for mode in (SimulatorMode.BASE, SimulatorMode.OPTIMIZED):
+        for factory in factories:
+            result = _run(server, factory(), requests, mode, costs, end_time)
+            c = result.counters
+            if c.hits + c.misses != c.requests:
+                holds = False
+                detail.append(
+                    f"{result.protocol_name}[{mode.value}]: "
+                    f"{c.hits}+{c.misses} != {c.requests}"
+                )
+    return PropertyResult(
+        name="hit-miss-closure",
+        holds=holds,
+        detail="; ".join(detail) if detail else "hits + misses == requests "
+        "for all protocols, both modes",
+    )
+
+
+def run_metamorphic_suite(
+    server: OriginServer,
+    requests: Iterable[tuple[float, str]],
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    end_time: Optional[float] = None,
+) -> list[PropertyResult]:
+    """Run every metamorphic check against one workload.
+
+    Returns:
+        One :class:`PropertyResult` per property; callers decide whether
+        a violation is fatal (tests assert, the CLI prints).
+    """
+    request_list = list(requests)
+    return [
+        check_invalidation_zero_stale(
+            server, request_list, costs=costs, end_time=end_time
+        ),
+        check_optimized_bytes_leq_base(
+            server, request_list, costs=costs, end_time=end_time
+        ),
+        check_poll_validates_every_request(
+            server, request_list, costs=costs, end_time=end_time
+        ),
+        check_hit_miss_closure(
+            server, request_list, costs=costs, end_time=end_time
+        ),
+    ]

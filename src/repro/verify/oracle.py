@@ -1,0 +1,298 @@
+"""The differential oracle: run the real simulator, replay the spec, diff.
+
+:func:`verify_simulation` executes one run twice — once through the
+production :class:`~repro.core.simulator.Simulation` (with an
+:data:`~repro.core.simulator.EventObserver` recording every event) and
+once through the brute-force :class:`~repro.verify.spec.SpecModel` — and
+compares:
+
+* the **event streams**, event-for-event (kind, time, object id);
+* every :class:`~repro.core.metrics.ConsistencyCounters` field;
+* every :class:`~repro.core.metrics.BandwidthLedger` cell
+  (control bytes, body bytes, exchange counts, per category).
+
+Any divergence raises :class:`ConsistencyViolation` carrying the full
+diff.  :func:`checked_simulate` is the drop-in used by the experiment
+pipeline: a plain :func:`~repro.core.simulator.simulate` unless
+verification is enabled for the process (``--verify`` flags call
+:func:`set_enabled`; the ``REPRO_VERIFY`` environment variable covers
+forked sweep workers, which inherit the module state either way).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.cache import Cache
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import SimulationResult
+from repro.core.server import OriginServer
+from repro.core.simulator import Simulation, SimulatorMode, simulate
+from repro.verify.spec import (
+    _CATEGORIES,
+    _COUNTER_NAMES,
+    SpecModel,
+    SpecOutcome,
+    UnsupportedProtocolError,
+    rule_for,
+)
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled = os.environ.get("REPRO_VERIFY", "").strip().lower() in _TRUTHY
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn process-wide verification on or off.
+
+    Also mirrors the setting into ``REPRO_VERIFY`` so worker processes —
+    forked *or* spawned — agree with the parent.
+    """
+    global _enabled
+    _enabled = bool(flag)
+    os.environ["REPRO_VERIFY"] = "1" if flag else "0"
+
+
+def is_enabled() -> bool:
+    """True when :func:`checked_simulate` runs the oracle."""
+    return _enabled
+
+
+_verified_count = 0
+
+
+def runs_verified() -> int:
+    """Simulations verified by *this process* since import.
+
+    Forked pool workers inherit the current value and count on from
+    there; their increments are not visible to the parent.  Callers that
+    fan out (see ``repro.experiments.registry``) combine this local
+    delta with the ``verified_runs`` instrumentation that pool-run
+    sweeps carry back in their :class:`~repro.runtime.RunStats`.
+    """
+    return _verified_count
+
+
+class ConsistencyViolation(AssertionError):
+    """The simulator and the spec model disagreed.
+
+    Attributes:
+        report: the full :class:`OracleReport` with every divergence.
+    """
+
+    def __init__(self, report: "OracleReport") -> None:
+        self.report = report
+        lines = "\n  ".join(report.divergences[:20])
+        more = len(report.divergences) - 20
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        super().__init__(
+            f"oracle divergence for {report.protocol_name} "
+            f"[{report.mode}]: {len(report.divergences)} difference(s)\n"
+            f"  {lines}{suffix}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential check."""
+
+    protocol_name: str
+    mode: str
+    events_checked: int = 0
+    counters_checked: int = 0
+    ledger_cells_checked: int = 0
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when simulator and spec agreed on everything."""
+        return not self.divergences
+
+
+def _diff_events(
+    actual: list[tuple[str, float, str]],
+    expected: list[tuple[str, float, str]],
+    report: OracleReport,
+) -> None:
+    limit = min(len(actual), len(expected))
+    for i in range(limit):
+        if actual[i] != expected[i]:
+            report.divergences.append(
+                f"event[{i}]: simulator={actual[i]!r} spec={expected[i]!r}"
+            )
+    if len(actual) != len(expected):
+        report.divergences.append(
+            f"event count: simulator={len(actual)} spec={len(expected)}"
+        )
+    report.events_checked = limit
+
+
+def _diff_counters(
+    result: SimulationResult, outcome: SpecOutcome, report: OracleReport
+) -> None:
+    for name in _COUNTER_NAMES:
+        actual = getattr(result.counters, name)
+        expected = outcome.counters[name]
+        if isinstance(expected, float):
+            same = math.isclose(actual, expected, rel_tol=1e-9, abs_tol=1e-6)
+        else:
+            same = actual == expected
+        if not same:
+            report.divergences.append(
+                f"counters.{name}: simulator={actual!r} spec={expected!r}"
+            )
+    report.counters_checked = len(_COUNTER_NAMES)
+
+
+def _diff_ledger(
+    result: SimulationResult, outcome: SpecOutcome, report: OracleReport
+) -> None:
+    ledger = result.bandwidth
+    cells = (
+        ("control_bytes", ledger.control_bytes, outcome.control_bytes),
+        ("body_bytes", ledger.body_bytes, outcome.body_bytes),
+        ("exchanges", ledger.exchanges, outcome.exchanges),
+    )
+    for label, actual_map, expected_map in cells:
+        for category in _CATEGORIES:
+            actual = actual_map[category]
+            expected = expected_map[category]
+            if actual != expected:
+                report.divergences.append(
+                    f"bandwidth.{label}[{category}]: "
+                    f"simulator={actual} spec={expected}"
+                )
+            report.ledger_cells_checked += 1
+
+
+def verify_simulation(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    preload: bool = True,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+) -> tuple[SimulationResult, OracleReport]:
+    """Run one simulation under the oracle and return both outcomes.
+
+    The ``protocol`` instance must be fresh (unused): adaptive protocols
+    carry state, and the spec re-derives that state from the instance's
+    construction parameters.
+
+    Raises:
+        ConsistencyViolation: on any counter, ledger, or event
+            divergence.
+        UnsupportedProtocolError: when no spec rule covers the protocol.
+    """
+    request_list = list(requests)
+    rule = rule_for(protocol)
+
+    events: list[tuple[str, float, str]] = []
+    sim = Simulation(
+        server,
+        protocol,
+        mode,
+        costs=costs,
+        preload=preload,
+        start_time=start_time,
+        observer=lambda kind, t, oid: events.append((kind, t, oid)),
+        charge_per_modification=charge_per_modification,
+    )
+    result = sim.run(request_list, end_time=end_time)
+
+    spec = SpecModel(
+        server,
+        rule,
+        mode,
+        costs=costs,
+        charge_per_modification=charge_per_modification,
+        preload=preload,
+        start_time=start_time,
+    )
+    outcome = spec.run(request_list, end_time=end_time)
+
+    report = OracleReport(protocol_name=result.protocol_name, mode=result.mode)
+    _diff_events(events, outcome.events, report)
+    _diff_counters(result, outcome, report)
+    _diff_ledger(result, outcome, report)
+    if not report.ok:
+        raise ConsistencyViolation(report)
+    global _verified_count
+    _verified_count += 1
+    return result, report
+
+
+def checked_simulate(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    cache: Optional[Cache] = None,
+    preload: bool = True,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+    force: bool = False,
+) -> SimulationResult:
+    """Drop-in for :func:`~repro.core.simulator.simulate` that
+    self-checks against the spec when verification is enabled.
+
+    Verification is skipped (a plain simulate runs) when:
+
+    * it is disabled and ``force`` is False;
+    * a caller-supplied ``cache`` is in play — bounded capacity and
+      pre-seeded state are outside the spec's scope;
+    * the protocol class has no spec rule (custom subclasses).
+
+    Raises:
+        ConsistencyViolation: when verification runs and diverges.
+    """
+    if not (force or _enabled) or cache is not None:
+        return simulate(
+            server,
+            protocol,
+            requests,
+            mode,
+            costs=costs,
+            cache=cache,
+            preload=preload,
+            start_time=start_time,
+            end_time=end_time,
+            charge_per_modification=charge_per_modification,
+        )
+    try:
+        rule_for(protocol)
+    except UnsupportedProtocolError:
+        return simulate(
+            server,
+            protocol,
+            requests,
+            mode,
+            costs=costs,
+            preload=preload,
+            start_time=start_time,
+            end_time=end_time,
+            charge_per_modification=charge_per_modification,
+        )
+    result, _report = verify_simulation(
+        server,
+        protocol,
+        requests,
+        mode,
+        costs=costs,
+        preload=preload,
+        start_time=start_time,
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+    )
+    return result

@@ -1,0 +1,520 @@
+"""The brute-force specification model.
+
+:class:`SpecModel` re-derives, for every request, what the simulator
+*should* have done — freshness, staleness, and message charges — working
+only from the protocol definitions in the paper (§1 protocol
+descriptions, §4.1 cost model).  It is intentionally naive:
+
+* content versions and Last-Modified timestamps come from **linear
+  scans** over the modification schedule, not the simulator's bisect
+  fast path;
+* byte charges are recomputed from ``costs.control_message`` and the
+  object size, not taken from :class:`~repro.core.costs.MessageCosts`
+  helper methods;
+* protocol freshness rules are re-implemented here as small
+  :class:`SpecRule` classes that share **no code** with
+  :mod:`repro.core.protocols`.
+
+The model emits the same event alphabet as the simulator's
+:data:`~repro.core.simulator.EventObserver`
+(:data:`repro.core.simulator.EVENT_KINDS`), so the oracle can diff the
+two streams event-for-event.
+
+Scope: a single unbounded cache (the paper's configuration — "valid
+entries are never evicted").  Bounded caches and pluggable replacement
+are outside the spec; :func:`repro.verify.oracle.checked_simulate`
+bypasses verification for those runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ConsistencyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode
+
+#: Ledger categories, mirrored from the paper's §3 bandwidth breakdown.
+_CATEGORIES = (
+    "full_retrieval",
+    "validation_304",
+    "validation_200",
+    "invalidation",
+    "prefetch",
+)
+
+
+class UnsupportedProtocolError(TypeError):
+    """Raised when no spec rule exists for a protocol class.
+
+    The oracle only certifies protocols whose definitions it has
+    independently re-implemented; a custom subclass must bring its own
+    rule (or run unverified).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Naive schedule queries (linear scans on purpose — the simulator bisects).
+# ---------------------------------------------------------------------------
+
+
+def _version_at(times: tuple[float, ...], t: float) -> int:
+    count = 0
+    for mod_time in times:
+        if mod_time <= t:
+            count += 1
+    return count
+
+
+def _last_modified_at(created: float, times: tuple[float, ...], t: float) -> float:
+    last = created
+    for mod_time in times:
+        if mod_time <= t:
+            last = mod_time
+    return last
+
+
+def _next_change_after(times: tuple[float, ...], t: float) -> Optional[float]:
+    for mod_time in times:
+        if mod_time > t:
+            return mod_time
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Spec entry state + protocol rules.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpecEntry:
+    """The cache-entry state the spec tracks for one object."""
+
+    version: int
+    size: int
+    file_type: str
+    validated_at: float
+    last_modified: float
+    valid: bool = True
+    server_expires: Optional[float] = None
+    #: CERN-style absolute expiry derived at store time.
+    derived_expiry: Optional[float] = None
+
+
+class SpecRule:
+    """One protocol's freshness definition, re-stated from the paper."""
+
+    #: True for the invalidation protocol: the origin's modification feed
+    #: is delivered as callbacks.
+    wants_feed = False
+    #: True for the eager (pre-optimization) invalidation variant.
+    eager = False
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        raise NotImplementedError
+
+    def on_store(self, entry: SpecEntry, now: float) -> None:
+        """Invoked after a body transfer or a 304 refresh."""
+
+    def on_validation(
+        self, entry: SpecEntry, now: float, was_modified: bool
+    ) -> None:
+        """Invoked after an If-Modified-Since exchange (adaptive rules)."""
+
+
+class _TTLRule(SpecRule):
+    """§1: "When the TTL elapses, the data is considered invalid"."""
+
+    def __init__(self, ttl: float) -> None:
+        self.ttl = ttl
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        return now - entry.validated_at < self.ttl
+
+
+class _ExpiresRule(_TTLRule):
+    """HTTP Expires when the server sent one, else the default TTL."""
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        if entry.server_expires is not None:
+            return now < entry.server_expires
+        return now - entry.validated_at < self.ttl
+
+
+class _AlexRule(SpecRule):
+    """§1: invalid "when the time since last validation exceeds the
+    update threshold times the object's age"."""
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        age = entry.validated_at - entry.last_modified
+        if age <= 0.0:
+            return False
+        return now - entry.validated_at < self.threshold * age
+
+
+class _InvalidationRule(SpecRule):
+    """§1: fresh exactly until the server's callback clears the flag."""
+
+    wants_feed = True
+
+    def __init__(self, eager: bool) -> None:
+        self.eager = eager
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        return entry.valid
+
+
+class _PollRule(SpecRule):
+    """Figure 8's degenerate case: check with the server every request."""
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        return False
+
+
+class _CERNRule(SpecRule):
+    """§2: Expires header, else a fraction of Last-Modified age, else a
+    default — all resolved to an absolute expiry at store time."""
+
+    def __init__(
+        self, lm_fraction: float, default_ttl: float, max_ttl: Optional[float]
+    ) -> None:
+        self.lm_fraction = lm_fraction
+        self.default_ttl = default_ttl
+        self.max_ttl = max_ttl
+
+    def on_store(self, entry: SpecEntry, now: float) -> None:
+        if entry.server_expires is not None:
+            entry.derived_expiry = entry.server_expires
+            return
+        age = now - entry.last_modified
+        ttl = self.lm_fraction * age if age > 0 else self.default_ttl
+        if self.max_ttl is not None and ttl > self.max_ttl:
+            ttl = self.max_ttl
+        entry.derived_expiry = now + ttl
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        return entry.derived_expiry is not None and now < entry.derived_expiry
+
+
+class _SelfTuningRule(SpecRule):
+    """§5 future work: per-file-type Alex thresholds, MIMD-adapted."""
+
+    def __init__(
+        self,
+        initial: float,
+        minimum: float,
+        maximum: float,
+        increase: float,
+        decrease: float,
+    ) -> None:
+        self.initial = initial
+        self.minimum = minimum
+        self.maximum = maximum
+        self.increase = increase
+        self.decrease = decrease
+        self._thresholds: dict[str, float] = {}
+
+    def _threshold(self, file_type: str) -> float:
+        return self._thresholds.get(file_type, self.initial)
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        age = entry.validated_at - entry.last_modified
+        if age <= 0.0:
+            return False
+        return now - entry.validated_at < self._threshold(entry.file_type) * age
+
+    def on_validation(
+        self, entry: SpecEntry, now: float, was_modified: bool
+    ) -> None:
+        current = self._threshold(entry.file_type)
+        if was_modified:
+            updated = max(current * self.decrease, self.minimum)
+        else:
+            updated = min(current * self.increase, self.maximum)
+        self._thresholds[entry.file_type] = updated
+
+
+def rule_for(protocol: ConsistencyProtocol) -> SpecRule:
+    """Build the independent spec rule for ``protocol``.
+
+    Dispatch is on the *exact* class: a subclass may override freshness
+    in ways the spec knows nothing about.
+
+    Raises:
+        UnsupportedProtocolError: for classes with no spec rule.
+    """
+    kind = type(protocol)
+    if kind is ExpiresTTLProtocol:
+        return _ExpiresRule(protocol.ttl)
+    if kind is TTLProtocol:
+        return _TTLRule(protocol.ttl)
+    if kind is AlexProtocol:
+        return _AlexRule(protocol.threshold)
+    if kind is InvalidationProtocol:
+        return _InvalidationRule(protocol.eager)
+    if kind is PollEveryRequestProtocol:
+        return _PollRule()
+    if kind is CERNPolicyProtocol:
+        return _CERNRule(
+            protocol.lm_fraction, protocol.default_ttl, protocol.max_ttl
+        )
+    if kind is SelfTuningProtocol:
+        return _SelfTuningRule(
+            protocol.initial_threshold,
+            protocol.min_threshold,
+            protocol.max_threshold,
+            protocol.increase_factor,
+            protocol.decrease_factor,
+        )
+    raise UnsupportedProtocolError(
+        f"no spec rule for protocol class {kind.__name__!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The model itself.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpecOutcome:
+    """Everything the spec predicts for one run."""
+
+    events: list[tuple[str, float, str]]
+    counters: dict[str, float]
+    control_bytes: dict[str, int] = field(default_factory=dict)
+    body_bytes: dict[str, int] = field(default_factory=dict)
+    exchanges: dict[str, int] = field(default_factory=dict)
+
+
+_COUNTER_NAMES = (
+    "requests",
+    "hits",
+    "misses",
+    "stale_hits",
+    "stale_age_sum",
+    "validations",
+    "validations_not_modified",
+    "full_retrievals",
+    "invalidations_received",
+    "prefetches",
+    "server_gets",
+    "server_ims_queries",
+    "server_invalidations_sent",
+)
+
+
+class SpecModel:
+    """Replay a request stream the slow, obviously-correct way.
+
+    Args:
+        server: the origin (queried only for object metadata and raw
+            modification schedules).
+        rule: the protocol's spec rule (see :func:`rule_for`).
+        mode: base or optimized simulator semantics.
+        costs: byte cost model; charges are recomputed from its
+            ``control_message`` size and the object sizes.
+        charge_per_modification: the §4.1 charging policy, mirroring
+            :class:`repro.core.simulator.Simulation`.
+        preload: whether the run starts from a fully preloaded cache.
+        start_time: when the run begins.
+    """
+
+    def __init__(
+        self,
+        server: OriginServer,
+        rule: SpecRule,
+        mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+        *,
+        costs: MessageCosts = DEFAULT_COSTS,
+        charge_per_modification: bool = True,
+        preload: bool = True,
+        start_time: float = 0.0,
+    ) -> None:
+        self.server = server
+        self.rule = rule
+        self.mode = mode
+        self.control = costs.control_message
+        self.charge_per_modification = charge_per_modification
+        self.start_time = start_time
+        self.entries: dict[str, SpecEntry] = {}
+        self.events: list[tuple[str, float, str]] = []
+        self.counters: dict[str, float] = {name: 0 for name in _COUNTER_NAMES}
+        self.counters["stale_age_sum"] = 0.0
+        self.control_bytes = {c: 0 for c in _CATEGORIES}
+        self.body_bytes = {c: 0 for c in _CATEGORIES}
+        self.exchanges = {c: 0 for c in _CATEGORIES}
+        # The modification feed, rebuilt naively from raw schedules.
+        self._feed: list[tuple[float, str]] = []
+        self._feed_idx = 0
+        if rule.wants_feed:
+            for oid, history in server.histories().items():
+                for mod_time in history.schedule.times:
+                    self._feed.append((mod_time, oid))
+            self._feed.sort()
+            while (
+                self._feed_idx < len(self._feed)
+                and self._feed[self._feed_idx][0] <= start_time
+            ):
+                self._feed_idx += 1
+        if preload:
+            for oid, history in server.histories().items():
+                if not history.obj.cacheable:
+                    continue
+                self._store(oid, start_time)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _charge(self, category: str, control: int, body: int) -> None:
+        self.control_bytes[category] += control
+        self.body_bytes[category] += body
+        self.exchanges[category] += 1
+
+    def _store(self, object_id: str, t: float) -> SpecEntry:
+        history = self.server.history(object_id)
+        obj = history.obj
+        schedule = history.schedule
+        entry = SpecEntry(
+            version=_version_at(schedule.times, t),
+            size=obj.size,
+            file_type=obj.file_type,
+            validated_at=t,
+            last_modified=_last_modified_at(schedule.created, schedule.times, t),
+            valid=True,
+            server_expires=(
+                t + obj.expires_after if obj.expires_after is not None else None
+            ),
+        )
+        self.entries[object_id] = entry
+        self.rule.on_store(entry, t)
+        return entry
+
+    def _full_fetch(self, object_id: str, t: float) -> None:
+        size = self.server.object(object_id).size
+        self._charge("full_retrieval", 2 * self.control, size)
+        self.counters["full_retrievals"] += 1
+        self.counters["server_gets"] += 1
+        self.counters["misses"] += 1
+
+    def _deliver_until(self, t: float) -> None:
+        feed = self._feed
+        idx = self._feed_idx
+        while idx < len(feed) and feed[idx][0] <= t:
+            mod_time, oid = feed[idx]
+            idx += 1
+            entry = self.entries.get(oid)
+            if entry is None:
+                continue
+            went_invalid = entry.valid
+            entry.valid = False
+            if went_invalid or self.charge_per_modification:
+                self.counters["invalidations_received"] += 1
+                self.counters["server_invalidations_sent"] += 1
+                self._charge("invalidation", self.control, 0)
+                self.events.append(("invalidation", mod_time, oid))
+            if self.rule.eager:
+                size = self.server.object(oid).size
+                self._charge("prefetch", 2 * self.control, size)
+                self.counters["prefetches"] += 1
+                self.counters["server_gets"] += 1
+                self._store(oid, mod_time)
+                self.events.append(("prefetch", mod_time, oid))
+        self._feed_idx = idx
+
+    # -- the replay ------------------------------------------------------------
+
+    def step(self, t: float, object_id: str) -> None:
+        """Re-derive one request's outcome from first principles."""
+        if self._feed:
+            self._deliver_until(t)
+        self.counters["requests"] += 1
+        history = self.server.history(object_id)
+        obj = history.obj
+        schedule = history.schedule
+
+        if not obj.cacheable:
+            self._full_fetch(object_id, t)
+            self.events.append(("dynamic_fetch", t, object_id))
+            return
+
+        entry = self.entries.get(object_id)
+        if entry is None:
+            self._full_fetch(object_id, t)
+            self._store(object_id, t)
+            self.events.append(("miss", t, object_id))
+            return
+
+        if self.rule.fresh(entry, t):
+            self.counters["hits"] += 1
+            if entry.version < _version_at(schedule.times, t):
+                self.counters["stale_hits"] += 1
+                became_stale = _next_change_after(
+                    schedule.times, entry.last_modified
+                )
+                if became_stale is not None:
+                    self.counters["stale_age_sum"] += t - became_stale
+                self.events.append(("stale_hit", t, object_id))
+            else:
+                self.events.append(("hit", t, object_id))
+            return
+
+        if self.mode is SimulatorMode.BASE:
+            self._full_fetch(object_id, t)
+            self._store(object_id, t)
+            self.events.append(("miss", t, object_id))
+            return
+
+        # Optimized mode: If-Modified-Since exchange.
+        self.counters["validations"] += 1
+        self.counters["server_ims_queries"] += 1
+        origin_lm = _last_modified_at(schedule.created, schedule.times, t)
+        if origin_lm <= entry.last_modified:
+            self._charge("validation_304", 2 * self.control, 0)
+            self.counters["validations_not_modified"] += 1
+            entry.validated_at = t
+            entry.valid = True
+            entry.server_expires = (
+                t + obj.expires_after if obj.expires_after is not None else None
+            )
+            self.rule.on_store(entry, t)
+            self.rule.on_validation(entry, t, was_modified=False)
+            self.counters["hits"] += 1
+            self.events.append(("validation_304", t, object_id))
+            return
+        self._charge("validation_200", 2 * self.control, obj.size)
+        self.counters["misses"] += 1
+        entry = self._store(object_id, t)
+        self.rule.on_validation(entry, t, was_modified=True)
+        self.events.append(("validation_200", t, object_id))
+
+    def run(
+        self,
+        requests: Iterable[tuple[float, str]],
+        end_time: Optional[float] = None,
+    ) -> SpecOutcome:
+        """Replay the full stream and return everything predicted."""
+        for t, object_id in requests:
+            self.step(t, object_id)
+        if end_time is not None and self._feed:
+            self._deliver_until(end_time)
+        return SpecOutcome(
+            events=self.events,
+            counters=self.counters,
+            control_bytes=self.control_bytes,
+            body_bytes=self.body_bytes,
+            exchanges=self.exchanges,
+        )

@@ -56,7 +56,12 @@ class TestBasicOperations:
         cache.drop("/x")
         assert "/x" not in cache
         assert cache.used_bytes == 0
-        cache.drop("/x")  # idempotent
+        # Regression: drop() must count as an eviction, exactly like the
+        # capacity path, so eviction statistics do not depend on which
+        # code path removed the entry.
+        assert cache.evictions == 1
+        cache.drop("/x")  # idempotent — and no phantom eviction
+        assert cache.evictions == 1
 
 
 class TestInvalidate:
@@ -110,6 +115,16 @@ class TestCapacityAndLRU:
             cache.store(entry(f"/f{i}", size=10_000))
         assert len(cache) == 100
         assert cache.evictions == 0
+
+    def test_drop_counts_alongside_lru_evictions(self):
+        # Both removal paths feed the same counter (bounded-LRU fast
+        # path + explicit drop).
+        cache = Cache(capacity_bytes=250)
+        cache.store(entry("/a", size=100))
+        cache.store(entry("/b", size=100))
+        cache.store(entry("/c", size=100))  # LRU-evicts /a
+        cache.drop("/b")
+        assert cache.evictions == 2
 
     def test_peek_does_not_touch_lru(self):
         cache = Cache(capacity_bytes=250)

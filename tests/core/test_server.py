@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.clock import days
-from repro.core.server import OriginServer, UnknownObjectError
+from repro.core.server import (
+    FetchResult,
+    NotModified,
+    OriginServer,
+    UnknownObjectError,
+)
 from tests.conftest import make_history
 
 
@@ -50,26 +55,35 @@ class TestGet:
 
 
 class TestIfModifiedSince:
-    def test_not_modified_returns_none(self, changing_server):
-        assert (
-            changing_server.if_modified_since("/cold", days(20), since=-days(30))
-            is None
+    def test_not_modified_returns_304(self, changing_server):
+        result = changing_server.if_modified_since(
+            "/cold", days(20), since=-days(30)
         )
+        assert isinstance(result, NotModified)
+        assert result.expires is None
 
     def test_modified_returns_fetch(self, changing_server):
         result = changing_server.if_modified_since(
             "/warm", days(15), since=-days(30)
         )
-        assert result is not None
+        assert isinstance(result, FetchResult)
         assert result.version == 1
         assert result.last_modified == days(10)
 
     def test_boundary_equal_since_is_not_modified(self, changing_server):
         # IMS with since == last-modified means "unchanged".
-        assert (
-            changing_server.if_modified_since("/warm", days(15), since=days(10))
-            is None
+        assert isinstance(
+            changing_server.if_modified_since("/warm", days(15), since=days(10)),
+            NotModified,
         )
+
+    def test_304_carries_refreshed_expires(self):
+        # The regression behind the ExpiresTTL degeneration: a 304 must
+        # re-stamp Expires, not leave the cache on its first lapsed one.
+        server = OriginServer([make_history("/news", expires_after=3600.0)])
+        result = server.if_modified_since("/news", 10_000.0, since=0.0)
+        assert isinstance(result, NotModified)
+        assert result.expires == 13_600.0
 
 
 class TestInvalidationFeed:

@@ -7,6 +7,7 @@ from repro.core.clock import days, hours
 from repro.core.costs import MessageCosts
 from repro.core.protocols import (
     AlexProtocol,
+    ExpiresTTLProtocol,
     InvalidationProtocol,
     TTLProtocol,
 )
@@ -256,3 +257,40 @@ class TestMechanics:
             SimulatorMode.OPTIMIZED, end_time=days(30),
         )
         result.counters.check_invariants()  # raises on violation
+
+
+class TestExpiresRefreshOn304:
+    """Regression: a 304 must re-stamp the Expires header.
+
+    Without the refresh, an Expires-driven entry whose first window has
+    lapsed revalidates on every subsequent request forever —
+    ExpiresTTLProtocol degenerates into poll-every-request.
+    """
+
+    def _server(self) -> OriginServer:
+        # Never modified, but stamped with a 600-second Expires window.
+        return OriginServer(
+            [make_history("/page", size=1000, expires_after=600.0)]
+        )
+
+    def test_refreshed_expires_restores_hits(self):
+        # Preloaded at t=0 → Expires 600.  The t=1000 request validates
+        # (304, new Expires 1600); t=1100 and t=1200 fall inside the
+        # refreshed window and must be plain hits.  Pre-fix, all three
+        # requests validated.
+        result = simulate(
+            self._server(), ExpiresTTLProtocol(hours(24)),
+            [(1000.0, "/page"), (1100.0, "/page"), (1200.0, "/page")],
+        )
+        assert result.counters.validations == 1
+        assert result.counters.validations_not_modified == 1
+        assert result.counters.hits == 3  # the 304 itself counts as a hit
+
+    def test_window_lapses_again_after_refresh(self):
+        # The refreshed window is not immortal: a request past the new
+        # Expires (1600) revalidates once more.
+        result = simulate(
+            self._server(), ExpiresTTLProtocol(hours(24)),
+            [(1000.0, "/page"), (1100.0, "/page"), (2000.0, "/page")],
+        )
+        assert result.counters.validations == 2

@@ -10,6 +10,7 @@ import pytest
 
 import repro.analysis.sweep
 import repro.core.protocols.alex
+import repro.core.server
 import repro.core.simulator
 import repro.experiments.common
 import repro.experiments.registry
@@ -19,6 +20,7 @@ import repro.runtime.stats
 MODULES_WITH_DOCTESTS = [
     repro.analysis.sweep,
     repro.core.protocols.alex,
+    repro.core.server,
     repro.core.simulator,
     repro.experiments.common,
     repro.experiments.registry,

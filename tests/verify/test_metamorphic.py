@@ -1,0 +1,106 @@
+"""The metamorphic suite: cross-run properties on fixed + random workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.clock import DAY, days
+from repro.core.server import OriginServer
+from repro.verify import run_metamorphic_suite
+from repro.verify.metamorphic import (
+    check_hit_miss_closure,
+    check_invalidation_zero_stale,
+    check_optimized_bytes_leq_base,
+    check_poll_validates_every_request,
+)
+from tests.conftest import make_history
+from tests.verify.test_oracle_properties import rich_workloads
+
+
+def _fixture_server() -> OriginServer:
+    return OriginServer(
+        [
+            make_history("/a", size=1000,
+                         changes=(days(1), days(3), days(5))),
+            make_history("/b", size=4000, changes=(days(4),)),
+            make_history("/cgi", size=200, file_type="cgi", cacheable=False),
+        ]
+    )
+
+
+def _fixture_requests() -> list[tuple[float, str]]:
+    return sorted(
+        (days(d), oid)
+        for d in (0.5, 1.5, 2.5, 3.5, 4.5, 5.5)
+        for oid in ("/a", "/b", "/cgi")
+    )
+
+
+class TestFixedWorkload:
+    def test_full_suite_holds(self):
+        results = run_metamorphic_suite(
+            _fixture_server(), _fixture_requests(), end_time=days(7)
+        )
+        assert len(results) == 4
+        for prop in results:
+            assert prop.holds, str(prop)
+
+    def test_property_names_are_stable(self):
+        names = [
+            p.name
+            for p in run_metamorphic_suite(
+                _fixture_server(), _fixture_requests(), end_time=days(7)
+            )
+        ]
+        assert names == [
+            "invalidation-zero-stale",
+            "optimized-bytes-leq-base",
+            "poll-validates-every-request",
+            "hit-miss-closure",
+        ]
+
+    def test_str_renders_verdict(self):
+        prop = check_invalidation_zero_stale(
+            _fixture_server(), _fixture_requests(), end_time=days(7)
+        )
+        assert str(prop).startswith("[ok] invalidation-zero-stale")
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=rich_workloads())
+def test_invalidation_zero_stale_on_random_workloads(workload):
+    histories, requests = workload
+    prop = check_invalidation_zero_stale(
+        OriginServer(histories), requests, end_time=20 * DAY
+    )
+    assert prop.holds, str(prop)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=rich_workloads())
+def test_optimized_leq_base_on_random_workloads(workload):
+    histories, requests = workload
+    prop = check_optimized_bytes_leq_base(
+        OriginServer(histories), requests, end_time=20 * DAY
+    )
+    assert prop.holds, str(prop)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=rich_workloads())
+def test_poll_validates_every_request_on_random_workloads(workload):
+    histories, requests = workload
+    prop = check_poll_validates_every_request(
+        OriginServer(histories), requests, end_time=20 * DAY
+    )
+    assert prop.holds, str(prop)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=rich_workloads())
+def test_hit_miss_closure_on_random_workloads(workload):
+    histories, requests = workload
+    prop = check_hit_miss_closure(
+        OriginServer(histories), requests, end_time=20 * DAY
+    )
+    assert prop.holds, str(prop)

@@ -1,0 +1,139 @@
+"""Property-based oracle checks: random workloads × protocols × modes.
+
+Every randomly generated run must replay through the
+:class:`~repro.verify.spec.SpecModel` with zero divergence — this is the
+hypothesis-driven leg of the ISSUE's differential-testing tentpole, and
+the widest net for silent accounting drift.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import DAY, hours
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode
+from repro.verify import verify_simulation
+
+DURATION = 20 * DAY
+
+FILE_TYPES = ("html", "gif", "jpg", "other")
+
+
+@st.composite
+def rich_workloads(draw):
+    """Random populations with file types, Expires headers, and dynamic
+    objects, plus a time-ordered request stream."""
+    n_files = draw(st.integers(min_value=1, max_value=5))
+    histories = []
+    for i in range(n_files):
+        created = -draw(st.floats(min_value=1.0, max_value=100.0)) * DAY
+        n_changes = draw(st.integers(min_value=0, max_value=6))
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.01 * DAY, max_value=DURATION),
+                    min_size=n_changes, max_size=n_changes, unique=True,
+                )
+            )
+        )
+        cacheable = draw(st.booleans()) or i == 0
+        expires_after = draw(
+            st.one_of(st.none(), st.floats(min_value=hours(1),
+                                           max_value=5 * DAY))
+        )
+        histories.append(
+            ObjectHistory(
+                WebObject(
+                    f"/f{i}",
+                    size=draw(st.integers(min_value=64, max_value=50_000)),
+                    file_type=draw(st.sampled_from(FILE_TYPES)),
+                    created=created,
+                    cacheable=cacheable,
+                    expires_after=expires_after if cacheable else None,
+                ),
+                ModificationSchedule(created, times),
+            )
+        )
+    n_requests = draw(st.integers(min_value=0, max_value=50))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=DURATION),
+                st.integers(min_value=0, max_value=n_files - 1),
+            ),
+            min_size=n_requests, max_size=n_requests,
+        )
+    )
+    requests = sorted((t, histories[i].object_id) for t, i in raw)
+    return histories, requests
+
+
+def protocols():
+    return st.sampled_from(
+        [
+            lambda: TTLProtocol(0.0),
+            lambda: TTLProtocol(hours(24)),
+            lambda: ExpiresTTLProtocol(hours(24)),
+            lambda: AlexProtocol.from_percent(0),
+            lambda: AlexProtocol.from_percent(10),
+            lambda: InvalidationProtocol(),
+            lambda: InvalidationProtocol(eager=True),
+            lambda: PollEveryRequestProtocol(),
+            lambda: CERNPolicyProtocol(0.1, hours(1)),
+            lambda: SelfTuningProtocol(),
+        ]
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    workload=rich_workloads(),
+    make_protocol=protocols(),
+    mode=st.sampled_from(list(SimulatorMode)),
+    per_modification=st.booleans(),
+)
+def test_simulator_always_matches_spec(
+    workload, make_protocol, mode, per_modification
+):
+    """Zero divergence on any workload, protocol, mode, or §4.1 policy —
+    raises ConsistencyViolation otherwise."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    _, report = verify_simulation(
+        server,
+        make_protocol(),
+        requests,
+        mode,
+        end_time=DURATION,
+        charge_per_modification=per_modification,
+    )
+    assert report.ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=rich_workloads(), make_protocol=protocols())
+def test_spec_agrees_without_preload_too(workload, make_protocol):
+    """Cold-cache runs replay cleanly as well (preload=False path)."""
+    histories, requests = workload
+    server = OriginServer(histories)
+    _, report = verify_simulation(
+        server,
+        make_protocol(),
+        requests,
+        SimulatorMode.OPTIMIZED,
+        preload=False,
+        end_time=DURATION,
+    )
+    assert report.ok
