@@ -10,6 +10,8 @@ Four subcommands cover the workflows a downstream user has:
   and report bandwidth / miss / stale / server-load numbers.
 * ``repro sweep`` — sweep a protocol parameter over a trace file and
   print the trade-off table.
+* ``repro lint`` — run the :mod:`repro.lint` static invariant analysis
+  over a source tree (see docs/DEVELOPING.md for the checker codes).
 
 Examples::
 
@@ -226,6 +228,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Forward to the :mod:`repro.lint` CLI (``repro lint [...]``)."""
+    from repro.lint.cli import main as lint_main
+
+    forwarded = args.lint_args
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return lint_main(forwarded)
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -286,6 +298,17 @@ def make_parser() -> argparse.ArgumentParser:
              "see docs/PROTOCOLS.md 'Invariants & verification')",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static invariant linter (RPR001-RPR005 + baseline)",
+    )
+    p_lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="...",
+        help="arguments forwarded to repro-lint (try 'repro lint -- "
+             "--list-codes')",
+    )
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -82,7 +82,7 @@ class _SequencedPolicy(ReplacementPolicy):
     def on_evict(self, entry: CacheEntry) -> None:
         self._stamp.pop(entry.object_id, None)
 
-    def _key(self, entry: CacheEntry):
+    def _key(self, entry: CacheEntry) -> int:
         raise NotImplementedError
 
     def choose_victim(
@@ -110,7 +110,7 @@ class LRUPolicy(_SequencedPolicy):
     def on_access(self, entry: CacheEntry) -> None:
         self._tick(entry)
 
-    def _key(self, entry: CacheEntry):
+    def _key(self, entry: CacheEntry) -> int:
         return self._stamp.get(entry.object_id, -1)
 
 
@@ -130,7 +130,7 @@ class FIFOPolicy(_SequencedPolicy):
     def on_access(self, entry: CacheEntry) -> None:
         pass
 
-    def _key(self, entry: CacheEntry):
+    def _key(self, entry: CacheEntry) -> int:
         return self._stamp.get(entry.object_id, -1)
 
 
@@ -203,7 +203,7 @@ class SizePolicy(ReplacementPolicy):
 
 
 #: Registry of the built-in policies by name.
-POLICIES = {
+POLICIES: dict[str, type[ReplacementPolicy]] = {
     "lru": LRUPolicy,
     "fifo": FIFOPolicy,
     "lfu": LFUPolicy,

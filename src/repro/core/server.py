@@ -211,6 +211,7 @@ class OriginServer:
         """
         feed = self.invalidation_feed()
         times = self._feed_times
+        assert times is not None  # populated by invalidation_feed()
         lo = bisect_right(times, start)
         hi = bisect_right(times, end)
         return iter(feed[lo:hi])

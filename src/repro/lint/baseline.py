@@ -1,0 +1,91 @@
+"""Baseline files: grandfathered findings that do not fail the run.
+
+A baseline is a committed JSON file mapping finding fingerprints (see
+:attr:`repro.lint.diagnostics.Diagnostic.fingerprint`) to a snapshot of
+the finding, so reviewers can read *what* was grandfathered without
+re-running the linter.  The workflow:
+
+1. ``repro lint src --update-baseline`` writes every current finding to
+   the baseline and exits 0.
+2. Subsequent runs report only findings **not** in the baseline; the
+   committed tree stays green while the debt is paid down.
+3. A fixed finding vanishes from the next ``--update-baseline`` pass —
+   baselines only ever shrink unless someone deliberately regenerates
+   one over new debt (which the diff makes obvious).
+
+Fingerprints ignore line numbers, so unrelated edits that shift code do
+not resurrect grandfathered findings.  The committed repository keeps an
+**empty** baseline: every checker passes on the tree as committed, and
+the file exists only so the mechanism stays exercised and documented.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file exists but cannot be parsed."""
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, object]]:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        BaselineError: on malformed JSON or an unsupported version.
+    """
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path}: 'entries' must be an object")
+    return entries
+
+
+def write_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write ``diagnostics`` as the new baseline; returns the entry count."""
+    entries = {
+        d.fingerprint: {
+            "path": d.path,
+            "code": d.code,
+            "message": d.message,
+        }
+        for d in diagnostics
+    }
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def split_baselined(
+    diagnostics: Iterable[Diagnostic], entries: dict[str, dict[str, object]]
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Partition diagnostics into (new, grandfathered) against a baseline."""
+    fresh: list[Diagnostic] = []
+    grandfathered: list[Diagnostic] = []
+    for d in diagnostics:
+        if d.fingerprint in entries:
+            grandfathered.append(d)
+        else:
+            fresh.append(d)
+    return fresh, grandfathered

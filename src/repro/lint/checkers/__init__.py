@@ -1,0 +1,23 @@
+"""Built-in checkers; importing this package registers them all.
+
+* :mod:`repro.lint.checkers.determinism` — RPR001
+* :mod:`repro.lint.checkers.units` — RPR002
+* :mod:`repro.lint.checkers.conformance` — RPR003
+* :mod:`repro.lint.checkers.events` — RPR004
+* :mod:`repro.lint.checkers.hygiene` — RPR005
+
+Third-party checkers register the same way: subclass
+:class:`repro.lint.registry.Checker`, decorate with
+:func:`repro.lint.registry.register`, and import the module before
+calling the engine.
+"""
+
+from repro.lint.checkers import (  # noqa: F401  (registration side effects)
+    conformance,
+    determinism,
+    events,
+    hygiene,
+    units,
+)
+
+__all__ = ["conformance", "determinism", "events", "hygiene", "units"]

@@ -1,0 +1,289 @@
+"""RPR003 — protocol conformance and registration.
+
+Three structural promises tie the protocol zoo together:
+
+1. every concrete :class:`ConsistencyProtocol` subclass in
+   ``repro.core.protocols`` implements the required hook set (a ``name``
+   property and ``is_fresh``) somewhere in its package-local MRO — an
+   abstract leftover would only explode at instantiation time, deep in a
+   sweep;
+2. every such class is exported through
+   ``repro/core/protocols/__init__.py``'s ``__all__`` — the experiments,
+   the CLI, and the oracle all import from the package, so an unexported
+   protocol is dead code;
+3. every such class has a spec-rule dispatch entry in
+   ``repro/verify/spec.py``'s ``rule_for`` (a ``kind is ClassName``
+   comparison) — otherwise the PR-2 oracle silently skips it and its
+   runs are never verified;
+
+and, on the experiment side:
+
+4. every module under ``repro/experiments/`` that defines an
+   ``EXPERIMENT_ID`` must be registered in ``experiments/registry.py``'s
+   ``_MODULES`` tuple, or ``python -m repro.experiments all`` silently
+   omits the table/figure it reproduces.
+
+The checker works purely on the ASTs in the linted
+:class:`~repro.lint.project.Project`; when the counterpart modules are
+not part of the lint run (e.g. linting a single unrelated file) the
+cross-checks simply have nothing to say.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+
+PROTOCOLS_PACKAGE = "repro.core.protocols"
+PROTOCOLS_INIT = "repro.core.protocols"
+SPEC_MODULE = "repro.verify.spec"
+EXPERIMENTS_PACKAGE = "repro.experiments"
+REGISTRY_MODULE = "repro.experiments.registry"
+
+#: Hooks a concrete protocol must resolve to a non-abstract definition.
+REQUIRED_HOOKS = ("name", "is_fresh")
+
+_BASE_CLASS = "ConsistencyProtocol"
+
+
+class _ClassInfo:
+    """What RPR003 needs to know about one class definition."""
+
+    def __init__(self, node: ast.ClassDef, module: ModuleInfo) -> None:
+        self.node = node
+        self.module = module
+        self.name = node.name
+        self.bases = [
+            b for b in (_base_name(base) for base in node.bases)
+            if b is not None
+        ]
+        self.defined: set[str] = set()
+        self.abstract: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.defined.add(stmt.name)
+                if _is_abstract(stmt):
+                    self.abstract.add(stmt.name)
+
+    @property
+    def is_abstract_class(self) -> bool:
+        return bool(self.abstract) or "ABC" in self.bases or any(
+            b.endswith(".ABC") for b in self.bases
+        )
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts = [node.attr]
+        value = node.value
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            parts.append(value.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_abstract(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in fn.decorator_list:
+        name = _base_name(decorator)
+        if name is not None and name.split(".")[-1] in (
+            "abstractmethod", "abstractproperty"
+        ):
+            return True
+    return False
+
+
+def _collect_classes(modules: Iterable[ModuleInfo]) -> dict[str, _ClassInfo]:
+    classes: dict[str, _ClassInfo] = {}
+    for module in modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = _ClassInfo(node, module)
+    return classes
+
+
+def _protocol_classes(
+    classes: dict[str, _ClassInfo],
+) -> dict[str, _ClassInfo]:
+    """Classes that transitively subclass ConsistencyProtocol."""
+
+    def descends(info: _ClassInfo, seen: frozenset[str]) -> bool:
+        for base in info.bases:
+            simple = base.split(".")[-1]
+            if simple == _BASE_CLASS:
+                return True
+            if simple in classes and simple not in seen:
+                if descends(classes[simple], seen | {simple}):
+                    return True
+        return False
+
+    return {
+        name: info
+        for name, info in classes.items()
+        if name != _BASE_CLASS and descends(info, frozenset())
+    }
+
+
+def _resolves_hook(
+    name: str, info: _ClassInfo, classes: dict[str, _ClassInfo]
+) -> bool:
+    """True when ``info`` inherits or defines a non-abstract ``name``."""
+    if name in info.defined and name not in info.abstract:
+        return True
+    for base in info.bases:
+        simple = base.split(".")[-1]
+        base_info = classes.get(simple)
+        if base_info is not None and _resolves_hook(name, base_info, classes):
+            return True
+    return False
+
+
+def _dunder_all(module: ModuleInfo) -> Optional[set[str]]:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return {
+                            elt.value
+                            for elt in node.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        }
+    return None
+
+
+def _spec_dispatched_classes(spec: ModuleInfo) -> set[str]:
+    """Class names compared with ``is`` inside spec.py's rule_for."""
+    dispatched: set[str] = set()
+    for node in ast.walk(spec.tree):
+        if not (isinstance(node, ast.FunctionDef) and node.name == "rule_for"):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, ast.Is) for op in sub.ops
+            ):
+                for comparand in (sub.left, *sub.comparators):
+                    name = _base_name(comparand)
+                    if name is not None:
+                        dispatched.add(name.split(".")[-1])
+    return dispatched
+
+
+def _registry_modules(registry: ModuleInfo) -> Optional[set[str]]:
+    """Module basenames listed in registry.py's ``_MODULES`` tuple."""
+    for node in registry.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "_MODULES":
+                    if isinstance(node.value, (ast.Tuple, ast.List)):
+                        names: set[str] = set()
+                        for elt in node.value.elts:
+                            name = _base_name(elt)
+                            if name is not None:
+                                names.add(name.split(".")[-1])
+                        return names
+    return None
+
+
+def _experiment_id_assignment(module: ModuleInfo) -> Optional[ast.Assign]:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "EXPERIMENT_ID"
+                ):
+                    return node
+    return None
+
+
+@register
+class ConformanceChecker(Checker):
+    """RPR003: protocols implement the hook set, are exported, and have a
+    spec rule; experiment modules are registered."""
+
+    code = "RPR003"
+    summary = (
+        "every ConsistencyProtocol subclass implements name/is_fresh, is "
+        "exported from repro.core.protocols, and has a rule_for dispatch "
+        "entry in repro/verify/spec.py; every EXPERIMENT_ID module is in "
+        "experiments/registry.py's _MODULES"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        yield from self._check_protocols(project)
+        yield from self._check_experiments(project)
+
+    def _check_protocols(self, project: Project) -> Iterator[Diagnostic]:
+        package_modules = project.in_package(PROTOCOLS_PACKAGE)
+        if not package_modules:
+            return
+        classes = _collect_classes(package_modules)
+        protocols = _protocol_classes(classes)
+
+        init = project.module(PROTOCOLS_INIT)
+        exported = _dunder_all(init) if init is not None else None
+
+        spec = project.module(SPEC_MODULE)
+        dispatched = _spec_dispatched_classes(spec) if spec is not None else None
+
+        for name in sorted(protocols):
+            info = protocols[name]
+            line = info.node.lineno
+            col = info.node.col_offset + 1
+            path = info.module.path
+            if info.is_abstract_class:
+                continue
+            for hook in REQUIRED_HOOKS:
+                if not _resolves_hook(hook, info, classes):
+                    yield self.diagnostic(
+                        path, line, col,
+                        f"protocol class {name} never provides a concrete "
+                        f"{hook!r} (required consistency-protocol hook)",
+                    )
+            if exported is not None and name not in exported:
+                yield self.diagnostic(
+                    path, line, col,
+                    f"protocol class {name} is not exported in "
+                    f"{PROTOCOLS_INIT}.__all__",
+                )
+            if dispatched is not None and name not in dispatched:
+                yield self.diagnostic(
+                    path, line, col,
+                    f"protocol class {name} has no spec-rule dispatch in "
+                    f"{SPEC_MODULE}.rule_for — the repro.verify oracle "
+                    "cannot certify its runs",
+                )
+
+    def _check_experiments(self, project: Project) -> Iterator[Diagnostic]:
+        registry = project.module(REGISTRY_MODULE)
+        if registry is None:
+            return
+        registered = _registry_modules(registry)
+        if registered is None:
+            return
+        for module in project.in_package(EXPERIMENTS_PACKAGE):
+            basename = module.name.rsplit(".", 1)[-1]
+            if basename in ("registry", "__main__", "common", "panels"):
+                continue
+            assignment = _experiment_id_assignment(module)
+            if assignment is None:
+                continue
+            if basename not in registered:
+                yield self.diagnostic(
+                    module.path,
+                    assignment.lineno,
+                    assignment.col_offset + 1,
+                    f"experiment module {module.name} defines EXPERIMENT_ID "
+                    f"but is not listed in {REGISTRY_MODULE}._MODULES — "
+                    "'python -m repro.experiments all' will skip it",
+                )

@@ -1,0 +1,210 @@
+"""RPR001 — determinism of the simulation core.
+
+The sweep engine's contract (docs/PERFORMANCE.md) is *bit-identical
+output for every worker count*, and the PR-2 oracle replays runs
+assuming they are reproducible from their seeds.  Both collapse if any
+code inside the simulation core draws entropy from outside the seed
+chain.  Inside :data:`SCOPED_PACKAGES` this checker flags:
+
+* the stdlib global-state RNG: any ``random.<fn>()`` call or
+  ``from random import ...`` (per-process hidden state; forked workers
+  would diverge from the serial path);
+* unseeded constructions: ``numpy.random.default_rng()`` /
+  ``random.Random()`` with no arguments, and the legacy global numpy
+  API (``np.random.rand`` etc., including ``np.random.seed`` — global
+  state again).  Seeds must flow in explicitly, derived through
+  ``repro.runtime.derive_seed``;
+* wall-clock reads: ``time.time``/``time.time_ns``/``time.monotonic``/
+  ``time.perf_counter``, ``datetime.now``/``utcnow``/``today``;
+* ambient entropy: ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``,
+  anything from ``secrets``;
+* iteration over sets (``for x in {...}`` / ``for x in set(...)`` and
+  set comprehensions' use as iteration sources): set order varies with
+  insertion history and hash randomization, so it must be sorted before
+  it can drive simulation behaviour.
+
+Instrumentation that *measures* wall time lives outside these packages
+(``repro.runtime.stats`` values are produced by callers such as the
+experiment registry) — where a scoped module legitimately needs a
+timestamp it must take one as an argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+
+#: Packages whose modules must be deterministic given their seeds.
+SCOPED_PACKAGES = ("repro.core", "repro.workload", "repro.verify")
+
+#: ``module attr`` call patterns that read wall clocks or ambient entropy.
+_FORBIDDEN_CALLS: dict[tuple[str, str], str] = {
+    ("time", "time"): "wall-clock read",
+    ("time", "time_ns"): "wall-clock read",
+    ("time", "monotonic"): "wall-clock read",
+    ("time", "monotonic_ns"): "wall-clock read",
+    ("time", "perf_counter"): "wall-clock read",
+    ("time", "perf_counter_ns"): "wall-clock read",
+    ("datetime", "now"): "wall-clock read",
+    ("datetime", "utcnow"): "wall-clock read",
+    ("datetime", "today"): "wall-clock read",
+    ("date", "today"): "wall-clock read",
+    ("os", "urandom"): "ambient entropy",
+    ("uuid", "uuid1"): "ambient entropy",
+    ("uuid", "uuid4"): "ambient entropy",
+}
+
+#: Names that, as the *module* part of a dotted call, mean numpy.
+_NUMPY_ALIASES = {"numpy", "np"}
+
+
+def _dotted(node: ast.AST) -> Optional[list[str]]:
+    """``a.b.c`` attribute chains as ``["a", "b", "c"]``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def in_scope(module_name: str) -> bool:
+    """True when RPR001 applies to the module."""
+    return any(
+        module_name == pkg or module_name.startswith(pkg + ".")
+        for pkg in SCOPED_PACKAGES
+    )
+
+
+@register
+class DeterminismChecker(Checker):
+    """RPR001: no unseeded randomness, wall clocks, or set-order iteration
+    inside the simulation core."""
+
+    code = "RPR001"
+    summary = (
+        "simulation core must be deterministic: no global/unseeded RNG, "
+        "wall-clock reads, ambient entropy, or set-order iteration "
+        f"(scope: {', '.join(SCOPED_PACKAGES)})"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Diagnostic]:
+        if not in_scope(module.name):
+            return
+        yield from self._check_imports(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(module, node.iter)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_iteration(module, node.iter)
+
+    # -- rules ---------------------------------------------------------------
+
+    def _check_imports(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "secrets"):
+                    yield self.diagnostic(
+                        module.path, node.lineno, node.col_offset + 1,
+                        f"import from the global-state {node.module!r} module; "
+                        "derive seeds via repro.runtime.derive_seed and pass "
+                        "an explicit numpy Generator instead",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets":
+                        yield self.diagnostic(
+                            module.path, node.lineno, node.col_offset + 1,
+                            "the 'secrets' module draws ambient entropy; "
+                            "simulation code must be seed-driven",
+                        )
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        parts = _dotted(node.func)
+        if parts is None:
+            return
+        line, col = node.lineno, node.col_offset + 1
+
+        # random.<anything>() — the stdlib global RNG (or an unseeded
+        # random.Random()); secrets.<anything>() — ambient entropy.
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] == "Random" and node.args:
+                return  # random.Random(seed) is explicit and fine
+            yield self.diagnostic(
+                module.path, line, col,
+                f"call to random.{parts[1]}() uses process-global RNG "
+                "state; thread a seeded generator through the call chain "
+                "(seeds from repro.runtime.derive_seed)",
+            )
+            return
+        if parts[0] == "secrets":
+            yield self.diagnostic(
+                module.path, line, col,
+                f"secrets.{parts[-1]}() draws ambient entropy; simulation "
+                "code must be seed-driven",
+            )
+            return
+
+        # numpy.random.* — unseeded construction or the legacy global API.
+        if (
+            len(parts) >= 3
+            and parts[0] in _NUMPY_ALIASES
+            and parts[1] == "random"
+        ):
+            fn = parts[2]
+            if fn in ("default_rng", "Generator", "RandomState"):
+                if not node.args and not node.keywords:
+                    yield self.diagnostic(
+                        module.path, line, col,
+                        f"unseeded {'.'.join(parts)}(): pass an explicit "
+                        "seed (derive per-task seeds with "
+                        "repro.runtime.derive_seed)",
+                    )
+            else:
+                yield self.diagnostic(
+                    module.path, line, col,
+                    f"legacy global numpy RNG {'.'.join(parts)}(): use a "
+                    "seeded numpy.random.default_rng(seed) generator",
+                )
+            return
+
+        # time.*/datetime.* wall clocks, os.urandom, uuid4 ...
+        key = (parts[-2], parts[-1]) if len(parts) >= 2 else None
+        if key in _FORBIDDEN_CALLS:
+            yield self.diagnostic(
+                module.path, line, col,
+                f"{_FORBIDDEN_CALLS[key]} via {'.'.join(parts)}(): "
+                "simulation time must come from the request stream / "
+                "simulated clock, never the host",
+            )
+
+    def _check_iteration(
+        self, module: ModuleInfo, iter_node: ast.expr
+    ) -> Iterator[Diagnostic]:
+        offender: Optional[str] = None
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            offender = "a set literal/comprehension"
+        elif isinstance(iter_node, ast.Call):
+            parts = _dotted(iter_node.func)
+            if parts is not None and parts[-1] in ("set", "frozenset"):
+                offender = f"{parts[-1]}(...)"
+        if offender is not None:
+            yield self.diagnostic(
+                module.path, iter_node.lineno, iter_node.col_offset + 1,
+                f"iteration over {offender}: set order depends on hash "
+                "seeding and insertion history; sort it (sorted(...)) "
+                "before it can influence simulation output",
+            )

@@ -1,0 +1,163 @@
+"""RPR005 — mutable default arguments and shadowed builtins.
+
+Two classic Python hazards, both of which have bitten simulation code
+before (a mutable default shared across :class:`Simulation` instances
+would leak counter state between sweep points):
+
+* **mutable defaults** — a parameter default of ``[]``, ``{}``,
+  ``set()``, ``list()``, ``dict()``, or a literal/comprehension thereof
+  is evaluated once at def time and shared by every call;
+* **shadowed builtins** — binding a name like ``list``, ``id``, or
+  ``sum`` (as a parameter, assignment target, loop variable, or
+  ``with``/``except`` alias) silently changes the meaning of later code
+  in the scope.
+
+The shadow list is curated to names that realistically appear in this
+codebase's vocabulary; single-letter or domain names (``bytes`` is *not*
+flagged as a variable named ``size_bytes`` — only the exact builtin
+name is).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+
+#: Builtins whose shadowing is flagged.
+SHADOWED_BUILTINS = frozenset({
+    "all", "any", "bool", "bytes", "callable", "dict", "dir", "enumerate",
+    "filter", "float", "format", "frozenset", "hash", "id", "input", "int",
+    "isinstance", "iter", "len", "list", "map", "max", "min", "next",
+    "object", "open", "print", "range", "repr", "reversed", "round", "set",
+    "sorted", "str", "sum", "tuple", "type", "vars", "zip",
+})
+
+_MUTABLE_CALLS = ("list", "dict", "set", "collections.defaultdict",
+                  "defaultdict", "OrderedDict", "collections.OrderedDict")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            parts = [func.attr]
+            value = func.value
+            if isinstance(value, ast.Name):
+                parts.insert(0, value.id)
+            name = ".".join(parts)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _bound_names(target: ast.expr) -> Iterator[tuple[str, ast.expr]]:
+    """Names bound by an assignment/loop target, with their nodes."""
+    if isinstance(target, ast.Name):
+        yield target.id, target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+@register
+class HygieneChecker(Checker):
+    """RPR005: no mutable parameter defaults, no shadowed builtins."""
+
+    code = "RPR005"
+    summary = (
+        "no mutable default arguments ([], {}, set(), ...) and no "
+        "rebinding of common builtins (list, dict, id, type, sum, ...)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                yield from self._check_defaults(module, node)
+                yield from self._check_params(module, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_binding(module, target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_binding(module, node.target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_binding(module, node.target)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_binding(module, node.target)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        yield from self._check_binding(
+                            module, item.optional_vars
+                        )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.name is not None and node.name in SHADOWED_BUILTINS:
+                    yield self._shadow(
+                        module, node.name, node.lineno, node.col_offset + 1
+                    )
+
+    def _check_defaults(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> Iterator[Diagnostic]:
+        args = fn.args
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                label = (
+                    "<lambda>" if isinstance(fn, ast.Lambda) else fn.name
+                )
+                yield self.diagnostic(
+                    module.path, default.lineno, default.col_offset + 1,
+                    f"mutable default argument in {label}(): the object is "
+                    "created once and shared across calls; default to None "
+                    "and construct inside the function",
+                )
+
+    def _check_params(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> Iterator[Diagnostic]:
+        args = fn.args
+        every = (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+        for arg in every:
+            if arg.arg in SHADOWED_BUILTINS:
+                yield self._shadow(
+                    module, arg.arg, arg.lineno, arg.col_offset + 1
+                )
+
+    def _check_binding(
+        self, module: ModuleInfo, target: ast.expr
+    ) -> Iterator[Diagnostic]:
+        for name, node in _bound_names(target):
+            if name in SHADOWED_BUILTINS:
+                yield self._shadow(
+                    module, name, node.lineno, node.col_offset + 1
+                )
+
+    def _shadow(
+        self, module: ModuleInfo, name: str, line: int, col: int
+    ) -> Diagnostic:
+        return self.diagnostic(
+            module.path, line, col,
+            f"binding {name!r} shadows the builtin of the same name; "
+            "rename to keep the builtin reachable",
+        )

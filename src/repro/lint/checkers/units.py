@@ -1,0 +1,175 @@
+"""RPR002 — bytes / seconds / count unit discipline.
+
+Table 1 and Figures 4-8 are derived from the bandwidth ledger, which
+adds byte quantities; the staleness metrics add seconds; the counters
+add events.  Mixing those in additive arithmetic is the accounting bug
+class PR 2's oracle catches *at run time* — this checker catches the
+obvious spellings of it at analysis time.
+
+Units are inferred from naming conventions:
+
+* identifiers ending ``_bytes`` (or equal to ``bytes``-suffixed ledger
+  helpers) carry **bytes**;
+* identifiers ending ``_seconds`` / ``_secs`` carry **seconds**;
+* identifiers ending ``_count`` / ``_counts`` carry **count**;
+
+plus a table of well-known quantities from ``repro/core/costs.py`` and
+the metrics/clock modules whose names don't self-describe
+(``control_message`` and ``body_size`` are bytes, ``duration`` /
+``wall_seconds`` / ``stale_age_sum`` / ``ttl`` are seconds, ...).
+
+Flagged forms, whenever *both* operands have known-but-different units:
+
+* additive binary ops: ``a + b``, ``a - b``;
+* augmented additive assignment: ``a += b``, ``a -= b``;
+* ordered comparisons: ``a < b``, ``a <= b``, ``a > b``, ``a >= b``.
+
+Multiplication and division are conversions, not mixing, and are never
+flagged; operands of unknown unit are skipped (the checker only fires
+when it is *sure* both sides disagree).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+
+#: suffix -> unit.
+_SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_bytes", "bytes"),
+    ("_seconds", "seconds"),
+    ("_secs", "seconds"),
+    ("_count", "count"),
+    ("_counts", "count"),
+)
+
+#: Exact identifier names with a known unit — the §4.1 cost-model
+#: quantities from repro/core/costs.py plus ledger/clock companions.
+_KNOWN_NAMES: dict[str, str] = {
+    "control_message": "bytes",    # MessageCosts.control_message
+    "body_size": "bytes",          # costs.py helper argument
+    "capacity_bytes": "bytes",
+    "used_bytes": "bytes",
+    "stale_age_sum": "seconds",    # ConsistencyCounters
+    "wall_seconds": "seconds",     # RunStats
+    "duration": "seconds",         # SimulationResult
+    "ttl": "seconds",              # TTL-family protocols
+    "default_ttl": "seconds",
+    "max_ttl": "seconds",
+}
+
+
+def infer_unit(node: ast.expr) -> Optional[str]:
+    """The unit an expression carries, or None when unknown.
+
+    Names and attribute accesses are classified by their identifier;
+    additive expressions propagate their (agreeing) operands' unit, and
+    unary +/- passes the operand's unit through.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if left is not None and left == right:
+            return left
+        return None
+    identifier: Optional[str] = None
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    if identifier is None:
+        return None
+    lowered = identifier.lower()
+    if lowered in _KNOWN_NAMES:
+        return _KNOWN_NAMES[lowered]
+    for suffix, unit in _SUFFIX_UNITS:
+        if lowered.endswith(suffix) and lowered != suffix.lstrip("_"):
+            return unit
+    return None
+
+
+_ORDERED_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+@register
+class UnitsChecker(Checker):
+    """RPR002: bytes, seconds, and counts must not meet in additive
+    arithmetic or ordered comparisons."""
+
+    code = "RPR002"
+    summary = (
+        "no mixing of *_bytes / *_seconds / *_count quantities in "
+        "additive arithmetic or ordered comparisons (units inferred "
+        "from naming plus the repro/core/costs.py quantity table)"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    module, node, node.left, node.right, "additive arithmetic"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    module, node, node.target, node.value,
+                    "augmented assignment",
+                )
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node)
+
+    def _check_pair(
+        self,
+        module: ModuleInfo,
+        node: ast.stmt | ast.expr,
+        left: ast.expr,
+        right: ast.expr,
+        context: str,
+    ) -> Iterator[Diagnostic]:
+        left_unit = infer_unit(left)
+        right_unit = infer_unit(right)
+        if (
+            left_unit is not None
+            and right_unit is not None
+            and left_unit != right_unit
+        ):
+            yield self.diagnostic(
+                module.path, node.lineno, node.col_offset + 1,
+                f"{context} mixes {left_unit} with {right_unit} "
+                f"({ast.unparse(left)} vs {ast.unparse(right)}); convert "
+                "explicitly before combining",
+            )
+
+    def _check_compare(
+        self, module: ModuleInfo, node: ast.Compare
+    ) -> Iterator[Diagnostic]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, _ORDERED_CMPS):
+                continue
+            left_unit = infer_unit(left)
+            right_unit = infer_unit(right)
+            if (
+                left_unit is not None
+                and right_unit is not None
+                and left_unit != right_unit
+            ):
+                yield self.diagnostic(
+                    module.path, left.lineno, left.col_offset + 1,
+                    f"ordered comparison mixes {left_unit} with "
+                    f"{right_unit} ({ast.unparse(left)} vs "
+                    f"{ast.unparse(right)}); convert explicitly first",
+                )

@@ -1,0 +1,64 @@
+"""Diagnostic records emitted by the invariant linter.
+
+A :class:`Diagnostic` is one finding: *where* (file, line, column),
+*what* (a stable ``RPRxxx`` code plus a human message), and *how bad*
+(:class:`Severity`).  Renderings follow the conventional
+``file:line:col: CODE message`` shape so editors and CI annotations can
+parse them.
+
+Baselines match findings by :meth:`Diagnostic.fingerprint`, which
+deliberately excludes the line/column: a grandfathered finding stays
+grandfathered when unrelated edits shift it down the file, and
+disappears from the baseline the moment the offending code itself is
+fixed (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit status.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are printed
+    but do not (unless ``--strict`` promotes them).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        path: file the finding is in, as given to the engine (kept
+            relative to the lint root for stable baselines).
+        line: 1-based line number.
+        col: 1-based column number.
+        code: stable checker code, e.g. ``RPR001``.
+        message: human-readable explanation.
+        severity: error or warning.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The canonical ``file:line:col: CODE message`` line."""
+        suffix = " (warning)" if self.severity is Severity.WARNING else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{suffix}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line/col excluded)."""
+        raw = f"{self.path}::{self.code}::{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]

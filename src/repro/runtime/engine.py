@@ -54,7 +54,15 @@ import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -68,7 +76,7 @@ _default_workers: Optional[int] = None
 _in_worker = False
 
 #: The (fn, items) pair being mapped, inherited by forked workers.
-_active_task: Optional[tuple[Callable, Sequence]] = None
+_active_task: Optional[tuple[Callable[[Any], Any], Sequence[Any]]] = None
 
 #: Serializes pool construction so ``_active_task`` is unambiguous.
 _pool_lock = threading.Lock()
@@ -148,9 +156,11 @@ def _mark_worker() -> None:
     _in_worker = True
 
 
-def _run_indexed(index: int):
+def _run_indexed(index: int) -> tuple[int, Any]:
     """Execute one task of the active map in a worker process."""
-    fn, items = _active_task  # type: ignore[misc]  # set before fork
+    task = _active_task
+    assert task is not None  # set before fork
+    fn, items = task
     return index, fn(items[index])
 
 
@@ -182,7 +192,7 @@ def map_ordered(
         return [fn(item) for item in items]
 
     global _active_task
-    results: list = [None] * len(items)
+    results: list[R] = [None] * len(items)  # type: ignore[list-item]
     with _pool_lock:
         _active_task = (fn, items)
         try:

@@ -33,6 +33,7 @@ from repro.core.protocols import (
     PollEveryRequestProtocol,
     TTLProtocol,
 )
+from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
 from repro.core.simulator import SimulatorMode
@@ -54,7 +55,7 @@ class PropertyResult:
 
 def _run(
     server: OriginServer,
-    protocol,
+    protocol: ConsistencyProtocol,
     requests: Sequence[tuple[float, str]],
     mode: SimulatorMode,
     costs: MessageCosts,

@@ -1,0 +1,405 @@
+"""Fixture tests: every RPR checker fires on a seeded-bad snippet.
+
+Each test builds a tiny in-memory project (``ModuleInfo.from_source``
+with an explicit dotted name, so scoping rules apply) containing one
+deliberate violation, asserts the checker reports it, and asserts the
+corrected twin stays clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.units import UnitsChecker, infer_unit
+from repro.lint.checkers.conformance import ConformanceChecker
+from repro.lint.checkers.events import EventExhaustivenessChecker
+from repro.lint.checkers.hygiene import HygieneChecker
+from repro.lint.project import ModuleInfo, Project
+
+
+def mod(source: str, name: str, path: str = "fixture.py") -> ModuleInfo:
+    return ModuleInfo.from_source(
+        textwrap.dedent(source), path=path, name=name
+    )
+
+
+def run_module(checker, module: ModuleInfo, *extra: ModuleInfo):
+    project = Project([module, *extra])
+    return list(checker.check_module(module, project))
+
+
+def run_project(checker, *modules: ModuleInfo):
+    return list(checker.check_project(Project(list(modules))))
+
+
+# -- RPR001 determinism -------------------------------------------------------
+
+
+class TestDeterminism:
+    checker = DeterminismChecker()
+
+    def test_global_random_call_flagged_in_core(self):
+        bad = mod(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            name="repro.core.bad",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1
+        assert found[0].code == "RPR001"
+        assert "random.random()" in found[0].message
+
+    def test_seeded_random_and_out_of_scope_clean(self):
+        seeded = mod(
+            """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed).random()
+            """,
+            name="repro.core.ok",
+        )
+        assert run_module(self.checker, seeded) == []
+        # Same bad code outside the scoped packages: not this checker's
+        # business (instrumentation may read clocks).
+        elsewhere = mod(
+            "import time\nt = time.time()\n", name="repro.runtime.stats"
+        )
+        assert run_module(self.checker, elsewhere) == []
+
+    def test_unseeded_default_rng_flagged_seeded_ok(self):
+        bad = mod(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().random()
+            """,
+            name="repro.workload.bad",
+        )
+        found = run_module(self.checker, bad)
+        assert [d.code for d in found] == ["RPR001"]
+        assert "unseeded" in found[0].message
+
+        good = mod(
+            """
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+            """,
+            name="repro.workload.ok",
+        )
+        assert run_module(self.checker, good) == []
+
+    def test_legacy_numpy_global_api_flagged(self):
+        bad = mod(
+            "import numpy as np\nx = np.random.rand(3)\n",
+            name="repro.verify.bad",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1 and "legacy global numpy RNG" in found[0].message
+
+    def test_wall_clock_read_flagged(self):
+        bad = mod(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            name="repro.core.clockish",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1 and "wall-clock" in found[0].message
+
+    def test_set_iteration_flagged_sorted_ok(self):
+        bad = mod(
+            """
+            def order(ids):
+                for x in set(ids):
+                    yield x
+            """,
+            name="repro.core.iter",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1 and "set order" in found[0].message
+
+        good = mod(
+            """
+            def order(ids):
+                for x in sorted(set(ids)):
+                    yield x
+            """,
+            name="repro.core.iter",
+        )
+        assert run_module(self.checker, good) == []
+
+    def test_import_from_random_flagged(self):
+        bad = mod(
+            "from random import shuffle\n", name="repro.workload.imports"
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1 and "global-state" in found[0].message
+
+
+# -- RPR002 units -------------------------------------------------------------
+
+
+class TestUnits:
+    checker = UnitsChecker()
+
+    def test_infer_unit_suffixes_and_table(self):
+        import ast as astmod
+
+        def unit_of(expr: str):
+            return infer_unit(astmod.parse(expr, mode="eval").body)
+
+        assert unit_of("total_bytes") == "bytes"
+        assert unit_of("self.stale_seconds") == "seconds"
+        assert unit_of("hit_count") == "count"
+        assert unit_of("costs.control_message") == "bytes"
+        assert unit_of("ttl") == "seconds"
+        assert unit_of("mystery") is None
+
+    def test_additive_mix_flagged(self):
+        bad = mod(
+            "total = body_bytes + elapsed_seconds\n", name="repro.core.mix"
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1
+        assert found[0].code == "RPR002"
+        assert "bytes" in found[0].message and "seconds" in found[0].message
+
+    def test_augmented_mix_and_comparison_flagged(self):
+        bad = mod(
+            """
+            def account(ledger, stale_seconds, request_count):
+                ledger.total_bytes += stale_seconds
+                if stale_seconds > request_count:
+                    return True
+            """,
+            name="repro.core.mix2",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 2
+        assert {"augmented" in d.message or "comparison" in d.message
+                for d in found} == {True}
+
+    def test_same_unit_and_conversions_clean(self):
+        good = mod(
+            """
+            def account(header_bytes, body_bytes, seconds_per_byte):
+                total_bytes = header_bytes + body_bytes
+                transfer_seconds = total_bytes * seconds_per_byte
+                return total_bytes, transfer_seconds
+            """,
+            name="repro.core.okunits",
+        )
+        assert run_module(self.checker, good) == []
+
+
+# -- RPR003 conformance -------------------------------------------------------
+
+
+_PROTO_BASE = """
+    import abc
+
+    class ConsistencyProtocol(abc.ABC):
+        @property
+        @abc.abstractmethod
+        def name(self): ...
+
+        @abc.abstractmethod
+        def is_fresh(self, entry, t): ...
+"""
+
+_SPEC_WITH = """
+    def rule_for(protocol):
+        kind = type(protocol)
+        if kind is GoodProtocol:
+            return object()
+        return None
+"""
+
+
+class TestConformance:
+    checker = ConformanceChecker()
+
+    def _fixture(self, *, exported: bool, dispatched: bool,
+                 with_is_fresh: bool = True):
+        body = "    @property\n    def name(self):\n        return 'good'\n"
+        if with_is_fresh:
+            body += "    def is_fresh(self, entry, t):\n        return True\n"
+        proto = mod(
+            textwrap.dedent(_PROTO_BASE)
+            + "\nclass GoodProtocol(ConsistencyProtocol):\n" + body,
+            name="repro.core.protocols.good",
+        )
+        init = mod(
+            "__all__ = ['GoodProtocol']\n" if exported else "__all__ = []\n",
+            name="repro.core.protocols",
+        )
+        spec = mod(
+            _SPEC_WITH if dispatched else "def rule_for(protocol):\n"
+            "    return None\n",
+            name="repro.verify.spec",
+        )
+        return proto, init, spec
+
+    def test_conforming_protocol_clean(self):
+        found = run_project(
+            self.checker, *self._fixture(exported=True, dispatched=True)
+        )
+        assert found == []
+
+    def test_missing_hook_flagged(self):
+        found = run_project(
+            self.checker,
+            *self._fixture(exported=True, dispatched=True,
+                           with_is_fresh=False),
+        )
+        assert len(found) == 1
+        assert found[0].code == "RPR003"
+        assert "is_fresh" in found[0].message
+
+    def test_unexported_protocol_flagged(self):
+        found = run_project(
+            self.checker, *self._fixture(exported=False, dispatched=True)
+        )
+        assert len(found) == 1 and "__all__" in found[0].message
+
+    def test_missing_spec_rule_flagged(self):
+        found = run_project(
+            self.checker, *self._fixture(exported=True, dispatched=False)
+        )
+        assert len(found) == 1 and "rule_for" in found[0].message
+
+    def test_unregistered_experiment_flagged(self):
+        registry = mod(
+            "from repro.experiments import table1\n"
+            "_MODULES = (table1,)\n",
+            name="repro.experiments.registry",
+        )
+        orphan = mod(
+            "EXPERIMENT_ID = 'figure9'\n", name="repro.experiments.figure9"
+        )
+        listed = mod(
+            "EXPERIMENT_ID = 'table1'\n", name="repro.experiments.table1"
+        )
+        found = run_project(self.checker, registry, orphan, listed)
+        assert len(found) == 1
+        assert "figure9" in found[0].message
+        assert "_MODULES" in found[0].message
+
+
+# -- RPR004 oracle exhaustiveness ---------------------------------------------
+
+
+def _simulator(kinds: str, emits: list) -> ModuleInfo:
+    lines = [f"EVENT_KINDS: tuple = ({kinds})", "", "class Simulation:",
+             "    def run(self):"]
+    for k in emits:
+        lines.append(f"        self._observe({k!r}, 1.0)")
+    if not emits:
+        lines.append("        pass")
+    return ModuleInfo.from_source(
+        "\n".join(lines) + "\n", name="repro.core.simulator"
+    )
+
+
+def _spec(replays: list) -> ModuleInfo:
+    lines = ["class SpecModel:", "    def run(self):", "        pass"]
+    for k in replays:
+        lines.append(f"    def on_{k}(self):")
+        lines.append(f"        self.events.append(({k!r}, 1.0))")
+    return ModuleInfo.from_source(
+        "\n".join(lines) + "\n", name="repro.verify.spec"
+    )
+
+
+class TestEventExhaustiveness:
+    checker = EventExhaustivenessChecker()
+
+    def test_matching_alphabets_clean(self):
+        sim = _simulator("'hit', 'miss'", ["hit", "miss"])
+        spec = _spec(["hit", "miss"])
+        assert run_project(self.checker, sim, spec) == []
+
+    def test_undeclared_emission_flagged(self):
+        sim = _simulator("'hit',", ["hit", "miss"])
+        found = run_project(self.checker, sim, _spec(["hit", "miss"]))
+        assert any(
+            "'miss'" in d.message and "not declared" in d.message
+            for d in found
+        )
+
+    def test_dead_alphabet_entry_flagged(self):
+        sim = _simulator("'hit', 'miss'", ["hit"])
+        found = run_project(self.checker, sim, _spec(["hit"]))
+        assert any("never emits" in d.message for d in found)
+
+    def test_spec_missing_handler_flagged(self):
+        sim = _simulator("'hit', 'miss'", ["hit", "miss"])
+        found = run_project(self.checker, sim, _spec(["hit"]))
+        assert len(found) == 1
+        assert found[0].code == "RPR004"
+        assert "no handler" in found[0].message
+
+    def test_spec_alien_event_flagged(self):
+        sim = _simulator("'hit',", ["hit"])
+        found = run_project(self.checker, sim, _spec(["hit", "warp"]))
+        assert len(found) == 1
+        assert "'warp'" in found[0].message
+
+
+# -- RPR005 hygiene -----------------------------------------------------------
+
+
+class TestHygiene:
+    checker = HygieneChecker()
+
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "list()",
+                                         "dict()"])
+    def test_mutable_default_flagged(self, default):
+        bad = mod(
+            f"def f(x, acc={default}):\n    return acc\n", name="anything"
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1
+        assert found[0].code == "RPR005"
+        assert "mutable default" in found[0].message
+
+    def test_none_default_clean(self):
+        good = mod(
+            "def f(x, acc=None):\n    acc = acc or []\n    return acc\n",
+            name="anything",
+        )
+        assert run_module(self.checker, good) == []
+
+    def test_shadowed_builtin_assignment_flagged(self):
+        bad = mod("list = [1, 2]\n", name="anything")
+        found = run_module(self.checker, bad)
+        assert len(found) == 1 and "shadows the builtin" in found[0].message
+
+    def test_shadowed_builtin_param_and_loop_flagged(self):
+        bad = mod(
+            """
+            def f(id):
+                for type in range(3):
+                    pass
+            """,
+            name="anything",
+        )
+        found = run_module(self.checker, bad)
+        assert sorted("id" in d.message or "type" in d.message
+                      for d in found) == [True, True]
+
+    def test_domain_names_not_flagged(self):
+        good = mod(
+            "size_bytes = 10\nrequest_count = 2\nentry_id = 'x'\n",
+            name="anything",
+        )
+        assert run_module(self.checker, good) == []

@@ -1,0 +1,98 @@
+"""The lint CLI contract: rendering, exit statuses, baseline workflow."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.cli import main as lint_main
+
+BAD_CORE = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+
+def fixture_tree(tmp_path: Path, source: str = BAD_CORE) -> Path:
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(source)
+    return tmp_path / "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path, "x = 1\n")
+        assert lint_main([str(src), "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 file(s), 0 error(s)" in out
+
+    def test_error_finding_exits_one(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path)
+        assert lint_main([str(src), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "bad.py:4:" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "ghost"), "--no-baseline"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_select_code_exits_two(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path, "x = 1\n")
+        assert lint_main(
+            [str(src), "--no-baseline", "--select", "RPR999"]
+        ) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path, "x = 1\n")
+        baseline = tmp_path / "broken.json"
+        baseline.write_text("{not json")
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_update_then_green(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path)
+        baseline = tmp_path / "base.json"
+
+        assert lint_main(
+            [str(src), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # A *new* violation is still fatal under the old baseline.
+        pkg = src / "repro" / "core"
+        (pkg / "worse.py").write_text("import time\nt = time.time()\n")
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 1
+        assert "worse.py" in capsys.readouterr().out
+
+
+class TestFlags:
+    def test_list_codes(self, capsys):
+        assert lint_main(["--list-codes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert code in out
+
+    def test_quiet_omits_summary(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path, "x = 1\n")
+        assert lint_main([str(src), "--no-baseline", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_noqa_shows_in_summary(self, tmp_path, capsys):
+        src = fixture_tree(
+            tmp_path,
+            BAD_CORE.replace(
+                "return random.random()",
+                "return random.random()  # repro: noqa[RPR001]",
+            ),
+        )
+        assert lint_main([str(src), "--no-baseline"]) == 0
+        assert "1 noqa-suppressed" in capsys.readouterr().out

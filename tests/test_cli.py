@@ -152,3 +152,111 @@ class TestEndToEnd:
         )
         assert result.counters.stale_hits == 0
         assert result.counters.requests == len(trace)
+
+
+class TestArgumentErrors:
+    """Bad arguments must fail fast (status 2), never mid-simulation."""
+
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "fas.log"
+        assert main(["synthesize", "fas", str(path), "--scale", "0.05",
+                     "--seed", "2"]) == 0
+        return path
+
+    def test_non_integer_workers_rejected(self, trace_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", str(trace_file), "--protocol", "ttl",
+                  "--workers", "two"])
+        assert excinfo.value.code == 2
+
+    def test_nonpositive_workers_clamp_to_serial(self, trace_file, capsys):
+        # Documented clamp: workers <= 0 resolves to 1 (serial), not a
+        # crash, and output is identical to an explicit serial run.
+        assert main(["sweep", str(trace_file), "--protocol", "ttl",
+                     "--step", "250", "--workers", "-3"]) == 0
+        clamped = capsys.readouterr().out
+        assert main(["sweep", str(trace_file), "--protocol", "ttl",
+                     "--step", "250", "--workers", "1"]) == 0
+        assert clamped == capsys.readouterr().out
+
+    def test_bad_workers_env_var_rejected(self, monkeypatch):
+        from repro.runtime import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_unknown_protocol_rejected_by_parser(self, trace_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(trace_file), "--protocol", "nfs"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_protocol_returns_two_from_handler(
+        self, trace_file, capsys
+    ):
+        # The handler's own guard (reached when build_protocol is driven
+        # programmatically, past argparse's choices= gate).
+        import argparse
+
+        from repro.cli import cmd_simulate
+
+        args = argparse.Namespace(
+            trace=trace_file, protocol="nfs", parameter=1.0,
+            mode="optimized", verify=False,
+        )
+        assert cmd_simulate(args) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_unknown_experiment_id_rejected(self):
+        from repro.experiments.__main__ import main as experiments_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            experiments_main(["warp9"])
+        assert excinfo.value.code == 2
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestVerifyScaleCombos:
+    """--verify composes with --scale / --workers on every entry point."""
+
+    @pytest.fixture(autouse=True)
+    def _oracle_off_after(self):
+        from repro.verify import set_enabled
+
+        yield
+        set_enabled(False)
+
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "fas.log"
+        assert main(["synthesize", "fas", str(path), "--scale", "0.05",
+                     "--seed", "2"]) == 0
+        return path
+
+    def test_simulate_verify(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--protocol", "ttl",
+                     "--parameter", "48", "--verify"]) == 0
+        assert "ttl" in capsys.readouterr().out
+
+    def test_sweep_verify_parallel_matches_serial(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file), "--protocol", "ttl",
+                     "--step", "250", "--verify", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["sweep", str(trace_file), "--protocol", "ttl",
+                     "--step", "250", "--workers", "1"]) == 0
+        assert parallel == capsys.readouterr().out
+
+    def test_experiment_verify_scale(self, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+
+        assert experiments_main(
+            ["figure2", "--scale", "0.05", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle:" in out
+        assert "zero divergence" in out
