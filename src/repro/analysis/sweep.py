@@ -49,6 +49,7 @@ from repro.core.protocols import (
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult, average_results
 from repro.core.simulator import SimulatorMode
+from repro.faults.plan import FaultPlan
 from repro.runtime import RunStats, map_ordered, record, resolve_workers
 from repro.verify.oracle import checked_simulate, is_enabled
 from repro.workload.base import Workload
@@ -121,6 +122,7 @@ def verify_run(
     protocol: ConsistencyProtocol,
     mode: SimulatorMode,
     costs: MessageCosts = DEFAULT_COSTS,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Run one workload, self-checking through the consistency oracle.
 
@@ -131,7 +133,8 @@ def verify_run(
     bandwidth-ledger, or event divergence — but only when verification is
     enabled (``--verify`` / ``REPRO_VERIFY=1``).  Forked sweep workers
     inherit the enable flag from the parent process, so each worker
-    verifies its own grid points.
+    verifies its own grid points.  A ``faults`` plan is forwarded intact
+    — under the oracle, both the simulator and the spec replay it.
     """
     return checked_simulate(
         workload.server(),
@@ -140,6 +143,7 @@ def verify_run(
         mode,
         costs=costs,
         end_time=workload.duration,
+        faults=faults,
     )
 
 
@@ -148,6 +152,7 @@ def run_protocol(
     protocol_factory: Callable[[], ConsistencyProtocol],
     mode: SimulatorMode,
     costs: MessageCosts = DEFAULT_COSTS,
+    faults: Optional[FaultPlan] = None,
 ) -> dict[str, float]:
     """Run one protocol over every workload and average the metrics.
 
@@ -155,10 +160,15 @@ def run_protocol(
     adaptive state).  Averaging weighs each workload equally, as Figure 6
     does for FAS/HCS/DAS.  Each run goes through :func:`verify_run`, so
     an enabled oracle checks every simulation behind every sweep point.
+    The same ``faults`` plan is applied to every workload; its schedule
+    still differs per workload because it compiles against each
+    workload's own modification feed.
     """
     results = []
     for workload in workloads:
-        results.append(verify_run(workload, protocol_factory(), mode, costs))
+        results.append(
+            verify_run(workload, protocol_factory(), mode, costs, faults)
+        )
     return average_results(results)
 
 
@@ -172,6 +182,7 @@ def sweep_protocol(
     costs: MessageCosts = DEFAULT_COSTS,
     include_invalidation: bool = True,
     workers: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """Sweep ``make_protocol(parameter)`` over ``parameters``.
 
@@ -194,6 +205,9 @@ def sweep_protocol(
         workers: process-pool size; None resolves via
             :func:`repro.runtime.resolve_workers` (flag > default >
             ``REPRO_WORKERS`` > serial).
+        faults: optional :class:`~repro.faults.FaultPlan` applied to
+            every run in the sweep (grid points and baseline alike), so
+            the whole grid experiences the *same* delivery faults.
     """
     resolved = resolve_workers(workers)
     started = time.perf_counter()
@@ -204,11 +218,13 @@ def sweep_protocol(
 
     def run_task(task):
         if task is _BASELINE:
-            return run_protocol(workloads, InvalidationProtocol, mode, costs)
+            return run_protocol(
+                workloads, InvalidationProtocol, mode, costs, faults
+            )
         return SweepPoint(
             parameter=task,
             metrics=run_protocol(
-                workloads, lambda: make_protocol(task), mode, costs
+                workloads, lambda: make_protocol(task), mode, costs, faults
             ),
         )
 
@@ -244,6 +260,7 @@ def sweep_alex(
     thresholds_percent: Sequence[float] = ALEX_THRESHOLDS_PERCENT,
     costs: MessageCosts = DEFAULT_COSTS,
     workers: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """The Alex update-threshold sweep (x axis of panels (a))."""
     return sweep_protocol(
@@ -254,6 +271,7 @@ def sweep_alex(
         family="alex",
         costs=costs,
         workers=workers,
+        faults=faults,
     )
 
 
@@ -263,6 +281,7 @@ def sweep_ttl(
     ttl_hours: Sequence[float] = TTL_HOURS,
     costs: MessageCosts = DEFAULT_COSTS,
     workers: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """The TTL sweep in hours (x axis of panels (b))."""
     return sweep_protocol(
@@ -273,6 +292,7 @@ def sweep_ttl(
         family="ttl",
         costs=costs,
         workers=workers,
+        faults=faults,
     )
 
 

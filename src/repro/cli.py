@@ -44,12 +44,14 @@ from repro.core.protocols import (
     AlexProtocol,
     CERNPolicyProtocol,
     InvalidationProtocol,
+    LeasedInvalidationProtocol,
     PollEveryRequestProtocol,
     SelfTuningProtocol,
     TTLProtocol,
 )
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.simulator import SimulatorMode
+from repro.faults import FaultSpec, parse_faults
 from repro.runtime import map_ordered
 from repro.verify import checked_simulate, set_enabled
 from repro.trace.reconstruct import server_from_trace, workload_from_trace
@@ -61,15 +63,18 @@ from repro.workload.worrell import WorrellWorkload
 
 _CAMPUS_BY_NAME = {spec.name.lower(): spec for spec in CAMPUS_SERVERS}
 
-PROTOCOLS = ("alex", "ttl", "invalidation", "poll", "cern", "selftuning")
+PROTOCOLS = (
+    "alex", "ttl", "invalidation", "leased", "poll", "cern", "selftuning",
+)
 
 
 def build_protocol(name: str, parameter: float) -> ConsistencyProtocol:
     """Construct a protocol from its CLI name and parameter.
 
     The parameter means: Alex — update threshold in percent; TTL — hours;
-    CERN — the Last-Modified fraction; self-tuning — the initial
-    threshold in percent.  Invalidation and poll ignore it.
+    leased — the lease term in hours; CERN — the Last-Modified fraction;
+    self-tuning — the initial threshold in percent.  Invalidation and
+    poll ignore it.
 
     Raises:
         ValueError: for an unknown protocol name.
@@ -81,6 +86,8 @@ def build_protocol(name: str, parameter: float) -> ConsistencyProtocol:
         return TTLProtocol(hours(parameter))
     if key == "invalidation":
         return InvalidationProtocol()
+    if key == "leased":
+        return LeasedInvalidationProtocol(hours(parameter))
     if key == "poll":
         return PollEveryRequestProtocol()
     if key == "cern":
@@ -140,13 +147,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _simulate_trace(
-    trace: Trace, protocol: ConsistencyProtocol, mode: SimulatorMode
+    trace: Trace,
+    protocol: ConsistencyProtocol,
+    mode: SimulatorMode,
+    faults_spec: Optional[FaultSpec] = None,
 ):
     workload = workload_from_trace(trace)
+    # Unanchored downtime/crash times in the spec resolve against the
+    # reconstructed workload's duration.
+    faults = (
+        faults_spec.build(workload.duration) if faults_spec is not None
+        else None
+    )
     return checked_simulate(
         workload.server(), protocol, workload.requests, mode,
-        end_time=workload.duration,
+        end_time=workload.duration, faults=faults,
     )
+
+
+def _parse_faults_arg(args: argparse.Namespace) -> Optional[FaultSpec]:
+    """Parse ``--faults`` off a namespace (absent attribute = no faults).
+
+    Raises:
+        ValueError: for a malformed spec (message names the bad field).
+    """
+    text = getattr(args, "faults", None)
+    return parse_faults(text) if text else None
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -156,11 +182,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
     try:
         protocol = build_protocol(args.protocol, args.parameter)
+        faults_spec = _parse_faults_arg(args)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
     mode = SimulatorMode(args.mode)
-    result = _simulate_trace(trace, protocol, mode)
+    result = _simulate_trace(trace, protocol, mode, faults_spec)
     print(format_table(
         ("protocol", "mode", "bandwidth MB", "miss rate", "stale rate",
          "server ops", "round trips/request"),
@@ -192,16 +219,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print("sweep supports --protocol alex or ttl", file=sys.stderr)
         return 2
+    try:
+        faults_spec = _parse_faults_arg(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     mode = SimulatorMode(args.mode)
     # One reconstruction serves every sweep point.
     server = server_from_trace(trace)
     requests = trace.requests()
     end = requests[-1][0] if requests else 0.0
+    faults = faults_spec.build(end) if faults_spec is not None else None
 
     def run_point(parameter: float) -> tuple:
         result = checked_simulate(
             server, build_protocol(args.protocol, parameter), requests,
-            mode, end_time=end,
+            mode, end_time=end, faults=faults,
         )
         return (
             parameter,
@@ -215,7 +248,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # process pool (serial for --workers 1, identical output either way).
     rows = map_ordered(run_point, parameters, workers=args.workers)
     inval = checked_simulate(server, InvalidationProtocol(), requests, mode,
-                             end_time=end)
+                             end_time=end, faults=faults)
     rows.append(
         ("inval", f"{inval.total_megabytes:.3f}", pct(inval.miss_rate),
          pct(inval.stale_hit_rate), inval.server_operations)
@@ -267,14 +300,19 @@ def make_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--protocol", default="alex",
                        choices=list(PROTOCOLS))
     p_sim.add_argument("--parameter", type=float, default=10.0,
-                       help="alex/selftuning: threshold %%; ttl: hours; "
-                            "cern: LM fraction %%")
+                       help="alex/selftuning: threshold %%; ttl/leased: "
+                            "hours; cern: LM fraction %%")
     p_sim.add_argument("--mode", default="optimized",
                        choices=[m.value for m in SimulatorMode])
     p_sim.add_argument(
         "--verify", action="store_true",
         help="replay the run through the repro.verify consistency "
              "oracle and fail on any counter/bandwidth divergence",
+    )
+    p_sim.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject delivery faults, e.g. "
+             "'loss=0.05,downtime=2h,retries=3' (see docs/FAULTS.md)",
     )
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -296,6 +334,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="oracle-check every sweep point (workers inherit the flag; "
              "see docs/PROTOCOLS.md 'Invariants & verification')",
+    )
+    p_sweep.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject the same delivery faults into every sweep point "
+             "(see docs/FAULTS.md)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 

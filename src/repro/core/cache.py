@@ -225,22 +225,56 @@ class Cache:
                 self._used_bytes -= evicted.size
                 self.evictions += 1
 
-    def invalidate(self, object_id: str) -> bool:
+    def invalidate(
+        self, object_id: str, modified_at: Optional[float] = None
+    ) -> bool:
         """Mark an entry invalid (invalidation-protocol callback).
 
         Per Worrell's optimization, "objects were simply marked invalid,
         but not immediately retrieved".
 
+        Args:
+            modified_at: the modification timestamp the callback
+                announces, when known.  A callback for a *superseded
+                generation* — one whose modification the entry's
+                ``last_modified`` already reflects, because the object
+                was evicted (or crashed away) and refetched after the
+                change — must not clear the fresh entry's flag.  This
+                matters once delivery can be delayed or retried (see
+                :mod:`repro.faults`); with in-order immediate delivery
+                the guard never fires.
+
         Returns:
             True when a resident, currently-valid entry was invalidated;
-            False when the object is absent or already invalid (no
-            callback message needs to be charged in that case).
+            False when the object is absent, already invalid, or the
+            notice is for a superseded generation (no state changed).
         """
         entry = self._entries.get(object_id)
         if entry is None or not entry.valid:
             return False
+        if modified_at is not None and entry.last_modified >= modified_at:
+            return False
         entry.valid = False
         return True
+
+    def clear(self) -> int:
+        """Drop every entry at once (a cache crash with state loss).
+
+        Unlike :meth:`drop`, nothing counts toward :attr:`evictions` —
+        a crash is a fault, not a replacement decision — but any
+        replacement policy is still told each entry is gone so its
+        bookkeeping cannot reference ghosts.
+
+        Returns:
+            The number of entries lost.
+        """
+        lost = len(self._entries)
+        if self._policy is not None:
+            for entry in self._entries.values():
+                self._policy.on_evict(entry)
+        self._entries.clear()
+        self._used_bytes = 0
+        return lost
 
     def drop(self, object_id: str) -> None:
         """Remove an entry outright (used by eviction experiments).

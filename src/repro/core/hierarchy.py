@@ -21,7 +21,7 @@ modes for the scenarios of Figure 1.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.core.cache import Cache, CacheEntry
 from repro.core.costs import DEFAULT_COSTS, MessageCosts
@@ -35,6 +35,9 @@ from repro.core.metrics import (
 )
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.server import FetchResult, NotModified, OriginServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 class CacheNode:
@@ -224,16 +227,25 @@ class CacheNode:
 
     # -- invalidation fan-out ----------------------------------------------------------
 
-    def receive_invalidation(self, object_id: str) -> None:
+    def receive_invalidation(
+        self, object_id: str, modified_at: Optional[float] = None
+    ) -> None:
         """Handle an invalidation callback for ``object_id``.
 
         Marks the local entry invalid (if valid and resident) and forwards
         the notice to every registered child holder, charging each child's
         uplink one control message.  Registration is consumed: a child
         must fetch through again to receive future callbacks.
+
+        Args:
+            modified_at: the modification generation the notice
+                announces; forwarded down the tree so
+                :meth:`~repro.core.cache.Cache.invalidate` can ignore
+                callbacks a node's refetch has already superseded (see
+                :mod:`repro.faults`).
         """
         resident = self.cache.peek(object_id) is not None
-        went_invalid = self.cache.invalidate(object_id)
+        went_invalid = self.cache.invalidate(object_id, modified_at=modified_at)
         if went_invalid or (resident and self.charge_per_modification):
             self.counters.invalidations_received += 1
         holders = self._holders.pop(object_id, set())
@@ -241,7 +253,7 @@ class CacheNode:
         for child in holders:
             child.uplink.charge(INVALIDATION, control, body)
             self.counters.server_invalidations_sent += 1
-            child.receive_invalidation(object_id)
+            child.receive_invalidation(object_id, modified_at=modified_at)
 
 
 class HierarchySimulation:
@@ -261,6 +273,12 @@ class HierarchySimulation:
             same transition-only rule.  True charges the root link for
             every modification of a resident entry, matching the
             single-cache simulator's default reading of §4.1.
+        faults: an optional :class:`repro.faults.FaultPlan` applied to
+            the origin→root link: a notice whose send instant falls in a
+            downtime window, or that the per-message loss draw kills, is
+            never delivered to the tree at all — the hierarchy analogue
+            of the single-cache loss model (retry/backoff/delay are
+            single-cache refinements and are not modelled per hop).
     """
 
     def __init__(
@@ -272,6 +290,7 @@ class HierarchySimulation:
         deliver_invalidations: bool = False,
         charge_per_modification: bool = False,
         costs: MessageCosts = DEFAULT_COSTS,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.server = server
         self.root = root
@@ -285,6 +304,7 @@ class HierarchySimulation:
         self._feed = server.invalidation_feed() if deliver_invalidations else ()
         self._feed_idx = 0
         self._now = 0.0
+        self.faults = faults
 
     def preload(self, at: float = 0.0) -> None:
         """Load valid copies of every object into every node, registering
@@ -308,20 +328,34 @@ class HierarchySimulation:
     def _deliver_until(self, t: float) -> None:
         feed = self._feed
         idx = self._feed_idx
+        faults = self.faults
         control, body = self.costs.invalidation_notice()
         while idx < len(feed) and feed[idx][0] <= t:
-            _, oid = feed[idx]
+            mod_time, oid = feed[idx]
+            index = idx
             idx += 1
+            if faults is not None and faults.server_down(mod_time):
+                # Outage: the origin never records the pending notice.
+                continue
+            entry = self.root.cache.peek(oid)
+            if faults is not None and faults.attempt_lost(index, 0):
+                # Lost on the wire: charged if it would have been sent,
+                # but the tree never hears it.
+                if entry is not None and (
+                    entry.valid or self.charge_per_modification
+                ):
+                    self.root.uplink.charge(INVALIDATION, control, body)
+                    self.root.counters.server_invalidations_sent += 1
+                continue
             # The origin notifies the root over the root's uplink —
             # per §4.1 policy, either on every modification of a resident
             # entry or only on the valid→invalid transition.
-            entry = self.root.cache.peek(oid)
             if entry is not None and (
                 entry.valid or self.charge_per_modification
             ):
                 self.root.uplink.charge(INVALIDATION, control, body)
                 self.root.counters.server_invalidations_sent += 1
-            self.root.receive_invalidation(oid)
+            self.root.receive_invalidation(oid, modified_at=mod_time)
         self._feed_idx = idx
 
     def request(self, leaf_name: str, object_id: str, t: float) -> bool:
@@ -416,6 +450,7 @@ def drive_workload(
     charge_per_modification: bool = False,
     end_time: Optional[float] = None,
     costs: MessageCosts = DEFAULT_COSTS,
+    faults: "Optional[FaultPlan]" = None,
 ) -> HierarchySimulation:
     """Run a full request stream through a two-level hierarchy.
 
@@ -434,6 +469,7 @@ def drive_workload(
         deliver_invalidations=deliver_invalidations,
         charge_per_modification=charge_per_modification,
         costs=costs,
+        faults=faults,
     )
     sim.preload(at=0.0)
     from zlib import crc32

@@ -3,6 +3,8 @@
 * :class:`TTLProtocol` / :class:`ExpiresTTLProtocol` — time-to-live.
 * :class:`AlexProtocol` — the Alex FTP cache's adaptive threshold.
 * :class:`InvalidationProtocol` — server callbacks, perfect consistency.
+* :class:`LeasedInvalidationProtocol` — callbacks plus a bounded lease,
+  so staleness stays bounded when delivery is faulty (docs/FAULTS.md).
 * :class:`PollEveryRequestProtocol` — the degenerate threshold-0 case.
 * :class:`CERNPolicyProtocol` — the CERN httpd policy (related work).
 * :class:`SelfTuningProtocol` — the paper's future-work self-tuner.
@@ -12,7 +14,10 @@ from repro.core.protocols.adaptive import SelfTuningProtocol
 from repro.core.protocols.alex import AlexProtocol
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.protocols.cern import CERNPolicyProtocol
-from repro.core.protocols.invalidation import InvalidationProtocol
+from repro.core.protocols.invalidation import (
+    InvalidationProtocol,
+    LeasedInvalidationProtocol,
+)
 from repro.core.protocols.polling import PollEveryRequestProtocol
 from repro.core.protocols.ttl import ExpiresTTLProtocol, TTLProtocol
 
@@ -22,6 +27,7 @@ __all__ = [
     "ConsistencyProtocol",
     "ExpiresTTLProtocol",
     "InvalidationProtocol",
+    "LeasedInvalidationProtocol",
     "PollEveryRequestProtocol",
     "SelfTuningProtocol",
     "TTLProtocol",

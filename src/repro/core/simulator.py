@@ -53,9 +53,21 @@ from repro.core.metrics import (
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult
 from repro.core.server import FetchResult, NotModified, OriginServer
+from repro.faults.plan import (
+    ATTEMPT_LOST,
+    ATTEMPT_SENT,
+    CRASH,
+    DROP,
+    FaultAction,
+    FaultPlan,
+)
 
 #: Every event kind an :data:`EventObserver` can receive.  The
 #: ``repro.verify`` oracle replays exactly this alphabet event-for-event.
+#: The ``fault_*`` kinds fire only when a :class:`repro.faults.FaultPlan`
+#: is installed: an attempt lost in the network, a notice permanently
+#: abandoned (retries exhausted or server down), a delivery that
+#: succeeded on a retry, and a cache crash (empty object id).
 EVENT_KINDS: tuple[str, ...] = (
     "hit",
     "stale_hit",
@@ -65,6 +77,10 @@ EVENT_KINDS: tuple[str, ...] = (
     "invalidation",
     "prefetch",
     "dynamic_fetch",
+    "fault_invalidation_lost",
+    "fault_invalidation_dropped",
+    "fault_invalidation_recovered",
+    "fault_cache_crash",
 )
 
 #: Callback signature for per-event tracing: ``observer(kind, time, id)``.
@@ -107,6 +123,13 @@ class Simulation:
             validity, which is what the hierarchy's holder registration
             does.  The entry state transition itself always goes through
             :meth:`Cache.invalidate`.
+        faults: an optional :class:`repro.faults.FaultPlan`.  When set,
+            invalidation delivery runs off the plan's compiled schedule
+            (loss, delay, downtime, retries) instead of the perfect
+            feed, and cache-crash actions apply to any protocol; when
+            None (the default) behaviour is exactly the historical
+            fault-free path.  A null plan (all rates zero) replays
+            byte-identically to ``faults=None``.
     """
 
     def __init__(
@@ -121,6 +144,7 @@ class Simulation:
         start_time: float = 0.0,
         observer: Optional["EventObserver"] = None,
         charge_per_modification: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.server = server
         self.protocol = protocol
@@ -133,9 +157,23 @@ class Simulation:
         self.charge_per_modification = bool(charge_per_modification)
         self.start_time = float(start_time)
         self._now = float(start_time)
+        self.faults = faults
         self._feed: tuple[tuple[float, str], ...] = ()
         self._feed_idx = 0
-        if protocol.wants_invalidations:
+        self._fault_actions: tuple[FaultAction, ...] = ()
+        self._fault_idx = 0
+        if faults is not None:
+            # The injection seam: delivery (and crashes) run off the
+            # compiled schedule; the fault-free loop below is bypassed.
+            feed = (
+                server.invalidation_feed()
+                if protocol.wants_invalidations
+                else ()
+            )
+            self._fault_actions = faults.compile(
+                feed, start_time=self.start_time
+            )
+        elif protocol.wants_invalidations:
             self._feed = server.invalidation_feed()
             # Skip modifications that predate the run; preloaded entries
             # already reflect them.
@@ -190,6 +228,95 @@ class Simulation:
                     self._observe("prefetch", mod_time, oid)
         self._feed_idx = idx
 
+    def _process_fault_actions(self, t: float) -> None:
+        """Replay compiled fault actions with timestamps <= ``t``.
+
+        This is the fault-plan counterpart of
+        :meth:`_deliver_invalidations_until`; with a null plan the two
+        produce byte-identical counters, charges, and events.  Charging
+        follows the real message flow: every attempt that actually
+        leaves the server (including ones the network then loses) costs
+        one notice on the wire and counts toward
+        ``server_invalidations_sent``; only deliveries that arrive count
+        toward ``invalidations_received``.
+        """
+        actions = self._fault_actions
+        idx = self._fault_idx
+        peek = self.cache.peek
+        counters = self.counters
+        charge = self.bandwidth.charge
+        control, body = self.costs.invalidation_notice()
+        eager = getattr(self.protocol, "eager", False)
+        per_modification = self.charge_per_modification
+        n = len(actions)
+        while idx < n and actions[idx].time <= t:
+            action = actions[idx]
+            idx += 1
+            if action.kind == CRASH:
+                self.cache.clear()
+                if self._observe is not None:
+                    self._observe("fault_cache_crash", action.time, "")
+                continue
+            entry = peek(action.object_id)
+            if entry is None:
+                continue
+            if action.kind == ATTEMPT_SENT or action.kind == ATTEMPT_LOST:
+                # The server sends (and is charged for) a notice when the
+                # entry is still valid from its point of view — or on
+                # every modification under the §4.1 per-modification
+                # policy.  Lost attempts cost the same bytes; they just
+                # never arrive.
+                if entry.valid or per_modification:
+                    counters.server_invalidations_sent += 1
+                    charge(INVALIDATION, control, body)
+                    if action.kind == ATTEMPT_LOST and self._observe is not None:
+                        self._observe(
+                            "fault_invalidation_lost",
+                            action.time,
+                            action.object_id,
+                        )
+            elif action.kind == DROP:
+                # Permanently abandoned (retries exhausted or server
+                # down) while the cache still believes the copy valid:
+                # this is the moment unbounded staleness begins.
+                if entry.valid and self._observe is not None:
+                    self._observe(
+                        "fault_invalidation_dropped",
+                        action.time,
+                        action.object_id,
+                    )
+            else:  # DELIVER
+                went_invalid = self.cache.invalidate(
+                    action.object_id, modified_at=action.mod_time
+                )
+                if went_invalid or per_modification:
+                    counters.invalidations_received += 1
+                    if self._observe is not None:
+                        if action.attempt > 0:
+                            self._observe(
+                                "fault_invalidation_recovered",
+                                action.time,
+                                action.object_id,
+                            )
+                        self._observe(
+                            "invalidation", action.time, action.object_id
+                        )
+                if eager:
+                    result = self.server.get(action.object_id, action.time)
+                    p_control, p_body = self.costs.full_retrieval(result.size)
+                    charge(PREFETCH, p_control, p_body)
+                    counters.prefetches += 1
+                    counters.server_gets += 1
+                    obj = self.server.object(action.object_id)
+                    self._store(
+                        action.object_id, obj.file_type, result, action.time
+                    )
+                    if self._observe is not None:
+                        self._observe(
+                            "prefetch", action.time, action.object_id
+                        )
+        self._fault_idx = idx
+
     def _full_fetch(self, object_id: str, t: float) -> FetchResult:
         result = self.server.get(object_id, t)
         control, body = self.costs.full_retrieval(result.size)
@@ -232,7 +359,9 @@ class Simulation:
                 "request streams must be time-ordered"
             )
         self._now = t
-        if self._feed:
+        if self._fault_actions:
+            self._process_fault_actions(t)
+        elif self._feed:
             self._deliver_invalidations_until(t)
         self.counters.requests += 1
 
@@ -321,7 +450,9 @@ class Simulation:
                     f"end_time {end_time!r} precedes last request {self._now!r}"
                 )
             self._now = end_time
-            if self._feed:
+            if self._fault_actions:
+                self._process_fault_actions(end_time)
+            elif self._feed:
                 self._deliver_invalidations_until(end_time)
         result = SimulationResult(
             protocol_name=self.protocol.name,
@@ -357,6 +488,7 @@ def simulate(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
     charge_per_modification: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Run one complete simulation and return its result.
 
@@ -381,5 +513,6 @@ def simulate(
         preload=preload,
         start_time=start_time,
         charge_per_modification=charge_per_modification,
+        faults=faults,
     )
     return sim.run(requests, end_time=end_time)

@@ -10,7 +10,7 @@ directions:
 >>> all_ids()[:3]
 ['figure1', 'figure2', 'figure3']
 >>> all_ids()[-1]
-'ext-worrell'
+'ext-faults'
 >>> "figure8" in EXPERIMENTS
 True
 
@@ -34,6 +34,7 @@ from typing import Callable, Optional
 from repro.analysis.report import ExperimentReport
 from repro.experiments import (
     ext_dynamic,
+    ext_faults,
     ext_latency,
     ext_scalability,
     ext_worrell,
@@ -56,7 +57,7 @@ from repro.verify.oracle import runs_verified
 _MODULES = (
     figure1, figure2, figure3, figure4, figure5,
     figure6, figure7, figure8, table1, table2,
-    ext_latency, ext_dynamic, ext_scalability, ext_worrell,
+    ext_latency, ext_dynamic, ext_scalability, ext_worrell, ext_faults,
 )
 
 #: id -> (title, runner)

@@ -1,0 +1,177 @@
+"""The ``--faults`` CLI grammar.
+
+One comma-separated string composes a :class:`~repro.faults.plan.FaultPlan`::
+
+    --faults loss=0.05,downtime=2h
+    --faults loss=0.3,retries=3,backoff=5m,seed=7
+    --faults downtime=2h@50h,crash=20h+40h,delay=30s
+
+Fields (all optional, any order):
+
+* ``loss=RATE`` — per-attempt network loss probability in ``[0, 1]``.
+* ``delay=DUR`` — network latency on every successful delivery.
+* ``downtime=DUR[@START]`` — one server outage of length ``DUR``;
+  without ``@START`` the outage begins a quarter of the way into the
+  run (resolved when the plan is built against a trace duration).
+  Repeat windows with ``+``: ``downtime=2h@10h+1h@40h``.
+* ``crash=TIME[+TIME...]`` — cache crash instants (state loss).
+* ``retries=N`` / ``backoff=DUR`` — server retry policy for
+  unacknowledged notices (exponential backoff, base ``backoff``).
+* ``seed=N`` — keys the loss draws.
+
+Durations take an optional unit suffix: ``s`` (default), ``m``, ``h``,
+``d``.  :func:`parse_faults` validates the text into a
+:class:`FaultSpec`; :meth:`FaultSpec.build` resolves duration-relative
+defaults against a concrete run length and returns the plan.
+
+>>> spec = parse_faults("loss=0.05,downtime=2h")
+>>> plan = spec.build(duration=86400.0)
+>>> plan.loss_rate
+0.05
+>>> plan.downtime[0].length
+7200.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.plan import DowntimeWindow, FaultPlan
+
+_UNIT_SECONDS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+#: Fraction of the run at which an unanchored downtime window starts.
+DEFAULT_DOWNTIME_FRACTION = 0.25
+
+
+def _duration(text: str, field_name: str) -> float:
+    """Parse ``"30"``, ``"30s"``, ``"5m"``, ``"2h"``, ``"1.5d"`` to seconds."""
+    raw = text.strip()
+    unit = 1.0
+    if raw and raw[-1].lower() in _UNIT_SECONDS:
+        unit = _UNIT_SECONDS[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"bad duration for {field_name!r}: {text!r} "
+            "(expected e.g. 30s, 5m, 2h, 1.5d)"
+        ) from None
+    return value * unit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed-but-unresolved ``--faults`` specification.
+
+    Downtime windows without an explicit ``@START`` anchor need the run
+    duration to place themselves; everything else is already concrete.
+    :meth:`build` performs that resolution.
+    """
+
+    loss_rate: float = 0.0
+    delay: float = 0.0
+    #: (length, start-or-None) pairs; None anchors to the run duration.
+    downtime: tuple[tuple[float, Optional[float]], ...] = ()
+    cache_crashes: tuple[float, ...] = ()
+    retries: int = 0
+    backoff: float = 300.0
+    seed: int = 0
+
+    def build(self, duration: float) -> FaultPlan:
+        """Resolve against a run length and return the concrete plan."""
+        windows = tuple(
+            DowntimeWindow(
+                start=(
+                    start
+                    if start is not None
+                    else duration * DEFAULT_DOWNTIME_FRACTION
+                ),
+                length=length,
+            )
+            for length, start in self.downtime
+        )
+        return FaultPlan(
+            loss_rate=self.loss_rate,
+            delay=self.delay,
+            downtime=windows,
+            cache_crashes=self.cache_crashes,
+            retries=self.retries,
+            backoff=self.backoff,
+            seed=self.seed,
+        )
+
+
+def parse_faults(text: str) -> FaultSpec:
+    """Parse a ``--faults`` string into a :class:`FaultSpec`.
+
+    Raises:
+        ValueError: for unknown fields, malformed values, or
+            out-of-range rates (message names the offending field).
+    """
+    loss_rate = 0.0
+    delay = 0.0
+    downtime: list[tuple[float, Optional[float]]] = []
+    crashes: list[float] = []
+    retries = 0
+    backoff = 300.0
+    seed = 0
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(
+                f"bad --faults field {chunk!r}: expected name=value"
+            )
+        name, _, value = chunk.partition("=")
+        name = name.strip().lower()
+        value = value.strip()
+        if name == "loss":
+            try:
+                loss_rate = float(value)
+            except ValueError:
+                raise ValueError(f"bad loss rate: {value!r}") from None
+            if not 0.0 <= loss_rate <= 1.0:
+                raise ValueError(f"loss must be in [0, 1]: {value!r}")
+        elif name == "delay":
+            delay = _duration(value, "delay")
+        elif name == "downtime":
+            for part in value.split("+"):
+                length_text, at, start_text = part.partition("@")
+                length = _duration(length_text, "downtime")
+                start = _duration(start_text, "downtime start") if at else None
+                downtime.append((length, start))
+        elif name == "crash":
+            for part in value.split("+"):
+                crashes.append(_duration(part, "crash"))
+        elif name == "retries":
+            try:
+                retries = int(value)
+            except ValueError:
+                raise ValueError(f"bad retries count: {value!r}") from None
+            if retries < 0:
+                raise ValueError(f"retries must be non-negative: {value!r}")
+        elif name == "backoff":
+            backoff = _duration(value, "backoff")
+        elif name == "seed":
+            try:
+                seed = int(value)
+            except ValueError:
+                raise ValueError(f"bad seed: {value!r}") from None
+        else:
+            raise ValueError(
+                f"unknown --faults field {name!r}; expected one of "
+                "loss, delay, downtime, crash, retries, backoff, seed"
+            )
+    return FaultSpec(
+        loss_rate=loss_rate,
+        delay=delay,
+        downtime=tuple(downtime),
+        cache_crashes=tuple(sorted(crashes)),
+        retries=retries,
+        backoff=backoff,
+        seed=seed,
+    )

@@ -4,7 +4,10 @@ The sweep engine's contract (docs/PERFORMANCE.md) is *bit-identical
 output for every worker count*, and the PR-2 oracle replays runs
 assuming they are reproducible from their seeds.  Both collapse if any
 code inside the simulation core draws entropy from outside the seed
-chain.  Inside :data:`SCOPED_PACKAGES` this checker flags:
+chain.  The fault layer (:mod:`repro.faults`) is held to the same bar:
+a fault schedule is part of the experiment configuration, so loss draws
+and delivery times must be pure functions of the plan's seed.  Inside
+:data:`SCOPED_PACKAGES` this checker flags:
 
 * the stdlib global-state RNG: any ``random.<fn>()`` call or
   ``from random import ...`` (per-process hidden state; forked workers
@@ -39,7 +42,8 @@ from repro.lint.project import ModuleInfo, Project
 from repro.lint.registry import Checker, register
 
 #: Packages whose modules must be deterministic given their seeds.
-SCOPED_PACKAGES = ("repro.core", "repro.workload", "repro.verify")
+SCOPED_PACKAGES = ("repro.core", "repro.workload", "repro.verify",
+                   "repro.faults")
 
 #: ``module attr`` call patterns that read wall clocks or ambient entropy.
 _FORBIDDEN_CALLS: dict[tuple[str, str], str] = {

@@ -23,6 +23,26 @@ Two design points keep the engine both general and deterministic:
   and the oversubscription policy: parallelism is spent at the outermost
   level that requests it.
 
+The engine is also **crash tolerant**.  A forked worker that dies
+mid-task (OOM kill, segfault, a stray ``SIGKILL``) breaks the whole
+``ProcessPoolExecutor``; the naive ``pool.map`` loop this engine used to
+run would then hang or lose every in-flight result.  Instead, tasks are
+submitted per-index and harvested as they complete, so a broken pool
+costs only the tasks that had not finished: the engine rebuilds the pool
+(at most :data:`_MAX_POOL_RESTARTS` times) and re-dispatches the undone
+indices, then degrades to running any remainder serially in the parent.
+Two consequences for task authors:
+
+* tasks must be **pure** — a task interrupted by a crash is re-executed,
+  so side effects may happen twice;
+* per-task seeds must be derived from the task *index* (see
+  :func:`derive_seed`), never from worker identity, so a re-dispatched
+  task reproduces the exact result its first incarnation would have
+  returned, whichever worker (or the parent) runs it.
+
+Exceptions *raised by the task itself* are not retried — they propagate
+to the caller unchanged, exactly as on the serial path.
+
 Worker-count resolution precedence (highest wins):
 
 1. an explicit ``workers=`` argument (the CLI ``--workers`` flag),
@@ -52,7 +72,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from typing import (
     Any,
@@ -80,6 +100,9 @@ _active_task: Optional[tuple[Callable[[Any], Any], Sequence[Any]]] = None
 
 #: Serializes pool construction so ``_active_task`` is unambiguous.
 _pool_lock = threading.Lock()
+
+#: Pool rebuilds allowed after worker deaths before degrading to serial.
+_MAX_POOL_RESTARTS = 2
 
 _MASK64 = (1 << 64) - 1
 
@@ -164,6 +187,38 @@ def _run_indexed(index: int) -> tuple[int, Any]:
     return index, fn(items[index])
 
 
+def _pool_round(indices: Sequence[int], count: int) -> tuple[dict[int, Any], bool]:
+    """One pool attempt over ``indices`` of the active map.
+
+    Returns the results harvested this round (by index) and whether the
+    pool broke — a worker process died, taking its in-flight tasks with
+    it.  Successfully completed futures are harvested even when a later
+    one is broken, so a crash costs only the unfinished tasks.
+
+    Exceptions raised by the task function itself propagate.
+    """
+    harvested: dict[int, Any] = {}
+    broken = False
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(count, len(indices)),
+        mp_context=context,
+        initializer=_mark_worker,
+    ) as pool:
+        try:
+            futures = [pool.submit(_run_indexed, index) for index in indices]
+        except BrokenExecutor:
+            return harvested, True
+        for future in as_completed(futures):
+            try:
+                index, value = future.result()
+            except BrokenExecutor:
+                broken = True
+                continue
+            harvested[index] = value
+    return harvested, broken
+
+
 def map_ordered(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -183,6 +238,13 @@ def map_ordered(
     state: workers are forked and inherit it (see the module docstring).
     Exceptions raised by ``fn`` propagate to the caller in both modes.
 
+    A worker process that *dies* (rather than raises) breaks the pool;
+    the unfinished tasks are re-dispatched to a fresh pool up to
+    :data:`_MAX_POOL_RESTARTS` times, after which the remainder runs
+    serially in the calling process.  Completed results are never
+    discarded, but an interrupted task may execute more than once, so
+    tasks must be pure (see the module docstring).
+
     >>> map_ordered(lambda x: x * x, [3, 1, 2])
     [9, 1, 4]
     """
@@ -193,17 +255,23 @@ def map_ordered(
 
     global _active_task
     results: list[R] = [None] * len(items)  # type: ignore[list-item]
+    remaining = list(range(len(items)))
     with _pool_lock:
         _active_task = (fn, items)
         try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(count, len(items)),
-                mp_context=context,
-                initializer=_mark_worker,
-            ) as pool:
-                for index, value in pool.map(_run_indexed, range(len(items))):
+            restarts = 0
+            while remaining:
+                harvested, pool_broke = _pool_round(remaining, count)
+                for index, value in harvested.items():
                     results[index] = value
+                remaining = [i for i in remaining if i not in harvested]
+                if not pool_broke or not remaining:
+                    break
+                restarts += 1
+                if restarts > _MAX_POOL_RESTARTS:
+                    break  # persistent crasher: fall through to serial
         finally:
             _active_task = None
+    for index in remaining:
+        results[index] = fn(items[index])
     return results

@@ -32,6 +32,7 @@ from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
 from repro.core.simulator import Simulation, SimulatorMode, simulate
+from repro.faults.plan import FaultPlan
 from repro.verify.spec import (
     _CATEGORIES,
     _COUNTER_NAMES,
@@ -180,12 +181,17 @@ def verify_simulation(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
     charge_per_modification: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> tuple[SimulationResult, OracleReport]:
     """Run one simulation under the oracle and return both outcomes.
 
     The ``protocol`` instance must be fresh (unused): adaptive protocols
     carry state, and the spec re-derives that state from the instance's
-    construction parameters.
+    construction parameters.  A ``faults`` plan is handed to both sides
+    (it is configuration, like ``costs``): each compiles its own
+    schedule from its own view of the modification feed, and the oracle
+    then diffs the two replays of the faulty delivery — loss, retries,
+    drops, crashes, and the ``fault_*`` event kinds included.
 
     Raises:
         ConsistencyViolation: on any counter, ledger, or event
@@ -205,6 +211,7 @@ def verify_simulation(
         start_time=start_time,
         observer=lambda kind, t, oid: events.append((kind, t, oid)),
         charge_per_modification=charge_per_modification,
+        faults=faults,
     )
     result = sim.run(request_list, end_time=end_time)
 
@@ -216,6 +223,7 @@ def verify_simulation(
         charge_per_modification=charge_per_modification,
         preload=preload,
         start_time=start_time,
+        faults=faults,
     )
     outcome = spec.run(request_list, end_time=end_time)
 
@@ -242,6 +250,7 @@ def checked_simulate(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
     charge_per_modification: bool = True,
+    faults: Optional[FaultPlan] = None,
     force: bool = False,
 ) -> SimulationResult:
     """Drop-in for :func:`~repro.core.simulator.simulate` that
@@ -269,6 +278,7 @@ def checked_simulate(
             start_time=start_time,
             end_time=end_time,
             charge_per_modification=charge_per_modification,
+            faults=faults,
         )
     try:
         rule_for(protocol)
@@ -283,6 +293,7 @@ def checked_simulate(
             start_time=start_time,
             end_time=end_time,
             charge_per_modification=charge_per_modification,
+            faults=faults,
         )
     result, _report = verify_simulation(
         server,
@@ -294,5 +305,6 @@ def checked_simulate(
         start_time=start_time,
         end_time=end_time,
         charge_per_modification=charge_per_modification,
+        faults=faults,
     )
     return result

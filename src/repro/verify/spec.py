@@ -38,12 +38,21 @@ from repro.core.protocols import (
     ConsistencyProtocol,
     ExpiresTTLProtocol,
     InvalidationProtocol,
+    LeasedInvalidationProtocol,
     PollEveryRequestProtocol,
     SelfTuningProtocol,
     TTLProtocol,
 )
 from repro.core.server import OriginServer
 from repro.core.simulator import SimulatorMode
+from repro.faults.plan import (
+    ATTEMPT_LOST,
+    ATTEMPT_SENT,
+    CRASH,
+    DROP,
+    FaultAction,
+    FaultPlan,
+)
 
 #: Ledger categories, mirrored from the paper's §3 bandwidth breakdown.
 _CATEGORIES = (
@@ -178,6 +187,21 @@ class _InvalidationRule(SpecRule):
         return entry.valid
 
 
+class _LeasedInvalidationRule(SpecRule):
+    """Hardened invalidation: the callback flag *and* a bounded lease —
+    a copy is never served more than ``lease`` seconds past its last
+    validation, so lost callbacks cannot cause unbounded staleness."""
+
+    wants_feed = True
+
+    def __init__(self, lease: float, eager: bool) -> None:
+        self.lease = lease
+        self.eager = eager
+
+    def fresh(self, entry: SpecEntry, now: float) -> bool:
+        return entry.valid and now - entry.validated_at < self.lease
+
+
 class _PollRule(SpecRule):
     """Figure 8's degenerate case: check with the server every request."""
 
@@ -266,6 +290,8 @@ def rule_for(protocol: ConsistencyProtocol) -> SpecRule:
         return _AlexRule(protocol.threshold)
     if kind is InvalidationProtocol:
         return _InvalidationRule(protocol.eager)
+    if kind is LeasedInvalidationProtocol:
+        return _LeasedInvalidationRule(protocol.lease, protocol.eager)
     if kind is PollEveryRequestProtocol:
         return _PollRule()
     if kind is CERNPolicyProtocol:
@@ -332,6 +358,11 @@ class SpecModel:
             :class:`repro.core.simulator.Simulation`.
         preload: whether the run starts from a fully preloaded cache.
         start_time: when the run begins.
+        faults: the :class:`repro.faults.FaultPlan` the simulator ran
+            under, if any.  The spec compiles the *same* plan against
+            its own naively-rebuilt feed (the schedule is configuration,
+            like ``costs``) and independently re-derives every charge,
+            counter, and event the faulty delivery should produce.
     """
 
     def __init__(
@@ -344,6 +375,7 @@ class SpecModel:
         charge_per_modification: bool = True,
         preload: bool = True,
         start_time: float = 0.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.server = server
         self.rule = rule
@@ -361,6 +393,9 @@ class SpecModel:
         # The modification feed, rebuilt naively from raw schedules.
         self._feed: list[tuple[float, str]] = []
         self._feed_idx = 0
+        self._actions: tuple[FaultAction, ...] = ()
+        self._action_idx = 0
+        self._faulty = faults is not None
         if rule.wants_feed:
             for oid, history in server.histories().items():
                 for mod_time in history.schedule.times:
@@ -371,6 +406,15 @@ class SpecModel:
                 and self._feed[self._feed_idx][0] <= start_time
             ):
                 self._feed_idx += 1
+        if faults is not None:
+            # Same plan, independently-rebuilt feed: the compiled
+            # schedule is identical to the simulator's by construction
+            # (both feeds are the full modification set sorted by
+            # (time, id)), and the fault loop replaces the plain one.
+            self._actions = faults.compile(
+                tuple(self._feed) if rule.wants_feed else (),
+                start_time=start_time,
+            )
         if preload:
             for oid, history in server.histories().items():
                 if not history.obj.cacheable:
@@ -435,11 +479,76 @@ class SpecModel:
                 self.events.append(("prefetch", mod_time, oid))
         self._feed_idx = idx
 
+    def _process_actions_until(self, t: float) -> None:
+        """Replay the compiled fault schedule up to ``t``, naively.
+
+        Mirrors the semantics documented in :mod:`repro.faults.plan`
+        without sharing the simulator's code: attempts that leave the
+        server are charged (even if lost), deliveries invalidate unless
+        a refetch superseded them, drops and crashes only emit their
+        fault events.
+        """
+        actions = self._actions
+        idx = self._action_idx
+        while idx < len(actions) and actions[idx].time <= t:
+            action = actions[idx]
+            idx += 1
+            if action.kind == CRASH:
+                self.entries.clear()
+                self.events.append(("fault_cache_crash", action.time, ""))
+                continue
+            entry = self.entries.get(action.object_id)
+            if entry is None:
+                continue
+            if action.kind == ATTEMPT_SENT or action.kind == ATTEMPT_LOST:
+                if entry.valid or self.charge_per_modification:
+                    self.counters["server_invalidations_sent"] += 1
+                    self._charge("invalidation", self.control, 0)
+                    if action.kind == ATTEMPT_LOST:
+                        self.events.append(
+                            ("fault_invalidation_lost", action.time,
+                             action.object_id)
+                        )
+            elif action.kind == DROP:
+                if entry.valid:
+                    self.events.append(
+                        ("fault_invalidation_dropped", action.time,
+                         action.object_id)
+                    )
+            else:  # deliver
+                went_invalid = (
+                    entry.valid and entry.last_modified < action.mod_time
+                )
+                if went_invalid:
+                    entry.valid = False
+                if went_invalid or self.charge_per_modification:
+                    self.counters["invalidations_received"] += 1
+                    if action.attempt > 0:
+                        self.events.append(
+                            ("fault_invalidation_recovered", action.time,
+                             action.object_id)
+                        )
+                    self.events.append(
+                        ("invalidation", action.time, action.object_id)
+                    )
+                if self.rule.eager:
+                    size = self.server.object(action.object_id).size
+                    self._charge("prefetch", 2 * self.control, size)
+                    self.counters["prefetches"] += 1
+                    self.counters["server_gets"] += 1
+                    self._store(action.object_id, action.time)
+                    self.events.append(
+                        ("prefetch", action.time, action.object_id)
+                    )
+        self._action_idx = idx
+
     # -- the replay ------------------------------------------------------------
 
     def step(self, t: float, object_id: str) -> None:
         """Re-derive one request's outcome from first principles."""
-        if self._feed:
+        if self._faulty:
+            self._process_actions_until(t)
+        elif self._feed:
             self._deliver_until(t)
         self.counters["requests"] += 1
         history = self.server.history(object_id)
@@ -509,8 +618,11 @@ class SpecModel:
         """Replay the full stream and return everything predicted."""
         for t, object_id in requests:
             self.step(t, object_id)
-        if end_time is not None and self._feed:
-            self._deliver_until(end_time)
+        if end_time is not None:
+            if self._faulty:
+                self._process_actions_until(end_time)
+            elif self._feed:
+                self._deliver_until(end_time)
         return SpecOutcome(
             events=self.events,
             counters=self.counters,

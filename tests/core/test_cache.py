@@ -87,6 +87,70 @@ class TestInvalidate:
         assert "/x" in cache  # marked, not evicted (Worrell's optimization)
 
 
+class TestGenerationGuard:
+    """A callback for a superseded generation must not kill a fresh copy.
+
+    The scenario (impossible under instant in-order delivery, routine
+    under :mod:`repro.faults`): the entry was evicted and *refetched*
+    after a modification, so its ``last_modified`` already reflects the
+    change the late-arriving callback announces.
+    """
+
+    def test_superseded_callback_is_a_noop(self):
+        cache = Cache()
+        cache.store(entry(last_modified=50.0))  # refetched copy
+        assert cache.invalidate("/x", modified_at=50.0) is False
+        assert cache.invalidate("/x", modified_at=20.0) is False
+        assert cache.peek("/x").valid is True
+
+    def test_newer_generation_still_invalidates(self):
+        cache = Cache()
+        cache.store(entry(last_modified=50.0))
+        assert cache.invalidate("/x", modified_at=60.0) is True
+        assert cache.peek("/x").valid is False
+
+    def test_no_timestamp_preserves_legacy_behaviour(self):
+        cache = Cache()
+        cache.store(entry(last_modified=50.0))
+        assert cache.invalidate("/x") is True
+
+    def test_evict_refetch_callback_round_trip(self):
+        """The full sequence against a bounded cache."""
+        cache = Cache(capacity_bytes=150)
+        cache.store(entry("/a", size=100, last_modified=-days(10)))
+        cache.store(entry("/b", size=100))         # evicts /a
+        assert "/a" not in cache
+        cache.store(entry("/a", size=100, last_modified=30.0))  # refetch
+        # The delayed callback for the change at t=30 finally arrives.
+        assert cache.invalidate("/a", modified_at=30.0) is False
+        assert cache.peek("/a").valid is True
+
+
+class TestClear:
+    def test_clear_empties_and_returns_count(self):
+        cache = Cache()
+        cache.store(entry("/a"))
+        cache.store(entry("/b", size=200))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_clear_does_not_count_as_eviction(self):
+        cache = Cache(capacity_bytes=1000)
+        cache.store(entry("/a"))
+        evictions_before = cache.evictions
+        cache.clear()
+        assert cache.evictions == evictions_before
+
+    def test_cache_usable_after_clear(self):
+        cache = Cache(capacity_bytes=150)
+        cache.store(entry("/a", size=100))
+        cache.clear()
+        cache.store(entry("/b", size=100))
+        cache.store(entry("/c", size=100))  # LRU still enforced
+        assert "/b" not in cache and "/c" in cache
+
+
 class TestCapacityAndLRU:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):

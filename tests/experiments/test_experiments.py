@@ -26,7 +26,8 @@ def _fresh_caches():
     "experiment_id",
     ["figure1", "figure2", "figure3", "figure4", "figure5",
      "figure6", "figure7", "figure8", "table1", "table2",
-     "ext-latency", "ext-dynamic", "ext-scalability", "ext-worrell"],
+     "ext-latency", "ext-dynamic", "ext-scalability", "ext-worrell",
+     "ext-faults"],
 )
 def test_experiment_checks_pass(experiment_id):
     report = run_experiment(experiment_id, scale=SCALE, seed=SEED)

@@ -11,6 +11,7 @@ class TestRegistry:
             "figure1", "figure2", "figure3", "figure4", "figure5",
             "figure6", "figure7", "figure8", "table1", "table2",
             "ext-latency", "ext-dynamic", "ext-scalability", "ext-worrell",
+            "ext-faults",
         }
 
     def test_paper_experiments_precede_extensions(self):

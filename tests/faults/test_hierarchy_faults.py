@@ -1,0 +1,75 @@
+"""Fault injection on the hierarchy's origin→root link."""
+
+from repro.core.hierarchy import CacheNode, HierarchySimulation
+from repro.core.metrics import INVALIDATION
+from repro.core.protocols import InvalidationProtocol
+from repro.core.server import OriginServer
+from repro.faults import DowntimeWindow, FaultPlan
+from tests.conftest import make_history
+
+
+def build(histories, faults=None, charge_per_modification=False):
+    server = OriginServer(histories)
+    root = CacheNode("root", InvalidationProtocol())
+    leaf = CacheNode("leaf", InvalidationProtocol(), parent=root)
+    sim = HierarchySimulation(
+        server, root, [leaf],
+        deliver_invalidations=True,
+        charge_per_modification=charge_per_modification,
+        faults=faults,
+    )
+    sim.preload(at=0.0)
+    return sim
+
+
+class TestHierarchyFaults:
+    def test_no_plan_keeps_tree_consistent(self):
+        sim = build([make_history("/f", changes=(10.0,))])
+        assert sim.request("leaf", "/f", 5.0) is False
+        assert sim.request("leaf", "/f", 50.0) is False  # callback arrived
+
+    def test_certain_loss_makes_the_whole_tree_stale(self):
+        sim = build(
+            [make_history("/f", changes=(10.0,))],
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        assert sim.request("leaf", "/f", 5.0) is False
+        # The notice died on the origin→root link: root and leaf both
+        # serve the old copy.
+        assert sim.request("leaf", "/f", 50.0) is True
+
+    def test_lost_notice_still_charged_on_uplink(self):
+        sim = build(
+            [make_history("/f", changes=(10.0,))],
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        sim.request("leaf", "/f", 5.0)
+        before = sim.root.uplink.control_bytes[INVALIDATION]
+        sim.request("leaf", "/f", 50.0)
+        # The origin sent (and paid for) the root notification even
+        # though the network lost it.
+        assert sim.root.uplink.control_bytes[INVALIDATION] > before
+
+    def test_downtime_notice_never_sent_nor_charged(self):
+        sim = build(
+            [make_history("/f", changes=(10.0,))],
+            faults=FaultPlan(downtime=(DowntimeWindow(start=8.0, length=5.0),)),
+        )
+        sim.request("leaf", "/f", 5.0)
+        sim.request("leaf", "/f", 50.0)
+        assert sim.root.uplink.control_bytes[INVALIDATION] == 0
+
+    def test_generation_guard_propagates_down_the_tree(self):
+        # receive_invalidation forwards modified_at recursively, so a
+        # superseded notice is a no-op at every level.
+        sim = build([make_history("/f", changes=(10.0,))])
+        sim.request("leaf", "/f", 5.0)
+        root = sim.root
+        entry = root.cache.peek("/f")
+        assert entry is not None and entry.valid
+        # Re-deliver an already-superseded generation by hand: the
+        # guard must keep the copy valid at every level.
+        root.receive_invalidation("/f", modified_at=entry.last_modified)
+        assert entry.valid
+        leaf_entry = sim.leaves["leaf"].cache.peek("/f")
+        assert leaf_entry is not None and leaf_entry.valid

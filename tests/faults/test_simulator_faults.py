@@ -1,0 +1,310 @@
+"""Fault injection through the production simulator.
+
+The contract has two halves: a missing (or null) plan changes *nothing*
+— byte-identical counters, ledger, and event stream — and a lossy plan
+produces exactly the staleness the paper warns about, recoverable by
+retries and bounded by the lease.
+"""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.clock import hours
+from repro.core.protocols import (
+    InvalidationProtocol,
+    LeasedInvalidationProtocol,
+    TTLProtocol,
+)
+from repro.core.results import result_to_dict
+from repro.core.server import OriginServer
+from repro.core.simulator import EVENT_KINDS, SimulatorMode, Simulation, simulate
+from repro.faults import DowntimeWindow, FaultPlan
+from repro.workload.worrell import WorrellWorkload
+from tests.conftest import make_history
+
+
+def run_with_events(server, protocol, requests, *, faults=None, **kwargs):
+    events = []
+    sim = Simulation(
+        server, protocol, SimulatorMode.OPTIMIZED,
+        observer=lambda kind, t, oid: events.append((kind, t, oid)),
+        faults=faults, **kwargs,
+    )
+    result = sim.run(requests, end_time=kwargs.pop("end_time", None))
+    return result, events
+
+
+@pytest.fixture(scope="module")
+def worrell():
+    return WorrellWorkload(files=30, requests=2500, seed=5).build()
+
+
+class TestNullPlanEquivalence:
+    """faults=FaultPlan() must be byte-identical to faults=None."""
+
+    @pytest.mark.parametrize("eager", [False, True])
+    @pytest.mark.parametrize("per_mod", [False, True])
+    def test_invalidation_byte_identical(self, worrell, eager, per_mod):
+        baseline, base_events = run_with_events(
+            worrell.server(), InvalidationProtocol(eager=eager),
+            worrell.requests, charge_per_modification=per_mod,
+        )
+        nulled, null_events = run_with_events(
+            worrell.server(), InvalidationProtocol(eager=eager),
+            worrell.requests, faults=FaultPlan(),
+            charge_per_modification=per_mod,
+        )
+        assert result_to_dict(nulled) == result_to_dict(baseline)
+        assert null_events == base_events
+
+    def test_leased_byte_identical(self, worrell):
+        baseline, base_events = run_with_events(
+            worrell.server(), LeasedInvalidationProtocol(hours(24)),
+            worrell.requests,
+        )
+        nulled, null_events = run_with_events(
+            worrell.server(), LeasedInvalidationProtocol(hours(24)),
+            worrell.requests, faults=FaultPlan(),
+        )
+        assert result_to_dict(nulled) == result_to_dict(baseline)
+        assert null_events == base_events
+
+    def test_plan_ignored_by_polling_protocols_except_crashes(self, worrell):
+        # TTL wants no invalidations: a loss-only plan compiles an empty
+        # schedule and the run is identical to the fault-free one.
+        baseline = simulate(
+            worrell.server(), TTLProtocol(hours(10)), worrell.requests,
+        )
+        faulted = simulate(
+            worrell.server(), TTLProtocol(hours(10)), worrell.requests,
+            faults=FaultPlan(loss_rate=0.9, retries=2),
+        )
+        assert result_to_dict(faulted) == result_to_dict(baseline)
+
+
+class TestLossAndRecovery:
+    def test_certain_loss_serves_stale_forever(self):
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, InvalidationProtocol(),
+            [(5.0, "/f"), (50.0, "/f"), (5000.0, "/f")],
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        # The invalidation never arrives: both post-change hits are stale.
+        assert result.counters.stale_hits == 2
+        assert ("fault_invalidation_lost", 10.0, "/f") in events
+        assert ("fault_invalidation_dropped", 10.0, "/f") in events
+
+    def test_lost_attempt_still_charged(self):
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, _ = run_with_events(
+            server, InvalidationProtocol(), [(5.0, "/f"), (50.0, "/f")],
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        # The message was sent (and paid for); the network ate it.
+        assert result.counters.server_invalidations_sent == 1
+        assert result.counters.invalidations_received == 0
+
+    def test_retry_recovers_and_emits_recovered_event(self):
+        # Attempt 0 lost, attempt 1 delivered (seed chosen accordingly).
+        plan = None
+        for seed in range(50):
+            candidate = FaultPlan(
+                loss_rate=0.5, retries=1, backoff=20.0, seed=seed,
+            )
+            kinds = [a.kind for a in candidate.compile(((10.0, "/f"),))]
+            if kinds == ["attempt_lost", "attempt_sent", "deliver"]:
+                plan = candidate
+                break
+        assert plan is not None, "no seed produced lost-then-delivered"
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, InvalidationProtocol(),
+            [(5.0, "/f"), (15.0, "/f"), (50.0, "/f")],
+            faults=plan,
+        )
+        # Stale only in the window before the retry lands at t=30.
+        assert result.counters.stale_hits == 1
+        assert ("fault_invalidation_recovered", 30.0, "/f") in events
+        assert ("invalidation", 30.0, "/f") in events
+
+    def test_retries_reduce_staleness_at_scale(self, worrell):
+        lossy = simulate(
+            worrell.server(), InvalidationProtocol(), worrell.requests,
+            faults=FaultPlan(loss_rate=0.6, seed=3),
+            end_time=worrell.duration,
+        )
+        retried = simulate(
+            worrell.server(), InvalidationProtocol(), worrell.requests,
+            faults=FaultPlan(loss_rate=0.6, retries=4, backoff=300.0, seed=3),
+            end_time=worrell.duration,
+        )
+        assert lossy.counters.stale_hits > 0
+        assert retried.counters.stale_hits < lossy.counters.stale_hits
+        assert (
+            retried.counters.server_invalidations_sent
+            > lossy.counters.server_invalidations_sent
+        )
+
+    def test_delayed_delivery_creates_a_stale_window(self):
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, InvalidationProtocol(),
+            [(5.0, "/f"), (30.0, "/f"), (80.0, "/f")],
+            faults=FaultPlan(delay=50.0),
+        )
+        # Stale at t=30 (notice in flight), invalid at t=80 (validation).
+        assert result.counters.stale_hits == 1
+        assert ("invalidation", 60.0, "/f") in events
+
+    def test_downtime_window_abandons_notices(self):
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, InvalidationProtocol(), [(5.0, "/f"), (50.0, "/f")],
+            faults=FaultPlan(downtime=(DowntimeWindow(start=8.0, length=5.0),)),
+        )
+        assert result.counters.stale_hits == 1
+        assert result.counters.server_invalidations_sent == 0
+        assert ("fault_invalidation_dropped", 10.0, "/f") in events
+
+
+class TestLeaseBound:
+    def test_lease_expiry_revalidates_a_stale_copy(self):
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, LeasedInvalidationProtocol(lease=100.0),
+            [(50.0, "/f"), (99.0, "/f"), (101.0, "/f"), (150.0, "/f")],
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        kinds = [kind for kind, _, _ in events if kind != "fault_invalidation_lost"
+                 and kind != "fault_invalidation_dropped"]
+        # Two stale serves inside the lease, then the lease forces a
+        # revalidation (200: content changed) and the copy is clean.
+        assert kinds == ["stale_hit", "stale_hit", "validation_200", "hit"]
+        assert result.counters.stale_hits == 2
+
+    def test_every_stale_serve_younger_than_lease(self, worrell):
+        """The structural bound, asserted per event.
+
+        An entry is freshened (validated_at reset) by preload, misses,
+        validations, and prefetches; with loss_rate=1 no invalidation
+        ever arrives, so every stale hit must occur within ``lease``
+        seconds of the object's latest freshening.
+        """
+        lease = hours(24)
+        events = []
+        sim = Simulation(
+            worrell.server(), LeasedInvalidationProtocol(lease),
+            SimulatorMode.OPTIMIZED,
+            observer=lambda kind, t, oid: events.append((kind, t, oid)),
+            faults=FaultPlan(loss_rate=1.0),
+        )
+        result = sim.run(worrell.requests, end_time=worrell.duration)
+        assert result.counters.stale_hits > 0  # the bound is exercised
+        freshened = {h.object_id: 0.0 for h in worrell.histories}
+        for kind, t, oid in events:
+            if kind in ("miss", "validation_304", "validation_200",
+                        "prefetch", "dynamic_fetch"):
+                freshened[oid] = t
+            elif kind == "stale_hit":
+                assert t - freshened[oid] < lease, (
+                    f"stale serve of {oid} at {t} is "
+                    f"{t - freshened[oid]:.0f}s after its last validation"
+                    f" — exceeds the {lease:.0f}s lease"
+                )
+
+
+class TestCacheCrash:
+    def test_crash_wipes_state_and_emits_event(self):
+        server = OriginServer([make_history("/f")])
+        result, events = run_with_events(
+            server, InvalidationProtocol(), [(5.0, "/f"), (15.0, "/f")],
+            faults=FaultPlan(cache_crashes=(10.0,)),
+        )
+        assert ("fault_cache_crash", 10.0, "") in events
+        # Preload made t=5 a hit; the crash makes t=15 a cold miss.
+        assert result.counters.hits == 1
+        assert result.counters.misses == 1
+
+    def test_crash_then_refetch_ignores_superseded_callback(self):
+        """The generation guard, end to end (delayed callback variant).
+
+        A copy refetched *after* the modification must not be
+        re-invalidated when the old, delayed notice finally lands.
+        """
+        server = OriginServer([make_history("/f", changes=(10.0,))])
+        result, events = run_with_events(
+            server, InvalidationProtocol(),
+            [(5.0, "/f"), (20.0, "/f"), (80.0, "/f")],
+            faults=FaultPlan(delay=50.0, cache_crashes=(15.0,)),
+            charge_per_modification=False,
+        )
+        # t=20 misses (crash wiped the cache) and fetches the *current*
+        # content; the notice for the t=10 change lands at t=60 but is
+        # superseded — t=80 must be a plain fresh hit.
+        assert [(k, t) for k, t, _ in events] == [
+            ("hit", 5.0),
+            ("fault_cache_crash", 15.0),
+            ("miss", 20.0),
+            ("hit", 80.0),
+        ]
+        assert result.counters.stale_hits == 0
+        assert result.counters.invalidations_received == 0
+
+
+class TestEvictRefetchGuard:
+    def test_evicted_then_refetched_copy_survives_old_callback(self):
+        """Satellite regression: eviction + refetch + stale callback.
+
+        With a bounded cache, an entry can be evicted and re-fetched
+        between a modification and the (delayed) arrival of its
+        invalidation.  The refetched copy embodies the new content; the
+        old callback must be a no-op, not a validity kill.
+        """
+        server = OriginServer([
+            make_history("/a", size=1000, changes=(10.0,)),
+            make_history("/b", size=1000),
+        ])
+        cache = Cache(capacity_bytes=1500)
+        events = []
+        sim = Simulation(
+            server, InvalidationProtocol(), SimulatorMode.OPTIMIZED,
+            cache=cache, preload=False,
+            observer=lambda kind, t, oid: events.append((kind, t, oid)),
+            charge_per_modification=False,
+            faults=FaultPlan(delay=50.0),
+        )
+        result = sim.run(
+            [(1.0, "/a"), (20.0, "/a"), (30.0, "/b"), (40.0, "/a"),
+             (70.0, "/a")],
+        )
+        # t=30 evicts /a (capacity); t=40 refetches current content;
+        # the t=10 notice arrives at t=60 and must be superseded.
+        assert ("stale_hit", 20.0, "/a") in events
+        assert events[-1] == ("hit", 70.0, "/a")
+        assert result.counters.stale_hits == 1
+        assert result.counters.invalidations_received == 0
+        entry = cache.peek("/a")
+        assert entry is not None and entry.valid
+
+
+class TestEventAlphabet:
+    def test_fault_kinds_registered(self):
+        for kind in ("fault_invalidation_lost", "fault_invalidation_dropped",
+                     "fault_invalidation_recovered", "fault_cache_crash"):
+            assert kind in EVENT_KINDS
+
+    def test_faulty_run_emits_only_known_kinds(self, worrell):
+        events = []
+        sim = Simulation(
+            worrell.server(), InvalidationProtocol(), SimulatorMode.OPTIMIZED,
+            observer=lambda kind, t, oid: events.append(kind),
+            faults=FaultPlan(
+                loss_rate=0.4, retries=2, backoff=600.0, delay=30.0,
+                cache_crashes=(worrell.duration / 2,), seed=8,
+            ),
+        )
+        sim.run(worrell.requests, end_time=worrell.duration)
+        assert set(events) <= set(EVENT_KINDS)
+        assert "fault_invalidation_lost" in events
+        assert "fault_cache_crash" in events

@@ -1,0 +1,72 @@
+"""The ``--faults`` grammar: parsing, defaults, resolution, errors."""
+
+import pytest
+
+from repro.faults import parse_faults
+from repro.faults.spec import DEFAULT_DOWNTIME_FRACTION
+
+
+class TestParse:
+    def test_empty_string_is_the_null_spec(self):
+        plan = parse_faults("").build(duration=100.0)
+        assert plan.is_null
+
+    def test_loss_and_downtime(self):
+        spec = parse_faults("loss=0.05,downtime=2h")
+        assert spec.loss_rate == 0.05
+        assert spec.downtime == ((7200.0, None),)
+
+    def test_unanchored_downtime_resolves_to_duration_fraction(self):
+        plan = parse_faults("downtime=2h").build(duration=100_000.0)
+        assert plan.downtime[0].start == 100_000.0 * DEFAULT_DOWNTIME_FRACTION
+        assert plan.downtime[0].length == 7200.0
+
+    def test_anchored_and_repeated_downtime(self):
+        plan = parse_faults("downtime=2h@10h+30m@40h").build(duration=0.0)
+        assert [(w.start, w.length) for w in plan.downtime] == [
+            (36_000.0, 7200.0), (144_000.0, 1800.0),
+        ]
+
+    def test_crash_instants_sorted(self):
+        spec = parse_faults("crash=40h+20h")
+        assert spec.cache_crashes == (72_000.0, 144_000.0)
+
+    def test_retry_policy_and_seed(self):
+        spec = parse_faults("retries=3,backoff=5m,seed=11")
+        assert spec.retries == 3
+        assert spec.backoff == 300.0
+        assert spec.seed == 11
+
+    def test_duration_units(self):
+        spec = parse_faults("delay=90")
+        assert spec.delay == 90.0  # seconds by default
+        assert parse_faults("delay=1.5m").delay == 90.0
+        assert parse_faults("delay=1.5d").delay == 129_600.0
+
+    def test_whitespace_and_order_tolerated(self):
+        spec = parse_faults(" seed=2 , loss=0.1 ")
+        assert spec.seed == 2
+        assert spec.loss_rate == 0.1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("loss=banana", "loss rate"),
+            ("loss=1.5", r"loss must be in \[0, 1\]"),
+            ("delay=fast", "delay"),
+            ("downtime=soon", "downtime"),
+            ("downtime=2h@nope", "downtime start"),
+            ("crash=whenever", "crash"),
+            ("retries=-1", "retries"),
+            ("retries=two", "retries"),
+            ("backoff=zzz", "backoff"),
+            ("seed=x", "seed"),
+            ("turbulence=0.5", "unknown --faults field"),
+            ("loss", "name=value"),
+        ],
+    )
+    def test_malformed_field_names_the_culprit(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_faults(text)

@@ -1,5 +1,8 @@
 """The process-pool sweep engine: resolution, mapping, equivalence."""
 
+import os
+import signal
+
 import pytest
 
 from repro.analysis.sweep import sweep_alex, sweep_ttl
@@ -107,6 +110,53 @@ class TestMapOrdered:
     def test_empty_and_single_item(self):
         assert map_ordered(lambda x: x, [], workers=4) == []
         assert map_ordered(lambda x: -x, [5], workers=4) == [-5]
+
+
+class TestCrashTolerance:
+    """A worker that dies mid-task must not hang ``map_ordered``.
+
+    The tasks below SIGKILL their own worker process — the failure mode
+    a plain ``pool.map`` loop turns into a lost result or a hang.  The
+    ``engine._in_worker`` guard keeps the kill inside pool workers only,
+    so the serial fallback (and the parent) always survives.
+    """
+
+    def test_killed_worker_recovers(self, tmp_path):
+        marker = tmp_path / "killed-once"
+
+        def task(x):
+            if x == 3 and engine._in_worker and not marker.exists():
+                marker.write_text("x")
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x * x
+
+        expected = [x * x for x in range(8)]
+        assert map_ordered(task, list(range(8)), workers=2) == expected
+        assert marker.exists()  # the kill really happened
+
+    def test_persistent_crasher_degrades_to_serial(self):
+        # Index 1 kills *every* worker that picks it up, so every pool
+        # round breaks; after the restart budget the engine must finish
+        # the remainder serially in the parent (where the guard is off).
+        def task(x):
+            if x == 1 and engine._in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x + 100
+
+        assert map_ordered(task, [0, 1, 2, 3], workers=2) == [
+            100, 101, 102, 103,
+        ]
+
+    def test_task_exception_still_propagates_after_crash_rework(self):
+        # A task that *raises* is a task failure, not a worker death:
+        # no retry, the exception surfaces unchanged.
+        def boom(x):
+            if x == 0:
+                raise KeyError("task bug")
+            return x
+
+        with pytest.raises(KeyError, match="task bug"):
+            map_ordered(boom, [0, 1, 2], workers=2)
 
 
 @pytest.fixture(scope="module")

@@ -8,6 +8,7 @@ from repro.core.protocols import (
     AlexProtocol,
     CERNPolicyProtocol,
     InvalidationProtocol,
+    LeasedInvalidationProtocol,
     PollEveryRequestProtocol,
     SelfTuningProtocol,
     TTLProtocol,
@@ -36,6 +37,11 @@ class TestBuildProtocol:
         proto = build_protocol("cern", 10)
         assert isinstance(proto, CERNPolicyProtocol)
         assert proto.lm_fraction == pytest.approx(0.1)
+
+    def test_leased_hours(self):
+        proto = build_protocol("leased", 24)
+        assert isinstance(proto, LeasedInvalidationProtocol)
+        assert proto.lease == hours(24)
 
     def test_selftuning(self):
         proto = build_protocol("SelfTuning", 20)
@@ -140,6 +146,31 @@ class TestEndToEnd:
         with pytest.raises(SystemExit):
             main(["sweep", str(trace_file), "--protocol", "poll"])
 
+    def test_simulate_with_faults_and_leased_protocol(
+        self, trace_file, capsys
+    ):
+        assert main(["simulate", str(trace_file), "--protocol", "leased",
+                     "--parameter", "24",
+                     "--faults", "loss=0.4,seed=3", "--verify"]) == 0
+        assert "leased-invalidation(24h)" in capsys.readouterr().out
+
+    def test_faults_make_invalidation_stale(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file),
+                     "--protocol", "invalidation"]) == 0
+        clean = capsys.readouterr().out
+        assert main(["simulate", str(trace_file),
+                     "--protocol", "invalidation",
+                     "--faults", "loss=1.0"]) == 0
+        lossy = capsys.readouterr().out
+        assert "0.00%" in clean   # perfect consistency without faults
+        assert clean != lossy
+
+    def test_sweep_with_faults(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file), "--protocol", "alex",
+                     "--step", "50",
+                     "--faults", "loss=0.3,downtime=2h,seed=1"]) == 0
+        assert "inval" in capsys.readouterr().out
+
     def test_simulation_from_reconstructed_server_is_sane(self, trace_file):
         """Invalidation over a reconstructed server still never stale."""
         from repro.cli import _simulate_trace
@@ -207,6 +238,14 @@ class TestArgumentErrors:
         )
         assert cmd_simulate(args) == 2
         assert "unknown protocol" in capsys.readouterr().err
+
+    def test_malformed_faults_spec_returns_two(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file),
+                     "--faults", "loss=banana"]) == 2
+        assert "loss rate" in capsys.readouterr().err
+        assert main(["sweep", str(trace_file), "--protocol", "ttl",
+                     "--faults", "turbulence=0.5"]) == 2
+        assert "unknown --faults field" in capsys.readouterr().err
 
     def test_unknown_experiment_id_rejected(self):
         from repro.experiments.__main__ import main as experiments_main

@@ -14,6 +14,9 @@ import repro.core.server
 import repro.core.simulator
 import repro.experiments.common
 import repro.experiments.registry
+import repro.faults.plan
+import repro.faults.rng
+import repro.faults.spec
 import repro.runtime.engine
 import repro.runtime.stats
 
@@ -24,6 +27,9 @@ MODULES_WITH_DOCTESTS = [
     repro.core.simulator,
     repro.experiments.common,
     repro.experiments.registry,
+    repro.faults.plan,
+    repro.faults.rng,
+    repro.faults.spec,
     repro.runtime.engine,
     repro.runtime.stats,
 ]
