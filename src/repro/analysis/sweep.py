@@ -35,7 +35,6 @@ the report/plot layers are tested:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -50,6 +49,9 @@ from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult, average_results
 from repro.core.simulator import SimulatorMode
 from repro.faults.plan import FaultPlan
+from repro.obs import clock as obs_clock
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime import RunStats, map_ordered, record, resolve_workers
 from repro.verify.oracle import checked_simulate, is_enabled
 from repro.workload.base import Workload
@@ -210,7 +212,7 @@ def sweep_protocol(
             the whole grid experiences the *same* delivery faults.
     """
     resolved = resolve_workers(workers)
-    started = time.perf_counter()
+    started = obs_clock.monotonic()
 
     tasks: list = list(parameters)
     if include_invalidation:
@@ -241,7 +243,7 @@ def sweep_protocol(
     if invalidation:
         simulated += round(invalidation["requests"]) * len(workloads)
     stats = RunStats(
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=obs_clock.monotonic() - started,
         simulated_requests=simulated,
         workers=resolved,
         grid_points=len(points),
@@ -249,6 +251,14 @@ def sweep_protocol(
         verified_runs=len(tasks) * len(workloads) if is_enabled() else 0,
     )
     record(stats)
+    obs_metrics.set_gauge("sweep.grid_points", float(len(points)))
+    obs_trace.span(
+        "sweep.run",
+        stats.wall_seconds,
+        family=family,
+        points=len(points),
+        workers=resolved,
+    )
     return SweepResult(
         family=family, points=points, invalidation=invalidation, stats=stats
     )

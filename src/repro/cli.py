@@ -10,8 +10,17 @@ Four subcommands cover the workflows a downstream user has:
   and report bandwidth / miss / stale / server-load numbers.
 * ``repro sweep`` — sweep a protocol parameter over a trace file and
   print the trade-off table.
+* ``repro profile`` — run a reduced-scale sweep with profiling on and
+  print the engine phase breakdown plus per-protocol-hook self-time.
+* ``repro metrics`` — render a ``--metrics`` JSON dump (pretty JSON or
+  Prometheus 0.0.4 text exposition).
 * ``repro lint`` — run the :mod:`repro.lint` static invariant analysis
   over a source tree (see docs/DEVELOPING.md for the checker codes).
+
+``simulate`` and ``sweep`` accept ``--trace PATH`` / ``--metrics PATH``
+to capture a structured event trace and the merged metrics registry
+(``docs/OBSERVABILITY.md``); both are byte-identical across worker
+counts.
 
 Examples::
 
@@ -34,9 +43,11 @@ recovered — the same limitation the paper's own methodology has.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.analysis.report import format_table, pct
 from repro.core.clock import hours
@@ -52,8 +63,14 @@ from repro.core.protocols import (
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.simulator import SimulatorMode
 from repro.faults import FaultSpec, parse_faults
+from repro.obs import clock as obs_clock
+from repro.obs import profile as obs_profile
+from repro.obs import prom as obs_prom
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_tracing
 from repro.runtime import map_ordered
-from repro.verify import checked_simulate, set_enabled
+from repro.verify import ConsistencyViolation, checked_simulate, set_enabled
+from repro.verify.oracle import runs_verified
 from repro.trace.reconstruct import server_from_trace, workload_from_trace
 from repro.trace.records import Trace
 from repro.trace.stats import mutability_from_trace
@@ -96,6 +113,103 @@ def build_protocol(name: str, parameter: float) -> ConsistencyProtocol:
         return SelfTuningProtocol(initial_threshold=parameter / 100.0)
     raise ValueError(
         f"unknown protocol {name!r}; choose from {', '.join(PROTOCOLS)}"
+    )
+
+
+# -- observability plumbing ---------------------------------------------------
+
+
+@contextmanager
+def _observability(
+    args: argparse.Namespace, *, ensure_registry: bool = False
+) -> Iterator[None]:
+    """Install the trace sink / metrics registry the flags ask for.
+
+    ``--metrics PATH`` installs a fresh :class:`~repro.obs.MetricsRegistry`
+    and dumps it as JSON on exit; ``--trace PATH`` installs a
+    :class:`~repro.obs.TraceSink` and writes JSONL on exit.  Both are
+    flushed even when the command fails — a trace of a failing run is
+    exactly when you want one.  ``ensure_registry`` installs a registry
+    without a dump file (the ``--verify`` accounting path uses it to
+    merge ``verify.runs`` across pool workers).
+    """
+    metrics_path: Optional[Path] = getattr(args, "metrics_out", None)
+    trace_path: Optional[Path] = getattr(args, "trace_out", None)
+    need_registry = metrics_path is not None or (
+        ensure_registry and obs_registry.active() is None
+    )
+    registry = obs_registry.MetricsRegistry() if need_registry else None
+    sink = obs_tracing.TraceSink() if trace_path is not None else None
+    previous_registry = (
+        obs_registry.install(registry) if registry is not None else None
+    )
+    previous_sink = obs_tracing.install(sink) if sink is not None else None
+    try:
+        yield
+    finally:
+        if sink is not None:
+            obs_tracing.install(previous_sink)
+            lines = obs_tracing.write_jsonl(sink, trace_path)
+            print(f"trace: wrote {lines} line(s) to {trace_path}",
+                  file=sys.stderr)
+        if registry is not None:
+            obs_registry.install(previous_registry)
+            if metrics_path is not None:
+                metrics_path.write_text(
+                    json.dumps(
+                        registry.as_dict(), indent=2, sort_keys=True
+                    ) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"metrics: wrote {metrics_path}", file=sys.stderr)
+
+
+def _verified_since(registry_before: float, parent_before: int) -> int:
+    """Runs the oracle verified since the recorded baselines.
+
+    Prefers the merged ``verify.runs`` counter (covers pool workers,
+    whose increments never reach the parent's in-process count); falls
+    back to the per-process count when no registry is installed.
+    """
+    registry = obs_registry.active()
+    if registry is not None:
+        return int(registry.counter("verify.runs").value - registry_before)
+    return runs_verified() - parent_before
+
+
+def _print_oracle_failure(
+    verified: int,
+    faults_spec: Optional[FaultSpec],
+    faults_text: Optional[str],
+) -> None:
+    """The ``--verify`` failure-path context (exit code 1 follows)."""
+    print(
+        f"oracle: {verified} run(s) verified before the divergence",
+        file=sys.stderr,
+    )
+    if faults_spec is not None:
+        print(
+            f"oracle: fault spec in effect: {faults_text!r} "
+            f"(retries={faults_spec.retries}, "
+            f"loss_rate={faults_spec.loss_rate:g}, "
+            f"delay={faults_spec.delay:g}s)",
+            file=sys.stderr,
+        )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` output flags."""
+    parser.add_argument(
+        "--trace", dest="trace_out", type=Path, default=None, metavar="PATH",
+        help="write a structured JSONL trace of every simulator event "
+             "and engine span to PATH (schema repro.trace/1; see "
+             "docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--metrics", dest="metrics_out", type=Path, default=None,
+        metavar="PATH",
+        help="write the merged metrics registry as JSON to PATH "
+             "(schema repro.metrics/1; render with 'repro metrics')",
     )
 
 
@@ -187,7 +301,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     mode = SimulatorMode(args.mode)
-    result = _simulate_trace(trace, protocol, mode, faults_spec)
+    with _observability(args, ensure_registry=args.verify):
+        verified_parent = runs_verified()
+        registry = obs_registry.active()
+        verified_base = (
+            registry.counter("verify.runs").value
+            if registry is not None else 0.0
+        )
+        try:
+            result = _simulate_trace(trace, protocol, mode, faults_spec)
+        except ConsistencyViolation as exc:
+            print(exc, file=sys.stderr)
+            _print_oracle_failure(
+                _verified_since(verified_base, verified_parent),
+                faults_spec, getattr(args, "faults", None),
+            )
+            return 1
+        verified = _verified_since(verified_base, verified_parent)
     print(format_table(
         ("protocol", "mode", "bandwidth MB", "miss rate", "stale rate",
          "server ops", "round trips/request"),
@@ -202,6 +332,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )],
         title=f"{args.trace}: {len(trace)} requests",
     ))
+    if args.verify:
+        # stderr, like the trace/metrics notices: the result table on
+        # stdout stays byte-identical with and without --verify.
+        print(f"oracle: {verified} run(s) verified, zero divergence",
+              file=sys.stderr)
     return 0
 
 
@@ -244,11 +379,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             result.server_operations,
         )
 
-    # Sweep points are independent; fan them out across the engine's
-    # process pool (serial for --workers 1, identical output either way).
-    rows = map_ordered(run_point, parameters, workers=args.workers)
-    inval = checked_simulate(server, InvalidationProtocol(), requests, mode,
-                             end_time=end, faults=faults)
+    with _observability(args, ensure_registry=args.verify):
+        verified_parent = runs_verified()
+        registry = obs_registry.active()
+        verified_base = (
+            registry.counter("verify.runs").value
+            if registry is not None else 0.0
+        )
+        try:
+            # Sweep points are independent; fan them out across the
+            # engine's process pool (serial for --workers 1, identical
+            # output either way).
+            rows = map_ordered(run_point, parameters, workers=args.workers)
+            inval = checked_simulate(
+                server, InvalidationProtocol(), requests, mode,
+                end_time=end, faults=faults,
+            )
+        except ConsistencyViolation as exc:
+            print(exc, file=sys.stderr)
+            _print_oracle_failure(
+                _verified_since(verified_base, verified_parent),
+                faults_spec, getattr(args, "faults", None),
+            )
+            return 1
+        verified = _verified_since(verified_base, verified_parent)
     rows.append(
         ("inval", f"{inval.total_megabytes:.3f}", pct(inval.miss_rate),
          pct(inval.stale_hit_rate), inval.server_operations)
@@ -258,6 +412,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         (unit, "MB", "miss", "stale", "server ops"), rows,
         title=f"{args.protocol} sweep over {args.trace} ({mode.value} mode):",
     ))
+    if args.verify:
+        print(f"oracle: {verified} run(s) verified, zero divergence",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a reduced-scale sweep: engine phases + protocol hook time."""
+    from repro.analysis.sweep import sweep_protocol
+    from repro.obs.profile import ProfiledProtocol
+    from repro.workload.worrell import WorrellWorkload
+
+    if args.protocol.lower() == "alex":
+        parameters = [float(p) for p in range(0, 101, args.step or 20)]
+    elif args.protocol.lower() == "ttl":
+        parameters = [float(p) for p in range(0, 501, args.step or 100)]
+    else:
+        print("profile supports --protocol alex or ttl", file=sys.stderr)
+        return 2
+    workload = WorrellWorkload(
+        files=max(10, int(2085 * args.scale)),
+        requests=max(100, int(100_000 * args.scale)),
+        seed=args.seed,
+    ).build()
+
+    obs_profile.reset()
+    obs_profile.enable()
+    try:
+        started = obs_clock.monotonic()
+        sweep_protocol(
+            [workload],
+            lambda parameter: ProfiledProtocol(
+                build_protocol(args.protocol, parameter)
+            ),
+            parameters,
+            SimulatorMode(args.mode),
+            family=args.protocol,
+            include_invalidation=False,
+            workers=args.workers,
+        )
+        total_wall = obs_clock.monotonic() - started
+    finally:
+        obs_profile.disable()
+    print(
+        f"{args.protocol} sweep, {len(parameters)} grid point(s), "
+        f"scale {args.scale:g}, seed {args.seed}:"
+    )
+    print()
+    print(obs_profile.render_report(total_wall))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a ``--metrics`` dump (JSON pretty-print or Prometheus)."""
+    try:
+        dump = json.loads(args.dump.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"{args.dump}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        try:
+            rendered = obs_prom.render(dump)
+        except ValueError as exc:
+            print(f"{args.dump}: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(rendered)
+    else:
+        if dump.get("schema") != obs_registry.SCHEMA:
+            print(
+                f"{args.dump}: not a {obs_registry.SCHEMA} dump "
+                f"(schema={dump.get('schema')!r})",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(dump, indent=2, sort_keys=True))
     return 0
 
 
@@ -314,6 +543,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="inject delivery faults, e.g. "
              "'loss=0.05,downtime=2h,retries=3' (see docs/FAULTS.md)",
     )
+    _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser("sweep",
@@ -340,11 +570,44 @@ def make_parser() -> argparse.ArgumentParser:
         help="inject the same delivery faults into every sweep point "
              "(see docs/FAULTS.md)",
     )
+    _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile a reduced-scale sweep: engine phase breakdown plus "
+             "per-protocol-hook self-time",
+    )
+    p_prof.add_argument("--protocol", default="alex",
+                        choices=["alex", "ttl"])
+    p_prof.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale factor (default 0.05 — "
+                             "profiling wants a quick run)")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--step", type=int, default=None,
+                        help="grid step (default: 20 for alex, 100 for ttl)")
+    p_prof.add_argument("--mode", default="optimized",
+                        choices=[m.value for m in SimulatorMode])
+    p_prof.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size; >1 exercises the fork/dispatch/harvest/"
+             "reassembly phases, 1 the serial phase",
+    )
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="render a --metrics JSON dump (pretty JSON or Prometheus "
+             "0.0.4 text exposition)",
+    )
+    p_met.add_argument("dump", type=Path, help="a repro.metrics/1 JSON file")
+    p_met.add_argument("--format", default="json",
+                       choices=["json", "prom"])
+    p_met.set_defaults(func=cmd_metrics)
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the static invariant linter (RPR001-RPR005 + baseline)",
+        help="run the static invariant linter (RPR001-RPR006 + baseline)",
     )
     p_lint.add_argument(
         "lint_args", nargs=argparse.REMAINDER, metavar="...",

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.server import OriginServer
+from repro.obs import registry as obs_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.replacement import ReplacementPolicy
@@ -192,6 +193,7 @@ class Cache:
         Raises:
             ValueError: when the entry alone exceeds a bounded capacity.
         """
+        obs_metrics.emit("cache.stores")
         old = self._entries.pop(entry.object_id, None)
         if old is not None:
             self._used_bytes -= old.size
@@ -215,6 +217,7 @@ class Cache:
                 self._used_bytes -= victim.size
                 self._policy.on_evict(victim)
                 self.evictions += 1
+                obs_metrics.emit("cache.evictions")
         elif self._capacity is not None:
             while self._used_bytes > self._capacity:
                 evicted_id, evicted = self._entries.popitem(last=False)
@@ -224,6 +227,7 @@ class Cache:
                     break
                 self._used_bytes -= evicted.size
                 self.evictions += 1
+                obs_metrics.emit("cache.evictions")
 
     def invalidate(
         self, object_id: str, modified_at: Optional[float] = None
@@ -255,6 +259,7 @@ class Cache:
         if modified_at is not None and entry.last_modified >= modified_at:
             return False
         entry.valid = False
+        obs_metrics.emit("cache.invalidated")
         return True
 
     def clear(self) -> int:
@@ -274,6 +279,8 @@ class Cache:
                 self._policy.on_evict(entry)
         self._entries.clear()
         self._used_bytes = 0
+        if lost:
+            obs_metrics.emit("cache.crash_drops", float(lost))
         return lost
 
     def drop(self, object_id: str) -> None:
@@ -289,6 +296,7 @@ class Cache:
             if self._policy is not None:
                 self._policy.on_evict(entry)
             self.evictions += 1
+            obs_metrics.emit("cache.evictions")
 
     def preload_from(self, server: OriginServer, at: float = 0.0) -> int:
         """Load a valid copy of every cacheable server object.

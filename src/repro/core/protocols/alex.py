@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.core.cache import CacheEntry
 from repro.core.protocols.base import ConsistencyProtocol
+from repro.obs import registry as obs_metrics
 
 
 class AlexProtocol(ConsistencyProtocol):
@@ -76,3 +77,6 @@ class AlexProtocol(ConsistencyProtocol):
         """Stamp the absolute expiry implied by the current age."""
         age = entry.validated_at - entry.last_modified
         entry.expires_at = entry.validated_at + self.threshold * max(age, 0.0)
+        obs_metrics.observe(
+            "protocol.refresh_window_seconds", self.threshold * max(age, 0.0)
+        )

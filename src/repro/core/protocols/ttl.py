@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.cache import CacheEntry
 from repro.core.clock import to_hours
 from repro.core.protocols.base import ConsistencyProtocol
+from repro.obs import registry as obs_metrics
 
 
 class TTLProtocol(ConsistencyProtocol):
@@ -50,6 +51,7 @@ class TTLProtocol(ConsistencyProtocol):
     def on_stored(self, entry: CacheEntry, now: float) -> None:
         """Stamp the absolute expiry for introspection/tracing."""
         entry.expires_at = now + self.ttl
+        obs_metrics.observe("protocol.refresh_window_seconds", self.ttl)
 
 
 class ExpiresTTLProtocol(TTLProtocol):
@@ -79,3 +81,6 @@ class ExpiresTTLProtocol(TTLProtocol):
             entry.expires_at = entry.server_expires
         else:
             entry.expires_at = now + self.ttl
+        obs_metrics.observe(
+            "protocol.refresh_window_seconds", entry.expires_at - now
+        )

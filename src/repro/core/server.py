@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.obs import registry as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,7 @@ class OriginServer:
 
     def get(self, object_id: str, t: float) -> FetchResult:
         """A plain GET: return the current version's metadata."""
+        obs_metrics.emit("server.gets")
         history = self.history(object_id)
         obj = history.obj
         expires = None
@@ -160,6 +162,7 @@ class OriginServer:
             object has not been modified after ``since``, otherwise the
             new version's :class:`FetchResult`.
         """
+        obs_metrics.emit("server.ims_queries")
         history = self.history(object_id)
         if history.schedule.last_modified_at(t) <= since:
             obj = history.obj

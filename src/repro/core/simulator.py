@@ -41,6 +41,8 @@ from typing import Callable, Iterable, Optional
 
 from repro.core.cache import Cache, CacheEntry
 from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.core.metrics import (
     FULL_RETRIEVAL,
     INVALIDATION,
@@ -153,7 +155,9 @@ class Simulation:
         self.cache = cache if cache is not None else Cache()
         self.counters = ConsistencyCounters()
         self.bandwidth = BandwidthLedger()
-        self._observe = observer
+        # With tracing/metrics off the tee returns ``observer`` unchanged
+        # (None included): the historical zero-instrumentation path.
+        self._observe = obs_trace.instrumented_observer(observer)
         self.charge_per_modification = bool(charge_per_modification)
         self.start_time = float(start_time)
         self._now = float(start_time)
@@ -324,6 +328,7 @@ class Simulation:
         self.counters.full_retrievals += 1
         self.counters.server_gets += 1
         self.counters.misses += 1
+        obs_metrics.observe("sim.transfer_bytes", float(result.size))
         return result
 
     def _store(self, object_id: str, file_type: str, result: FetchResult,
@@ -391,6 +396,9 @@ class Simulation:
                 became_stale = schedule.next_change_after(entry.last_modified)
                 if became_stale is not None:
                     self.counters.stale_age_sum += t - became_stale
+                    obs_metrics.observe(
+                        "sim.stale_age_seconds", t - became_stale
+                    )
                 if self._observe is not None:
                     self._observe("stale_hit", t, object_id)
             elif self._observe is not None:
@@ -429,6 +437,7 @@ class Simulation:
         control, body = self.costs.validation_modified(result.size)
         self.bandwidth.charge(VALIDATION_200, control, body)
         self.counters.misses += 1
+        obs_metrics.observe("sim.transfer_bytes", float(result.size))
         entry = self._store(object_id, obj.file_type, result, t)
         self.protocol.on_validation_result(entry, t, was_modified=True)
         if self._observe is not None:

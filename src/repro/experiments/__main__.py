@@ -21,11 +21,15 @@ completion order.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.report import ExperimentReport
 from repro.experiments.common import warm_shared_sweeps
 from repro.experiments.registry import all_ids, run_experiment
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
 from repro.runtime import (
     RunStats,
     collecting,
@@ -99,6 +103,18 @@ def main(argv: list[str] | None = None) -> int:
         help="also render each experiment's series as SVG charts in DIR",
     )
     parser.add_argument(
+        "--trace", dest="trace_out", type=Path, default=None, metavar="PATH",
+        help="write a structured JSONL trace (simulator events + engine "
+             "spans, schema repro.trace/1) to PATH — see "
+             "docs/OBSERVABILITY.md",
+    )
+    parser.add_argument(
+        "--metrics", dest="metrics_out", type=Path, default=None,
+        metavar="PATH",
+        help="write the merged metrics registry (schema repro.metrics/1) "
+             "as JSON to PATH; render with 'repro metrics'",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="replay every simulation through the repro.verify "
              "consistency oracle; any counter, bandwidth-ledger, or "
@@ -114,52 +130,78 @@ def main(argv: list[str] | None = None) -> int:
 
         set_enabled(True)
 
-    ids = all_ids() if args.experiment == "all" else [args.experiment]
-    workers = resolve_workers(args.workers)
-    warm_stats: list = []
-    if len(ids) > 1 and workers > 1:
-        reports, warm_stats = _run_all_parallel(
-            ids, args.scale, args.seed, workers
-        )
-    else:
-        reports = (
-            run_experiment(i, scale=args.scale, seed=args.seed,
-                           workers=workers)
-            for i in ids
-        )
-
-    failures = 0
-    printed: list[ExperimentReport] = []
-    for experiment_id, report in zip(ids, reports):
-        printed.append(report)
-        print(report.render())
-        if report.stats is not None:
-            print(f"  ({report.stats.render()})")
-        if args.csv:
-            from repro.analysis.export import dump_experiment_data
-
-            written = dump_experiment_data(
-                report.data, args.csv, experiment_id
+    registry = (
+        obs_registry.MetricsRegistry()
+        if args.metrics_out is not None else None
+    )
+    sink = obs_trace.TraceSink() if args.trace_out is not None else None
+    previous_registry = (
+        obs_registry.install(registry) if registry is not None else None
+    )
+    previous_sink = obs_trace.install(sink) if sink is not None else None
+    try:
+        ids = all_ids() if args.experiment == "all" else [args.experiment]
+        workers = resolve_workers(args.workers)
+        warm_stats: list = []
+        if len(ids) > 1 and workers > 1:
+            reports, warm_stats = _run_all_parallel(
+                ids, args.scale, args.seed, workers
             )
-            print(f"  csv: {', '.join(str(p) for p in written)}")
-        if args.svg:
-            from repro.analysis.svg import dump_experiment_svg
-
-            rendered_svgs = dump_experiment_svg(
-                report.data, args.svg, experiment_id
+        else:
+            reports = (
+                run_experiment(i, scale=args.scale, seed=args.seed,
+                               workers=workers)
+                for i in ids
             )
-            if rendered_svgs:
-                print(
-                    f"  svg: {', '.join(str(p) for p in rendered_svgs)}"
+
+        failures = 0
+        printed: list[ExperimentReport] = []
+        for experiment_id, report in zip(ids, reports):
+            printed.append(report)
+            print(report.render())
+            if report.stats is not None:
+                print(f"  ({report.stats.render()})")
+            if args.csv:
+                from repro.analysis.export import dump_experiment_data
+
+                written = dump_experiment_data(
+                    report.data, args.csv, experiment_id
                 )
-        print()
-        if not report.all_passed:
-            failures += 1
-    if args.verify:
-        verified = sum(
-            r.stats.verified_runs for r in printed if r.stats is not None
-        ) + sum(s.verified_runs for s in warm_stats)
-        print(f"oracle: {verified} run(s) verified, zero divergence")
+                print(f"  csv: {', '.join(str(p) for p in written)}")
+            if args.svg:
+                from repro.analysis.svg import dump_experiment_svg
+
+                rendered_svgs = dump_experiment_svg(
+                    report.data, args.svg, experiment_id
+                )
+                if rendered_svgs:
+                    print(
+                        f"  svg: {', '.join(str(p) for p in rendered_svgs)}"
+                    )
+            print()
+            if not report.all_passed:
+                failures += 1
+        if args.verify:
+            verified = sum(
+                r.stats.verified_runs for r in printed if r.stats is not None
+            ) + sum(s.verified_runs for s in warm_stats)
+            print(f"oracle: {verified} run(s) verified, zero divergence")
+    finally:
+        # Flush observability outputs even when a run fails — a trace
+        # of the failing run is exactly what the flags are for.
+        if sink is not None:
+            obs_trace.install(previous_sink)
+            lines = obs_trace.write_jsonl(sink, args.trace_out)
+            print(f"trace: wrote {lines} line(s) to {args.trace_out}",
+                  file=sys.stderr)
+        if registry is not None:
+            obs_registry.install(previous_registry)
+            args.metrics_out.write_text(
+                json.dumps(registry.as_dict(), indent=2, sort_keys=True)
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"metrics: wrote {args.metrics_out}", file=sys.stderr)
     if failures:
         print(f"{failures} experiment(s) had failing shape checks",
               file=sys.stderr)

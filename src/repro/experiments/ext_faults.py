@@ -26,7 +26,6 @@ invalidation control bandwidth), and is age-bounded by the lease.
 
 from __future__ import annotations
 
-import time
 
 from repro.analysis.plots import Series, ascii_chart
 from repro.analysis.report import ExperimentReport, ShapeCheck, format_table, pct
@@ -38,6 +37,7 @@ from repro.core.results import SimulationResult
 from repro.core.simulator import SimulatorMode
 from repro.experiments.common import worrell_workload
 from repro.faults import FaultPlan
+from repro.obs import clock as obs_clock
 from repro.runtime import RunStats, derive_seed, map_ordered, record, resolve_workers
 from repro.verify.oracle import checked_simulate, is_enabled
 
@@ -85,7 +85,7 @@ def _cell_metrics(result: SimulationResult) -> dict[str, float]:
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     """Sweep invalidation-loss rate against the three recovery policies."""
     workload = worrell_workload(scale, seed)
-    started = time.perf_counter()
+    started = obs_clock.monotonic()
     resolved = resolve_workers(None)
 
     # Plans are built in the parent so the loss draws are fixed before
@@ -202,7 +202,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentReport:
     ]
 
     stats = RunStats(
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=obs_clock.monotonic() - started,
         simulated_requests=len(cells) * len(workload.requests),
         workers=resolved,
         grid_points=len(cells),

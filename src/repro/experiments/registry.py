@@ -27,7 +27,6 @@ instrumentation (which is excluded from report equality) differs.  See
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import Callable, Optional
 
@@ -49,6 +48,7 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.obs import clock as obs_clock
 from repro.runtime import RunStats, collecting, default_workers, resolve_workers
 from repro.verify.oracle import runs_verified
 
@@ -103,13 +103,13 @@ def run_experiment(
             f"{', '.join(all_ids())}"
         ) from None
     resolved = resolve_workers(workers)
-    started = time.perf_counter()
+    started = obs_clock.monotonic()
     verified_before = runs_verified()
     with default_workers(resolved), collecting() as recorded:
         report = runner(scale=scale, seed=seed)
     stats = RunStats.combine(
         recorded,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=obs_clock.monotonic() - started,
         workers=resolved,
     )
     # Oracle accounting: serially-executed simulations increment this

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.faults.rng import uniform01
+from repro.obs import registry as obs_metrics
 
 #: Action kinds, in the vocabulary of the schedule.
 ATTEMPT_SENT = "attempt_sent"
@@ -242,4 +243,31 @@ class FaultPlan:
                     FaultAction(float(crash_time), CRASH, "", float(crash_time), 0)
                 )
         actions.sort(key=_action_time)
+        _publish_schedule_metrics(actions)
         return tuple(actions)
+
+
+def _publish_schedule_metrics(actions: Sequence[FaultAction]) -> None:
+    """Publish per-kind counts of a compiled schedule to the registry.
+
+    Zero counts are skipped so a registry only ever holds counters that
+    actually incremented — the same set a parallel run's delta-merge
+    reconstructs.
+    """
+    if obs_metrics.active() is None:
+        return
+    kind_counts: dict[str, int] = {}
+    for action in actions:
+        kind_counts[action.kind] = kind_counts.get(action.kind, 0) + 1
+    totals = {
+        "faults.attempts": (
+            kind_counts.get(ATTEMPT_SENT, 0) + kind_counts.get(ATTEMPT_LOST, 0)
+        ),
+        "faults.lost": kind_counts.get(ATTEMPT_LOST, 0),
+        "faults.dropped": kind_counts.get(DROP, 0),
+        "faults.delivered": kind_counts.get(DELIVER, 0),
+        "faults.crashes": kind_counts.get(CRASH, 0),
+    }
+    for name, count in totals.items():
+        if count:
+            obs_metrics.emit(name, float(count))

@@ -5,6 +5,7 @@
 * :mod:`repro.lint.checkers.conformance` — RPR003
 * :mod:`repro.lint.checkers.events` — RPR004
 * :mod:`repro.lint.checkers.hygiene` — RPR005
+* :mod:`repro.lint.checkers.obsnames` — RPR006
 
 Third-party checkers register the same way: subclass
 :class:`repro.lint.registry.Checker`, decorate with
@@ -17,7 +18,15 @@ from repro.lint.checkers import (  # noqa: F401  (registration side effects)
     determinism,
     events,
     hygiene,
+    obsnames,
     units,
 )
 
-__all__ = ["conformance", "determinism", "events", "hygiene", "units"]
+__all__ = [
+    "conformance",
+    "determinism",
+    "events",
+    "hygiene",
+    "obsnames",
+    "units",
+]

@@ -29,7 +29,11 @@ and delivery times must be pure functions of the plan's seed.  Inside
 Instrumentation that *measures* wall time lives outside these packages
 (``repro.runtime.stats`` values are produced by callers such as the
 experiment registry) — where a scoped module legitimately needs a
-timestamp it must take one as an argument.
+timestamp it must take one as an argument.  The observability layer
+(:mod:`repro.obs`) is scoped too: its metric/trace state must replay
+identically across worker counts, so its single sanctioned wall-clock
+entry point (``repro.obs.clock``) carries an explicit per-line noqa and
+everything else reads time through it.
 """
 
 from __future__ import annotations
@@ -43,7 +47,7 @@ from repro.lint.registry import Checker, register
 
 #: Packages whose modules must be deterministic given their seeds.
 SCOPED_PACKAGES = ("repro.core", "repro.workload", "repro.verify",
-                   "repro.faults")
+                   "repro.faults", "repro.obs")
 
 #: ``module attr`` call patterns that read wall clocks or ambient entropy.
 _FORBIDDEN_CALLS: dict[tuple[str, str], str] = {

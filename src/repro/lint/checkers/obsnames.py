@@ -1,0 +1,197 @@
+"""RPR006 — observability-name discipline.
+
+The :mod:`repro.obs` layer keys every published measurement on a string
+name: counters and histograms via ``emit``/``observe``/``set_gauge``,
+engine and sweep timings via ``span``.  Those names are the join key for
+everything downstream — trace/metrics schemas, the Prometheus renderer,
+the serial-vs-parallel equivalence tests, dashboards built on the JSONL
+output.  A typo'd name does not fail; it silently becomes a *new* time
+series, which is the worst possible failure mode for instrumentation.
+
+This checker makes the name alphabet a static fact, mirroring what
+RPR004 does for observer events:
+
+* every **string literal** passed as the first argument to a call named
+  ``emit``, ``observe``, or ``set_gauge`` must be declared in
+  ``repro/obs/names.py``'s ``METRIC_NAMES`` tuple;
+* every string literal passed to a call named ``span`` must be declared
+  in ``SPAN_NAMES``;
+* every declared metric/span name must occur as a string literal in at
+  least one *other* linted module (no dead alphabet entries).  Names
+  emitted through a variable — e.g. the ``EVENT_METRICS`` tee table in
+  ``repro/obs/trace.py`` or the totals dict in ``repro/faults/plan.py``
+  — stay live through the dict literals that hold them.
+
+Calls whose first argument is not a string literal are out of scope
+(they are fed from tables this checker validates at their literal
+source).  When ``repro.obs.names`` is not part of the lint run the
+checker stays silent, so linting an isolated subtree still works.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+
+NAMES_MODULE = "repro.obs.names"
+
+#: Call names whose literal first argument must be a declared metric.
+METRIC_CALLS = frozenset({"emit", "observe", "set_gauge"})
+#: Call names whose literal first argument must be a declared span.
+SPAN_CALLS = frozenset({"span"})
+
+
+def _declared_tuple(
+    module: ModuleInfo, variable: str
+) -> Optional[tuple[ast.stmt, list[str]]]:
+    """The module-level ``variable = (...)`` assignment and its strings."""
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == variable:
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    names = [
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+                    return node, names
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The trailing name of the called function, if syntactically plain."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_first_arg(node: ast.Call) -> Optional[str]:
+    if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+        node.args[0].value, str
+    ):
+        return node.args[0].value
+    return None
+
+
+def _string_literals(module: ModuleInfo) -> set[str]:
+    """Every string constant in the module (docstrings included)."""
+    return {
+        node.value
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+@register
+class ObsNameChecker(Checker):
+    """RPR006: metric/span names used by emit/observe/set_gauge/span
+    calls and the METRIC_NAMES/SPAN_NAMES alphabet must agree."""
+
+    code = "RPR006"
+    summary = (
+        "every literal metric/span name passed to obs emit/observe/"
+        "set_gauge/span is declared in repro/obs/names.py, and every "
+        "declared name is used somewhere (no silent new series, no "
+        "dead alphabet entries)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        names = project.module(NAMES_MODULE)
+        if names is None:
+            return
+        metrics = _declared_tuple(names, "METRIC_NAMES")
+        spans = _declared_tuple(names, "SPAN_NAMES")
+        first = names.tree.body[0] if names.tree.body else None
+        anchor = first.lineno if first is not None else 1
+        if metrics is None:
+            yield self.diagnostic(
+                names.path, anchor, 1,
+                "repro/obs/names.py declares no METRIC_NAMES tuple — the "
+                "metric alphabet is undefined",
+            )
+            return
+        if spans is None:
+            yield self.diagnostic(
+                names.path, anchor, 1,
+                "repro/obs/names.py declares no SPAN_NAMES tuple — the "
+                "span alphabet is undefined",
+            )
+            return
+        metric_decl, metric_names = metrics
+        span_decl, span_names = spans
+        used: set[str] = set()
+        for module in project.modules:
+            if module.name == NAMES_MODULE:
+                continue
+            used |= _string_literals(module)
+            yield from self._check_calls(
+                module, set(metric_names), set(span_names)
+            )
+        yield from self._check_liveness(
+            names, metric_decl, metric_names, "METRIC_NAMES", used
+        )
+        yield from self._check_liveness(
+            names, span_decl, span_names, "SPAN_NAMES", used
+        )
+
+    def _check_calls(
+        self,
+        module: ModuleInfo,
+        metric_names: set[str],
+        span_names: set[str],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            call = _call_name(node)
+            if call in METRIC_CALLS:
+                alphabet, variable = metric_names, "METRIC_NAMES"
+            elif call in SPAN_CALLS:
+                alphabet, variable = span_names, "SPAN_NAMES"
+            else:
+                continue
+            name = _literal_first_arg(node)
+            if name is None or name in alphabet:
+                continue
+            yield self.diagnostic(
+                module.path, node.lineno, node.col_offset + 1,
+                f"{call}() publishes undeclared name {name!r} — declare "
+                f"it in {variable} (repro/obs/names.py) or fix the typo; "
+                "an unknown name silently becomes a new series",
+            )
+
+    def _check_liveness(
+        self,
+        names: ModuleInfo,
+        declaration: ast.stmt,
+        declared: list[str],
+        variable: str,
+        used: set[str],
+    ) -> Iterator[Diagnostic]:
+        for name in declared:
+            if name not in used:
+                yield self.diagnostic(
+                    names.path,
+                    declaration.lineno,
+                    declaration.col_offset + 1,
+                    f"{variable} declares {name!r} but no linted module "
+                    "references it (dead alphabet entry)",
+                )

@@ -1,0 +1,225 @@
+"""The benchmark emitter: ``make bench`` -> ``BENCH_<date>.json``.
+
+Runs every registered experiment at reduced scale (the same computation
+the ``benchmarks/`` suite verifies) and writes one machine-readable
+perf-trajectory sample: total wall time, simulated requests/sec, peak
+grid size, and per-experiment timings.  Committing one sample per perf
+PR gives every future optimization a before/after baseline — the
+ROADMAP's "fast as the hardware allows" goal needs a recorded
+trajectory to be falsifiable.
+
+Usage::
+
+    python -m repro.obs.bench                       # BENCH_<date>.json
+    python -m repro.obs.bench --scale 0.1 --workers 4 --out .
+    python -m repro.obs.bench --baseline benchmarks/BENCH_baseline.json
+
+With ``--baseline`` the run additionally compares its requests/sec
+against the committed seed baseline and exits non-zero when throughput
+regressed by more than ``--max-regression`` (default 30%) — the CI
+bench smoke job runs exactly this.  The committed baseline is a
+*conservative floor* (see docs/OBSERVABILITY.md, "Bench baseline
+policy"), refreshed via ``make bench-baseline`` when hardware or the
+engine changes the regime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.obs import clock
+
+#: Bench-document schema identifier.
+SCHEMA = "repro.bench/1"
+
+#: Keys every bench document must carry (schema validation).
+REQUIRED_KEYS = (
+    "schema",
+    "generated",
+    "scale",
+    "seed",
+    "workers",
+    "wall_seconds",
+    "simulated_requests",
+    "requests_per_second",
+    "peak_grid_size",
+    "experiments",
+)
+
+#: Keys every per-experiment entry must carry.
+EXPERIMENT_KEYS = (
+    "id",
+    "wall_seconds",
+    "simulated_requests",
+    "requests_per_second",
+    "grid_points",
+    "peak_grid_size",
+    "all_passed",
+)
+
+
+def validate(document: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid bench sample."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} document (schema={document.get('schema')!r})"
+        )
+    missing = [key for key in REQUIRED_KEYS if key not in document]
+    if missing:
+        raise ValueError(f"bench document missing keys: {missing}")
+    if not isinstance(document["experiments"], list):
+        raise ValueError("bench document 'experiments' must be a list")
+    for entry in document["experiments"]:
+        entry_missing = [key for key in EXPERIMENT_KEYS if key not in entry]
+        if entry_missing:
+            raise ValueError(
+                f"bench experiment entry missing keys: {entry_missing}"
+            )
+
+
+def run_bench(
+    scale: float = 0.25,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    stamp: Optional[str] = None,
+) -> dict[str, Any]:
+    """Run every experiment at ``scale`` and build the bench document."""
+    # Imported here (not at module top) so ``repro.obs`` never depends on
+    # the experiment layer at import time.
+    from repro.experiments import common
+    from repro.experiments.registry import all_ids, run_experiment
+    from repro.runtime import resolve_workers
+
+    common.clear_caches()
+    resolved = resolve_workers(workers)
+    entries: list[dict[str, Any]] = []
+    started = clock.monotonic()
+    for experiment_id in all_ids():
+        report = run_experiment(
+            experiment_id, scale=scale, seed=seed, workers=resolved
+        )
+        stats = report.stats
+        assert stats is not None  # run_experiment always attaches stats
+        entries.append(
+            {
+                "id": experiment_id,
+                "wall_seconds": round(stats.wall_seconds, 4),
+                "simulated_requests": stats.simulated_requests,
+                "requests_per_second": round(stats.requests_per_second, 1),
+                "grid_points": stats.grid_points,
+                "peak_grid_size": stats.peak_grid_size,
+                "all_passed": report.all_passed,
+            }
+        )
+    wall = clock.monotonic() - started
+    simulated = sum(e["simulated_requests"] for e in entries)
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "generated": stamp if stamp is not None else clock.date_stamp(),
+        "scale": scale,
+        "seed": seed,
+        "workers": resolved,
+        "wall_seconds": round(wall, 4),
+        "simulated_requests": simulated,
+        "requests_per_second": round(simulated / wall, 1) if wall > 0 else 0.0,
+        "peak_grid_size": max(
+            (e["peak_grid_size"] for e in entries), default=0
+        ),
+        "experiments": entries,
+    }
+    validate(document)
+    return document
+
+
+def check_baseline(
+    document: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.30,
+) -> list[str]:
+    """Regression findings of ``document`` against ``baseline`` (empty=ok).
+
+    Only overall requests/sec is gated: per-experiment wall times are
+    too noisy on shared runners for a hard gate, but they ride along in
+    the artifact for human comparison.
+    """
+    validate(baseline)
+    findings: list[str] = []
+    floor = baseline["requests_per_second"] * (1.0 - max_regression)
+    measured = document["requests_per_second"]
+    if measured < floor:
+        findings.append(
+            f"requests/sec regressed: measured {measured:,.0f} < floor "
+            f"{floor:,.0f} ({baseline['requests_per_second']:,.0f} baseline "
+            f"- {100 * max_regression:.0f}% tolerance)"
+        )
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.obs.bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the experiment suite at reduced scale and emit a "
+                    "BENCH_<date>.json perf-trajectory sample.",
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (default 0.25, the "
+                             "smallest at which every shape check holds)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None, metavar="N")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for BENCH_<date>.json (default .)")
+    parser.add_argument("--stamp", default=None, metavar="YYYY-MM-DD",
+                        help="override the date stamp (tests use this)")
+    parser.add_argument("--baseline", type=Path, default=None, metavar="PATH",
+                        help="committed baseline BENCH json to gate against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed requests/sec drop vs the baseline "
+                             "(default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    document = run_bench(
+        scale=args.scale, seed=args.seed, workers=args.workers,
+        stamp=args.stamp,
+    )
+    target = args.out / f"BENCH_{document['generated']}.json"
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"bench: {document['simulated_requests']:,} simulated requests in "
+        f"{document['wall_seconds']:.1f}s "
+        f"({document['requests_per_second']:,.0f} req/s, "
+        f"workers {document['workers']}) -> {target}"
+    )
+
+    status = 0
+    failed = [e["id"] for e in document["experiments"] if not e["all_passed"]]
+    if failed:
+        print(f"bench: shape checks failed for: {', '.join(failed)}",
+              file=sys.stderr)
+        status = 1
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        findings = check_baseline(
+            document, baseline, max_regression=args.max_regression
+        )
+        for finding in findings:
+            print(f"bench: {finding}", file=sys.stderr)
+        if findings:
+            status = 1
+        else:
+            print(
+                f"bench: within {100 * args.max_regression:.0f}% of baseline "
+                f"({baseline['requests_per_second']:,.0f} req/s)"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Prometheus text exposition (format 0.0.4) for registry dumps.
+
+``repro metrics DUMP.json --format prom`` renders a ``--metrics`` dump
+so external scrapers (or a human with ``curl`` muscle memory) can
+consume a long sweep's registry without bespoke parsing.  The renderer
+follows the Prometheus 0.0.4 text format:
+
+* metric names are the dotted repro names with every non-alphanumeric
+  character mapped to ``_`` and a ``repro_`` prefix
+  (``sim.event.stale_hit`` -> ``repro_sim_event_stale_hit``);
+* counters and gauges are single samples with ``# HELP`` / ``# TYPE``
+  headers;
+* histograms emit cumulative ``_bucket{le="..."}`` samples (including
+  the ``le="+Inf"`` bucket), plus ``_sum`` and ``_count``.
+
+Output ordering is the dump's sorted-name ordering, so rendering is
+deterministic — the golden-file test in ``tests/obs/test_prom.py``
+pins it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Content type a scrape endpoint would declare for this output.
+CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def metric_name(name: str) -> str:
+    """The sanitized, ``repro_``-prefixed Prometheus metric name."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    """Render integral floats as integers, per the usual exposition style."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """A ``le`` label value (trailing-zero-free but unambiguous)."""
+    text = f"{bound:g}"
+    return text
+
+
+def render(dump: dict[str, Any]) -> str:
+    """Render a :meth:`~repro.obs.registry.MetricsRegistry.as_dict` dump.
+
+    Raises:
+        ValueError: when the dump is not a ``repro.metrics/1`` document.
+    """
+    if dump.get("schema") != "repro.metrics/1":
+        raise ValueError(
+            f"not a repro.metrics/1 dump (schema={dump.get('schema')!r})"
+        )
+    lines: list[str] = []
+    for name in sorted(dump.get("counters", {})):
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} repro counter {name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(dump['counters'][name])}")
+    for name in sorted(dump.get("gauges", {})):
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} repro gauge {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(dump['gauges'][name])}")
+    for name in sorted(dump.get("histograms", {})):
+        hist = dump["histograms"][name]
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} repro histogram {name}")
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist["bounds"], hist["counts"]):
+            cumulative += bucket
+            lines.append(
+                f'{prom}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {_format_value(hist['total'])}")
+        lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,326 @@
+"""The metrics registry: counters, gauges, and fixed-bin histograms.
+
+One :class:`MetricsRegistry` per process collects everything the
+instrumented layers publish — the simulator's observer tee, ``Cache``,
+``OriginServer``, the protocols, the fault layer, the sweep engine, and
+the oracle.  Publication goes through the module-level handle
+(:func:`emit` / :func:`observe` / :func:`set_gauge`): when no registry
+is installed each call is a single global load and a ``None`` test, so
+instrumented hot paths cost nothing measurable in the default
+(disabled) configuration.
+
+Determinism is the design constraint.  Histograms use *fixed*
+log-spaced bucket bounds keyed by metric name
+(:data:`repro.obs.names.HISTOGRAM_BINS`), so any two registries that
+observed the same values hold identical bins; and the
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.delta` /
+:meth:`MetricsRegistry.merge` triple lets the sweep engine capture each
+forked worker's per-task contribution and re-apply the deltas in
+submission order — a parallel run's merged registry is byte-identical
+to the serial run's (``tests/obs/test_parallel_equivalence.py`` pins
+this).
+
+>>> reg = MetricsRegistry()
+>>> with installed(reg):
+...     emit("cache.stores")
+...     emit("cache.stores", 2.0)
+...     observe("sim.transfer_bytes", 512.0)
+>>> reg.as_dict()["counters"]["cache.stores"]
+3.0
+>>> emit("cache.stores")  # no registry installed: a cheap no-op
+>>> reg.as_dict()["counters"]["cache.stores"]
+3.0
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.names import DEFAULT_BINS, HISTOGRAM_BINS
+
+#: Dump-schema identifier written by :meth:`MetricsRegistry.as_dict`.
+SCHEMA = "repro.metrics/1"
+
+
+def _accumulate(partials: list[float], value: float) -> None:
+    """Shewchuk exact accumulation (the ``math.fsum`` inner loop).
+
+    Keeps ``partials`` summing *exactly* to every value accumulated so
+    far, so histogram totals are independent of observation grouping —
+    a per-worker delta merged into the parent yields the same rounded
+    total the serial path computes directly.
+    """
+    i = 0
+    for partial in partials:
+        if abs(value) < abs(partial):
+            value, partial = partial, value
+        high = value + partial
+        low = partial - (high - value)
+        if low:
+            partials[i] = low
+            i += 1
+        value = high
+    partials[i:] = [value]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with log-spaced upper bounds.
+
+    ``bounds[i]`` is the inclusive upper edge of bucket ``i``; values
+    above the last bound land in the overflow bucket
+    (``bucket_counts[-1]``, one longer than ``bounds``).  Bounds are
+    fixed per metric name, which is what makes merged output
+    deterministic.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "partials", "count")
+
+    def __init__(
+        self, name: str, bounds: Optional[tuple[float, ...]] = None
+    ) -> None:
+        self.name = name
+        self.bounds: tuple[float, ...] = (
+            bounds if bounds is not None
+            else HISTOGRAM_BINS.get(name, DEFAULT_BINS)
+        )
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        # Exact running sum as Shewchuk partials: ``total`` is the
+        # correctly-rounded sum of every observation, whatever order or
+        # grouping (worker deltas) they arrived in.
+        self.partials: list[float] = []
+        self.count = 0
+
+    @property
+    def total(self) -> float:
+        """Correctly-rounded sum of all observations."""
+        return math.fsum(self.partials)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        _accumulate(self.partials, value)
+        self.count += 1
+
+
+class MetricsRegistry:
+    """All metrics of one process (or one merged run)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- publication ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on demand)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on demand)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- output --------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-compatible dump, keys sorted (the ``--metrics`` schema)."""
+        return {
+            "schema": SCHEMA,
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "counts": list(self._histograms[name].bucket_counts),
+                    "total": self._histograms[name].total,
+                    "count": self._histograms[name].count,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    # -- capture & merge (the engine's per-worker protocol) ------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A cheap copy of current values, for :meth:`delta`."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: (list(h.bucket_counts), list(h.partials), h.count)
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def delta(self, since: dict[str, Any]) -> dict[str, Any]:
+        """What was published after ``since`` (a picklable payload).
+
+        Counter payloads carry the increments, gauge payloads the new
+        values of gauges that were (re)set, histogram payloads the
+        per-bucket count increments plus the *exact* total increment
+        (as Shewchuk partials) and the count increment.
+        """
+        counters: dict[str, float] = {}
+        base_counters = since["counters"]
+        for name, metric in self._counters.items():
+            diff = metric.value - base_counters.get(name, 0.0)
+            if diff != 0.0:
+                counters[name] = diff
+        gauges: dict[str, float] = {}
+        base_gauges = since["gauges"]
+        for name, gauge_metric in self._gauges.items():
+            if (
+                name not in base_gauges
+                or gauge_metric.value != base_gauges[name]
+            ):
+                gauges[name] = gauge_metric.value
+        histograms: dict[str, Any] = {}
+        base_hists = since["histograms"]
+        for name, hist in self._histograms.items():
+            old_counts, old_partials, old_count = base_hists.get(
+                name, ([0] * len(hist.bucket_counts), [], 0)
+            )
+            grew = hist.count - old_count
+            if grew:
+                # Exact total increment: new partials minus old partials,
+                # itself kept as partials so merging stays exact.
+                diff_partials = list(hist.partials)
+                for partial in old_partials:
+                    _accumulate(diff_partials, -partial)
+                histograms[name] = (
+                    list(hist.bounds),
+                    [
+                        new - old
+                        for new, old in zip(hist.bucket_counts, old_counts)
+                    ],
+                    diff_partials,
+                    grew,
+                )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, payload: dict[str, Any]) -> None:
+        """Apply a :meth:`delta` payload (ordered merge is the caller's
+        job; the engine applies worker payloads in submission order)."""
+        for name, diff in payload["counters"].items():
+            self.counter(name).add(diff)
+        for name, value in payload["gauges"].items():
+            self.gauge(name).set(value)
+        for name, (bounds, counts, partials, grew) in payload[
+            "histograms"
+        ].items():
+            hist = self.histogram(name)
+            if list(hist.bounds) != list(bounds):
+                raise ValueError(
+                    f"histogram {name!r} bin mismatch: cannot merge "
+                    f"{bounds!r} into {hist.bounds!r}"
+                )
+            for i, bucket_diff in enumerate(counts):
+                hist.bucket_counts[i] += bucket_diff
+            for partial in partials:
+                _accumulate(hist.partials, partial)
+            hist.count += grew
+
+
+# -- the process-wide handle --------------------------------------------------
+
+_registry: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install the process-wide registry; returns the previous one.
+
+    ``None`` disables metrics collection (the default)."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or None when metrics are off."""
+    return _registry
+
+
+@contextmanager
+def installed(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope a registry installation (tests and the CLI use this)."""
+    previous = install(registry)
+    try:
+        yield registry
+    finally:
+        install(previous)
+
+
+def emit(name: str, value: float = 1.0) -> None:
+    """Add ``value`` to counter ``name`` — a no-op when metrics are off."""
+    registry = _registry
+    if registry is not None:
+        registry.counter(name).add(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` in histogram ``name`` — no-op when metrics are off."""
+    registry = _registry
+    if registry is not None:
+        registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` — a no-op when metrics are off."""
+    registry = _registry
+    if registry is not None:
+        registry.gauge(name).set(value)

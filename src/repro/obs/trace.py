@@ -1,0 +1,199 @@
+"""The structured trace sink and the simulator observer tee.
+
+A :class:`TraceSink` buffers structured records in memory and writes
+them as JSONL on :func:`write_jsonl`.  Two record shapes exist, both
+with a stable schema (``docs/OBSERVABILITY.md``):
+
+* **event** — one simulator observer event, teed off the existing
+  :data:`repro.core.simulator.EventObserver` stream (all event kinds,
+  the four ``fault_*`` kinds included)::
+
+      {"type": "event", "kind": "stale_hit", "t": 1234.5, "id": "/a"}
+
+* **span** — one timed engine-level region (per-grid-point task timing,
+  worker id, pool restarts, verify time)::
+
+      {"type": "span", "name": "engine.task", "wall": 0.0123,
+       "meta": {"index": 3, "worker": 71234}}
+
+Event records are deterministic — a serial and a parallel run of the
+same sweep produce the *same event sequence* (the engine merges each
+worker's buffered records in submission order).  Span records carry
+wall-clock measurements and process ids, so they vary run to run; trace
+consumers that diff runs filter on ``type == "event"``.
+
+The tee is installed per process via :func:`install` and consulted once
+per :class:`~repro.core.simulator.Simulation` construction through
+:func:`instrumented_observer`; with no sink and no metrics registry the
+simulator's observer path is exactly the historical one (byte-identical
+outputs, pinned by ``tests/obs/test_tracing_inert.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Union
+
+from repro.obs import registry as _metrics
+
+#: Trace-schema identifier written into the JSONL header record.
+SCHEMA = "repro.trace/1"
+
+#: Observer callback signature (mirrors repro.core.simulator.EventObserver;
+#: not imported to keep ``repro.obs`` free of core dependencies).
+Observer = Callable[[str, float, str], None]
+
+#: Simulator event kind -> the counter the tee publishes it under.
+#: Must stay in bijection with ``repro.core.simulator.EVENT_KINDS``
+#: (asserted by ``tests/obs/test_trace.py``); every value is declared in
+#: :data:`repro.obs.names.METRIC_NAMES`.
+EVENT_METRICS: dict[str, str] = {
+    "hit": "sim.event.hit",
+    "stale_hit": "sim.event.stale_hit",
+    "miss": "sim.event.miss",
+    "validation_304": "sim.event.validation_304",
+    "validation_200": "sim.event.validation_200",
+    "invalidation": "sim.event.invalidation",
+    "prefetch": "sim.event.prefetch",
+    "dynamic_fetch": "sim.event.dynamic_fetch",
+    "fault_invalidation_lost": "sim.event.fault_invalidation_lost",
+    "fault_invalidation_dropped": "sim.event.fault_invalidation_dropped",
+    "fault_invalidation_recovered": "sim.event.fault_invalidation_recovered",
+    "fault_cache_crash": "sim.event.fault_cache_crash",
+}
+
+
+class TraceSink:
+    """An in-memory buffer of trace records, flushed to JSONL at the end.
+
+    Buffering (rather than streaming) is what makes worker capture
+    possible: a forked worker appends to its inherited sink, the engine
+    ships the per-task slice back, and the parent re-appends the slices
+    in submission order.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def event(self, kind: str, t: float, object_id: str) -> None:
+        """Record one simulator observer event."""
+        self.records.append(
+            {"type": "event", "kind": kind, "t": t, "id": object_id}
+        )
+
+    def span(
+        self, name: str, wall: float, meta: Optional[dict[str, Any]] = None
+    ) -> None:
+        """Record one timed region (``wall`` in host seconds)."""
+        record: dict[str, Any] = {"type": "span", "name": name, "wall": wall}
+        if meta:
+            record["meta"] = meta
+        self.records.append(record)
+
+    def events(self) -> list[dict[str, Any]]:
+        """Only the deterministic event records (run-diffable subset)."""
+        return [r for r in self.records if r["type"] == "event"]
+
+
+# -- the process-wide sink ----------------------------------------------------
+
+_sink: Optional[TraceSink] = None
+
+
+def install(sink: Optional[TraceSink]) -> Optional[TraceSink]:
+    """Install the process-wide trace sink; returns the previous one."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+def active() -> Optional[TraceSink]:
+    """The installed sink, or None when tracing is off."""
+    return _sink
+
+
+@contextmanager
+def installed(sink: TraceSink) -> Iterator[TraceSink]:
+    """Scope a sink installation (tests and the CLI use this)."""
+    previous = install(sink)
+    try:
+        yield sink
+    finally:
+        install(previous)
+
+
+def span(name: str, wall: float, **meta: Any) -> None:
+    """Record a span on the active sink — a no-op when tracing is off."""
+    sink = _sink
+    if sink is not None:
+        sink.span(name, wall, meta or None)
+
+
+def instrumented_observer(
+    observer: Optional[Observer],
+) -> Optional[Observer]:
+    """Tee a simulator observer through the active sink and registry.
+
+    With neither a sink nor a metrics registry installed this returns
+    ``observer`` unchanged (``None`` included) — the simulator keeps its
+    historical zero-instrumentation path.  Otherwise the returned
+    callable records the event (sink), bumps the matching
+    ``sim.event.*`` counter (registry), and forwards to ``observer``
+    verbatim, so oracle recording and user observers see exactly the
+    stream they would without tracing.
+    """
+    sink = _sink
+    metrics_on = _metrics.active() is not None
+    if sink is None and not metrics_on:
+        return observer
+    event_metrics = EVENT_METRICS
+
+    def tee(kind: str, t: float, object_id: str) -> None:
+        current_sink = _sink
+        if current_sink is not None:
+            current_sink.event(kind, t, object_id)
+        registry = _metrics.active()
+        if registry is not None:
+            metric = event_metrics.get(kind)
+            if metric is not None:
+                registry.counter(metric).add(1.0)
+        if observer is not None:
+            observer(kind, t, object_id)
+
+    return tee
+
+
+def write_jsonl(sink: TraceSink, path: Union[str, Path]) -> int:
+    """Write the sink's records to ``path`` as JSONL; returns line count.
+
+    The first line is a header record carrying the schema id; every
+    record is serialized with sorted keys so dumps are stable.
+    """
+    target = Path(path)
+    lines = [json.dumps({"type": "header", "schema": SCHEMA}, sort_keys=True)]
+    lines.extend(
+        json.dumps(record, sort_keys=True) for record in sink.records
+    )
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Read a trace written by :func:`write_jsonl` (header excluded).
+
+    Raises:
+        ValueError: when the file lacks the schema header.
+    """
+    raw = Path(path).read_text(encoding="utf-8").splitlines()
+    if not raw:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(raw[0])
+    if header.get("type") != "header" or header.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: missing {SCHEMA} header record")
+    return [json.loads(line) for line in raw[1:] if line.strip()]

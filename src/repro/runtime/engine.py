@@ -84,6 +84,12 @@ from typing import (
     TypeVar,
 )
 
+from repro.obs import clock as obs_clock
+from repro.obs import collect as obs_collect
+from repro.obs import profile as obs_profile
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -179,43 +185,96 @@ def _mark_worker() -> None:
     _in_worker = True
 
 
-def _run_indexed(index: int) -> tuple[int, Any]:
-    """Execute one task of the active map in a worker process."""
+def _observability_on() -> bool:
+    """True when any obs consumer (registry, sink, profiler) is active."""
+    return (
+        obs_metrics.active() is not None
+        or obs_trace.active() is not None
+        or obs_profile.is_enabled()
+    )
+
+
+def _run_task(fn: Callable[[Any], Any], item: Any, index: int) -> Any:
+    """One instrumented task execution (observability known to be on).
+
+    The ``engine.tasks`` bump and the ``engine.task`` span land *after*
+    the task's own emissions, so the serial path and a worker's captured
+    payload produce the same record order.
+    """
+    started = obs_clock.monotonic()
+    value = fn(item)
+    obs_metrics.emit("engine.tasks")
+    obs_trace.span(
+        "engine.task",
+        obs_clock.monotonic() - started,
+        index=index,
+        worker=os.getpid(),
+    )
+    return value
+
+
+def _run_indexed(
+    index: int,
+) -> tuple[int, Any, Optional[dict[str, Any]]]:
+    """Execute one task of the active map in a worker process.
+
+    The third element is the task's observability payload (metric
+    deltas, new trace records, profiling deltas) for the parent to merge
+    in submission order — ``None`` when observability is off.
+    """
     task = _active_task
     assert task is not None  # set before fork
     fn, items = task
-    return index, fn(items[index])
+    if not _observability_on():
+        return index, fn(items[index]), None
+    token = obs_collect.task_begin()
+    value = _run_task(fn, items[index], index)
+    return index, value, obs_collect.task_end(token)
 
 
-def _pool_round(indices: Sequence[int], count: int) -> tuple[dict[int, Any], bool]:
+def _pool_round(
+    indices: Sequence[int], count: int
+) -> tuple[dict[int, tuple[Any, Optional[dict[str, Any]]]], bool]:
     """One pool attempt over ``indices`` of the active map.
 
-    Returns the results harvested this round (by index) and whether the
-    pool broke — a worker process died, taking its in-flight tasks with
-    it.  Successfully completed futures are harvested even when a later
-    one is broken, so a crash costs only the unfinished tasks.
+    Returns the ``(value, obs payload)`` pairs harvested this round (by
+    index) and whether the pool broke — a worker process died, taking
+    its in-flight tasks with it.  Successfully completed futures are
+    harvested even when a later one is broken, so a crash costs only the
+    unfinished tasks.
 
     Exceptions raised by the task function itself propagate.
+
+    When profiling is enabled, pool construction is timed as the
+    **fork** phase, task submission as **dispatch** (worker processes
+    are actually forked lazily on first submit, so dispatch includes the
+    forks themselves), and future collection as **harvest**.
     """
-    harvested: dict[int, Any] = {}
+    harvested: dict[int, tuple[Any, Optional[dict[str, Any]]]] = {}
     broken = False
     context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(
-        max_workers=min(count, len(indices)),
-        mp_context=context,
-        initializer=_mark_worker,
-    ) as pool:
+    with obs_profile.phase("fork"):
+        pool = ProcessPoolExecutor(
+            max_workers=min(count, len(indices)),
+            mp_context=context,
+            initializer=_mark_worker,
+        )
+    with pool:
         try:
-            futures = [pool.submit(_run_indexed, index) for index in indices]
+            with obs_profile.phase("dispatch"):
+                futures = [
+                    pool.submit(_run_indexed, index) for index in indices
+                ]
         except BrokenExecutor:
             return harvested, True
-        for future in as_completed(futures):
-            try:
-                index, value = future.result()
-            except BrokenExecutor:
-                broken = True
-                continue
-            harvested[index] = value
+        with obs_profile.phase("harvest"):
+            for future in as_completed(futures):
+                try:
+                    index, value, payload = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    continue
+                harvested[index] = (value, payload)
     return harvested, broken
 
 
@@ -250,11 +309,27 @@ def map_ordered(
     """
     items = list(items)
     count = resolve_workers(workers)
+    obs_on = _observability_on()
     if count <= 1 or len(items) <= 1 or _in_worker or not _fork_available():
-        return [fn(item) for item in items]
+        if not obs_on:
+            return [fn(item) for item in items]
+        map_started = obs_clock.monotonic()
+        with obs_profile.phase("serial"):
+            serial_results: list[R] = [
+                _run_task(fn, item, index) for index, item in enumerate(items)
+            ]
+        obs_trace.span(
+            "engine.map",
+            obs_clock.monotonic() - map_started,
+            tasks=len(items),
+            workers=1,
+        )
+        return serial_results
 
     global _active_task
+    map_started = obs_clock.monotonic() if obs_on else 0.0
     results: list[R] = [None] * len(items)  # type: ignore[list-item]
+    payloads: dict[int, Optional[dict[str, Any]]] = {}
     remaining = list(range(len(items)))
     with _pool_lock:
         _active_task = (fn, items)
@@ -262,16 +337,35 @@ def map_ordered(
             restarts = 0
             while remaining:
                 harvested, pool_broke = _pool_round(remaining, count)
-                for index, value in harvested.items():
+                for index, (value, payload) in harvested.items():
                     results[index] = value
+                    payloads[index] = payload
                 remaining = [i for i in remaining if i not in harvested]
                 if not pool_broke or not remaining:
                     break
                 restarts += 1
+                obs_metrics.emit("engine.pool_restarts")
                 if restarts > _MAX_POOL_RESTARTS:
                     break  # persistent crasher: fall through to serial
         finally:
             _active_task = None
+    # Ordered reassembly: apply each worker's observability payload in
+    # submission (index) order, so the merged registry and the event-
+    # record sequence match what the serial path produces directly.
+    with obs_profile.phase("reassembly"):
+        for index in sorted(payloads):
+            obs_collect.merge(payloads[index])
     for index in remaining:
-        results[index] = fn(items[index])
+        if obs_on:
+            obs_metrics.emit("engine.serial_fallback_tasks")
+            results[index] = _run_task(fn, items[index], index)
+        else:
+            results[index] = fn(items[index])
+    if obs_on:
+        obs_trace.span(
+            "engine.map",
+            obs_clock.monotonic() - map_started,
+            tasks=len(items),
+            workers=count,
+        )
     return results

@@ -33,6 +33,9 @@ from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
 from repro.core.simulator import Simulation, SimulatorMode, simulate
 from repro.faults.plan import FaultPlan
+from repro.obs import clock as obs_clock
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.verify.spec import (
     _CATEGORIES,
     _COUNTER_NAMES,
@@ -200,6 +203,7 @@ def verify_simulation(
     """
     request_list = list(requests)
     rule = rule_for(protocol)
+    check_started = obs_clock.monotonic()
 
     events: list[tuple[str, float, str]] = []
     sim = Simulation(
@@ -235,6 +239,13 @@ def verify_simulation(
         raise ConsistencyViolation(report)
     global _verified_count
     _verified_count += 1
+    obs_metrics.emit("verify.runs")
+    obs_trace.span(
+        "verify.run",
+        obs_clock.monotonic() - check_started,
+        protocol=report.protocol_name,
+        events=report.events_checked,
+    )
     return result, report
 
 

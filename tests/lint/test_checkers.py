@@ -17,6 +17,7 @@ from repro.lint.checkers.units import UnitsChecker, infer_unit
 from repro.lint.checkers.conformance import ConformanceChecker
 from repro.lint.checkers.events import EventExhaustivenessChecker
 from repro.lint.checkers.hygiene import HygieneChecker
+from repro.lint.checkers.obsnames import ObsNameChecker
 from repro.lint.project import ModuleInfo, Project
 
 
@@ -403,3 +404,100 @@ class TestHygiene:
             name="anything",
         )
         assert run_module(self.checker, good) == []
+
+
+# -- RPR006 observability names -----------------------------------------------
+
+
+NAMES_SOURCE = """
+METRIC_NAMES = ("cache.stores", "engine.tasks")
+SPAN_NAMES = ("engine.task",)
+"""
+
+
+def obs_names_module(source: str = NAMES_SOURCE) -> ModuleInfo:
+    return mod(source, name="repro.obs.names",
+               path="src/repro/obs/names.py")
+
+
+class TestObsNames:
+    checker = ObsNameChecker()
+
+    def test_declared_and_live_names_clean(self):
+        user = mod(
+            """
+            from repro.obs import registry as obs_metrics
+            from repro.obs import trace as obs_trace
+
+            obs_metrics.emit("cache.stores")
+            obs_metrics.emit("engine.tasks", 2.0)
+            obs_trace.span("engine.task", 0.5, index=3)
+            """,
+            name="repro.core.cache",
+        )
+        assert run_project(self.checker, obs_names_module(), user) == []
+
+    def test_undeclared_metric_name_flagged(self):
+        user = mod(
+            'emit("cache.stores")\nemit("cache.storse")\n'
+            'emit("engine.tasks")\n'
+            'span("engine.task", 0.1)\nspan("engine.tsak", 0.1)\n',
+            name="repro.core.cache",
+        )
+        found = run_project(self.checker, obs_names_module(), user)
+        messages = sorted(d.message for d in found)
+        assert len(found) == 2
+        assert "'cache.storse'" in messages[0]
+        assert "'engine.tsak'" in messages[1]
+
+    def test_dead_alphabet_entry_flagged(self):
+        user = mod('emit("cache.stores")\nspan("engine.task", 0.1)\n',
+                   name="repro.core.cache")
+        found = run_project(self.checker, obs_names_module(), user)
+        assert len(found) == 1
+        assert "'engine.tasks'" in found[0].message
+        assert "dead alphabet" in found[0].message
+
+    def test_table_driven_names_stay_live(self):
+        # Names emitted through a variable stay live via the dict
+        # literal holding them (the EVENT_METRICS pattern in trace.py).
+        user = mod(
+            """
+            TABLE = {"evt": "engine.tasks"}
+            def tee(kind):
+                emit(TABLE[kind])
+            emit("cache.stores")
+            span("engine.task", 0.1)
+            """,
+            name="repro.obs.trace",
+        )
+        assert run_project(self.checker, obs_names_module(), user) == []
+
+    def test_variable_first_argument_ignored(self):
+        user = mod(
+            'name = "anything"\nemit(name)\nspan(name, 0.2)\n'
+            'emit("cache.stores")\nemit("engine.tasks")\n'
+            'span("engine.task", 0.1)\n',
+            name="repro.core.cache",
+        )
+        assert run_project(self.checker, obs_names_module(), user) == []
+
+    def test_missing_alphabet_flagged(self):
+        user = mod('emit("cache.stores")\n', name="repro.core.cache")
+        found = run_project(
+            self.checker, obs_names_module("x = 1\n"), user
+        )
+        assert len(found) == 1
+        assert "METRIC_NAMES" in found[0].message
+
+    def test_silent_without_names_module(self):
+        user = mod('emit("cache.storse")\n', name="repro.core.cache")
+        assert run_project(self.checker, user) == []
+
+    def test_obs_package_in_determinism_scope(self):
+        # Satellite guarantee: repro.obs itself is held to RPR001, so
+        # only the audited clock shim may read wall time.
+        bad = mod("import time\nt = time.perf_counter()\n",
+                  name="repro.obs.registry")
+        found = run_module(DeterminismChecker(), bad)
+        assert len(found) == 1 and "wall-clock" in found[0].message

@@ -78,7 +78,9 @@ class TestFlags:
     def test_list_codes(self, capsys):
         assert lint_main(["--list-codes"]) == 0
         out = capsys.readouterr().out
-        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for code in (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        ):
             assert code in out
 
     def test_quiet_omits_summary(self, tmp_path, capsys):

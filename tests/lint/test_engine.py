@@ -47,11 +47,11 @@ def write_fixture_tree(tmp_path: Path, source: str) -> Path:
 
 
 class TestRegistry:
-    def test_all_five_checkers_registered(self):
+    def test_all_six_checkers_registered(self):
         assert checker_codes() == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
         ]
-        assert len(all_checkers()) == 5
+        assert len(all_checkers()) == 6
 
     def test_unknown_select_code_raises(self):
         project = Project([])

@@ -1,0 +1,36 @@
+"""Shared obs fixtures: pristine module state around every test.
+
+The observability layer is deliberately module-global (one registry /
+sink / profiler per process, inherited by forked workers), so tests
+must not leak installations into each other — or into the rest of the
+suite, where a stray registry would silently instrument unrelated
+simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import profile as obs_profile
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+from repro.workload.worrell import WorrellWorkload
+
+
+@pytest.fixture(autouse=True)
+def pristine_obs_state():
+    previous_registry = obs_registry.install(None)
+    previous_sink = obs_trace.install(None)
+    obs_profile.disable()
+    obs_profile.reset()
+    yield
+    obs_registry.install(previous_registry)
+    obs_trace.install(previous_sink)
+    obs_profile.disable()
+    obs_profile.reset()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A small deterministic workload shared by the equivalence tests."""
+    return WorrellWorkload(files=20, requests=600, seed=3).build()

@@ -1,0 +1,63 @@
+"""Prometheus text exposition: sanitization, cumulation, golden file."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.prom import CONTENT_TYPE, metric_name, render
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """The deterministic registry the golden file was rendered from."""
+    registry = MetricsRegistry()
+    registry.counter("cache.stores").add(353.0)
+    registry.counter("sim.event.stale_hit").add(12.0)
+    registry.gauge("sweep.grid_points").set(11.0)
+    hist = registry.histogram("sim.transfer_bytes")
+    for value in (10.0, 2048.0, 2048.0, 5.0e7):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_golden_file_byte_identical(self):
+        assert render(golden_registry().as_dict()) == GOLDEN.read_text()
+
+    def test_name_sanitization(self):
+        assert metric_name("sim.event.stale_hit") == (
+            "repro_sim_event_stale_hit"
+        )
+        assert metric_name("weird-name/x") == "repro_weird_name_x"
+
+    def test_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="repro.metrics/1"):
+            render({"schema": "something/else"})
+
+    def test_integral_floats_render_as_ints(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.stores").add(3.0)
+        registry.gauge("sweep.grid_points").set(2.5)
+        text = render(registry.as_dict())
+        assert "repro_cache_stores 3\n" in text
+        assert "repro_sweep_grid_points 2.5\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render(golden_registry().as_dict())
+        lines = [l for l in text.splitlines() if "_bucket" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)  # cumulative by construction
+        assert lines[-1].startswith(
+            'repro_sim_transfer_bytes_bucket{le="+Inf"}'
+        )
+        assert counts[-1] == 4
+
+    def test_empty_dump_renders_empty(self):
+        assert render(MetricsRegistry().as_dict()) == ""
+
+    def test_content_type_is_prometheus_004(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4"

@@ -1,0 +1,153 @@
+"""The metrics registry: primitives, dumps, and the capture/merge triple."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import names
+from repro.obs.registry import (
+    SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active,
+    emit,
+    install,
+    installed,
+    observe,
+    set_gauge,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter("cache.stores")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("sweep.grid_points")
+        gauge.set(3)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_by_upper_bound(self):
+        hist = Histogram("x", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 100.0, 1e6):
+            hist.observe(value)
+        # bounds are inclusive upper edges; 1e6 overflows.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.total == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e6)
+
+    def test_histogram_bounds_fixed_by_name(self):
+        by_name = Histogram("sim.transfer_bytes")
+        assert by_name.bounds == names.HISTOGRAM_BINS["sim.transfer_bytes"]
+        fallback = Histogram("something.unlisted")
+        assert fallback.bounds == names.DEFAULT_BINS
+
+    def test_log_bins_shape(self):
+        assert names.log_bins(1.0, 100.0, per_decade=1) == (1.0, 10.0, 100.0)
+        bins = names.log_bins(1.0, 1.0e6)
+        assert bins[0] == 1.0
+        assert bins[-1] >= 1.0e6
+        assert list(bins) == sorted(bins)
+
+    def test_log_bins_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            names.log_bins(0.0, 10.0)
+        with pytest.raises(ValueError):
+            names.log_bins(10.0, 1.0)
+        with pytest.raises(ValueError):
+            names.log_bins(1.0, 10.0, per_decade=0)
+
+
+class TestModuleHandle:
+    def test_disabled_by_default(self):
+        assert active() is None
+        emit("cache.stores")  # all three are cheap no-ops
+        observe("sim.transfer_bytes", 10.0)
+        set_gauge("sweep.grid_points", 4.0)
+
+    def test_installed_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        with installed(registry):
+            assert active() is registry
+            emit("cache.stores", 2.0)
+            observe("sim.transfer_bytes", 10.0)
+            set_gauge("sweep.grid_points", 4.0)
+        assert active() is None
+        dump = registry.as_dict()
+        assert dump["counters"]["cache.stores"] == 2.0
+        assert dump["gauges"]["sweep.grid_points"] == 4.0
+        assert dump["histograms"]["sim.transfer_bytes"]["count"] == 1
+
+    def test_install_returns_previous(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        assert install(first) is None
+        assert install(second) is first
+        assert install(None) is second
+
+
+class TestDump:
+    def test_schema_and_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("b.two").add()
+        registry.counter("a.one").add()
+        dump = registry.as_dict()
+        assert dump["schema"] == SCHEMA
+        assert list(dump["counters"]) == ["a.one", "b.two"]
+
+
+class TestCaptureMerge:
+    """snapshot/delta/merge — the engine's per-worker protocol."""
+
+    def test_delta_drops_zero_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.tasks").add(0.0)  # touched, not moved
+        snap = registry.snapshot()
+        registry.counter("cache.stores").add(3.0)
+        delta = registry.delta(snap)
+        assert delta["counters"] == {"cache.stores": 3.0}
+
+    def test_delta_reports_changed_and_new_gauges_only(self):
+        registry = MetricsRegistry()
+        registry.gauge("sweep.grid_points").set(5.0)
+        snap = registry.snapshot()
+        registry.gauge("sweep.grid_points").set(5.0)  # unchanged value
+        assert registry.delta(snap)["gauges"] == {}
+        registry.gauge("sweep.grid_points").set(9.0)
+        assert registry.delta(snap)["gauges"] == {"sweep.grid_points": 9.0}
+
+    def test_merged_registry_matches_direct_publication(self):
+        direct = MetricsRegistry()
+        for value in (10.0, 2000.0, 10.0):
+            direct.histogram("sim.transfer_bytes").observe(value)
+        direct.counter("cache.stores").add(3.0)
+        direct.gauge("sweep.grid_points").set(2.0)
+
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()  # a fork starts from an empty copy
+        snap = worker.snapshot()
+        for value in (10.0, 2000.0, 10.0):
+            worker.histogram("sim.transfer_bytes").observe(value)
+        worker.counter("cache.stores").add(3.0)
+        worker.gauge("sweep.grid_points").set(2.0)
+        parent.merge(worker.delta(snap))
+
+        assert parent.as_dict() == direct.as_dict()
+
+    def test_merge_rejects_bin_mismatch(self):
+        parent = MetricsRegistry()
+        parent.histogram("sim.transfer_bytes").observe(1.0)
+        payload = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "sim.transfer_bytes": ((1.0, 2.0), [1, 0, 0], 1.0, 1)
+            },
+        }
+        with pytest.raises(ValueError, match="bin mismatch"):
+            parent.merge(payload)

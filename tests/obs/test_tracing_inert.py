@@ -1,0 +1,109 @@
+"""Tracing off must change nothing; tracing on must change no *output*.
+
+Two guarantees pinned here:
+
+* with no registry and no sink installed, the instrumented code paths
+  are the historical ones — simulation results are byte-identical to
+  what an instrumented-but-disabled run produces;
+* with tracing ON, simulation outputs and experiment verdicts are still
+  byte-identical — observability measures, never perturbs.  The Table 2
+  experiment exercises :class:`repro.trace.sampler.DailySampler` under
+  the tee, the satellite case from the issue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import hours
+from repro.core.protocols import AlexProtocol, TTLProtocol
+from repro.core.simulator import SimulatorMode, simulate
+from repro.obs.registry import MetricsRegistry, installed as metrics_installed
+from repro.obs.trace import TraceSink, installed as trace_installed
+from repro.workload.worrell import WorrellWorkload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return WorrellWorkload(files=15, requests=500, seed=11).build()
+
+
+def run_once(workload, protocol):
+    return simulate(
+        workload.server(), protocol, workload.requests,
+        SimulatorMode.OPTIMIZED, end_time=workload.duration,
+    )
+
+
+class TestSimulationUnperturbed:
+    @pytest.mark.parametrize("make_protocol", [
+        lambda: TTLProtocol(hours(10)),
+        lambda: AlexProtocol(0.2),
+    ])
+    def test_results_identical_with_tracing_on(
+        self, small_workload, make_protocol
+    ):
+        bare = run_once(small_workload, make_protocol())
+        with metrics_installed(MetricsRegistry()), \
+                trace_installed(TraceSink()):
+            traced = run_once(small_workload, make_protocol())
+        assert traced.counters == bare.counters
+        assert traced.bandwidth == bare.bandwidth
+        assert traced.total_megabytes == bare.total_megabytes
+
+    def test_tee_sees_the_full_event_stream(self, small_workload):
+        from repro.core.simulator import EVENT_KINDS
+
+        sink = TraceSink()
+        with trace_installed(sink):
+            result = run_once(small_workload, TTLProtocol(hours(10)))
+        kinds = {r["kind"] for r in sink.events()}
+        # Caches are preloaded by default, so no cold "miss" events —
+        # hits and validations dominate a TTL run.
+        assert "hit" in kinds
+        assert kinds <= set(EVENT_KINDS)
+        # Every request produced at least one observer event.
+        assert len(sink.events()) >= result.counters.requests
+
+
+class TestExperimentVerdictsUnperturbed:
+    """Satellite: DailySampler-driven verdicts, tracing on vs off."""
+
+    def rendered_report(self, experiment_id: str) -> str:
+        from repro.experiments.common import clear_caches
+        from repro.experiments.registry import run_experiment
+
+        clear_caches()
+        report = run_experiment(experiment_id, scale=0.05, seed=0, workers=1)
+        return report.render()
+
+    def test_table2_sampler_verdicts_byte_identical(self):
+        bare = self.rendered_report("table2")
+        with metrics_installed(MetricsRegistry()), \
+                trace_installed(TraceSink()):
+            traced = self.rendered_report("table2")
+        assert traced == bare
+
+    def test_figure2_verdicts_byte_identical(self):
+        bare = self.rendered_report("figure2")
+        with metrics_installed(MetricsRegistry()), \
+                trace_installed(TraceSink()):
+            traced = self.rendered_report("figure2")
+        assert traced == bare
+
+
+class TestSamplerDirectly:
+    def test_daily_sampler_estimates_unchanged_under_tee(
+        self, changing_server
+    ):
+        from repro.core.clock import days
+        from repro.trace.sampler import DailySampler
+
+        histories = list(changing_server.histories().values())
+        bare_sampler = DailySampler(histories, days(30))
+        bare = bare_sampler.estimate_lifespans(bare_sampler.run())
+        with metrics_installed(MetricsRegistry()), \
+                trace_installed(TraceSink()):
+            teed_sampler = DailySampler(histories, days(30))
+            teed = teed_sampler.estimate_lifespans(teed_sampler.run())
+        assert teed == bare
