@@ -52,6 +52,7 @@ from repro.faults.plan import FaultPlan
 from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.fastpath import resolve_engine
 from repro.runtime import RunStats, map_ordered, record, resolve_workers
 from repro.verify.oracle import checked_simulate, is_enabled
 from repro.workload.base import Workload
@@ -249,6 +250,7 @@ def sweep_protocol(
         grid_points=len(points),
         peak_grid_size=len(points),
         verified_runs=len(tasks) * len(workloads) if is_enabled() else 0,
+        engine=resolve_engine(),
     )
     record(stats)
     obs_metrics.set_gauge("sweep.grid_points", float(len(points)))

@@ -20,7 +20,9 @@ Four subcommands cover the workflows a downstream user has:
 ``simulate`` and ``sweep`` accept ``--trace PATH`` / ``--metrics PATH``
 to capture a structured event trace and the merged metrics registry
 (``docs/OBSERVABILITY.md``); both are byte-identical across worker
-counts.
+counts.  ``simulate``, ``sweep``, and ``profile`` also accept
+``--engine fast|reference`` to pick the simulator engine
+(``docs/FASTPATH.md``); output is byte-identical either way.
 
 Examples::
 
@@ -62,6 +64,7 @@ from repro.core.protocols import (
 )
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.simulator import SimulatorMode
+from repro.fastpath import ENGINES, FAST, REFERENCE, resolve_engine, set_engine
 from repro.faults import FaultSpec, parse_faults
 from repro.obs import clock as obs_clock
 from repro.obs import profile as obs_profile
@@ -197,6 +200,29 @@ def _print_oracle_failure(
         )
 
 
+def _add_engine_flag(
+    parser: argparse.ArgumentParser, default: Optional[str] = None
+) -> None:
+    """The shared ``--engine`` selection flag.
+
+    ``None`` (the usual default) leaves resolution to
+    :func:`repro.fastpath.resolve_engine` — ``REPRO_ENGINE`` if set,
+    else the fast engine.  ``repro profile`` defaults to ``reference``
+    instead, because the per-hook self-time table only exists when the
+    reference loop calls the protocol hooks.
+    """
+    parser.add_argument(
+        "--engine", default=default, choices=list(ENGINES),
+        help="simulator engine: 'fast' (batched repro.fastpath kernel, "
+             "byte-identical output, automatic reference fallback for "
+             "unsupported configurations) or 'reference' "
+             "(repro.core.simulator throughout); default: $REPRO_ENGINE, "
+             "else fast — see docs/FASTPATH.md"
+             + (" (this subcommand defaults to reference)" if default
+                else ""),
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """The shared ``--trace`` / ``--metrics`` output flags."""
     parser.add_argument(
@@ -291,6 +317,8 @@ def _parse_faults_arg(args: argparse.Namespace) -> Optional[FaultSpec]:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one protocol over a trace file and print its metrics."""
+    if getattr(args, "engine", None):
+        set_engine(args.engine)
     if args.verify:
         set_enabled(True)
     trace = read_trace(args.trace)
@@ -342,6 +370,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Sweep a protocol parameter over a trace file."""
+    if getattr(args, "engine", None):
+        # Must also precede the fork: set_engine mirrors the choice into
+        # REPRO_ENGINE so pool workers resolve the same engine.
+        set_engine(args.engine)
     if args.verify:
         # Must happen before map_ordered forks its pool: workers inherit
         # the flag and each one oracle-checks its own sweep points.
@@ -424,6 +456,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import ProfiledProtocol
     from repro.workload.worrell import WorrellWorkload
 
+    if getattr(args, "engine", None):
+        set_engine(args.engine)
+    engine = resolve_engine()
     if args.protocol.lower() == "alex":
         parameters = [float(p) for p in range(0, 101, args.step or 20)]
     elif args.protocol.lower() == "ttl":
@@ -437,15 +472,24 @@ def cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
     ).build()
 
+    # Under the fast engine the protocol stays bare: the batched kernel
+    # never calls the per-request hooks (there is nothing for a
+    # ProfiledProtocol wrapper to time — and the wrapper would force a
+    # reference fallback anyway).  The phase table shows the fast path's
+    # own fastpath.compile / fastpath.simulate phases instead.
+    def profiled_protocol(parameter: float) -> ConsistencyProtocol:
+        protocol = build_protocol(args.protocol, parameter)
+        if engine == FAST:
+            return protocol
+        return ProfiledProtocol(protocol)
+
     obs_profile.reset()
     obs_profile.enable()
     try:
         started = obs_clock.monotonic()
         sweep_protocol(
             [workload],
-            lambda parameter: ProfiledProtocol(
-                build_protocol(args.protocol, parameter)
-            ),
+            profiled_protocol,
             parameters,
             SimulatorMode(args.mode),
             family=args.protocol,
@@ -457,7 +501,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         obs_profile.disable()
     print(
         f"{args.protocol} sweep, {len(parameters)} grid point(s), "
-        f"scale {args.scale:g}, seed {args.seed}:"
+        f"scale {args.scale:g}, seed {args.seed}, engine {engine}:"
     )
     print()
     print(obs_profile.render_report(total_wall))
@@ -543,6 +587,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="inject delivery faults, e.g. "
              "'loss=0.05,downtime=2h,retries=3' (see docs/FAULTS.md)",
     )
+    _add_engine_flag(p_sim)
     _add_obs_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -570,6 +615,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="inject the same delivery faults into every sweep point "
              "(see docs/FAULTS.md)",
     )
+    _add_engine_flag(p_sweep)
     _add_obs_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -593,6 +639,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="process-pool size; >1 exercises the fork/dispatch/harvest/"
              "reassembly phases, 1 the serial phase",
     )
+    _add_engine_flag(p_prof, default=REFERENCE)
     p_prof.set_defaults(func=cmd_profile)
 
     p_met = sub.add_parser(

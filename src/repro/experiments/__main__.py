@@ -121,7 +121,21 @@ def main(argv: list[str] | None = None) -> int:
              "event divergence aborts with a diff (see docs/PROTOCOLS.md "
              "'Invariants & verification')",
     )
+    parser.add_argument(
+        "--engine", default=None, choices=["fast", "reference"],
+        help="simulator engine: 'fast' (batched repro.fastpath kernel, "
+             "byte-identical output, automatic reference fallback) or "
+             "'reference'; default: $REPRO_ENGINE, else fast — see "
+             "docs/FASTPATH.md",
+    )
     args = parser.parse_args(argv)
+
+    if args.engine:
+        # Before anything forks: set_engine mirrors the choice into
+        # REPRO_ENGINE, so pool workers resolve the same engine.
+        from repro.fastpath import set_engine
+
+        set_engine(args.engine)
 
     if args.verify:
         # Enable before anything forks: pool workers inherit the flag

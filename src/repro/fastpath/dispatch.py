@@ -1,0 +1,337 @@
+"""Engine selection and the fast-path drop-in for ``simulate``.
+
+Three public seams live here:
+
+* :func:`resolve_engine` / :func:`set_engine` — which engine a run uses.
+  Precedence: an explicit argument (the CLI ``--engine`` flag), then the
+  process-wide override set by :func:`set_engine` (mirrored into the
+  ``REPRO_ENGINE`` environment variable so forked *and* spawned sweep
+  workers agree with the parent), then the environment variable, then
+  the default — **fast**.
+* :func:`unsupported_reason` — the fallback predicate.  The fast path
+  refuses, rather than approximates, any configuration outside its
+  compiled subset; the reason string is what diagnostics and docs show.
+* :func:`engine_simulate` — the drop-in used by
+  :func:`repro.verify.checked_simulate`: routes to
+  :func:`fast_simulate` when the fast engine is selected and supported,
+  and to the reference :func:`repro.core.simulator.simulate` otherwise.
+
+Automatic fallback to the reference engine happens for:
+
+* a ``faults`` plan (fault schedules interleave with delivery in ways
+  the batched feed cursor does not model);
+* adaptive protocols (``SelfTuningProtocol``) and any protocol subclass
+  or wrapper the compiler does not recognize *exactly* (a subclass may
+  override ``is_fresh``; byte identity demands the known formulas);
+* eager invalidation variants (prefetch pushes);
+* a caller-supplied ``cache`` (bounded capacity, pre-seeded state);
+* an active metrics registry or trace sink — the reference loop emits
+  ``cache.*`` / ``server.*`` / ``sim.*`` metrics and tees observer
+  events from *inside* the hot path, and those streams are part of the
+  observable contract.  (Profiling alone does not force a fallback: the
+  fast path reports its own ``fastpath.compile`` / ``fastpath.simulate``
+  phases instead of the reference's hook timings.)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from repro.core.cache import Cache
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    LeasedInvalidationProtocol,
+    PollEveryRequestProtocol,
+    TTLProtocol,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import SimulationResult
+from repro.core.server import OriginServer
+from repro.core.simulator import EventObserver, SimulatorMode, simulate
+from repro.faults.plan import FaultPlan
+from repro.fastpath.arrays import compile_server, encode_requests, initial_state
+from repro.fastpath.kernels import (
+    KIND_ALEX,
+    KIND_CERN,
+    KIND_EXPIRES,
+    KIND_INVALIDATION,
+    KIND_LEASED,
+    KIND_POLL,
+    KIND_TTL,
+    run_kernel,
+)
+from repro.obs import clock as obs_clock
+from repro.obs import profile as obs_profile
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Environment variable carrying the engine selection into workers.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: The two engine names ``--engine`` accepts.
+FAST = "fast"
+REFERENCE = "reference"
+ENGINES = (FAST, REFERENCE)
+
+_engine_override: Optional[str] = None
+
+
+class UnsupportedFastPathError(ValueError):
+    """Raised by :func:`fast_simulate` for configurations outside the
+    compiled subset (callers normally pre-check via
+    :func:`unsupported_reason` instead)."""
+
+
+def _validated(engine: str) -> str:
+    name = engine.strip().lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {', '.join(ENGINES)}"
+        )
+    return name
+
+
+def set_engine(engine: Optional[str]) -> Optional[str]:
+    """Set the process-wide engine override; returns the previous one.
+
+    Also mirrors the setting into ``REPRO_ENGINE`` so worker processes —
+    forked *or* spawned — agree with the parent.  ``None`` clears the
+    override (and the environment variable), restoring env/default
+    resolution.
+
+    Raises:
+        ValueError: for an unknown engine name.
+    """
+    global _engine_override
+    previous = _engine_override
+    if engine is None:
+        _engine_override = None
+        os.environ.pop(ENGINE_ENV_VAR, None)
+    else:
+        _engine_override = _validated(engine)
+        os.environ[ENGINE_ENV_VAR] = _engine_override
+    return previous
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """The effective engine name under the resolution precedence.
+
+    Args:
+        engine: an explicit request (e.g. a ``--engine`` flag value);
+            wins when not None.
+
+    Raises:
+        ValueError: for an unknown engine name, whether explicit or via
+            the ``REPRO_ENGINE`` environment variable.
+    """
+    if engine is not None:
+        return _validated(engine)
+    if _engine_override is not None:
+        return _engine_override
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        return _validated(env)
+    return FAST
+
+
+def compile_protocol(
+    protocol: ConsistencyProtocol,
+) -> Optional[tuple[int, float, float, float, bool]]:
+    """Compile a protocol instance to ``(kind, p0, p1, p2, has_p2)``.
+
+    Only *exact* concrete classes compile — a subclass may override
+    ``is_fresh``, and the kernel's byte-identity contract covers the
+    known formulas only.  Returns None for anything else (including the
+    eager invalidation variants, whose prefetch pushes the kernel does
+    not model).
+    """
+    cls = type(protocol)
+    if cls is TTLProtocol:
+        assert isinstance(protocol, TTLProtocol)
+        return (KIND_TTL, protocol.ttl, 0.0, 0.0, False)
+    if cls is ExpiresTTLProtocol:
+        assert isinstance(protocol, ExpiresTTLProtocol)
+        return (KIND_EXPIRES, protocol.ttl, 0.0, 0.0, False)
+    if cls is AlexProtocol:
+        assert isinstance(protocol, AlexProtocol)
+        return (KIND_ALEX, protocol.threshold, 0.0, 0.0, False)
+    if cls is PollEveryRequestProtocol:
+        return (KIND_POLL, 0.0, 0.0, 0.0, False)
+    if cls is InvalidationProtocol:
+        assert isinstance(protocol, InvalidationProtocol)
+        if protocol.eager:
+            return None
+        return (KIND_INVALIDATION, 0.0, 0.0, 0.0, False)
+    if cls is LeasedInvalidationProtocol:
+        assert isinstance(protocol, LeasedInvalidationProtocol)
+        if protocol.eager:
+            return None
+        return (KIND_LEASED, protocol.lease, 0.0, 0.0, False)
+    if cls is CERNPolicyProtocol:
+        assert isinstance(protocol, CERNPolicyProtocol)
+        max_ttl = protocol.max_ttl
+        return (
+            KIND_CERN,
+            protocol.lm_fraction,
+            protocol.default_ttl,
+            max_ttl if max_ttl is not None else 0.0,
+            max_ttl is not None,
+        )
+    return None
+
+
+def unsupported_reason(
+    protocol: ConsistencyProtocol,
+    *,
+    cache: Optional[Cache] = None,
+    faults: Optional[FaultPlan] = None,
+) -> Optional[str]:
+    """Why the fast path cannot run this configuration (None = it can).
+
+    This is the fallback predicate :func:`engine_simulate` consults; the
+    strings are stable enough to show in diagnostics and tests.
+    """
+    if cache is not None:
+        return "caller-supplied cache (bounded capacity / pre-seeded state)"
+    if faults is not None:
+        return "fault plan installed (compiled delivery schedules)"
+    if compile_protocol(protocol) is None:
+        if getattr(protocol, "eager", False):
+            return (
+                f"eager invalidation ({type(protocol).__name__}): "
+                "prefetch pushes are not compiled"
+            )
+        return (
+            f"protocol {type(protocol).__name__} has no compiled kernel "
+            "(adaptive state or unknown subclass)"
+        )
+    return None
+
+
+def _observability_active() -> bool:
+    """True when a metrics registry or trace sink would observe the run."""
+    return obs_metrics.active() is not None or obs_trace.active() is not None
+
+
+def fast_simulate(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    preload: bool = True,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+    observer: Optional[EventObserver] = None,
+) -> SimulationResult:
+    """Run one simulation on the fast path (no fallback).
+
+    Byte-identical to :func:`repro.core.simulator.simulate` for every
+    supported configuration — counters, ledger cells, the observer event
+    stream, error messages, and float accumulation order included (the
+    contract in docs/FASTPATH.md).
+
+    Raises:
+        UnsupportedFastPathError: for configurations outside the
+            compiled subset (see :func:`unsupported_reason`).
+    """
+    compiled_protocol = compile_protocol(protocol)
+    if compiled_protocol is None:
+        reason = unsupported_reason(protocol)
+        raise UnsupportedFastPathError(
+            f"fast path cannot run this configuration: {reason}"
+        )
+    started = obs_clock.monotonic()
+    with obs_profile.phase("fastpath.compile"):
+        compiled = compile_server(server)
+        req_times, req_objs = encode_requests(compiled, requests, start_time)
+    kind, p0, p1, p2, has_p2 = compiled_protocol
+    with obs_profile.phase("fastpath.simulate"):
+        state = initial_state(compiled, float(start_time), preload)
+        result = run_kernel(
+            compiled,
+            state,
+            req_times,
+            req_objs,
+            kind=kind,
+            p0=p0,
+            p1=p1,
+            p2=p2,
+            has_p2=has_p2,
+            base_mode=mode is SimulatorMode.BASE,
+            costs=costs,
+            charge_per_modification=bool(charge_per_modification),
+            preload=preload,
+            start_time=float(start_time),
+            end_time=end_time,
+            protocol_name=protocol.name,
+            mode_value=mode.value,
+            observer=observer,
+        )
+    obs_metrics.emit("engine.fastpath_runs")
+    obs_trace.span(
+        "fastpath.run",
+        obs_clock.monotonic() - started,
+        protocol=result.protocol_name,
+        requests=result.counters.requests,
+    )
+    return result
+
+
+def engine_simulate(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    cache: Optional[Cache] = None,
+    preload: bool = True,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+    faults: Optional[FaultPlan] = None,
+    engine: Optional[str] = None,
+) -> SimulationResult:
+    """Engine-dispatching drop-in for ``simulate``.
+
+    Runs the fast path when the resolved engine is ``fast`` and the
+    configuration is supported, falling back to the reference simulator
+    otherwise (and always under ``--engine reference``).  Output is
+    byte-identical either way; only throughput differs.
+    """
+    if resolve_engine(engine) == FAST:
+        reason = unsupported_reason(protocol, cache=cache, faults=faults)
+        if reason is None and not _observability_active():
+            return fast_simulate(
+                server,
+                protocol,
+                requests,
+                mode,
+                costs=costs,
+                preload=preload,
+                start_time=start_time,
+                end_time=end_time,
+                charge_per_modification=charge_per_modification,
+            )
+        obs_metrics.emit("engine.fastpath_fallbacks")
+    return simulate(
+        server,
+        protocol,
+        requests,
+        mode,
+        costs=costs,
+        cache=cache,
+        preload=preload,
+        start_time=start_time,
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+        faults=faults,
+    )

@@ -46,8 +46,8 @@ from repro.lint.project import ModuleInfo, Project
 from repro.lint.registry import Checker, register
 
 #: Packages whose modules must be deterministic given their seeds.
-SCOPED_PACKAGES = ("repro.core", "repro.workload", "repro.verify",
-                   "repro.faults", "repro.obs")
+SCOPED_PACKAGES = ("repro.core", "repro.fastpath", "repro.workload",
+                   "repro.verify", "repro.faults", "repro.obs")
 
 #: ``module attr`` call patterns that read wall clocks or ambient entropy.
 _FORBIDDEN_CALLS: dict[tuple[str, str], str] = {

@@ -21,6 +21,13 @@ bench smoke job runs exactly this.  The committed baseline is a
 *conservative floor* (see docs/OBSERVABILITY.md, "Bench baseline
 policy"), refreshed via ``make bench-baseline`` when hardware or the
 engine changes the regime.
+
+Every document also records which simulator ``engine`` produced it
+(``fast`` or ``reference``; see docs/FASTPATH.md) and a
+``speedup_vs_reference`` ratio measured on one sample workload timed
+under *both* engines (detail in ``speedup_sample``).  ``--min-speedup
+RATIO`` turns the ratio into a gate: exit non-zero when the fast engine
+fails to beat the reference by at least RATIO.
 """
 
 from __future__ import annotations
@@ -43,9 +50,11 @@ REQUIRED_KEYS = (
     "scale",
     "seed",
     "workers",
+    "engine",
     "wall_seconds",
     "simulated_requests",
     "requests_per_second",
+    "speedup_vs_reference",
     "peak_grid_size",
     "experiments",
 )
@@ -81,6 +90,69 @@ def validate(document: dict[str, Any]) -> None:
             )
 
 
+def measure_speedup(
+    scale: float = 0.25, seed: int = 0, repeats: int = 2
+) -> dict[str, Any]:
+    """Time one sample simulation under both engines; report the ratio.
+
+    The sample is a Worrell workload under Alex at a 10% threshold —
+    the fast path's bread-and-butter configuration.  Each engine runs
+    ``repeats`` times and keeps its best (minimum) wall time, so a
+    single scheduler hiccup cannot fake a regression.  The returned
+    detail dict lands in the bench document under ``speedup_sample``;
+    the ratio (reference seconds / fast seconds) is the document's
+    top-level ``speedup_vs_reference``.
+    """
+    from repro.core.protocols import AlexProtocol
+    from repro.core.simulator import simulate
+    from repro.fastpath import fast_simulate
+    from repro.workload.worrell import WorrellWorkload
+
+    workload = WorrellWorkload(
+        files=max(10, int(2085 * scale)),
+        requests=max(100, int(100_000 * scale)),
+        seed=seed,
+    ).build()
+    server = workload.server()
+    requests = workload.requests
+    duration = workload.duration
+
+    def best_of(run) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            started = clock.monotonic()
+            run()
+            best = min(best, clock.monotonic() - started)
+        return best
+
+    fast_seconds = best_of(lambda: fast_simulate(
+        server, AlexProtocol.from_percent(10.0), requests,
+        end_time=duration,
+    ))
+    reference_seconds = best_of(lambda: simulate(
+        server, AlexProtocol.from_percent(10.0), requests,
+        end_time=duration,
+    ))
+    count = len(requests)
+    return {
+        "workload": "worrell/alex-10pct",
+        "requests": count,
+        "fast_seconds": round(fast_seconds, 4),
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_requests_per_second": (
+            round(count / fast_seconds, 1) if fast_seconds > 0 else 0.0
+        ),
+        "reference_requests_per_second": (
+            round(count / reference_seconds, 1)
+            if reference_seconds > 0 else 0.0
+        ),
+        "speedup": (
+            round(reference_seconds / fast_seconds, 2)
+            if fast_seconds > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(
     scale: float = 0.25,
     seed: int = 0,
@@ -92,6 +164,7 @@ def run_bench(
     # the experiment layer at import time.
     from repro.experiments import common
     from repro.experiments.registry import all_ids, run_experiment
+    from repro.fastpath import resolve_engine
     from repro.runtime import resolve_workers
 
     common.clear_caches()
@@ -117,15 +190,19 @@ def run_bench(
         )
     wall = clock.monotonic() - started
     simulated = sum(e["simulated_requests"] for e in entries)
+    speedup_sample = measure_speedup(scale=scale, seed=seed)
     document: dict[str, Any] = {
         "schema": SCHEMA,
         "generated": stamp if stamp is not None else clock.date_stamp(),
         "scale": scale,
         "seed": seed,
         "workers": resolved,
+        "engine": resolve_engine(),
         "wall_seconds": round(wall, 4),
         "simulated_requests": simulated,
         "requests_per_second": round(simulated / wall, 1) if wall > 0 else 0.0,
+        "speedup_vs_reference": speedup_sample["speedup"],
+        "speedup_sample": speedup_sample,
         "peak_grid_size": max(
             (e["peak_grid_size"] for e in entries), default=0
         ),
@@ -180,6 +257,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed requests/sec drop vs the baseline "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail unless the fast engine beats the "
+                             "reference engine by at least RATIO on the "
+                             "speedup sample (e.g. 1.0 = at least as "
+                             "fast; the CI smoke gate)")
     args = parser.parse_args(argv)
 
     document = run_bench(
@@ -195,10 +278,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"bench: {document['simulated_requests']:,} simulated requests in "
         f"{document['wall_seconds']:.1f}s "
         f"({document['requests_per_second']:,.0f} req/s, "
-        f"workers {document['workers']}) -> {target}"
+        f"workers {document['workers']}, engine {document['engine']}) "
+        f"-> {target}"
+    )
+    sample = document["speedup_sample"]
+    print(
+        f"bench: fast path {document['speedup_vs_reference']:.2f}x "
+        f"reference on {sample['workload']} "
+        f"({sample['fast_requests_per_second']:,.0f} vs "
+        f"{sample['reference_requests_per_second']:,.0f} req/s, "
+        f"{sample['requests']:,} requests, best of 2)"
     )
 
     status = 0
+    if (
+        args.min_speedup is not None
+        and document["speedup_vs_reference"] < args.min_speedup
+    ):
+        print(
+            f"bench: fast-path speedup {document['speedup_vs_reference']:.2f}x "
+            f"below required {args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        status = 1
     failed = [e["id"] for e in document["experiments"] if not e["all_passed"]]
     if failed:
         print(f"bench: shape checks failed for: {', '.join(failed)}",

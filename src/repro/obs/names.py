@@ -63,6 +63,8 @@ METRIC_NAMES: tuple[str, ...] = (
     "engine.tasks",
     "engine.pool_restarts",
     "engine.serial_fallback_tasks",
+    "engine.fastpath_runs",
+    "engine.fastpath_fallbacks",
     "verify.runs",
 )
 
@@ -70,6 +72,7 @@ METRIC_NAMES: tuple[str, ...] = (
 SPAN_NAMES: tuple[str, ...] = (
     "engine.map",
     "engine.task",
+    "fastpath.run",
     "sweep.run",
     "verify.run",
 )

@@ -30,6 +30,7 @@ from repro.obs import clock
 #: Engine phase names, in execution order (the report renders this order).
 ENGINE_PHASES: tuple[str, ...] = (
     "fork", "dispatch", "harvest", "reassembly", "serial",
+    "fastpath.compile", "fastpath.simulate",
 )
 
 _enabled = False

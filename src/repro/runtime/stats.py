@@ -45,6 +45,10 @@ class RunStats:
         verified_runs: simulations that were replayed through the
             ``repro.verify`` consistency oracle (0 when verification was
             off for the run).
+        engine: the resolved simulator engine the run selected —
+            ``"fast"`` (the :mod:`repro.fastpath` batched kernel, with
+            automatic reference fallback per configuration) or
+            ``"reference"`` (:mod:`repro.core.simulator` throughout).
     """
 
     wall_seconds: float
@@ -53,6 +57,7 @@ class RunStats:
     grid_points: int = 0
     peak_grid_size: int = 0
     verified_runs: int = 0
+    engine: str = "fast"
 
     @property
     def requests_per_second(self) -> float:
@@ -71,6 +76,7 @@ class RunStats:
         if self.peak_grid_size:
             parts.append(f"peak grid {self.peak_grid_size}")
         parts.append(f"workers {self.workers}")
+        parts.append(f"engine {self.engine}")
         if self.verified_runs:
             parts.append(f"{self.verified_runs} oracle-verified runs")
         return ", ".join(parts)
@@ -114,6 +120,7 @@ class RunStats:
             grid_points=sum(r.grid_points for r in runs),
             peak_grid_size=max((r.peak_grid_size for r in runs), default=0),
             verified_runs=sum(r.verified_runs for r in runs),
+            engine=runs[0].engine if runs else "fast",
         )
 
 

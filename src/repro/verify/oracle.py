@@ -11,12 +11,17 @@ compares:
 * every :class:`~repro.core.metrics.BandwidthLedger` cell
   (control bytes, body bytes, exchange counts, per category).
 
+When the fast path supports the configuration, the oracle also replays
+the run through :mod:`repro.fastpath` and holds it to the same standard
+— exactly, with no float tolerance (see :func:`_check_fastpath`).
+
 Any divergence raises :class:`ConsistencyViolation` carrying the full
 diff.  :func:`checked_simulate` is the drop-in used by the experiment
-pipeline: a plain :func:`~repro.core.simulator.simulate` unless
-verification is enabled for the process (``--verify`` flags call
-:func:`set_enabled`; the ``REPRO_VERIFY`` environment variable covers
-forked sweep workers, which inherit the module state either way).
+pipeline: a plain :func:`~repro.fastpath.engine_simulate` (which routes
+to the fast or reference engine) unless verification is enabled for the
+process (``--verify`` flags call :func:`set_enabled`; the
+``REPRO_VERIFY`` environment variable covers forked sweep workers,
+which inherit the module state either way).
 """
 
 from __future__ import annotations
@@ -31,7 +36,14 @@ from repro.core.costs import DEFAULT_COSTS, MessageCosts
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
-from repro.core.simulator import Simulation, SimulatorMode, simulate
+from repro.core.simulator import Simulation, SimulatorMode
+from repro.fastpath import (
+    diff_events as _fastpath_diff_events,
+    diff_results as _fastpath_diff_results,
+    engine_simulate,
+    fast_simulate,
+    unsupported_reason,
+)
 from repro.faults.plan import FaultPlan
 from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
@@ -173,6 +185,59 @@ def _diff_ledger(
             report.ledger_cells_checked += 1
 
 
+def _check_fastpath(
+    report: OracleReport,
+    result: SimulationResult,
+    events: list[tuple[str, float, str]],
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    request_list: list[tuple[float, str]],
+    mode: SimulatorMode,
+    *,
+    costs: MessageCosts,
+    preload: bool,
+    start_time: float,
+    end_time: Optional[float],
+    charge_per_modification: bool,
+    faults: Optional[FaultPlan],
+) -> None:
+    """Replay the run on the fast path and diff it against the reference.
+
+    This is the third leg of the oracle: when :mod:`repro.fastpath`
+    supports the configuration, the same run executes on the compiled
+    arrays and must match the reference counter-for-counter,
+    ledger-cell-for-ledger-cell, and event-for-event — *exactly* (no
+    float tolerance; the contract in docs/FASTPATH.md).  Unsupported
+    configurations (fault plans, adaptive protocols, eager variants)
+    are skipped: there the fast path would have fallen back to the very
+    simulator being verified.  Divergences are labelled ``fastpath.*``
+    in the report.
+
+    The supported protocols are stateless parameter holders, so reusing
+    the caller's instance after the reference run is safe — the compiled
+    kernel reads only its construction parameters.
+    """
+    if unsupported_reason(protocol, faults=faults) is not None:
+        return
+    fast_events: list[tuple[str, float, str]] = []
+    fast_result = fast_simulate(
+        server,
+        protocol,
+        request_list,
+        mode,
+        costs=costs,
+        preload=preload,
+        start_time=start_time,
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+        observer=lambda kind, t, oid: fast_events.append((kind, t, oid)),
+    )
+    report.divergences.extend(
+        _fastpath_diff_results(fast_result, result)
+        + _fastpath_diff_events(fast_events, events)
+    )
+
+
 def verify_simulation(
     server: OriginServer,
     protocol: ConsistencyProtocol,
@@ -235,6 +300,21 @@ def verify_simulation(
     _diff_events(events, outcome.events, report)
     _diff_counters(result, outcome, report)
     _diff_ledger(result, outcome, report)
+    _check_fastpath(
+        report,
+        result,
+        events,
+        server,
+        protocol,
+        request_list,
+        mode,
+        costs=costs,
+        preload=preload,
+        start_time=start_time,
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+        faults=faults,
+    )
     if not report.ok:
         raise ConsistencyViolation(report)
     global _verified_count
@@ -267,7 +347,8 @@ def checked_simulate(
     """Drop-in for :func:`~repro.core.simulator.simulate` that
     self-checks against the spec when verification is enabled.
 
-    Verification is skipped (a plain simulate runs) when:
+    Verification is skipped (:func:`~repro.fastpath.engine_simulate`
+    runs, dispatching to the selected engine) when:
 
     * it is disabled and ``force`` is False;
     * a caller-supplied ``cache`` is in play — bounded capacity and
@@ -278,7 +359,7 @@ def checked_simulate(
         ConsistencyViolation: when verification runs and diverges.
     """
     if not (force or _enabled) or cache is not None:
-        return simulate(
+        return engine_simulate(
             server,
             protocol,
             requests,
@@ -294,7 +375,7 @@ def checked_simulate(
     try:
         rule_for(protocol)
     except UnsupportedProtocolError:
-        return simulate(
+        return engine_simulate(
             server,
             protocol,
             requests,

@@ -1,0 +1,181 @@
+"""Engine selection, the fallback predicate, and dispatch equality."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.clock import days, hours
+from repro.core.protocols import (
+    AlexProtocol,
+    InvalidationProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.simulator import SimulatorMode, simulate
+from repro.fastpath import (
+    ENGINE_ENV_VAR,
+    FAST,
+    REFERENCE,
+    UnsupportedFastPathError,
+    compile_server,
+    diff_results,
+    engine_simulate,
+    fast_simulate,
+    resolve_engine,
+    set_engine,
+    unsupported_reason,
+)
+from repro.faults import parse_faults
+from repro.obs import registry as obs_registry
+
+
+class TestResolveEngine:
+    def test_default_is_fast(self, monkeypatch):
+        set_engine(None)
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine() == FAST
+
+    def test_env_beats_default(self, monkeypatch):
+        set_engine(None)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert resolve_engine() == REFERENCE
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        set_engine("fast")
+        assert resolve_engine() == FAST
+
+    def test_explicit_beats_override(self):
+        set_engine("fast")
+        assert resolve_engine("reference") == REFERENCE
+
+    def test_set_engine_mirrors_env_and_returns_previous(self):
+        set_engine(None)
+        assert set_engine("reference") is None
+        assert os.environ[ENGINE_ENV_VAR] == "reference"
+        assert set_engine("fast") == "reference"
+        set_engine(None)
+        assert ENGINE_ENV_VAR not in os.environ
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo")
+        with pytest.raises(ValueError, match="unknown engine"):
+            set_engine("turbo")
+        set_engine(None)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine()
+
+
+class TestUnsupportedReason:
+    def test_supported_protocols_have_no_reason(self):
+        assert unsupported_reason(TTLProtocol(hours(1))) is None
+        assert unsupported_reason(AlexProtocol.from_percent(10)) is None
+        assert unsupported_reason(InvalidationProtocol()) is None
+
+    def test_cache_faults_adaptive_and_eager_fall_back(self):
+        assert "cache" in unsupported_reason(
+            TTLProtocol(hours(1)), cache=Cache())
+        plan = parse_faults("loss=0.5,seed=1").build(days(10))
+        assert "fault plan" in unsupported_reason(
+            TTLProtocol(hours(1)), faults=plan)
+        assert "no compiled kernel" in unsupported_reason(
+            SelfTuningProtocol())
+        assert "eager" in unsupported_reason(InvalidationProtocol(eager=True))
+
+    def test_subclasses_do_not_compile(self):
+        class SloppyTTL(TTLProtocol):
+            def is_fresh(self, entry, now):  # pragma: no cover
+                return True
+
+        assert "no compiled kernel" in unsupported_reason(
+            SloppyTTL(hours(1)))
+
+    def test_fast_simulate_refuses_unsupported(self, static_server):
+        with pytest.raises(UnsupportedFastPathError, match="no compiled"):
+            fast_simulate(static_server, SelfTuningProtocol(), [])
+
+
+class TestEngineSimulate:
+    def test_fast_matches_reference_output(self, changing_server):
+        requests = [(days(0.5), "/hot"), (days(1.5), "/hot"),
+                    (days(2.5), "/warm"), (days(4.0), "/cold")]
+        set_engine("fast")
+        fast = engine_simulate(
+            changing_server, AlexProtocol.from_percent(10), requests,
+            end_time=days(5.0),
+        )
+        reference = simulate(
+            changing_server, AlexProtocol.from_percent(10), requests,
+            end_time=days(5.0),
+        )
+        assert diff_results(fast, reference) == []
+
+    def test_reference_engine_is_honoured(self, changing_server):
+        requests = [(days(0.5), "/hot")]
+        result = engine_simulate(
+            changing_server, TTLProtocol(hours(1)), requests,
+            end_time=days(1.0), engine="reference",
+        )
+        reference = simulate(
+            changing_server, TTLProtocol(hours(1)), requests,
+            end_time=days(1.0),
+        )
+        assert diff_results(result, reference) == []
+
+    def test_fallback_runs_match_reference(self, changing_server):
+        set_engine("fast")
+        requests = [(days(0.5), "/hot"), (days(1.5), "/hot")]
+        plan = parse_faults("loss=0.5,seed=7").build(days(3.0))
+        for kwargs in (
+            {"faults": parse_faults("loss=0.5,seed=7").build(days(3.0))},
+            {"cache": Cache()},
+        ):
+            dispatched = engine_simulate(
+                changing_server, InvalidationProtocol(), requests,
+                mode=SimulatorMode.OPTIMIZED, end_time=days(3.0), **kwargs,
+            )
+            expected = simulate(
+                changing_server, InvalidationProtocol(), requests,
+                mode=SimulatorMode.OPTIMIZED, end_time=days(3.0),
+                **({"faults": plan} if "faults" in kwargs
+                   else {"cache": Cache()}),
+            )
+            assert diff_results(dispatched, expected) == []
+        adaptive = engine_simulate(
+            changing_server, SelfTuningProtocol(), requests,
+            end_time=days(3.0),
+        )
+        expected = simulate(
+            changing_server, SelfTuningProtocol(), requests,
+            end_time=days(3.0),
+        )
+        assert diff_results(adaptive, expected) == []
+
+    def test_active_registry_forces_fallback_and_counts_it(
+        self, changing_server
+    ):
+        # An installed metrics registry is part of the observable
+        # contract (the reference loop emits cache.*/server.*/sim.*
+        # in-line), so the fast path must step aside — and say so.
+        set_engine("fast")
+        registry = obs_registry.MetricsRegistry()
+        previous = obs_registry.install(registry)
+        try:
+            engine_simulate(
+                changing_server, TTLProtocol(hours(1)),
+                [(days(0.5), "/hot")], end_time=days(1.0),
+            )
+        finally:
+            obs_registry.install(previous)
+        assert registry.counter("engine.fastpath_fallbacks").value == 1.0
+        assert registry.counter("cache.stores").value > 0.0
+
+
+class TestCompileCache:
+    def test_compiled_server_is_memoized_per_instance(self, static_server):
+        assert compile_server(static_server) is compile_server(static_server)

@@ -1,0 +1,84 @@
+"""Property-based fast-vs-reference identity: random workloads.
+
+The hypothesis leg of the equivalence contract: any random population
+(file types, Expires headers, dynamic objects) under any supported
+protocol, mode, §4.1 charging policy, and preload setting must replay
+event-for-event and counter-for-counter identically on both engines.
+Reuses the oracle suite's workload generator so the fast path faces the
+same adversarial populations the spec model does.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import hours
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    LeasedInvalidationProtocol,
+    PollEveryRequestProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import Simulation, SimulatorMode
+from repro.fastpath import diff_results, fast_simulate
+from tests.verify.test_oracle_properties import DURATION, rich_workloads
+
+
+def supported_protocols():
+    """Factories for every configuration the fast path compiles."""
+    return st.sampled_from(
+        [
+            lambda: TTLProtocol(0.0),
+            lambda: TTLProtocol(hours(24)),
+            lambda: ExpiresTTLProtocol(hours(24)),
+            lambda: AlexProtocol.from_percent(0),
+            lambda: AlexProtocol.from_percent(10),
+            lambda: PollEveryRequestProtocol(),
+            lambda: InvalidationProtocol(),
+            lambda: LeasedInvalidationProtocol(hours(12)),
+            lambda: CERNPolicyProtocol(0.1, hours(1)),
+            lambda: CERNPolicyProtocol(0.5, hours(1), max_ttl=hours(6)),
+        ]
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    workload=rich_workloads(),
+    make_protocol=supported_protocols(),
+    mode=st.sampled_from(list(SimulatorMode)),
+    per_modification=st.booleans(),
+    preload=st.booleans(),
+)
+def test_fast_path_is_event_for_event_identical(
+    workload, make_protocol, mode, per_modification, preload
+):
+    histories, requests = workload
+    server = OriginServer(histories)
+    ref_events: list = []
+    reference = Simulation(
+        server,
+        make_protocol(),
+        mode,
+        preload=preload,
+        charge_per_modification=per_modification,
+        observer=lambda kind, t, oid: ref_events.append((kind, t, oid)),
+    ).run(requests, end_time=DURATION)
+    fast_events: list = []
+    fast = fast_simulate(
+        server,
+        make_protocol(),
+        requests,
+        mode,
+        preload=preload,
+        charge_per_modification=per_modification,
+        end_time=DURATION,
+        observer=lambda kind, t, oid: fast_events.append((kind, t, oid)),
+    )
+    assert diff_results(fast, reference) == []
+    assert fast_events == ref_events

@@ -27,9 +27,11 @@ def minimal_document(**overrides) -> dict:
         "scale": 0.25,
         "seed": 0,
         "workers": 1,
+        "engine": "fast",
         "wall_seconds": 1.0,
         "simulated_requests": 1000,
         "requests_per_second": 1000.0,
+        "speedup_vs_reference": 1.0,
         "peak_grid_size": 4,
         "experiments": [
             {
