@@ -1,6 +1,6 @@
 """The ``repro`` command-line tool.
 
-Four subcommands cover the workflows a downstream user has:
+The subcommands cover the workflows a downstream user has:
 
 * ``repro synthesize`` — generate a synthetic campus/Worrell trace and
   write it to disk as an extended Common-Log-Format file.
@@ -16,6 +16,13 @@ Four subcommands cover the workflows a downstream user has:
   Prometheus 0.0.4 text exposition).
 * ``repro lint`` — run the :mod:`repro.lint` static invariant analysis
   over a source tree (see docs/DEVELOPING.md for the checker codes).
+* ``repro replay`` — replay a trace through the live asyncio
+  origin+proxy pair (:mod:`repro.live`) on loopback sockets;
+  ``--verify`` additionally simulates the same trace and fails unless
+  every counter and bandwidth-ledger cell matches exactly
+  (``docs/LIVE.md``).
+* ``repro serve`` — boot the live origin and proxy on fixed ports and
+  leave them running for ad-hoc exploration (curl, browsers).
 
 ``simulate`` and ``sweep`` accept ``--trace PATH`` / ``--metrics PATH``
 to capture a structured event trace and the merged metrics registry
@@ -45,6 +52,7 @@ recovered — the same limitation the paper's own methodology has.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from contextlib import contextmanager
@@ -534,6 +542,101 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a trace through the live origin+proxy pair."""
+    from repro.live import LiveReplayError, live_vs_sim, run_replay
+
+    trace = read_trace(args.trace)
+    try:
+        protocol = build_protocol(args.protocol, args.parameter)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    mode = SimulatorMode(args.mode)
+    workload = workload_from_trace(trace)
+    with _observability(args):
+        try:
+            if args.verify:
+                live_result, _sim_result, report = live_vs_sim(
+                    workload.server(),
+                    lambda: build_protocol(args.protocol, args.parameter),
+                    workload.requests,
+                    mode,
+                    end_time=workload.duration,
+                )
+                result = live_result
+            else:
+                live_report = asyncio.run(run_replay(
+                    workload.server(), protocol, workload.requests, mode,
+                    end_time=workload.duration,
+                ))
+                result = live_report.result
+        except LiveReplayError as exc:
+            print(f"replay: {exc}", file=sys.stderr)
+            return 2
+        except ConsistencyViolation as exc:
+            print(exc, file=sys.stderr)
+            return 1
+    print(format_table(
+        ("protocol", "mode", "bandwidth MB", "miss rate", "stale rate",
+         "server ops", "round trips/request"),
+        [(
+            result.protocol_name,
+            result.mode,
+            f"{result.total_megabytes:.3f}",
+            pct(result.miss_rate),
+            pct(result.stale_hit_rate),
+            result.server_operations,
+            f"{result.counters.mean_round_trips:.3f}",
+        )],
+        title=f"{args.trace}: {len(trace)} requests replayed live",
+    ))
+    if args.verify:
+        print(
+            f"live-vs-sim: {report.counters_checked} counters + "
+            f"{report.ledger_cells_checked} ledger cells identical",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the live origin and proxy and serve until interrupted."""
+    from repro.live import LiveOrigin, LiveProxy
+
+    trace = read_trace(args.trace)
+    try:
+        protocol = build_protocol(args.protocol, args.parameter)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    mode = SimulatorMode(args.mode)
+    server = server_from_trace(trace)
+
+    async def serve() -> None:
+        origin = LiveOrigin(server)
+        await origin.start(args.host, args.origin_port)
+        proxy = LiveProxy(origin.host, origin.port, protocol, mode)
+        await proxy.start(args.host, args.proxy_port)
+        print(f"origin: http://{origin.host}:{origin.port}/ "
+              f"({len(server.object_ids())} objects)")
+        print(f"proxy:  http://{proxy.host}:{proxy.port}/ "
+              f"({protocol.name}, {mode.value} mode)")
+        print("control endpoints under /.well-known/repro/ "
+              "(population, invalidations, stats, finish); Ctrl-C stops.")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await proxy.close()
+            await origin.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Forward to the :mod:`repro.lint` CLI (``repro lint [...]``)."""
     from repro.lint.cli import main as lint_main
@@ -651,6 +754,46 @@ def make_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--format", default="json",
                        choices=["json", "prom"])
     p_met.set_defaults(func=cmd_metrics)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a trace through the live asyncio origin+proxy pair "
+             "on loopback sockets (docs/LIVE.md)",
+    )
+    p_replay.add_argument("trace", type=Path)
+    p_replay.add_argument("--protocol", default="alex",
+                          choices=list(PROTOCOLS))
+    p_replay.add_argument("--parameter", type=float, default=10.0,
+                          help="alex/selftuning: threshold %%; ttl/leased: "
+                               "hours; cern: LM fraction %%")
+    p_replay.add_argument("--mode", default="optimized",
+                          choices=[m.value for m in SimulatorMode])
+    p_replay.add_argument(
+        "--verify", action="store_true",
+        help="also simulate the same trace and fail unless every counter "
+             "and bandwidth-ledger cell matches the live run exactly",
+    )
+    _add_obs_flags(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="boot the live origin+proxy on fixed ports for ad-hoc "
+             "exploration (docs/LIVE.md)",
+    )
+    p_serve.add_argument("trace", type=Path,
+                         help="trace file defining the served population")
+    p_serve.add_argument("--protocol", default="alex",
+                         choices=list(PROTOCOLS))
+    p_serve.add_argument("--parameter", type=float, default=10.0)
+    p_serve.add_argument("--mode", default="optimized",
+                         choices=[m.value for m in SimulatorMode])
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--origin-port", type=int, default=8097,
+                         help="origin port (default 8097; 0 = ephemeral)")
+    p_serve.add_argument("--proxy-port", type=int, default=8098,
+                         help="proxy port (default 8098; 0 = ephemeral)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

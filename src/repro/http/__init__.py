@@ -30,6 +30,7 @@ from repro.http.messages import (
     make_not_modified,
     make_ok,
     parse_request,
+    parse_response,
 )
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "make_ok",
     "parse_http_date",
     "parse_request",
+    "parse_response",
     "sim_to_unix",
     "unix_to_sim",
 ]

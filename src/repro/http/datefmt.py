@@ -15,6 +15,7 @@ reproducible.
 from __future__ import annotations
 
 import calendar
+import math
 import time
 
 #: Unix timestamp corresponding to simulation time 0.0.
@@ -30,8 +31,16 @@ _MONTH_INDEX = {name: i + 1 for i, name in enumerate(_MONTHS)}
 
 
 def sim_to_unix(t: float) -> int:
-    """Map a simulation timestamp to a Unix timestamp (whole seconds)."""
-    return SIM_EPOCH_UNIX + int(t)
+    """Map a simulation timestamp to a Unix timestamp (whole seconds).
+
+    Fractional times round *down* on the number line (``math.floor``),
+    not toward zero: a pre-epoch ``t`` of ``-0.5`` lands in the second
+    that contains it (``-1``), exactly like ``+0.5`` lands in ``0``.
+    Truncation (``int(t)``) would collapse ``-0.5`` and ``+0.5`` into
+    the same second and break ``parse_http_date(format_http_date(t))``
+    round-trips for pre-epoch Last-Modified stamps.
+    """
+    return SIM_EPOCH_UNIX + math.floor(t)
 
 
 def unix_to_sim(ts: int | float) -> float:
@@ -82,10 +91,31 @@ def parse_http_date(value: str) -> float:
         raise HTTPDateError(f"bad numeric field in HTTP-date: {value!r}") from exc
     if not (1 <= day <= 31 and 0 <= hh < 24 and 0 <= mm < 60 and 0 <= ss < 60):
         raise HTTPDateError(f"field out of range in HTTP-date: {value!r}")
+    month = _MONTH_INDEX[month_s]
+    # calendar.timegm silently *normalizes* impossible days (31 Feb
+    # becomes 3 Mar), so a malformed header would parse to a wrong
+    # timestamp instead of failing; validate against the real month
+    # length first.
     try:
-        unix = calendar.timegm(
-            (year, _MONTH_INDEX[month_s], day, hh, mm, ss, 0, 0, 0)
+        _, month_days = calendar.monthrange(year, month)
+    except ValueError as exc:
+        raise HTTPDateError(f"invalid calendar date: {value!r}") from exc
+    if day > month_days:
+        raise HTTPDateError(
+            f"impossible calendar day in HTTP-date: {value!r} "
+            f"({month_s} {year} has {month_days} days)"
         )
+    try:
+        unix = calendar.timegm((year, month, day, hh, mm, ss, 0, 0, 0))
     except (ValueError, OverflowError) as exc:
         raise HTTPDateError(f"invalid calendar date: {value!r}") from exc
+    # RFC 1123 dates are self-describing: the weekday token must match
+    # the date.  Accepting a mismatch would parse a header that cannot
+    # round-trip byte-identically through format_http_date.
+    actual_weekday = _WEEKDAYS[calendar.weekday(year, month, day)]
+    if weekday.rstrip(",") != actual_weekday:
+        raise HTTPDateError(
+            f"weekday does not match date in HTTP-date: {value!r} "
+            f"({day:02d} {month_s} {year} is a {actual_weekday})"
+        )
     return unix_to_sim(unix)

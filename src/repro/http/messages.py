@@ -26,7 +26,13 @@ from repro.http.headers import (
 )
 
 #: Status line + reason phrases used by HTTP/1.0 servers of the era.
-_REASONS = {200: "OK", 304: "Not Modified", 404: "Not Found"}
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
 
 
 @dataclass
@@ -89,6 +95,29 @@ class Response:
         """Total bytes on the wire including the entity body."""
         return self.header_size() + self.body_size
 
+    def serialize(self, body: Optional[str] = None) -> str:
+        """Render the full response text, entity body included.
+
+        The model carries only ``body_size``, not content; by default the
+        body is rendered as that many filler bytes (the live origin
+        serves real content this way — the consistency protocols are
+        metadata-driven and never look at bodies).  Control endpoints
+        pass an explicit ``body`` instead.
+
+        Raises:
+            ValueError: when an explicit ``body`` disagrees with
+                ``body_size``.
+        """
+        if body is None:
+            body = "x" * self.body_size
+        elif len(body) != self.body_size:
+            raise ValueError(
+                f"body length {len(body)} != body_size {self.body_size}"
+            )
+        lines = [self.status_line()]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        return "\r\n".join(lines) + "\r\n\r\n" + body
+
 
 @dataclass
 class InvalidationNotice:
@@ -143,6 +172,43 @@ def parse_request(text: str) -> Request:
             raise HTTPParseError(f"bad header on line {lineno}: {line!r}")
         request.headers.set(name.strip(), value.strip())
     return request
+
+
+def parse_response(text: str) -> Response:
+    """Parse a serialized HTTP/1.0 response back into a :class:`Response`.
+
+    Accepts what :meth:`Response.serialize` emits (status line,
+    ``Name: value`` headers, blank line, entity body), with either CRLF
+    or bare-LF line endings.  The body's *length* becomes ``body_size``;
+    content is discarded — the models are metadata-only.
+
+    Raises:
+        HTTPParseError: for malformed status lines or header fields.
+    """
+    normalized = text.replace("\r\n", "\n")
+    head, sep, body = normalized.partition("\n\n")
+    if not sep:
+        raise HTTPParseError("response lacks a blank-line terminator")
+    lines = head.split("\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HTTPParseError(f"bad status line: {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HTTPParseError(f"bad status code: {lines[0]!r}") from exc
+    try:
+        response = Response(status, body_size=len(body))
+    except ValueError as exc:  # e.g. a 304 carrying a body
+        raise HTTPParseError(str(exc)) from exc
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line:
+            continue
+        name, header_sep, value = line.partition(":")
+        if not header_sep or not name.strip():
+            raise HTTPParseError(f"bad header on line {lineno}: {line!r}")
+        response.headers.set(name.strip(), value.strip())
+    return response
 
 
 def make_get(path: str) -> Request:

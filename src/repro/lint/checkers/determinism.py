@@ -47,7 +47,8 @@ from repro.lint.registry import Checker, register
 
 #: Packages whose modules must be deterministic given their seeds.
 SCOPED_PACKAGES = ("repro.core", "repro.fastpath", "repro.workload",
-                   "repro.verify", "repro.faults", "repro.obs")
+                   "repro.verify", "repro.faults", "repro.obs",
+                   "repro.live")
 
 #: ``module attr`` call patterns that read wall clocks or ambient entropy.
 _FORBIDDEN_CALLS: dict[tuple[str, str], str] = {

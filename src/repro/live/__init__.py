@@ -1,0 +1,56 @@
+"""Live HTTP/1.0 origin + proxy mode: the simulator's objects on sockets.
+
+The simulator (:mod:`repro.core`) exercises the paper's consistency
+protocols against a *modelled* origin server.  This package runs the
+very same objects — the :class:`~repro.core.server.OriginServer`
+population model, the :class:`~repro.core.cache.Cache`, every
+:class:`~repro.core.protocols.base.ConsistencyProtocol`, and the
+:mod:`repro.http` message/date models — over real asyncio sockets:
+
+* :class:`~repro.live.origin.LiveOrigin` — an HTTP/1.0 origin serving
+  the modelled population (plain GET, If-Modified-Since, an
+  invalidation feed control endpoint);
+* :class:`~repro.live.proxy.LiveProxy` — a caching proxy whose
+  freshness decisions are delegated to an unmodified protocol object
+  and whose accounting mirrors :class:`repro.core.simulator.Simulation`
+  step-for-step;
+* :func:`~repro.live.driver.replay_live` — a load driver replaying a
+  synthetic trace over live connections;
+* :func:`~repro.live.differential.live_vs_sim` — the oracle's fourth
+  leg: after a live replay, the proxy's counters and bandwidth ledger
+  must equal a simulated run of the same trace *exactly*.
+
+Simulation time travels on the wire in RFC 1123 ``Date`` headers at
+whole-second granularity, which is why every timestamp a live run
+touches must be integral (:func:`~repro.live.wire.ensure_integral`) —
+and why the pre-epoch flooring fix in :mod:`repro.http.datefmt`
+matters: objects created before the trace window carry negative
+Last-Modified stamps that must survive a header round trip.
+
+See ``docs/LIVE.md`` for the full design and the equivalence argument.
+"""
+
+from repro.live.differential import diff_live_vs_sim, live_vs_sim
+from repro.live.driver import (
+    LiveReplayReport,
+    check_wire_exact,
+    replay_live,
+    run_replay,
+)
+from repro.live.origin import LiveOrigin
+from repro.live.proxy import LiveProxy
+from repro.live.wire import LiveReplayError, LiveWireError, ensure_integral
+
+__all__ = [
+    "LiveOrigin",
+    "LiveProxy",
+    "LiveReplayError",
+    "LiveReplayReport",
+    "LiveWireError",
+    "check_wire_exact",
+    "diff_live_vs_sim",
+    "ensure_integral",
+    "live_vs_sim",
+    "replay_live",
+    "run_replay",
+]

@@ -1,0 +1,144 @@
+"""The oracle's fourth leg: live replay vs simulation, diffed exactly.
+
+The repo already cross-checks the simulator three ways (executable
+spec, replayed event log, batched fast path — see
+:mod:`repro.verify.oracle` and :mod:`repro.fastpath.contract`).  This
+module adds the leg the others cannot provide: the same trace is driven
+through **real sockets** — asyncio origin, asyncio caching proxy, one
+HTTP/1.0 exchange per request — and the live run's counters and
+bandwidth ledger must equal :func:`repro.core.simulator.simulate`
+**exactly**, all thirteen counters and all fifteen ledger cells.
+
+Exactness is the whole point.  The live side re-derives every
+consistency decision from wire artifacts (RFC 1123 ``Date`` headers,
+``Last-Modified``, ``Expires`` re-stamps on 304s, an invalidation feed
+pulled in windows), so a single floored pre-epoch date, a mis-scoped
+weekday, or an off-by-one feed window shows up as a counter divergence
+here — which is precisely how the :mod:`repro.http.datefmt` bugs this
+PR fixes were caught.
+
+No event-log leg: the live proxy does not journal events (the wire *is*
+its event log), so ``events_checked`` stays 0 in the report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable, Optional
+
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.metrics import _CATEGORIES
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import SimulationResult
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode, simulate
+from repro.fastpath.contract import COUNTER_FIELDS
+from repro.live.driver import run_replay
+from repro.verify.oracle import ConsistencyViolation, OracleReport
+
+#: Per-category ledger tables compared cell-for-cell.
+_LEDGER_TABLES = ("control_bytes", "body_bytes", "exchanges")
+
+
+def diff_live_vs_sim(
+    live: SimulationResult, sim: SimulationResult
+) -> list[str]:
+    """Every cell where a live replay and a simulation disagree.
+
+    Compares all :data:`COUNTER_FIELDS` counters and every
+    ``(table, category)`` bandwidth-ledger cell.  An empty list means
+    the live run matched the simulator bit-for-bit.
+    """
+    lines: list[str] = []
+    for name in COUNTER_FIELDS:
+        live_value = getattr(live.counters, name)
+        sim_value = getattr(sim.counters, name)
+        if live_value != sim_value:
+            lines.append(
+                f"counter {name}: live={live_value!r} sim={sim_value!r}"
+            )
+    for table in _LEDGER_TABLES:
+        live_table = getattr(live.bandwidth, table)
+        sim_table = getattr(sim.bandwidth, table)
+        for category in _CATEGORIES:
+            if live_table[category] != sim_table[category]:
+                lines.append(
+                    f"ledger {table}[{category}]: "
+                    f"live={live_table[category]!r} "
+                    f"sim={sim_table[category]!r}"
+                )
+    if live.duration != sim.duration:
+        lines.append(
+            f"duration: live={live.duration!r} sim={sim.duration!r}"
+        )
+    return lines
+
+
+def live_vs_sim(
+    server: OriginServer,
+    protocol_factory: Callable[[], ConsistencyProtocol],
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+) -> tuple[SimulationResult, SimulationResult, OracleReport]:
+    """Replay a trace live, simulate the same trace, and diff the two.
+
+    ``protocol_factory`` must build a *fresh* protocol instance per
+    call — adaptive protocols (Alex) carry per-entry state, so the live
+    and simulated legs each need their own.
+
+    Boots an ephemeral origin/proxy pair on loopback, runs
+    :func:`~repro.live.driver.replay_live`, tears the servers down,
+    then runs :func:`~repro.core.simulator.simulate` with the identical
+    configuration (``preload=True`` matches the live warmup).
+
+    Returns:
+        ``(live_result, sim_result, report)``.
+
+    Raises:
+        ConsistencyViolation: when any counter or ledger cell differs;
+            ``exc.report.divergences`` lists every mismatch.
+    """
+    request_list = list(requests)
+    live_report = asyncio.run(
+        run_replay(
+            server,
+            protocol_factory(),
+            request_list,
+            mode,
+            costs=costs,
+            start_time=float(start_time),
+            end_time=end_time,
+            charge_per_modification=charge_per_modification,
+        )
+    )
+    sim_result = simulate(
+        server,
+        protocol_factory(),
+        request_list,
+        mode,
+        costs=costs,
+        preload=True,
+        start_time=float(start_time),
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+    )
+    live_result = live_report.result
+    report = OracleReport(
+        protocol_name=live_result.protocol_name,
+        mode=live_result.mode,
+        events_checked=0,
+        counters_checked=len(COUNTER_FIELDS),
+        ledger_cells_checked=len(_LEDGER_TABLES) * len(_CATEGORIES),
+        divergences=diff_live_vs_sim(live_result, sim_result),
+    )
+    if not report.ok:
+        raise ConsistencyViolation(report)
+    return live_result, sim_result, report
+
+
+__all__ = ["diff_live_vs_sim", "live_vs_sim"]

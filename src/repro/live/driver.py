@@ -1,0 +1,314 @@
+"""The live load driver: replay a synthetic trace over real sockets.
+
+:func:`replay_live` plays a ``(time, object_id)`` request stream — the
+same stream :func:`repro.core.simulator.simulate` consumes — against a
+running :class:`~repro.live.origin.LiveOrigin` /
+:class:`~repro.live.proxy.LiveProxy` pair, one real HTTP/1.0 exchange
+per request, and assembles the run into the very same
+:class:`~repro.core.results.SimulationResult` shape the simulator
+returns.  That shared shape is what lets the differential leg
+(:mod:`repro.live.differential`) diff a live run against a simulated
+one field-for-field.
+
+Two pieces of the result cannot be observed inside the proxy and are
+assembled here:
+
+* **server-side load** (``server_gets``, ``server_ims_queries``) comes
+  from the origin's own counters, fetched over its stats control
+  endpoint — so the invariant ``server_gets == full_retrievals +
+  prefetches`` is a genuine two-machine cross-check, not a tautology;
+* **staleness ground truth** (``stale_hits``, ``stale_age_sum``): the
+  proxy cannot know it served a stale copy — that is the *point* of
+  weak consistency.  The driver audits every ``X-Cache: HIT`` response
+  against the origin's modification schedule, exactly as the
+  simulator's omniscient hit branch does.
+
+:func:`check_wire_exact` gates a replay up front: every timestamp the
+run touches must be a whole second, because simulation time travels in
+RFC 1123 ``Date`` headers.  A fractional modification time would be
+floored in transit and the live accounting would silently diverge from
+the simulator — better to refuse loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.metrics import BandwidthLedger, ConsistencyCounters
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.results import SimulationResult
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode
+from repro.fastpath.contract import COUNTER_FIELDS
+from repro.http.messages import Request
+from repro.live.origin import LiveOrigin
+from repro.live.proxy import LiveProxy
+from repro.live.wire import (
+    CONTROL_PREFIX,
+    DATE,
+    X_CACHE,
+    LiveReplayError,
+    LiveWireError,
+    ensure_integral,
+    exchange,
+)
+from repro.obs import clock as obs_clock
+from repro.obs import trace as obs_trace
+
+
+@dataclass
+class LiveReplayReport:
+    """Everything one live replay produced.
+
+    Attributes:
+        result: the run in the simulator's result shape — counters,
+            bandwidth ledger (abstract :class:`MessageCosts` bytes),
+            duration.  This is the side diffed against ``simulate()``.
+        wire_bytes: actual bytes moved on sockets across the whole
+            replay (warmup and control exchanges included) — the
+            live-only measurement, deliberately *not* part of the diff.
+        origin_gets: full retrievals the origin counted.
+        origin_ims_queries: If-Modified-Since exchanges the origin
+            counted.
+    """
+
+    result: SimulationResult
+    wire_bytes: int = 0
+    origin_gets: int = 0
+    origin_ims_queries: int = 0
+
+
+def check_wire_exact(
+    server: OriginServer,
+    requests: Sequence[tuple[float, str]],
+    *,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+) -> None:
+    """Refuse inputs that cannot survive wire transport bit-for-bit.
+
+    Raises:
+        LiveReplayError: on any fractional timestamp (request times,
+            object creation times, modification times, expiry
+            lifetimes, the run window edges) or an unordered request
+            stream.
+    """
+    ensure_integral(start_time, "start_time")
+    if end_time is not None:
+        ensure_integral(end_time, "end_time")
+    previous = float(start_time)
+    for t, object_id in requests:
+        ensure_integral(t, f"request time for {object_id!r}")
+        if t < previous:
+            raise LiveReplayError(
+                f"request stream is not time-ordered: {t!r} after "
+                f"{previous!r} ({object_id!r})"
+            )
+        previous = float(t)
+    for object_id, history in server.histories().items():
+        ensure_integral(history.obj.created, f"{object_id!r} creation time")
+        if history.obj.expires_after is not None:
+            ensure_integral(
+                history.obj.expires_after, f"{object_id!r} expires_after"
+            )
+        for mod_time in history.schedule.times:
+            ensure_integral(mod_time, f"{object_id!r} modification time")
+
+
+async def _control_get(
+    host: str,
+    port: int,
+    endpoint: str,
+    *,
+    date: Optional[float] = None,
+) -> str:
+    request = Request("GET", CONTROL_PREFIX + endpoint)
+    if date is not None:
+        request.headers.set_date(DATE, date)
+    response, body, _ = await exchange(host, port, request)
+    if response.status != 200:
+        raise LiveWireError(
+            f"control endpoint {endpoint!r} returned {response.status}: "
+            f"{body.strip()!r}"
+        )
+    return body
+
+
+async def replay_live(
+    origin: LiveOrigin,
+    proxy: LiveProxy,
+    requests: Iterable[tuple[float, str]],
+    *,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+) -> LiveReplayReport:
+    """Replay a request stream through a live origin/proxy pair.
+
+    Both servers must already be started.  The proxy is warmed first
+    (pre-loaded with valid copies of the population, uncounted), then
+    each request becomes one real client exchange carrying its
+    simulation time in a ``Date`` header.  After the stream — and the
+    trailing invalidation flush when ``end_time`` is given — the
+    counters are assembled from the proxy's and origin's stats
+    endpoints plus the driver's own staleness audit.
+
+    Returns:
+        A :class:`LiveReplayReport`; ``report.result.counters`` has
+        passed :meth:`ConsistencyCounters.check_invariants`.
+
+    Raises:
+        LiveReplayError: when the inputs cannot be wire-exact.
+        LiveWireError: on protocol errors from either live server.
+    """
+    replay_started = obs_clock.monotonic()
+    request_list = list(requests)
+    check_wire_exact(
+        origin.server, request_list, start_time=start_time, end_time=end_time
+    )
+    await proxy.warm(start_time)
+
+    stale_hits = 0
+    stale_age_sum = 0.0
+    last_time = float(start_time)
+    for t, object_id in request_list:
+        request = Request("GET", object_id)
+        request.headers.set_date(DATE, t)
+        response, _, _ = await exchange(proxy.host, proxy.port, request)
+        if response.status != 200:
+            raise LiveWireError(
+                f"proxy returned {response.status} for {object_id!r} "
+                f"at t={t!r}"
+            )
+        last_time = float(t)
+        if response.headers.get(X_CACHE) != "HIT":
+            continue
+        # Staleness audit: only unvalidated cache hits can be stale,
+        # and only the driver (holding the origin's ground truth) can
+        # tell — mirroring the simulator's omniscient hit branch.
+        last_modified = response.headers.last_modified
+        if last_modified is None:
+            raise LiveWireError(
+                f"cache hit for {object_id!r} lacks Last-Modified"
+            )
+        schedule = origin.server.schedule(object_id)
+        if last_modified < schedule.last_modified_at(t):
+            stale_hits += 1
+            became_stale = schedule.next_change_after(last_modified)
+            if became_stale is not None:
+                stale_age_sum += t - became_stale
+
+    if end_time is not None:
+        await _control_get(proxy.host, proxy.port, "finish", date=end_time)
+        last_time = float(end_time)
+
+    proxy_stats = json.loads(
+        await _control_get(proxy.host, proxy.port, "stats")
+    )
+    origin_stats = json.loads(
+        await _control_get(origin.host, origin.port, "stats")
+    )
+
+    counters = ConsistencyCounters(
+        **{
+            name: int(proxy_stats["counters"][name])
+            for name in COUNTER_FIELDS
+            if name != "stale_age_sum"
+        },
+        stale_age_sum=float(proxy_stats["counters"]["stale_age_sum"]),
+    )
+    counters.stale_hits = stale_hits
+    counters.stale_age_sum = stale_age_sum
+    counters.server_gets = int(origin_stats["gets"])
+    counters.server_ims_queries = int(origin_stats["ims_queries"])
+
+    bandwidth = BandwidthLedger(
+        control_bytes={
+            k: int(v)
+            for k, v in proxy_stats["bandwidth"]["control_bytes"].items()
+        },
+        body_bytes={
+            k: int(v)
+            for k, v in proxy_stats["bandwidth"]["body_bytes"].items()
+        },
+        exchanges={
+            k: int(v)
+            for k, v in proxy_stats["bandwidth"]["exchanges"].items()
+        },
+    )
+
+    result = SimulationResult(
+        protocol_name=proxy.protocol.name,
+        mode=proxy.mode.value,
+        counters=counters,
+        bandwidth=bandwidth,
+        duration=last_time - float(start_time),
+    )
+    result.counters.check_invariants()
+    report = LiveReplayReport(
+        result=result,
+        wire_bytes=proxy.wire_bytes,
+        origin_gets=int(origin_stats["gets"]),
+        origin_ims_queries=int(origin_stats["ims_queries"]),
+    )
+    obs_trace.span(
+        "live.replay",
+        obs_clock.monotonic() - replay_started,
+        requests=len(request_list),
+        wire_bytes=report.wire_bytes,
+    )
+    return report
+
+
+async def run_replay(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    costs: MessageCosts = DEFAULT_COSTS,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+) -> LiveReplayReport:
+    """Boot an ephemeral origin/proxy pair on loopback, replay, tear down.
+
+    The one-call form of :func:`replay_live` for callers that do not
+    need to keep the servers running — the CLI's ``repro replay`` and
+    the differential leg both go through here, so they exercise the
+    identical code path.
+    """
+    origin = LiveOrigin(server)
+    await origin.start()
+    try:
+        proxy = LiveProxy(
+            origin.host,
+            origin.port,
+            protocol,
+            mode,
+            costs=costs,
+            charge_per_modification=charge_per_modification,
+        )
+        await proxy.start()
+        try:
+            return await replay_live(
+                origin,
+                proxy,
+                requests,
+                start_time=start_time,
+                end_time=end_time,
+            )
+        finally:
+            await proxy.close()
+    finally:
+        await origin.close()
+
+
+__all__ = [
+    "LiveReplayReport",
+    "check_wire_exact",
+    "replay_live",
+    "run_replay",
+]

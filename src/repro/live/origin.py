@@ -1,0 +1,231 @@
+"""The live HTTP/1.0 origin server.
+
+A thin asyncio front end over the *unmodified*
+:class:`repro.core.server.OriginServer` population model.  Three
+request shapes, exactly the operations the simulator's origin answers:
+
+* plain ``GET /path`` with a ``Date`` header — a full retrieval:
+  ``200`` with ``Content-Length``, ``Content-Type``, ``Last-Modified``,
+  an ``Expires`` header when the object declares a lifetime, and
+  ``Pragma: no-cache`` for dynamic (non-cacheable) objects;
+* conditional ``GET`` carrying ``If-Modified-Since`` — the paper's
+  "send this file if it has changed since a specific date": ``304``
+  (with a *re-stamped* ``Expires``, matching
+  :class:`repro.core.server.NotModified`) or a full ``200``;
+* control endpoints under ``/.well-known/repro/`` — the cacheable
+  population listing, the invalidation feed window (the live transport
+  of :meth:`~repro.core.server.OriginServer.feed_between`), and a JSON
+  counter dump.  Control exchanges are never counted.
+
+The origin keeps its own exchange counters (``gets``,
+``ims_queries``) so the driver can assemble Figure-8-style server-load
+numbers; warming fetches (tagged ``X-Repro-Warmup``) are served but not
+counted, mirroring the simulator's uncounted preload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.core.server import (
+    FetchResult,
+    NotModified,
+    OriginServer,
+    UnknownObjectError,
+)
+from repro.http.datefmt import HTTPDateError, format_http_date
+from repro.http.headers import CONTENT_LENGTH, CONTENT_TYPE, EXPIRES
+from repro.http.messages import Request, Response, make_ok
+from repro.live.wire import (
+    CONTROL_PREFIX,
+    DATE,
+    PRAGMA,
+    WARMUP_HEADER,
+    LiveWireError,
+    read_request,
+    write_message,
+)
+
+
+def _error(status: int, message: str) -> tuple[Response, str]:
+    body = message + "\n"
+    response = Response(status, body_size=len(body))
+    response.headers.set(CONTENT_LENGTH, str(len(body)))
+    response.headers.set(CONTENT_TYPE, "text")
+    return response, body
+
+
+def _text_ok(body: str) -> tuple[Response, str]:
+    response = Response(200, body_size=len(body))
+    response.headers.set(CONTENT_LENGTH, str(len(body)))
+    response.headers.set(CONTENT_TYPE, "text")
+    return response, body
+
+
+class LiveOrigin:
+    """An asyncio HTTP/1.0 origin serving a modelled population.
+
+    Args:
+        server: the population model (objects + modification
+            schedules) — the same instance a simulation run would use.
+    """
+
+    def __init__(self, server: OriginServer) -> None:
+        self.server = server
+        #: Counted (non-warmup) full-retrieval exchanges served.
+        self.gets = 0
+        #: Counted (non-warmup) If-Modified-Since exchanges served.
+        self.ims_queries = 0
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._host = ""
+        self._port = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._listener = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        sockname = self._listener.sockets[0].getsockname()
+        self._host, self._port = sockname[0], int(sockname[1])
+
+    async def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    @property
+    def host(self) -> str:
+        """Bound address (after :meth:`start`)."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """Bound port (after :meth:`start`)."""
+        return self._port
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request, _ = await read_request(reader)
+            except LiveWireError as exc:
+                response, body = _error(400, str(exc))
+            else:
+                response, body = self._respond(request)
+            await write_message(writer, response.serialize(body))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _respond(self, request: Request) -> tuple[Response, str]:
+        if request.method != "GET":
+            return _error(400, f"unsupported method {request.method!r}")
+        if request.path.startswith(CONTROL_PREFIX):
+            return self._control(request)
+        return self._object(request)
+
+    # -- control endpoints ---------------------------------------------------
+
+    def _control(self, request: Request) -> tuple[Response, str]:
+        endpoint = request.path[len(CONTROL_PREFIX):]
+        if endpoint == "population":
+            lines = [
+                oid
+                for oid, history in self.server.histories().items()
+                if history.obj.cacheable
+            ]
+            return _text_ok("".join(line + "\n" for line in lines))
+        if endpoint == "invalidations":
+            return self._invalidations(request)
+        if endpoint == "stats":
+            return _text_ok(
+                json.dumps(
+                    {"gets": self.gets, "ims_queries": self.ims_queries},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        return _error(404, f"unknown control endpoint {endpoint!r}")
+
+    def _invalidations(self, request: Request) -> tuple[Response, str]:
+        """The ``(since, until]`` modification window, one event per line.
+
+        ``If-Modified-Since`` carries the window's exclusive lower edge,
+        ``Date`` the inclusive upper edge — the exact contract of
+        :meth:`repro.core.server.OriginServer.feed_between`, so a proxy
+        polling successive windows sees every event exactly once.
+        """
+        try:
+            since = request.headers.if_modified_since
+            until = request.headers.get_date(DATE)
+        except HTTPDateError as exc:
+            return _error(400, str(exc))
+        if since is None or until is None:
+            return _error(
+                400,
+                "invalidation window needs If-Modified-Since (since, "
+                "exclusive) and Date (until, inclusive) headers",
+            )
+        lines = [
+            f"{format_http_date(mod_time)}\t{oid}\n"
+            for mod_time, oid in self.server.feed_between(since, until)
+        ]
+        return _text_ok("".join(lines))
+
+    # -- object retrievals ---------------------------------------------------
+
+    def _object(self, request: Request) -> tuple[Response, str]:
+        try:
+            t = request.headers.get_date(DATE)
+        except HTTPDateError as exc:
+            return _error(400, str(exc))
+        if t is None:
+            return _error(400, "object requests need a Date header")
+        try:
+            history = self.server.history(request.path)
+        except UnknownObjectError:
+            return _error(404, f"no such object: {request.path!r}")
+        warmup = WARMUP_HEADER in request.headers
+        if request.is_conditional:
+            try:
+                since = request.headers.if_modified_since
+            except HTTPDateError as exc:
+                return _error(400, str(exc))
+            assert since is not None  # is_conditional implies presence
+            if not warmup:
+                self.ims_queries += 1
+            result = self.server.if_modified_since(request.path, t, since)
+            if isinstance(result, NotModified):
+                response = Response(304)
+                response.headers.set_date(DATE, t)
+                if result.expires is not None:
+                    response.headers.set_date(EXPIRES, result.expires)
+                return response, ""
+        else:
+            if not warmup:
+                self.gets += 1
+            result = self.server.get(request.path, t)
+        return self._full_response(request.path, t, result)
+
+    def _full_response(
+        self, object_id: str, t: float, result: FetchResult
+    ) -> tuple[Response, str]:
+        obj = self.server.object(object_id)
+        response = make_ok(result.size, last_modified=result.last_modified)
+        response.headers.set_date(DATE, t)
+        response.headers.set(CONTENT_TYPE, obj.file_type)
+        if result.expires is not None:
+            response.headers.set_date(EXPIRES, result.expires)
+        if not obj.cacheable:
+            response.headers.set(PRAGMA, "no-cache")
+        return response, "x" * result.size

@@ -1,0 +1,484 @@
+"""The live caching proxy.
+
+One :class:`LiveProxy` stands between live clients and a
+:class:`~repro.live.origin.LiveOrigin`, holding an *unmodified*
+:class:`repro.core.cache.Cache` and delegating every freshness decision
+to an unmodified :class:`~repro.core.protocols.base.ConsistencyProtocol`
+instance.  Its request handling mirrors
+:meth:`repro.core.simulator.Simulation.step` transition-for-transition —
+the equivalence the live-vs-sim differential leg
+(:mod:`repro.live.differential`) enforces:
+
+* before serving a request at time *t*, the proxy pulls the origin's
+  invalidation window ``(last_sync, t]`` over the wire and applies it
+  exactly like the simulator's ``_deliver_invalidations_until`` (the
+  ``charge_per_modification`` policy and the eager-prefetch variant
+  included);
+* a fresh entry is served from cache (``X-Cache: HIT``); an expired
+  entry is revalidated with a real If-Modified-Since exchange in
+  optimized mode (``X-Cache: REVALIDATED`` on 304) or refetched
+  unconditionally in base mode; misses transfer the body
+  (``X-Cache: MISS``);
+* a 304 re-stamps ``server_expires`` from the reply's ``Expires``
+  header and re-runs the protocol's ``on_stored`` hook, exactly as the
+  simulator does;
+* responses carrying ``Pragma: no-cache`` (dynamic objects) are
+  forwarded but never stored.
+
+Accounting is double-entry: the :class:`~repro.core.metrics
+.BandwidthLedger` charges the paper's abstract
+:class:`~repro.core.costs.MessageCosts` (so live and simulated ledgers
+are comparable cell-for-cell), while :attr:`LiveProxy.wire_bytes`
+separately tallies the *actual* bytes moved on sockets — the real
+HTTP/1.0 framing overhead the 43-byte model abstracts away.
+
+A single asyncio lock serializes request processing: the simulator is a
+sequential machine, and equivalence to it is the contract.  Simulation
+time comes exclusively from ``Date`` headers — the proxy never reads a
+wall clock (RPR001-scoped), which is what makes live replays
+reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.core.cache import Cache, CacheEntry
+from repro.core.costs import DEFAULT_COSTS, MessageCosts
+from repro.core.metrics import (
+    FULL_RETRIEVAL,
+    INVALIDATION,
+    PREFETCH,
+    VALIDATION_200,
+    VALIDATION_304,
+    BandwidthLedger,
+    ConsistencyCounters,
+)
+from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.simulator import SimulatorMode
+from repro.fastpath.contract import COUNTER_FIELDS
+from repro.http.datefmt import HTTPDateError, parse_http_date
+from repro.http.headers import CONTENT_LENGTH, CONTENT_TYPE, EXPIRES
+from repro.http.messages import Request, Response, make_ok
+from repro.live.wire import (
+    CONTROL_PREFIX,
+    DATE,
+    PRAGMA,
+    WARMUP_HEADER,
+    X_CACHE,
+    LiveWireError,
+    exchange,
+    read_request,
+    write_message,
+)
+from repro.obs import clock as obs_clock
+from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+def _error(status: int, message: str) -> tuple[Response, str]:
+    body = message + "\n"
+    response = Response(status, body_size=len(body))
+    response.headers.set(CONTENT_LENGTH, str(len(body)))
+    response.headers.set(CONTENT_TYPE, "text")
+    return response, body
+
+
+class LiveProxy:
+    """An asyncio HTTP/1.0 caching proxy driven by a consistency protocol.
+
+    Args:
+        origin_host: address of the live origin.
+        origin_port: port of the live origin.
+        protocol: a *fresh* protocol instance (adaptive protocols carry
+            state), used unmodified for every freshness decision.
+        mode: base (unconditional refetch on expiry) or optimized
+            (If-Modified-Since revalidation), as in the simulator.
+        costs: the abstract byte cost model charged to the ledger.
+        charge_per_modification: the Section 4.1 invalidation charging
+            policy, identical in meaning to the simulator's knob.
+    """
+
+    def __init__(
+        self,
+        origin_host: str,
+        origin_port: int,
+        protocol: ConsistencyProtocol,
+        mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+        *,
+        costs: MessageCosts = DEFAULT_COSTS,
+        charge_per_modification: bool = True,
+    ) -> None:
+        self.origin_host = origin_host
+        self.origin_port = origin_port
+        self.protocol = protocol
+        self.mode = mode
+        self.costs = costs
+        self.charge_per_modification = bool(charge_per_modification)
+        self.cache = Cache()
+        self.counters = ConsistencyCounters()
+        self.bandwidth = BandwidthLedger()
+        #: Actual bytes moved on sockets (client side + origin side) —
+        #: the live-only measurement the 43-byte model abstracts away.
+        self.wire_bytes = 0
+        self._now = 0.0
+        self._last_sync = 0.0
+        self._lock = asyncio.Lock()
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._host = ""
+        self._port = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._listener = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        sockname = self._listener.sockets[0].getsockname()
+        self._host, self._port = sockname[0], int(sockname[1])
+
+    async def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    @property
+    def host(self) -> str:
+        """Bound address (after :meth:`start`)."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """Bound port (after :meth:`start`)."""
+        return self._port
+
+    # -- warmup --------------------------------------------------------------
+
+    async def warm(self, start_time: float) -> int:
+        """Pre-load a valid copy of every cacheable origin object.
+
+        The live counterpart of the paper's "cache is pre-loaded with
+        valid copies of all the files" configuration
+        (:meth:`repro.core.cache.Cache.preload_from`): real warmup-tagged
+        GETs fetch each population object at ``start_time``; neither
+        side counts or charges them.
+
+        Returns:
+            The number of entries loaded.
+        """
+        warm_started = obs_clock.monotonic()
+        listing = Request("GET", CONTROL_PREFIX + "population")
+        _, body, nbytes = await exchange(
+            self.origin_host, self.origin_port, listing
+        )
+        self.wire_bytes += nbytes
+        loaded = 0
+        for object_id in body.splitlines():
+            request = Request("GET", object_id)
+            request.headers.set_date(DATE, start_time)
+            request.headers.set(WARMUP_HEADER, "1")
+            response, _, nbytes = await exchange(
+                self.origin_host, self.origin_port, request
+            )
+            self.wire_bytes += nbytes
+            if response.status != 200:
+                raise LiveWireError(
+                    f"warmup fetch of {object_id!r} returned "
+                    f"{response.status}"
+                )
+            self._store_from_response(object_id, response, start_time)
+            loaded += 1
+        self._now = float(start_time)
+        self._last_sync = float(start_time)
+        obs_trace.span(
+            "live.warmup",
+            obs_clock.monotonic() - warm_started,
+            entries=loaded,
+        )
+        return loaded
+
+    # -- origin exchanges ----------------------------------------------------
+
+    async def _origin_get(
+        self, object_id: str, t: float, since: Optional[float] = None
+    ) -> Response:
+        """One real GET (conditional when ``since`` is given) upstream."""
+        request = Request("GET", object_id)
+        request.headers.set_date(DATE, t)
+        if since is not None:
+            request.headers.set_date("If-Modified-Since", since)
+        response, _, nbytes = await exchange(
+            self.origin_host, self.origin_port, request
+        )
+        self.wire_bytes += nbytes
+        if response.status not in (200, 304):
+            raise LiveWireError(
+                f"origin returned {response.status} for {object_id!r}"
+            )
+        return response
+
+    def _store_from_response(
+        self, object_id: str, response: Response, t: float
+    ) -> CacheEntry:
+        """Build and store a cache entry from a live 200 response.
+
+        The mirror of the simulator's ``_store``; every consistency-
+        relevant field comes off the wire (``Last-Modified``,
+        ``Content-Length``, ``Content-Type``, ``Expires``).  Live
+        entries carry no origin version number — staleness ground truth
+        is the driver's job, via ``Last-Modified`` (which identifies the
+        version one-for-one).
+        """
+        last_modified = response.headers.last_modified
+        if last_modified is None:
+            raise LiveWireError(
+                f"200 response for {object_id!r} lacks Last-Modified"
+            )
+        entry = CacheEntry(
+            object_id=object_id,
+            version=0,
+            size=response.body_size,
+            file_type=response.headers.get(CONTENT_TYPE) or "other",
+            fetched_at=t,
+            validated_at=t,
+            last_modified=last_modified,
+            valid=True,
+            server_expires=response.headers.expires,
+        )
+        self.cache.store(entry)
+        self.protocol.on_stored(entry, t)
+        return entry
+
+    # -- invalidation sync ---------------------------------------------------
+
+    async def _sync_invalidations(self, until: float) -> None:
+        """Pull and apply the origin's invalidation window
+        ``(last_sync, until]``.
+
+        The live transport of the simulator's
+        ``_deliver_invalidations_until``: each feed line is applied in
+        order through :meth:`Cache.invalidate`, charged under the
+        ``charge_per_modification`` policy, and — for the eager
+        protocol variant — followed by a real prefetch GET at the
+        modification time.
+        """
+        if not self.protocol.wants_invalidations:
+            return
+        if until <= self._last_sync:
+            return
+        request = Request("GET", CONTROL_PREFIX + "invalidations")
+        request.headers.set_date("If-Modified-Since", self._last_sync)
+        request.headers.set_date(DATE, until)
+        response, body, nbytes = await exchange(
+            self.origin_host, self.origin_port, request
+        )
+        self.wire_bytes += nbytes
+        if response.status != 200:
+            raise LiveWireError(
+                f"invalidation feed returned {response.status}"
+            )
+        self._last_sync = float(until)
+        control, notice_body = self.costs.invalidation_notice()
+        eager = getattr(self.protocol, "eager", False)
+        per_modification = self.charge_per_modification
+        for line in body.splitlines():
+            date_text, sep, object_id = line.partition("\t")
+            if not sep:
+                raise LiveWireError(f"bad invalidation feed line: {line!r}")
+            try:
+                mod_time = parse_http_date(date_text)
+            except HTTPDateError as exc:
+                raise LiveWireError(
+                    f"bad invalidation feed date: {date_text!r}"
+                ) from exc
+            if self.cache.peek(object_id) is None:
+                continue
+            went_invalid = self.cache.invalidate(object_id)
+            if went_invalid or per_modification:
+                self.counters.invalidations_received += 1
+                self.counters.server_invalidations_sent += 1
+                self.bandwidth.charge(INVALIDATION, control, notice_body)
+            if eager:
+                # Pre-optimization invalidation: push the new copy with
+                # the notice, off any client's critical path.
+                prefetched = await self._origin_get(object_id, mod_time)
+                p_control, p_body = self.costs.full_retrieval(
+                    prefetched.body_size
+                )
+                self.bandwidth.charge(PREFETCH, p_control, p_body)
+                self.counters.prefetches += 1
+                self._store_from_response(object_id, prefetched, mod_time)
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request, received = await read_request(reader)
+            except LiveWireError as exc:
+                response, body = _error(400, str(exc))
+                sent = await write_message(writer, response.serialize(body))
+                self.wire_bytes += sent
+                return
+            async with self._lock:
+                try:
+                    response, body = await self._respond(request)
+                except (LiveWireError, HTTPDateError) as exc:
+                    response, body = _error(500, str(exc))
+            sent = await write_message(writer, response.serialize(body))
+            self.wire_bytes += received + sent
+            obs_metrics.observe("live.wire_bytes", float(received + sent))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, request: Request) -> tuple[Response, str]:
+        if request.method != "GET":
+            return _error(400, f"unsupported method {request.method!r}")
+        if request.path.startswith(CONTROL_PREFIX):
+            return await self._control(request)
+        return await self._object(request)
+
+    # -- control endpoints ---------------------------------------------------
+
+    async def _control(self, request: Request) -> tuple[Response, str]:
+        endpoint = request.path[len(CONTROL_PREFIX):]
+        if endpoint == "stats":
+            return self._stats()
+        if endpoint == "finish":
+            t = request.headers.get_date(DATE)
+            if t is None:
+                return _error(400, "finish needs a Date header (end time)")
+            if t < self._now:
+                return _error(
+                    400,
+                    f"finish time {t!r} precedes current time {self._now!r}",
+                )
+            # The simulator's finish(end_time): trailing invalidations
+            # are still delivered (and charged) after the last request.
+            await self._sync_invalidations(t)
+            self._now = float(t)
+            body = "ok\n"
+            response = Response(200, body_size=len(body))
+            response.headers.set(CONTENT_LENGTH, str(len(body)))
+            return response, body
+        return _error(404, f"unknown control endpoint {endpoint!r}")
+
+    def _stats(self) -> tuple[Response, str]:
+        payload = {
+            "counters": {
+                name: getattr(self.counters, name)
+                for name in COUNTER_FIELDS
+            },
+            "bandwidth": {
+                "control_bytes": dict(self.bandwidth.control_bytes),
+                "body_bytes": dict(self.bandwidth.body_bytes),
+                "exchanges": dict(self.bandwidth.exchanges),
+            },
+            "wire_bytes": self.wire_bytes,
+            "protocol": self.protocol.name,
+            "mode": self.mode.value,
+        }
+        body = json.dumps(payload, sort_keys=True) + "\n"
+        response = Response(200, body_size=len(body))
+        response.headers.set(CONTENT_LENGTH, str(len(body)))
+        response.headers.set(CONTENT_TYPE, "json")
+        return response, body
+
+    # -- the consistency state machine (mirror of Simulation.step) ----------
+
+    async def _object(self, request: Request) -> tuple[Response, str]:
+        t = request.headers.get_date(DATE)
+        if t is None:
+            # Ad-hoc clients (curl) may omit Date; serve at the current
+            # simulation time so exploration doesn't need header tooling.
+            t = self._now
+        if t < self._now:
+            return _error(
+                400,
+                f"request at {t!r} precedes current time {self._now!r}; "
+                "live request streams must be time-ordered",
+            )
+        self._now = float(t)
+        await self._sync_invalidations(t)
+        self.counters.requests += 1
+        obs_metrics.emit("live.requests")
+        object_id = request.path
+
+        entry = self.cache.lookup(object_id)
+        if entry is None:
+            return await self._fetch_and_store(object_id, t)
+
+        if self.protocol.is_fresh(entry, t):
+            self.counters.hits += 1
+            return self._serve_from_cache(entry, t, "HIT")
+
+        if self.mode is SimulatorMode.BASE:
+            # Unconditional refetch, even when nothing changed.
+            return await self._fetch_and_store(object_id, t)
+
+        # Optimized mode: conditional retrieval.
+        self.counters.validations += 1
+        response = await self._origin_get(
+            object_id, t, since=entry.last_modified
+        )
+        if response.status == 304:
+            control, body_cost = self.costs.validation_not_modified()
+            self.bandwidth.charge(VALIDATION_304, control, body_cost)
+            self.counters.validations_not_modified += 1
+            entry.validated_at = t
+            entry.valid = True
+            # The 304 re-stamps the Expires header, exactly as the
+            # simulator does with NotModified.expires.
+            entry.server_expires = response.headers.expires
+            self.protocol.on_stored(entry, t)
+            self.protocol.on_validation_result(entry, t, was_modified=False)
+            self.counters.hits += 1
+            return self._serve_from_cache(entry, t, "REVALIDATED")
+        control, body_cost = self.costs.validation_modified(
+            response.body_size
+        )
+        self.bandwidth.charge(VALIDATION_200, control, body_cost)
+        self.counters.misses += 1
+        stored = self._store_from_response(object_id, response, t)
+        self.protocol.on_validation_result(stored, t, was_modified=True)
+        return self._forward(response, "MISS")
+
+    async def _fetch_and_store(
+        self, object_id: str, t: float
+    ) -> tuple[Response, str]:
+        """A full retrieval: the mirror of the simulator's
+        ``_full_fetch`` (+ store, unless the origin says no-cache)."""
+        response = await self._origin_get(object_id, t)
+        control, body_cost = self.costs.full_retrieval(response.body_size)
+        self.bandwidth.charge(FULL_RETRIEVAL, control, body_cost)
+        self.counters.full_retrievals += 1
+        self.counters.misses += 1
+        if PRAGMA not in response.headers:
+            self._store_from_response(object_id, response, t)
+        return self._forward(response, "MISS")
+
+    def _serve_from_cache(
+        self, entry: CacheEntry, t: float, verdict: str
+    ) -> tuple[Response, str]:
+        response = make_ok(entry.size, last_modified=entry.last_modified)
+        response.headers.set_date(DATE, t)
+        response.headers.set(CONTENT_TYPE, entry.file_type)
+        if entry.server_expires is not None:
+            response.headers.set_date(EXPIRES, entry.server_expires)
+        response.headers.set(X_CACHE, verdict)
+        return response, "x" * entry.size
+
+    def _forward(
+        self, response: Response, verdict: str
+    ) -> tuple[Response, str]:
+        response.headers.set(X_CACHE, verdict)
+        return response, "x" * response.body_size

@@ -1,0 +1,191 @@
+"""Socket framing for the live origin/proxy: HTTP/1.0, one exchange per
+connection.
+
+The live servers speak exactly what :mod:`repro.http.messages`
+serializes: a request or status line, ``Name: value`` headers, a blank
+line, and (for responses) a ``Content-Length``-delimited entity body.
+HTTP/1.0 close-delimited bodies are deliberately not supported — every
+live response carries an explicit ``Content-Length`` (or is a bodiless
+304), so a reader always knows exactly how many bytes to consume and
+the byte count on the wire equals ``Response.wire_size()``.
+
+Simulation time travels in ``Date`` headers (RFC 1123, whole seconds).
+:func:`ensure_integral` is the gate that keeps a live run wire-exact:
+any fractional timestamp would be floored by the header round trip and
+the live replay could no longer match the simulator bit-for-bit.
+Extended-CLF traces satisfy the constraint by construction (CLF has
+one-second granularity).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.http.headers import CONTENT_LENGTH
+from repro.http.messages import (
+    HTTPParseError,
+    Request,
+    Response,
+    parse_request,
+    parse_response,
+)
+
+#: Header carrying the request's simulation time (RFC 1123 date).
+DATE = "Date"
+#: Proxy response header naming the serving path: HIT / REVALIDATED /
+#: MISS (body transferred) — the live analogue of the simulator's
+#: hit/validation_304/miss outcomes.
+X_CACHE = "X-Cache"
+#: HTTP/1.0 non-cacheability marker the origin attaches to dynamic
+#: objects ("Pragma: no-cache"); the proxy never stores such responses.
+PRAGMA = "Pragma"
+#: Marks cache-warming fetches; the origin serves but does not count
+#: them, mirroring the simulator's uncounted preload.
+WARMUP_HEADER = "X-Repro-Warmup"
+#: Path prefix for the out-of-band control endpoints (population,
+#: invalidation feed, stats); control exchanges are never counted.
+CONTROL_PREFIX = "/.well-known/repro/"
+
+#: Hard cap on a message head (start line + headers); a peer sending
+#: more is malformed, not large.
+_MAX_HEAD_BYTES = 65536
+
+_HEAD_TERMINATOR = b"\r\n\r\n"
+
+
+class LiveWireError(ValueError):
+    """A live peer sent something the HTTP/1.0 framing cannot carry."""
+
+
+class LiveReplayError(ValueError):
+    """A live replay was configured with inputs that cannot be
+    wire-exact (fractional timestamps, unordered requests, ...)."""
+
+
+def ensure_integral(t: float, what: str) -> float:
+    """Require ``t`` to be a whole simulation second; return it.
+
+    Wire transport rounds times to whole seconds (RFC 1123 dates), so a
+    fractional timestamp anywhere in a live run's inputs would make the
+    live and simulated accounting diverge by construction.
+
+    Raises:
+        LiveReplayError: when ``t`` has a fractional part.
+    """
+    value = float(t)
+    if not value.is_integer():
+        raise LiveReplayError(
+            f"{what} must be a whole second for live replay "
+            f"(RFC 1123 Date headers carry whole seconds): {t!r}"
+        )
+    return value
+
+
+async def _read_head(reader: asyncio.StreamReader) -> str:
+    try:
+        head = await reader.readuntil(_HEAD_TERMINATOR)
+    except asyncio.LimitOverrunError as exc:
+        raise LiveWireError("message head exceeds the framing limit") from exc
+    except asyncio.IncompleteReadError as exc:
+        raise LiveWireError("connection closed mid-head") from exc
+    if len(head) > _MAX_HEAD_BYTES:
+        raise LiveWireError("message head exceeds the framing limit")
+    try:
+        return head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise LiveWireError("undecodable message head") from exc
+
+
+def _body_length(head_text: str) -> int:
+    """Content-Length declared in a serialized head (0 when absent)."""
+    for line in head_text.split("\r\n")[1:]:
+        name, sep, value = line.partition(":")
+        if sep and name.strip().lower() == CONTENT_LENGTH.lower():
+            try:
+                length = int(value.strip())
+            except ValueError as exc:
+                raise LiveWireError(
+                    f"bad Content-Length: {value.strip()!r}"
+                ) from exc
+            if length < 0:
+                raise LiveWireError(f"negative Content-Length: {length}")
+            return length
+    return 0
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[Request, int]:
+    """Read one request off the stream.
+
+    Returns:
+        ``(request, wire_bytes)`` — the parsed request and the exact
+        byte count consumed.  Requests never carry bodies.
+
+    Raises:
+        LiveWireError: on framing or parse errors.
+    """
+    head_text = await _read_head(reader)
+    try:
+        request = parse_request(head_text)
+    except HTTPParseError as exc:
+        raise LiveWireError(str(exc)) from exc
+    return request, len(head_text)
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[Response, str, int]:
+    """Read one response (head + ``Content-Length`` body) off the stream.
+
+    Returns:
+        ``(response, body_text, wire_bytes)``.  ``response.body_size``
+        equals ``len(body_text)``; the metadata-only model discards
+        content, so control-endpoint callers take the body separately.
+
+    Raises:
+        LiveWireError: on framing or parse errors.
+    """
+    head_text = await _read_head(reader)
+    length = _body_length(head_text)
+    if length:
+        try:
+            raw_body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise LiveWireError("connection closed mid-body") from exc
+        body_text = raw_body.decode("latin-1")
+    else:
+        body_text = ""
+    try:
+        response = parse_response(head_text + body_text)
+    except HTTPParseError as exc:
+        raise LiveWireError(str(exc)) from exc
+    return response, body_text, len(head_text) + length
+
+
+async def write_message(writer: asyncio.StreamWriter, text: str) -> int:
+    """Write a serialized message; returns the byte count sent."""
+    payload = text.encode("latin-1")
+    writer.write(payload)
+    await writer.drain()
+    return len(payload)
+
+
+async def exchange(
+    host: str, port: int, request: Request
+) -> tuple[Response, str, int]:
+    """One full client exchange: connect, send, read, close.
+
+    Returns:
+        ``(response, body_text, wire_bytes)`` where ``wire_bytes`` is
+        the total sent plus received on this connection.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        sent = await write_message(writer, request.serialize())
+        writer.write_eof()
+        response, body_text, received = await read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return response, body_text, sent + received

@@ -66,6 +66,9 @@ METRIC_NAMES: tuple[str, ...] = (
     "engine.fastpath_runs",
     "engine.fastpath_fallbacks",
     "verify.runs",
+    # -- live origin/proxy mode (repro.live) ----------------------------
+    "live.requests",
+    "live.wire_bytes",
 )
 
 #: Span names the trace sink may record (timed regions, not counters).
@@ -73,6 +76,8 @@ SPAN_NAMES: tuple[str, ...] = (
     "engine.map",
     "engine.task",
     "fastpath.run",
+    "live.replay",
+    "live.warmup",
     "sweep.run",
     "verify.run",
 )
@@ -116,6 +121,8 @@ HISTOGRAM_BINS: dict[str, tuple[float, ...]] = {
     "sim.transfer_bytes": log_bins(1.0, 1.0e8),
     # protocol refresh windows (TTL / Alex threshold*age), seconds.
     "protocol.refresh_window_seconds": log_bins(1.0, 1.0e8),
+    # live per-exchange socket bytes: one header .. 100 MB bodies.
+    "live.wire_bytes": log_bins(1.0, 1.0e8),
 }
 
 #: Fallback bounds for histograms without a dedicated entry.

@@ -1,5 +1,7 @@
 """RFC 1123 date formatting/parsing."""
 
+import math
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -23,6 +25,32 @@ class TestEpochMapping:
 
     def test_fractional_seconds_truncate(self):
         assert sim_to_unix(1.9) == SIM_EPOCH_UNIX + 1
+
+
+class TestPreEpochRounding:
+    """Regression: sim_to_unix must floor, not truncate toward zero."""
+
+    def test_negative_fractional_floors_down(self):
+        # int(-0.5) == 0 put pre-epoch fractional times in the *wrong*
+        # second; floor(-0.5) == -1 keeps them in the second containing
+        # them, symmetric with +0.5 -> 0.
+        assert sim_to_unix(-0.5) == SIM_EPOCH_UNIX - 1
+        assert sim_to_unix(-1.0) == SIM_EPOCH_UNIX - 1
+        assert sim_to_unix(-1.1) == SIM_EPOCH_UNIX - 2
+
+    def test_positive_fractional_still_floors(self):
+        assert sim_to_unix(1.9) == SIM_EPOCH_UNIX + 1
+
+    def test_pre_epoch_round_trip_is_floor(self):
+        # A Last-Modified stamped before sim time 0 (object created
+        # before the trace window) must land on floor(t) after a header
+        # round trip, not floor(t) + 1.
+        for t in (-0.5, -1.5, -86400.25):
+            assert parse_http_date(format_http_date(t)) == float(math.floor(t))
+
+    def test_format_negative_half_second(self):
+        # With int() truncation this rendered as the epoch itself.
+        assert format_http_date(-0.5) == "Tue, 28 Feb 1995 23:59:59 GMT"
 
 
 class TestFormat:
@@ -69,6 +97,55 @@ class TestParse:
     def test_rejects_malformed(self, bad):
         with pytest.raises(HTTPDateError):
             parse_http_date(bad)
+
+
+class TestImpossibleCalendarDates:
+    """Regression: timegm silently normalizes 31 Feb to 3 Mar."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Tue, 31 Feb 1995 00:00:00 GMT",   # February has 28 days
+            "Wed, 29 Feb 1995 00:00:00 GMT",   # 1995 is not a leap year
+            "Fri, 31 Apr 1995 00:00:00 GMT",   # April has 30 days
+            "Thu, 31 Jun 1995 00:00:00 GMT",
+            "Sat, 31 Sep 1995 00:00:00 GMT",
+            "Tue, 31 Nov 1995 00:00:00 GMT",
+        ],
+    )
+    def test_rejects_impossible_day(self, bad):
+        with pytest.raises(HTTPDateError):
+            parse_http_date(bad)
+
+    def test_leap_day_accepted_in_leap_year(self):
+        t = parse_http_date("Thu, 29 Feb 1996 12:00:00 GMT")
+        assert format_http_date(t) == "Thu, 29 Feb 1996 12:00:00 GMT"
+
+    def test_out_of_calendar_year_rejected(self):
+        with pytest.raises(HTTPDateError):
+            parse_http_date("Mon, 01 Jan 99999 00:00:00 GMT")
+
+
+class TestWeekdayConsistency:
+    """Regression: the weekday token must match the date it precedes."""
+
+    def test_rejects_mismatched_weekday(self):
+        # 06 Nov 1994 was a Sunday; "Mon" must not parse silently (it
+        # would never round-trip byte-identically through
+        # format_http_date).
+        with pytest.raises(HTTPDateError):
+            parse_http_date("Mon, 06 Nov 1994 08:49:37 GMT")
+
+    @pytest.mark.parametrize(
+        "wrong", ["Mon", "Tue", "Thu", "Fri", "Sat", "Sun"]
+    )
+    def test_rejects_every_wrong_weekday(self, wrong):
+        # 01 Mar 1995 (the sim epoch) was a Wednesday.
+        with pytest.raises(HTTPDateError):
+            parse_http_date(f"{wrong}, 01 Mar 1995 00:00:00 GMT")
+
+    def test_accepts_matching_weekday(self):
+        assert parse_http_date("Wed, 01 Mar 1995 00:00:00 GMT") == 0.0
 
 
 @given(st.integers(min_value=-10 * 365 * 86400, max_value=10 * 365 * 86400))

@@ -61,7 +61,13 @@ class TestResponse:
     def test_status_lines(self):
         assert Response(200).status_line() == "HTTP/1.0 200 OK"
         assert Response(304).status_line() == "HTTP/1.0 304 Not Modified"
-        assert Response(500).status_line() == "HTTP/1.0 500 Unknown"
+        assert Response(400).status_line() == "HTTP/1.0 400 Bad Request"
+        assert Response(404).status_line() == "HTTP/1.0 404 Not Found"
+        assert (Response(500).status_line()
+                == "HTTP/1.0 500 Internal Server Error")
+
+    def test_unlisted_status_gets_unknown_reason(self):
+        assert Response(418).status_line() == "HTTP/1.0 418 Unknown"
 
 
 class TestInvalidationNotice:

@@ -1,0 +1,168 @@
+"""The live-vs-sim differential: the tentpole acceptance suite.
+
+Every supported consistency protocol, in both simulator modes, is
+driven twice over the same workload — once through real asyncio
+sockets (:func:`repro.live.driver.run_replay`) and once through
+:func:`repro.core.simulator.simulate` — and the two runs must agree on
+all thirteen counters and all fifteen bandwidth-ledger cells *exactly*.
+
+The workload is deliberately adversarial: pre-trace creation times
+(negative Last-Modified stamps — the datefmt pre-epoch regression this
+PR fixes), an ``Expires``-bearing object, a dynamic (non-cacheable)
+object, and modifications interleaved with requests so hits, 304s,
+200-revalidations, invalidations, and stale hits all occur.
+"""
+
+import pytest
+
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.protocols import (
+    AlexProtocol,
+    CERNPolicyProtocol,
+    ExpiresTTLProtocol,
+    InvalidationProtocol,
+    LeasedInvalidationProtocol,
+    PollEveryRequestProtocol,
+    SelfTuningProtocol,
+    TTLProtocol,
+)
+from repro.core.server import OriginServer
+from repro.core.simulator import SimulatorMode
+from repro.live import diff_live_vs_sim, live_vs_sim
+from repro.live.wire import LiveReplayError
+from repro.verify.oracle import ConsistencyViolation
+
+
+def _histories():
+    return [
+        ObjectHistory(WebObject("/a", size=1000, created=-5000.0),
+                      ModificationSchedule(-5000.0, (40.0, 90.0))),
+        ObjectHistory(WebObject("/b", size=2500, created=-100.0,
+                                file_type="image"),
+                      ModificationSchedule(-100.0, (55.0,))),
+        ObjectHistory(
+            WebObject("/exp", size=700, created=-300.0, expires_after=30.0),
+            ModificationSchedule(-300.0, (65.0,))),
+        ObjectHistory(WebObject("/dyn", size=50, created=-10.0,
+                                cacheable=False)),
+    ]
+
+
+_REQUESTS = [
+    (5.0, "/a"), (10.0, "/b"), (20.0, "/dyn"), (45.0, "/a"),
+    (50.0, "/exp"), (60.0, "/b"), (70.0, "/exp"), (95.0, "/a"),
+    (100.0, "/dyn"), (110.0, "/b"),
+]
+
+#: name -> zero-argument factory; fresh instance per leg (adaptive
+#: protocols carry state).
+_FACTORIES = {
+    "alex": lambda: AlexProtocol.from_percent(10),
+    "ttl": lambda: TTLProtocol(30.0),
+    "expires": lambda: ExpiresTTLProtocol(25.0),
+    "poll": lambda: PollEveryRequestProtocol(),
+    "invalidation": lambda: InvalidationProtocol(),
+    "invalidation-eager": lambda: InvalidationProtocol(eager=True),
+    "leased": lambda: LeasedInvalidationProtocol(40.0),
+    "cern": lambda: CERNPolicyProtocol(),
+    "selftuning": lambda: SelfTuningProtocol(),
+}
+
+
+class TestAllProtocolsMatchExactly:
+    @pytest.mark.parametrize("name", sorted(_FACTORIES))
+    @pytest.mark.parametrize("mode", list(SimulatorMode))
+    def test_live_equals_sim(self, name, mode):
+        live, sim, report = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES[name], _REQUESTS, mode,
+            end_time=120.0,
+        )
+        assert report.ok
+        assert report.counters_checked == 13
+        assert report.ledger_cells_checked == 15
+        # The differential is only meaningful if the run exercised the
+        # machinery at all.
+        assert live.counters.requests == len(_REQUESTS)
+        assert live.duration == 120.0
+
+    def test_eager_variant_prefetches(self):
+        live, _, _ = live_vs_sim(
+            OriginServer(_histories()),
+            _FACTORIES["invalidation-eager"], _REQUESTS,
+            end_time=120.0,
+        )
+        assert live.counters.prefetches > 0
+
+    def test_weak_protocols_serve_stale_hits(self):
+        live, _, _ = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES["alex"], _REQUESTS,
+            end_time=120.0,
+        )
+        assert live.counters.stale_hits > 0
+        assert live.counters.stale_age_sum > 0.0
+
+    def test_charge_per_flip_policy_also_matches(self):
+        _, _, report = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES["invalidation"],
+            _REQUESTS, end_time=120.0, charge_per_modification=False,
+        )
+        assert report.ok
+
+
+class TestDiffMechanics:
+    def test_divergence_is_reported_not_swallowed(self):
+        live, sim, _ = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES["ttl"], _REQUESTS,
+            end_time=120.0,
+        )
+        sim.counters.hits += 1
+        sim.bandwidth.charge("full_retrieval", 43, 10)
+        lines = diff_live_vs_sim(live, sim)
+        assert any("counter hits" in line and "live=" in line
+                   for line in lines)
+        assert any("ledger" in line for line in lines)
+
+    def test_violation_carries_the_report(self):
+        class MiscountingTTL(TTLProtocol):
+            """Fresh forever on the live leg only — a seeded bug."""
+
+        def factory():
+            factory.calls += 1
+            if factory.calls == 1:  # live leg
+                return MiscountingTTL(1e9)
+            return TTLProtocol(30.0)
+        factory.calls = 0
+
+        with pytest.raises(ConsistencyViolation) as excinfo:
+            live_vs_sim(
+                OriginServer(_histories()), factory, _REQUESTS,
+                end_time=120.0,
+            )
+        assert not excinfo.value.report.ok
+        assert excinfo.value.report.divergences
+
+
+class TestWireExactGate:
+    def test_fractional_request_time_is_refused(self):
+        with pytest.raises(LiveReplayError, match="whole second"):
+            live_vs_sim(
+                OriginServer(_histories()), _FACTORIES["ttl"],
+                [(1.5, "/a")],
+            )
+
+    def test_fractional_modification_time_is_refused(self):
+        histories = [
+            ObjectHistory(WebObject("/a", size=10, created=-5.0),
+                          ModificationSchedule(-5.0, (2.5,))),
+        ]
+        with pytest.raises(LiveReplayError, match="modification time"):
+            live_vs_sim(
+                OriginServer(histories), _FACTORIES["ttl"], [(1.0, "/a")],
+            )
+
+    def test_unordered_requests_are_refused(self):
+        with pytest.raises(LiveReplayError, match="time-ordered"):
+            live_vs_sim(
+                OriginServer(_histories()), _FACTORIES["ttl"],
+                [(10.0, "/a"), (5.0, "/a")],
+            )

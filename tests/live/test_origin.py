@@ -1,0 +1,199 @@
+"""Behavior tests for :class:`repro.live.origin.LiveOrigin`.
+
+Each test boots the origin on an ephemeral loopback port, performs real
+HTTP/1.0 exchanges, and checks the responses carry exactly the
+metadata the simulator's :class:`~repro.core.server.OriginServer`
+would have produced for the same query.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.objects import ModificationSchedule, ObjectHistory, WebObject
+from repro.core.server import OriginServer
+from repro.http.messages import Request
+from repro.live.origin import LiveOrigin
+from repro.live.wire import CONTROL_PREFIX, DATE, PRAGMA, WARMUP_HEADER, exchange
+
+
+def _server() -> OriginServer:
+    return OriginServer([
+        ObjectHistory(WebObject("/a", size=1000, created=-500.0),
+                      ModificationSchedule(-500.0, (40.0,))),
+        ObjectHistory(
+            WebObject("/exp", size=300, created=-100.0, expires_after=60.0)),
+        ObjectHistory(WebObject("/dyn", size=50, created=-10.0,
+                                cacheable=False)),
+    ])
+
+
+def _run(coro_fn):
+    """Boot an origin, run ``coro_fn(origin)``, tear down; return result."""
+    async def body():
+        origin = LiveOrigin(_server())
+        await origin.start()
+        try:
+            return await coro_fn(origin)
+        finally:
+            await origin.close()
+
+    return asyncio.run(body())
+
+
+def _get(path: str, t: float = None, since: float = None,
+         warmup: bool = False) -> Request:
+    request = Request("GET", path)
+    if t is not None:
+        request.headers.set_date(DATE, t)
+    if since is not None:
+        request.headers.set_date("If-Modified-Since", since)
+    if warmup:
+        request.headers.set(WARMUP_HEADER, "1")
+    return request
+
+
+class TestObjectRetrieval:
+    def test_full_get_carries_the_model_metadata(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port, _get("/a", 10.0))
+
+        response, body, _ = _run(scenario)
+        assert response.status == 200
+        assert response.body_size == 1000
+        assert len(body) == 1000
+        assert response.headers.last_modified == -500.0
+        assert response.headers.get("Content-Type") == "html"
+        assert response.headers.expires is None
+        assert PRAGMA not in response.headers
+
+    def test_expiring_object_gets_expires_header(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port,
+                                  _get("/exp", 10.0))
+
+        response, _, _ = _run(scenario)
+        assert response.headers.expires == 70.0  # t + expires_after
+
+    def test_dynamic_object_marked_no_cache(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port,
+                                  _get("/dyn", 10.0))
+
+        response, _, _ = _run(scenario)
+        assert response.headers.get(PRAGMA) == "no-cache"
+
+    def test_unknown_object_404(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port,
+                                  _get("/nope", 10.0))
+
+        response, _, _ = _run(scenario)
+        assert response.status == 404
+
+    def test_missing_date_is_400(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port, _get("/a"))
+
+        response, _, _ = _run(scenario)
+        assert response.status == 400
+
+    def test_non_get_is_400(self):
+        async def scenario(origin):
+            request = Request("POST", "/a")
+            request.headers.set_date(DATE, 5.0)
+            return await exchange(origin.host, origin.port, request)
+
+        response, _, _ = _run(scenario)
+        assert response.status == 400
+
+
+class TestConditionalGet:
+    def test_unmodified_returns_304_with_restamped_expires(self):
+        async def scenario(origin):
+            return await exchange(
+                origin.host, origin.port,
+                _get("/exp", t=30.0, since=-100.0))
+
+        response, body, _ = _run(scenario)
+        assert response.status == 304
+        assert body == ""
+        # NotModified re-stamps Expires relative to the validation time.
+        assert response.headers.expires == 90.0
+
+    def test_modified_returns_full_200(self):
+        async def scenario(origin):
+            # /a changed at t=40; a copy from before is out of date.
+            return await exchange(
+                origin.host, origin.port, _get("/a", t=50.0, since=-500.0))
+
+        response, _, _ = _run(scenario)
+        assert response.status == 200
+        assert response.headers.last_modified == 40.0
+
+
+class TestCounting:
+    def test_counts_gets_and_ims_separately(self):
+        async def scenario(origin):
+            await exchange(origin.host, origin.port, _get("/a", 5.0))
+            await exchange(origin.host, origin.port,
+                           _get("/a", t=10.0, since=-500.0))
+            _, stats, _ = await exchange(
+                origin.host, origin.port,
+                _get(CONTROL_PREFIX + "stats"))
+            return json.loads(stats)
+
+        stats = _run(scenario)
+        assert stats == {"gets": 1, "ims_queries": 1}
+
+    def test_warmup_fetches_are_not_counted(self):
+        async def scenario(origin):
+            await exchange(origin.host, origin.port,
+                           _get("/a", 5.0, warmup=True))
+            _, stats, _ = await exchange(
+                origin.host, origin.port,
+                _get(CONTROL_PREFIX + "stats"))
+            return json.loads(stats)
+
+        stats = _run(scenario)
+        assert stats == {"gets": 0, "ims_queries": 0}
+
+
+class TestControlEndpoints:
+    def test_population_lists_only_cacheable_objects(self):
+        async def scenario(origin):
+            _, body, _ = await exchange(
+                origin.host, origin.port,
+                _get(CONTROL_PREFIX + "population"))
+            return body
+
+        assert _run(scenario).splitlines() == ["/a", "/exp"]
+
+    def test_invalidation_window_is_exclusive_inclusive(self):
+        async def scenario(origin):
+            async def window(since, until):
+                _, body, _ = await exchange(
+                    origin.host, origin.port,
+                    _get(CONTROL_PREFIX + "invalidations",
+                         t=until, since=since))
+                return [line.split("\t")[1] for line in body.splitlines()]
+
+            return (
+                await window(0.0, 39.0),   # before the change
+                await window(0.0, 40.0),   # until inclusive
+                await window(40.0, 80.0),  # since exclusive
+            )
+
+        before, at, after = _run(scenario)
+        assert before == []
+        assert at == ["/a"]
+        assert after == []
+
+    def test_unknown_control_endpoint_404(self):
+        async def scenario(origin):
+            return await exchange(origin.host, origin.port,
+                                  _get(CONTROL_PREFIX + "nope"))
+
+        response, _, _ = _run(scenario)
+        assert response.status == 404

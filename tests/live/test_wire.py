@@ -1,0 +1,129 @@
+"""Framing tests for :mod:`repro.live.wire`.
+
+The framing contract is byte-exact: what ``write_message`` sends is
+what ``read_request``/``read_response`` count, and both equal the
+message models' ``wire_size()``.  That identity is what lets the live
+proxy's socket-byte tally be meaningful alongside the abstract ledger.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.http.messages import Request, Response, make_ok
+from repro.live.wire import (
+    LiveReplayError,
+    LiveWireError,
+    ensure_integral,
+    read_request,
+    read_response,
+)
+
+
+def _reader_with(payload: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+class TestEnsureIntegral:
+    def test_whole_seconds_pass_through(self):
+        assert ensure_integral(42.0, "t") == 42.0
+        assert ensure_integral(-7.0, "t") == -7.0
+        assert ensure_integral(0.0, "t") == 0.0
+
+    def test_fractional_raises(self):
+        with pytest.raises(LiveReplayError, match="whole second"):
+            ensure_integral(1.5, "request time")
+
+    def test_message_names_the_offender(self):
+        with pytest.raises(LiveReplayError, match="start_time"):
+            ensure_integral(0.25, "start_time")
+
+
+class TestReadRequest:
+    def test_round_trips_serialize(self):
+        request = Request("GET", "/a")
+        request.headers.set_date("Date", 120.0)
+        text = request.serialize()
+
+        async def read():
+            return await read_request(_reader_with(text.encode("latin-1")))
+
+        parsed, nbytes = asyncio.run(read())
+        assert parsed.method == "GET"
+        assert parsed.path == "/a"
+        assert parsed.headers.get_date("Date") == 120.0
+        assert nbytes == len(text) == request.wire_size()
+
+    def test_truncated_head_raises(self):
+        async def read():
+            return await read_request(_reader_with(b"GET /a HTTP/1.0\r\n"))
+
+        with pytest.raises(LiveWireError, match="mid-head"):
+            asyncio.run(read())
+
+    def test_garbage_request_line_raises(self):
+        async def read():
+            return await read_request(_reader_with(b"NOT-HTTP\r\n\r\n"))
+
+        with pytest.raises(LiveWireError):
+            asyncio.run(read())
+
+
+class TestReadResponse:
+    def test_round_trips_serialize_with_body(self):
+        response = make_ok(9, last_modified=50.0)
+        text = response.serialize()
+
+        async def read():
+            return await read_response(_reader_with(text.encode("latin-1")))
+
+        parsed, body, nbytes = asyncio.run(read())
+        assert parsed.status == 200
+        assert parsed.body_size == 9
+        assert body == "x" * 9
+        assert nbytes == len(text) == response.wire_size()
+
+    def test_bodiless_304(self):
+        response = Response(304)
+        response.headers.set_date("Date", 60.0)
+        text = response.serialize()
+
+        async def read():
+            return await read_response(_reader_with(text.encode("latin-1")))
+
+        parsed, body, nbytes = asyncio.run(read())
+        assert parsed.status == 304
+        assert body == ""
+        assert nbytes == response.wire_size()
+
+    def test_body_read_by_content_length_not_eof(self):
+        # Trailing bytes after Content-Length must not leak into the body.
+        text = make_ok(4).serialize() + "EXTRA"
+
+        async def read():
+            return await read_response(_reader_with(text.encode("latin-1")))
+
+        parsed, body, _ = asyncio.run(read())
+        assert body == "xxxx"
+        assert parsed.body_size == 4
+
+    def test_truncated_body_raises(self):
+        text = make_ok(100).serialize()[:-40]
+
+        async def read():
+            return await read_response(_reader_with(text.encode("latin-1")))
+
+        with pytest.raises(LiveWireError, match="mid-body"):
+            asyncio.run(read())
+
+    def test_bad_content_length_raises(self):
+        raw = b"HTTP/1.0 200 OK\r\nContent-Length: nope\r\n\r\n"
+
+        async def read():
+            return await read_response(_reader_with(raw))
+
+        with pytest.raises(LiveWireError, match="Content-Length"):
+            asyncio.run(read())
