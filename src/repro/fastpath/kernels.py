@@ -117,6 +117,7 @@ def run_kernel(
         for i in range(len(ids)):
             if not resident[i]:
                 continue
+            # repro-fastpath: cern-stamp
             if has_sx[i]:
                 expires_at[i] = sx[i]
             else:
@@ -223,6 +224,7 @@ def run_kernel(
                 sx[i] = t + expires_after[i]
             else:
                 has_sx[i] = False
+            # repro-fastpath: cern-stamp
             if is_cern:
                 if has_sx[i]:
                     expires_at[i] = sx[i]
@@ -237,6 +239,9 @@ def run_kernel(
             continue
 
         # -- freshness: the compiled protocol predicate -------------------
+        # repro-fastpath-begin: freshness
+        # RPR008 structurally diffs each branch below against the
+        # corresponding protocol's is_fresh (docs/FASTPATH.md contract).
         if kind == KIND_TTL:
             fresh = (t - validated_at[i]) < p0
         elif kind == KIND_ALEX:
@@ -258,6 +263,7 @@ def run_kernel(
             fresh = t < expires_at[i]
         else:  # KIND_POLL
             fresh = False
+        # repro-fastpath-end: freshness
 
         if fresh:
             hits += 1
@@ -305,6 +311,7 @@ def run_kernel(
                 sx[i] = t + expires_after[i]
             else:
                 has_sx[i] = False
+            # repro-fastpath: cern-stamp
             if is_cern:
                 if has_sx[i]:
                     expires_at[i] = sx[i]
@@ -333,6 +340,7 @@ def run_kernel(
                 sx[i] = t + expires_after[i]
             else:
                 has_sx[i] = False
+            # repro-fastpath: cern-stamp
             if is_cern:
                 if has_sx[i]:
                     expires_at[i] = sx[i]
@@ -360,6 +368,7 @@ def run_kernel(
             sx[i] = t + expires_after[i]
         else:
             has_sx[i] = False
+        # repro-fastpath: cern-stamp
         if is_cern:
             if has_sx[i]:
                 expires_at[i] = sx[i]

@@ -1,0 +1,100 @@
+"""Turn tool output into GitHub Actions annotations.
+
+``python -m repro.lint.annotations --tool mypy`` reads the tool's
+stdout on stdin, echoes every line unchanged (so the CI log stays
+readable), and additionally emits a ``::error file=...,line=...::``
+workflow command for each line that parses as a finding — which GitHub
+renders as an inline annotation on the PR diff.
+
+The filter always exits 0: it is a *formatter*, not a gate.  Pipe it
+after the tool under ``set -o pipefail`` so the tool's own exit status
+still fails the CI step::
+
+    mypy --strict src/repro | python -m repro.lint.annotations --tool mypy
+
+Only ``mypy`` is wired up today (``repro lint`` emits its own
+annotations via ``--format github``); the tool registry makes adding
+another ``path:line: level: message`` tool a one-liner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Optional, Sequence, TextIO
+
+from repro.lint.formats import github_command
+
+# mypy lines look like:
+#   src/repro/core/cache.py:42: error: Incompatible return value  [return-value]
+#   src/repro/core/cache.py:42:7: error: ...          (with --show-column-numbers)
+#   src/repro/core/cache.py:42: note: See https://...
+_MYPY_LINE = re.compile(
+    r"^(?P<path>[^:\s][^:]*\.pyi?):(?P<line>\d+)(?::(?P<col>\d+))?:\s+"
+    r"(?P<level>error|warning|note):\s+(?P<message>.*)$"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "notice"}
+
+
+def annotate_mypy(line: str) -> Optional[str]:
+    """The annotation command for one mypy output line, if it is a finding."""
+    match = _MYPY_LINE.match(line)
+    if match is None:
+        return None
+    level = _LEVELS[match.group("level")]
+    col = int(match.group("col") or 1)
+    return github_command(
+        level,
+        match.group("path"),
+        int(match.group("line")),
+        col,
+        "mypy",
+        match.group("message"),
+    )
+
+
+_TOOLS = {"mypy": annotate_mypy}
+
+
+def annotate_stream(
+    tool: str, stream: TextIO, out: TextIO = sys.stdout
+) -> int:
+    """Echo ``stream`` to ``out``, interleaving annotation commands.
+
+    Returns:
+        The number of annotations emitted.
+    """
+    parse = _TOOLS[tool]
+    emitted = 0
+    for raw in stream:
+        line = raw.rstrip("\n")
+        print(line, file=out)
+        command = parse(line)
+        if command is not None:
+            print(command, file=out)
+            emitted += 1
+    return emitted
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the annotation filter; always returns 0 (see module docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.annotations",
+        description=(
+            "Echo tool output from stdin, adding GitHub Actions "
+            "::error/::warning annotation commands for parsed findings."
+        ),
+    )
+    parser.add_argument(
+        "--tool", choices=sorted(_TOOLS), required=True,
+        help="which tool's output format to parse",
+    )
+    args = parser.parse_args(argv)
+    annotate_stream(args.tool, sys.stdin)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,12 @@ re-running the linter.  The workflow:
    baselines only ever shrink unless someone deliberately regenerates
    one over new debt (which the diff makes obvious).
 
-Fingerprints ignore line numbers, so unrelated edits that shift code do
-not resurrect grandfathered findings.  The committed repository keeps an
-**empty** baseline: every checker passes on the tree as committed, and
-the file exists only so the mechanism stays exercised and documented.
+Fingerprints hash the finding's code, message, and offending source
+line — never the path or line number — so unrelated edits that shift
+code, and even file renames, do not resurrect grandfathered findings.
+The committed repository keeps an **empty** baseline: every checker
+passes on the tree as committed, and the file exists only so the
+mechanism stays exercised and documented.
 """
 
 from __future__ import annotations
@@ -67,6 +69,7 @@ def write_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> int:
             "path": d.path,
             "code": d.code,
             "message": d.message,
+            "context": d.context,
         }
         for d in diagnostics
     }

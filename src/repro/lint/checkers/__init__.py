@@ -14,19 +14,25 @@ calling the engine.
 """
 
 from repro.lint.checkers import (  # noqa: F401  (registration side effects)
+    asyncsafety,
     conformance,
     determinism,
     events,
+    fastdrift,
     hygiene,
     obsnames,
+    unitflow,
     units,
 )
 
 __all__ = [
+    "asyncsafety",
     "conformance",
     "determinism",
     "events",
+    "fastdrift",
     "hygiene",
     "obsnames",
+    "unitflow",
     "units",
 ]

@@ -1,0 +1,791 @@
+"""RPR007 — async-safety and lock discipline in the live/runtime layers.
+
+The live mode (PR 7) runs a real asyncio proxy and origin; the runtime
+layer mixes a fork-based worker pool with thread locks.  Three bug
+classes there are invisible to per-file syntax checks but provable from
+the project call graph (:mod:`repro.lint.callgraph`):
+
+1. **Blocking calls on the event loop.**  ``time.sleep``, synchronous
+   ``socket``/``subprocess``/``os.system`` calls, and plain ``open()``
+   reachable — through any chain of sync helpers — from an ``async
+   def`` defined in the scoped packages.  The diagnostic lands on the
+   blocking call site and carries a *because chain*: the call path that
+   proves reachability from the event loop.
+
+2. **Unlocked shared-state transactions.**  For every class whose
+   method is handed to the event loop (``asyncio.start_server``,
+   ``create_task``, ``ensure_future``, ``gather``), the checker walks
+   everything reachable from those entry points and tracks, per path,
+   mutations of ``self.*`` state.  Two mutations separated by an
+   ``await`` — or a single read-modify-write (``self.x += await f()``)
+   straddling one — outside a region dominated by a lock is a race:
+   another invocation of the same callback can interleave at the
+   suspension point.  Code dominated by ``async with self._lock:`` (or
+   a sync ``with lock:``) is exempt, *including* methods only ever
+   called from inside such a region (the shipped proxy's design).
+
+3. **Lock-ordering hazards.**  Acquiring a second lock while one is
+   held (``async with a: ... async with b:``), and ``await`` while
+   holding a *synchronous* ``with lock:`` — the event loop suspends
+   with a thread lock held, stalling every other thread that wants it.
+
+All three rules are deliberately under-approximate: an unresolved call
+contributes no edge, an unrecognized lock expression protects nothing,
+and only what the graph *proves* gets flagged (no findings on dynamic
+dispatch guesses).  Entry points the checker cannot see (callbacks
+registered through wrappers it does not model) are simply not analyzed
+— documented in docs/DEVELOPING.md under "call-graph imprecision".
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.lint.diagnostics import Because, Diagnostic
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Checker, register
+from repro.lint.symbols import FunctionNode, _dotted_parts
+
+#: Packages whose async code this checker analyzes (roots + classes).
+SCOPED_PACKAGES = ("repro.live", "repro.runtime")
+
+#: Functions that hand a callback to the event loop; an async method
+#: passed to one of these becomes a concurrency entry point.
+_SPAWN_NAMES = frozenset(
+    {"start_server", "create_task", "ensure_future", "gather"}
+)
+
+#: Constructors whose result stored on ``self`` marks a lock attribute.
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Method names that mutate their receiver — calling one on a ``self``
+#: attribute counts as touching shared state.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "add", "remove", "pop", "popitem", "clear", "update",
+        "extend", "insert", "setdefault", "discard",
+        "store", "invalidate", "drop", "charge", "push",
+    }
+)
+
+
+def in_scope(module_name: str) -> bool:
+    """True when ``module_name`` falls under a scoped package."""
+    return any(
+        module_name == pkg or module_name.startswith(pkg + ".")
+        for pkg in SCOPED_PACKAGES
+    )
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why this call blocks the event loop, or None if it does not."""
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return "open() performs synchronous file I/O"
+    parts = _dotted_parts(call.func)
+    if not parts:
+        return None
+    dotted = ".".join(parts)
+    head = parts[0]
+    if dotted == "time.sleep":
+        return "time.sleep() suspends the whole thread, not just this task"
+    if head == "subprocess":
+        return f"{dotted}() runs a subprocess synchronously"
+    if dotted in ("os.system", "os.popen", "os.wait", "os.waitpid"):
+        return f"{dotted}() blocks until the child process finishes"
+    if head == "socket" and len(parts) > 1:
+        return f"{dotted}() does synchronous socket work"
+    if head == "requests" or (head == "urllib" and "request" in parts):
+        return f"{dotted}() performs a synchronous HTTP request"
+    return None
+
+
+def _iter_no_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _contains_await(node: ast.AST) -> bool:
+    return any(isinstance(n, ast.Await) for n in _iter_no_defs(node))
+
+
+def _self_attr_root(expr: ast.expr) -> Optional[str]:
+    """The first attribute in a ``self.X...`` chain, unwrapping
+    subscripts (``self.X[k]``, ``self.X.Y``, ...), else None."""
+    node = expr
+    attr: Optional[str] = None
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            attr = node.attr
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return attr if node.id == "self" and attr else None
+        else:
+            return None
+
+
+def _is_lockish(expr: ast.expr, lock_attrs: frozenset[str]) -> bool:
+    """Heuristic: the expression names a lock (known attr or *lock*)."""
+    attr = _self_attr_root(expr)
+    if attr is not None and attr in lock_attrs:
+        return True
+    name: Optional[str] = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    return name is not None and "lock" in name.lower()
+
+
+_SIMPLE_STMTS = (
+    ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign,
+    ast.Assert, ast.Delete, ast.Pass, ast.Global, ast.Nonlocal,
+    ast.Import, ast.ImportFrom,
+)
+
+
+@dataclass(frozen=True)
+class _TxnState:
+    """Per-path transaction tracking for rule 2.
+
+    ``touch`` is the (line, attr) of the transaction's first
+    shared-state mutation; ``await_line`` the first suspension point
+    after it; ``terminated`` marks a path that returned/raised.
+    """
+
+    touch: Optional[tuple[int, str]] = None
+    await_line: Optional[int] = None
+    terminated: bool = False
+
+    def rank(self) -> int:
+        if self.terminated:
+            return -1
+        if self.touch and self.await_line:
+            return 2
+        if self.touch:
+            return 1
+        return 0
+
+
+def _merge(states: list[_TxnState]) -> _TxnState:
+    """Join branch states, preferring the most race-advanced live path."""
+    live = [s for s in states if not s.terminated]
+    if not live:
+        return _TxnState(terminated=True)
+    return max(live, key=_TxnState.rank)
+
+
+class _ClassModel:
+    """Everything rule 2 needs to know about one class."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        methods: dict[str, FunctionNode],
+    ) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.methods = methods
+        self.lock_attrs = self._find_lock_attrs()
+        self.entry_points = self._find_entry_points()
+        # witness[m] = (attr, line, via) proving m mutates shared state
+        # on some unprotected path; ``via`` names the method holding the
+        # actual store when the evidence is transitive.
+        self.witness: dict[str, tuple[str, int, str]] = {}
+        self._build_touch_witnesses()
+
+    # -- model construction --------------------------------------------------
+
+    def _find_lock_attrs(self) -> frozenset[str]:
+        attrs: set[str] = set()
+        for node in self.methods.values():
+            for sub in _iter_no_defs(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                value = sub.value
+                if not (
+                    isinstance(value, ast.Call)
+                    and (parts := _dotted_parts(value.func))
+                    and parts[-1] in _LOCK_FACTORIES
+                ):
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr_root(target)
+                    if attr:
+                        attrs.add(attr)
+        return frozenset(attrs)
+
+    def _find_entry_points(self) -> list[str]:
+        entries: list[str] = []
+        for node in self.methods.values():
+            for sub in _iter_no_defs(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                parts = _dotted_parts(sub.func)
+                if not parts or parts[-1] not in _SPAWN_NAMES:
+                    continue
+                candidates = list(sub.args)
+                candidates += [kw.value for kw in sub.keywords]
+                for arg in candidates:
+                    if isinstance(arg, ast.Call):
+                        # create_task(self.m(...)) passes the coroutine.
+                        arg = arg.func
+                    if (
+                        isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id == "self"
+                        and arg.attr in self.methods
+                    ):
+                        entries.append(arg.attr)
+        return sorted(set(entries))
+
+    def _build_touch_witnesses(self) -> None:
+        """Fixpoint: which methods mutate shared state on a path not
+        already dominated by one of the class's own locks."""
+        direct: dict[str, Optional[tuple[str, int]]] = {}
+        calls: dict[str, set[str]] = {}
+        for name, node in self.methods.items():
+            touches, callees = self._scan_unprotected(node.body)
+            direct[name] = touches[0] if touches else None
+            calls[name] = callees
+        for name, hit in direct.items():
+            if hit is not None:
+                self.witness[name] = (hit[0], hit[1], name)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name in self.witness:
+                    continue
+                for callee in sorted(callees):
+                    if callee in self.witness:
+                        attr, line, via = self.witness[callee]
+                        self.witness[name] = (attr, line, via)
+                        changed = True
+                        break
+
+    def _scan_unprotected(
+        self, body: list[ast.stmt]
+    ) -> tuple[list[tuple[str, int]], set[str]]:
+        """Direct touches and same-class callees outside lock regions."""
+        touches: list[tuple[str, int]] = []
+        callees: set[str] = set()
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)) and any(
+                _is_lockish(item.context_expr, self.lock_attrs)
+                for item in stmt.items
+            ):
+                continue  # dominated by the lock: not "unprotected"
+            for attr, line in self.stmt_touches(stmt, recurse=False):
+                touches.append((attr, line))
+            callees.update(m for m, _ in self.method_calls(stmt, recurse=False))
+            for inner in self._child_blocks(stmt):
+                sub_touches, sub_callees = self._scan_unprotected(inner)
+                touches.extend(sub_touches)
+                callees.update(sub_callees)
+        return touches, callees
+
+    @staticmethod
+    def _child_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner and isinstance(inner[0], ast.stmt):
+                blocks.append(inner)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
+
+    # -- per-statement queries ----------------------------------------------
+
+    def stmt_touches(
+        self, stmt: ast.stmt, recurse: bool = True
+    ) -> list[tuple[str, int]]:
+        """Shared-state mutations directly inside ``stmt``.
+
+        With ``recurse=False`` only the statement's own expressions are
+        inspected (compound bodies are handled by the walkers).
+        """
+        touches: list[tuple[str, int]] = []
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            for leaf in self._target_leaves(target):
+                attr = _self_attr_root(leaf)
+                if attr and attr not in self.lock_attrs:
+                    touches.append((attr, stmt.lineno))
+        scan = _iter_no_defs(stmt) if recurse else self._own_exprs(stmt)
+        for node in scan:
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+            ):
+                attr = _self_attr_root(func.value)
+                if attr and attr not in self.lock_attrs:
+                    touches.append((attr, node.lineno))
+        return touches
+
+    def method_calls(
+        self, stmt: ast.stmt, recurse: bool = True
+    ) -> list[tuple[str, int]]:
+        """Calls to same-class methods (``self.m(...)``) in ``stmt``."""
+        found: list[tuple[str, int]] = []
+        scan = _iter_no_defs(stmt) if recurse else self._own_exprs(stmt)
+        for node in scan:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in self.methods
+            ):
+                found.append((node.func.attr, node.lineno))
+        return found
+
+    @staticmethod
+    def _target_leaves(target: ast.expr) -> Iterator[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from _ClassModel._target_leaves(element)
+        else:
+            yield target
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Expressions belonging to ``stmt`` itself, not nested blocks."""
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            nodes = value if isinstance(value, list) else [value]
+            for node in nodes:
+                if isinstance(node, ast.expr):
+                    yield from _iter_no_defs(node)
+            if field_name == "items":  # with-statement context managers
+                for item in value:
+                    yield from _iter_no_defs(item.context_expr)
+
+
+@register
+class AsyncSafetyChecker(Checker):
+    """RPR007: no blocking calls reachable from the event loop, no
+    unlocked shared-state transactions across awaits, no lock-ordering
+    hazards (scope: repro.live, repro.runtime)."""
+
+    code = "RPR007"
+    summary = (
+        "async/lock discipline in repro.live + repro.runtime: blocking "
+        "calls reachable from async defs, shared-state mutation across "
+        "an await outside the lock, nested lock acquisition, and await "
+        "under a sync lock"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        yield from self._check_blocking(project)
+        for module in project.modules:
+            if not in_scope(module.name):
+                continue
+            yield from self._check_classes(module, project)
+            yield from self._check_lock_nesting(module)
+
+    # -- rule 1: blocking calls reachable from async defs --------------------
+
+    def _check_blocking(self, project: Project) -> Iterator[Diagnostic]:
+        graph = project.call_graph
+        roots = sorted(
+            info.ref
+            for info in graph.functions.values()
+            if info.is_async and in_scope(info.module.name)
+        )
+        if not roots:
+            return
+        seen: set[tuple[str, int]] = set()
+        for ref, chain in sorted(graph.reachable_from(roots).items()):
+            info = graph.functions[ref]
+            for node in _iter_no_defs(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_reason(node)
+                if reason is None:
+                    continue
+                key = (info.module.path, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                root_ref = chain[0].caller if chain else ref
+                root = graph.functions[root_ref]
+                because = [
+                    Because(
+                        path=root.module.path,
+                        line=root.node.lineno,
+                        note=(
+                            f"async def {_short(root_ref)}() runs on "
+                            "the event loop"
+                        ),
+                    )
+                ]
+                because += [
+                    Because(
+                        path=site.path,
+                        line=site.line,
+                        note=(
+                            f"{_short(site.caller)}() calls "
+                            f"{_short(site.callee)}() here"
+                        ),
+                    )
+                    for site in chain
+                ]
+                yield self.diagnostic(
+                    info.module.path, node.lineno, node.col_offset + 1,
+                    f"{reason}; it is reachable from async def "
+                    f"{_short(root_ref)}() and stalls the event loop — "
+                    "use the asyncio equivalent or run_in_executor",
+                    because=tuple(because),
+                )
+
+    # -- rule 2: unlocked shared-state transactions --------------------------
+
+    def _check_classes(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Diagnostic]:
+        functions = project.symbols.functions_in(module)
+        classes: dict[str, dict[str, FunctionNode]] = {}
+        for qualname, node in functions.items():
+            if "." not in qualname:
+                continue
+            cls, method = qualname.rsplit(".", 1)
+            if "." in cls:
+                continue
+            classes.setdefault(cls, {})[method] = node
+        for cls in sorted(classes):
+            model = _ClassModel(module, cls, classes[cls])
+            if model.entry_points:
+                yield from self._check_transactions(model)
+
+    def _check_transactions(self, model: _ClassModel) -> Iterator[Diagnostic]:
+        queue: deque[tuple[str, bool]] = deque(
+            (entry, False) for entry in model.entry_points
+        )
+        visited: set[tuple[str, bool]] = set()
+        flagged: set[tuple[int, str]] = set()
+        found: list[Diagnostic] = []
+        while queue:
+            method, protected = queue.popleft()
+            if (method, protected) in visited:
+                continue
+            visited.add((method, protected))
+            walker = _TxnWalker(self, model, protected, flagged, found)
+            walker.walk(model.methods[method].body, _TxnState(), protected)
+            for callee, callee_protected in walker.scheduled:
+                if (callee, callee_protected) not in visited:
+                    queue.append((callee, callee_protected))
+        yield from found
+
+    # -- rule 3: lock nesting / await under a sync lock ----------------------
+
+    def _check_lock_nesting(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        lock_attrs: frozenset[str] = frozenset()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._lock_walk(
+                    module, node.body, lock_attrs, held=[], sync_held=0
+                )
+
+    def _lock_walk(
+        self,
+        module: ModuleInfo,
+        body: list[ast.stmt],
+        lock_attrs: frozenset[str],
+        held: list[str],
+        sync_held: int,
+    ) -> Iterator[Diagnostic]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                lock_names = [
+                    ast.unparse(item.context_expr)
+                    for item in stmt.items
+                    if _is_lockish(item.context_expr, lock_attrs)
+                ]
+                if lock_names and held:
+                    yield self.diagnostic(
+                        module.path, stmt.lineno, stmt.col_offset + 1,
+                        f"acquires {lock_names[0]} while already holding "
+                        f"{held[-1]}; nested lock acquisition invites "
+                        "deadlock — widen the outer critical section "
+                        "instead",
+                    )
+                if (
+                    isinstance(stmt, ast.AsyncWith)
+                    and sync_held
+                    and not lock_names
+                ):
+                    yield self.diagnostic(
+                        module.path, stmt.lineno, stmt.col_offset + 1,
+                        "async with (an await) while holding a sync lock; "
+                        "the event loop suspends with the lock held",
+                    )
+                new_sync = sync_held + (
+                    1 if lock_names and isinstance(stmt, ast.With) else 0
+                )
+                yield from self._lock_walk(
+                    module, stmt.body, lock_attrs,
+                    held + lock_names, new_sync,
+                )
+                continue
+            if sync_held and any(
+                isinstance(n, ast.Await)
+                for n in _ClassModel._own_exprs(stmt)
+            ):
+                yield self.diagnostic(
+                    module.path, stmt.lineno, stmt.col_offset + 1,
+                    "await while holding a synchronous lock; the event "
+                    "loop suspends with the lock held and every thread "
+                    "contending for it stalls",
+                )
+            for block in _ClassModel._child_blocks(stmt):
+                yield from self._lock_walk(
+                    module, block, lock_attrs, held, sync_held
+                )
+
+
+class _TxnWalker:
+    """Statement walker implementing rule 2's path-sensitive tracking."""
+
+    def __init__(
+        self,
+        checker: AsyncSafetyChecker,
+        model: _ClassModel,
+        entry_protected: bool,
+        flagged: set[tuple[int, str]],
+        found: list[Diagnostic],
+    ) -> None:
+        self.checker = checker
+        self.model = model
+        self.flagged = flagged
+        self.found = found
+        self.scheduled: set[tuple[str, bool]] = set()
+
+    def walk(
+        self, body: list[ast.stmt], state: _TxnState, protected: bool
+    ) -> _TxnState:
+        for stmt in body:
+            if state.terminated:
+                break
+            state = self._step(stmt, state, protected)
+        return state
+
+    # -- one statement -------------------------------------------------------
+
+    def _step(
+        self, stmt: ast.stmt, state: _TxnState, protected: bool
+    ) -> _TxnState:
+        model = self.model
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return replace(state, terminated=True)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locked = any(
+                _is_lockish(item.context_expr, model.lock_attrs)
+                for item in stmt.items
+            )
+            if isinstance(stmt, ast.AsyncWith):
+                state = self._await_event(state, protected, stmt.lineno)
+            if locked:
+                self.walk(stmt.body, _TxnState(), True)
+                return state  # lock released; outer state unchanged
+            inner = self.walk(stmt.body, state, protected)
+            return replace(inner, terminated=False)
+
+        if isinstance(stmt, ast.If):
+            state = self._expr_events(stmt, state, protected, stmt.test)
+            branches = [
+                self.walk(stmt.body, state, protected),
+                self.walk(stmt.orelse, state, protected),
+            ]
+            return _merge(branches)
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            if isinstance(stmt, ast.AsyncFor):
+                state = self._await_event(state, protected, stmt.lineno)
+            test = getattr(stmt, "test", None) or getattr(stmt, "iter", None)
+            if test is not None:
+                state = self._expr_events(stmt, state, protected, test)
+            # Two passes over the body so a touch at the bottom of one
+            # iteration meets an await at the top of the next.
+            once = _merge([self.walk(list(stmt.body), state, protected),
+                           state])
+            twice = self.walk(list(stmt.body), once, protected)
+            after = _merge([twice, once])
+            return self.walk(stmt.orelse, after, protected)
+
+        if isinstance(stmt, ast.Try):
+            after_body = self.walk(stmt.body, state, protected)
+            handler_states = [
+                # A handler can fire at any point of the body; analyzing
+                # it from the try-entry state is the under-approximation.
+                self.walk(handler.body, state, protected)
+                for handler in stmt.handlers
+            ]
+            after_else = self.walk(stmt.orelse, after_body, protected)
+            merged = _merge([after_else, *handler_states])
+            final = self.walk(
+                stmt.finalbody, replace(merged, terminated=False), protected
+            )
+            if merged.terminated:
+                final = replace(final, terminated=True)
+            return final
+
+        return self._simple(stmt, state, protected)
+
+    def _simple(
+        self, stmt: ast.stmt, state: _TxnState, protected: bool
+    ) -> _TxnState:
+        model = self.model
+        for callee, _ in model.method_calls(stmt):
+            self.scheduled.add((callee, protected))
+        touches = model.stmt_touches(stmt) if not protected else []
+        call_touches = (
+            [
+                (model.witness[callee][0], line)
+                for callee, line in model.method_calls(stmt)
+                if callee in model.witness
+            ]
+            if not protected
+            else []
+        )
+        has_await = _contains_await(stmt)
+        if protected:
+            return state
+        all_touches = touches + call_touches
+        if not all_touches:
+            if has_await:
+                return self._await_event(state, protected, stmt.lineno)
+            return state
+        if has_await and isinstance(stmt, ast.AugAssign) and touches:
+            # self.x += await f(): the read happens before the await,
+            # the write after — a one-statement unlocked transaction.
+            self._flag(
+                stmt.lineno, touches[0][0],
+                first=(stmt.lineno, touches[0][0]),
+                await_line=stmt.lineno,
+                single=True,
+            )
+            return replace(
+                state, touch=(stmt.lineno, touches[0][0]), await_line=None
+            )
+        if has_await:
+            # Awaited call producing the value stored: treat as
+            # await-then-touch on this path.
+            state = self._await_event(state, protected, stmt.lineno)
+        if state.touch and state.await_line:
+            attr = all_touches[0][0]
+            self._flag(
+                all_touches[0][1], attr,
+                first=state.touch, await_line=state.await_line,
+            )
+            return _TxnState(touch=(all_touches[0][1], attr))
+        if state.touch is None:
+            return _TxnState(touch=(all_touches[0][1], all_touches[0][0]))
+        return state
+
+    # -- events and reporting ------------------------------------------------
+
+    def _expr_events(
+        self,
+        stmt: ast.stmt,
+        state: _TxnState,
+        protected: bool,
+        expr: ast.expr,
+    ) -> _TxnState:
+        if _contains_await(expr):
+            state = self._await_event(state, protected, stmt.lineno)
+        return state
+
+    def _await_event(
+        self, state: _TxnState, protected: bool, line: int
+    ) -> _TxnState:
+        if protected or state.touch is None or state.await_line is not None:
+            return state
+        return replace(state, await_line=line)
+
+    def _flag(
+        self,
+        line: int,
+        attr: str,
+        first: tuple[int, str],
+        await_line: int,
+        single: bool = False,
+    ) -> None:
+        key = (line, attr)
+        if key in self.flagged:
+            return
+        self.flagged.add(key)
+        model = self.model
+        lock = (
+            f"self.{sorted(model.lock_attrs)[0]}"
+            if model.lock_attrs
+            else "a lock"
+        )
+        if single:
+            message = (
+                f"read-modify-write of self.{attr} straddles an await "
+                f"without holding {lock}; another task can interleave "
+                "between the read and the write"
+            )
+            because = (
+                Because(
+                    path=model.module.path,
+                    line=line,
+                    note="the await suspends between load and store",
+                ),
+            )
+        else:
+            message = (
+                f"self.{attr} mutated after an await without holding "
+                f"{lock}; the transaction that began at line "
+                f"{first[0]} is not atomic — another task can "
+                "interleave at the suspension point"
+            )
+            because = (
+                Because(
+                    path=model.module.path,
+                    line=first[0],
+                    note=f"transaction begins: self.{first[1]} mutated here",
+                ),
+                Because(
+                    path=model.module.path,
+                    line=await_line,
+                    note="an await after this point suspends the task",
+                ),
+            )
+        self.found.append(
+            self.checker.diagnostic(
+                model.module.path, line, 1, message, because=because
+            )
+        )
+
+
+def _short(ref: str) -> str:
+    """``module::Cls.method`` → ``Cls.method`` for messages."""
+    return ref.split("::", 1)[-1]

@@ -1,0 +1,468 @@
+"""RPR009 — interprocedural unit inference (bytes / seconds / count).
+
+RPR002 classifies an expression by its own spelling: ``total_bytes +
+delay_s`` is flagged because both names carry units.  It goes blind the
+moment a quantity flows through a neutral name::
+
+    def backlog(delay_s):
+        window = delay_s          # 'window' carries seconds now
+        return window             # ...and so does backlog(...)
+
+    total_bytes += backlog(d)     # RPR002 sees nothing; RPR009 flags it
+
+This checker runs the same mixing rules with units *propagated*:
+
+* **parameters** take the unit their name implies (same naming rules as
+  RPR002, shared via :func:`~repro.lint.checkers.units
+  .unit_of_identifier`) — including dataclass ``__init__`` parameters,
+  which is how unit-bearing dataclass fields enter the flow;
+* **locals** take the unit of their assigned expression (forward,
+  flow-insensitive: branches are not joined, the last textual
+  assignment before use wins);
+* **returns** take the function's inferred return unit, resolved
+  through the project call graph to a global fixpoint, so units flow
+  through arbitrarily long chains of helpers;
+* **call arguments** are checked against the callee's parameter units —
+  passing a seconds value to a ``body_size`` parameter is flagged even
+  though no arithmetic happens at the call site.
+
+To keep one finding per bug, RPR009 reports a mixing site **only when
+RPR002 cannot see it** — when at least one operand's unit exists only
+through propagation.  Every finding carries a because-chain giving the
+provenance of each propagated unit (the assignment, parameter, or
+return that introduced it).
+
+Scope: ``repro.core``, ``repro.fastpath``, ``repro.live`` — the layers
+whose quantities feed Table 1 and Figures 4-8.  Like every project
+checker, the propagation is deliberately under-approximate: unresolved
+calls and tuple-unpacking assignments contribute no unit, so every
+report rests on a provable chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.callgraph import CallGraph, FunctionInfo
+from repro.lint.diagnostics import Because, Diagnostic
+from repro.lint.project import Project
+from repro.lint.registry import Checker, register
+from repro.lint.checkers.units import (
+    _ORDERED_CMPS,
+    _is_min_max,
+    infer_unit,
+    unit_of_identifier,
+)
+
+SCOPED_PACKAGES = ("repro.core", "repro.fastpath", "repro.live")
+
+#: Fixpoint bound; unit chains deeper than this stay unknown (a cycle
+#: of mutually recursive helpers cannot settle anyway).
+_MAX_ROUNDS = 8
+
+
+def in_scope(module_name: str) -> bool:
+    """True when ``module_name`` falls under a scoped package."""
+    return any(
+        module_name == pkg or module_name.startswith(pkg + ".")
+        for pkg in SCOPED_PACKAGES
+    )
+
+
+@dataclass(frozen=True)
+class _Inferred:
+    """A propagated unit plus the evidence that produced it."""
+
+    unit: str
+    provenance: tuple[Because, ...] = ()
+
+
+class _FlowAnalysis:
+    """Shared inference machinery for one lint run."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph: CallGraph = project.call_graph
+        #: function ref -> inferred return unit
+        self.returns: dict[str, _Inferred] = {}
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def solve(self) -> None:
+        """Iterate return-unit inference to a fixpoint."""
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for info in self.graph.functions.values():
+                inferred = self._return_unit(info)
+                previous = self.returns.get(info.ref)
+                if inferred is not None and (
+                    previous is None or previous.unit != inferred.unit
+                ):
+                    self.returns[info.ref] = inferred
+                    changed = True
+            if not changed:
+                return
+
+    def _return_unit(self, info: FunctionInfo) -> Optional[_Inferred]:
+        env = self.param_env(info)
+        units: set[str] = set()
+        provenance: tuple[Because, ...] = ()
+        for stmt in _ordered_stmts(info.node.body):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                self.bind(env, stmt.targets[0], stmt.value, info)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self.bind(env, stmt.target, stmt.value, info)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                inferred = self.infer(stmt.value, env, info)
+                if inferred is None:
+                    return None  # one unit-less return: unknown overall
+                units.add(inferred.unit)
+                provenance = inferred.provenance
+        if len(units) != 1:
+            return None
+        return _Inferred(units.pop(), provenance)
+
+    # -- environments --------------------------------------------------------
+
+    def param_env(self, info: FunctionInfo) -> dict[str, _Inferred]:
+        env: dict[str, _Inferred] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            unit = unit_of_identifier(arg.arg)
+            if unit is not None:
+                env[arg.arg] = _Inferred(
+                    unit,
+                    (
+                        Because(
+                            path=info.module.path,
+                            line=info.node.lineno,
+                            note=(
+                                f"parameter {arg.arg} of "
+                                f"{_short(info.ref)}() carries {unit}"
+                            ),
+                        ),
+                    ),
+                )
+        return env
+
+    def bind(
+        self,
+        env: dict[str, _Inferred],
+        target: ast.expr,
+        value: ast.expr,
+        info: FunctionInfo,
+    ) -> None:
+        """Record a local assignment's unit (plain Name targets only)."""
+        if not isinstance(target, ast.Name):
+            return
+        inferred = self.infer(value, env, info)
+        if inferred is None:
+            env.pop(target.id, None)
+            return
+        if unit_of_identifier(target.id) == inferred.unit:
+            # The name already says it; nothing propagated.
+            env.pop(target.id, None)
+            return
+        note = Because(
+            path=info.module.path,
+            line=target.lineno,
+            note=(
+                f"{target.id} is assigned a {inferred.unit} value here"
+            ),
+        )
+        env[target.id] = _Inferred(
+            inferred.unit, _cap(inferred.provenance + (note,))
+        )
+
+    # -- expression inference ------------------------------------------------
+
+    def infer(
+        self,
+        node: ast.expr,
+        env: dict[str, _Inferred],
+        info: FunctionInfo,
+    ) -> Optional[_Inferred]:
+        """Extended :func:`infer_unit`: environment + call returns."""
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            unit = unit_of_identifier(node.id)
+            return _Inferred(unit) if unit is not None else None
+        if isinstance(node, ast.Attribute):
+            unit = unit_of_identifier(node.attr)
+            return _Inferred(unit) if unit is not None else None
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.UAdd, ast.USub)
+        ):
+            return self.infer(node.operand, env, info)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = self.infer(node.left, env, info)
+            right = self.infer(node.right, env, info)
+            if left is not None and right is not None and (
+                left.unit == right.unit
+            ):
+                return _Inferred(
+                    left.unit, _cap(left.provenance + right.provenance)
+                )
+            return None
+        if _is_min_max(node):
+            parts = [self.infer(arg, env, info) for arg in node.args]
+            units = {p.unit if p else None for p in parts}
+            if len(units) == 1 and None not in units:
+                provenance: tuple[Because, ...] = ()
+                for part in parts:
+                    if part is not None:
+                        provenance += part.provenance
+                return _Inferred(units.pop(), _cap(provenance))
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_unit(node, info)
+        return None
+
+    def _call_unit(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> Optional[_Inferred]:
+        ref = self.graph._resolve_callee(info, call)
+        if ref is None:
+            return None
+        inferred = self.returns.get(ref)
+        if inferred is None:
+            return None
+        callee = self.graph.functions[ref]
+        note = Because(
+            path=callee.module.path,
+            line=callee.node.lineno,
+            note=f"{_short(ref)}() returns {inferred.unit}",
+        )
+        return _Inferred(inferred.unit, _cap(inferred.provenance + (note,)))
+
+    def callee_params(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> Optional[tuple[FunctionInfo, list[str]]]:
+        """The resolved callee and its parameter names (sans self)."""
+        ref = self.graph._resolve_callee(info, call)
+        if ref is None:
+            return None
+        callee = self.graph.functions[ref]
+        params = [
+            a.arg
+            for a in [
+                *callee.node.args.posonlyargs, *callee.node.args.args
+            ]
+        ]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        return callee, params
+
+
+def _cap(provenance: tuple[Because, ...]) -> tuple[Because, ...]:
+    """Bound a because-chain to its three most recent steps."""
+    return provenance[-3:]
+
+
+def _short(ref: str) -> str:
+    return ref.split("::", 1)[-1]
+
+
+def _ordered_stmts(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement, nested blocks included, in source order."""
+    for stmt in body:
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner and isinstance(inner[0], ast.stmt):
+                yield from _ordered_stmts(inner)
+        for handler in getattr(stmt, "handlers", []):
+            yield from _ordered_stmts(handler.body)
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The statement's own expressions (nested blocks excluded)."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        nodes = value if isinstance(value, list) else [value]
+        for node in nodes:
+            if isinstance(node, ast.expr):
+                yield node
+            elif isinstance(node, ast.withitem):
+                yield node.context_expr
+
+
+@register
+class UnitFlowChecker(Checker):
+    """RPR009: the RPR002 mixing rules, with units propagated through
+    signatures, returns, and locals across the project."""
+
+    code = "RPR009"
+    summary = (
+        "interprocedural unit discipline: bytes/seconds/count inferred "
+        "through parameters, locals, and return values (call-graph "
+        "fixpoint) must not mix in arithmetic, comparisons, or call "
+        "arguments (scope: repro.core, repro.fastpath, repro.live)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        flow = _FlowAnalysis(project)
+        flow.solve()
+        for info in sorted(
+            flow.graph.functions.values(), key=lambda i: i.ref
+        ):
+            if not in_scope(info.module.name):
+                continue
+            yield from self._check_function(flow, info)
+
+    def _check_function(
+        self, flow: _FlowAnalysis, info: FunctionInfo
+    ) -> Iterator[Diagnostic]:
+        env = flow.param_env(info)
+        for stmt in _ordered_stmts(info.node.body):
+            for root in _own_exprs(stmt):
+                for node in ast.walk(root):
+                    if isinstance(node, ast.expr):
+                        yield from self._check_expr(flow, info, env, node)
+            if isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    flow, info, env, stmt, stmt.target, stmt.value,
+                    "augmented assignment",
+                )
+            # Update the environment after checking the statement.
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                flow.bind(env, stmt.targets[0], stmt.value, info)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                flow.bind(env, stmt.target, stmt.value, info)
+
+    def _check_expr(
+        self,
+        flow: _FlowAnalysis,
+        info: FunctionInfo,
+        env: dict[str, _Inferred],
+        node: ast.expr,
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            yield from self._check_pair(
+                flow, info, env, node, node.left, node.right,
+                "additive arithmetic",
+            )
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, _ORDERED_CMPS):
+                    yield from self._check_pair(
+                        flow, info, env, node, left, right,
+                        "ordered comparison",
+                    )
+        elif _is_min_max(node):
+            known = [
+                (arg, inferred)
+                for arg in node.args
+                if (inferred := flow.infer(arg, env, info)) is not None
+            ]
+            for (la, lu), (ra, ru) in zip(known, known[1:]):
+                if lu.unit != ru.unit and not self._rpr002_sees(la, ra):
+                    yield self._mixing(
+                        info, node, la, lu, ra, ru, "min()/max()"
+                    )
+                    break
+        elif isinstance(node, ast.Call):
+            yield from self._check_call_args(flow, info, env, node)
+
+    def _check_pair(
+        self,
+        flow: _FlowAnalysis,
+        info: FunctionInfo,
+        env: dict[str, _Inferred],
+        node: ast.stmt | ast.expr,
+        left: ast.expr,
+        right: ast.expr,
+        context: str,
+    ) -> Iterator[Diagnostic]:
+        left_inf = flow.infer(left, env, info)
+        right_inf = flow.infer(right, env, info)
+        if (
+            left_inf is None
+            or right_inf is None
+            or left_inf.unit == right_inf.unit
+        ):
+            return
+        if self._rpr002_sees(left, right):
+            return
+        yield self._mixing(
+            info, node, left, left_inf, right, right_inf, context
+        )
+
+    def _check_call_args(
+        self,
+        flow: _FlowAnalysis,
+        info: FunctionInfo,
+        env: dict[str, _Inferred],
+        call: ast.Call,
+    ) -> Iterator[Diagnostic]:
+        resolved = flow.callee_params(call, info)
+        if resolved is None:
+            return
+        callee, params = resolved
+        pairs = list(zip(params, call.args))
+        pairs += [
+            (kw.arg, kw.value)
+            for kw in call.keywords
+            if kw.arg is not None and kw.arg in params
+        ]
+        for param, arg in pairs:
+            expected = unit_of_identifier(param)
+            if expected is None:
+                continue
+            inferred = flow.infer(arg, env, info)
+            if inferred is None or inferred.unit == expected:
+                continue
+            because = _cap(inferred.provenance) + (
+                Because(
+                    path=callee.module.path,
+                    line=callee.node.lineno,
+                    note=(
+                        f"parameter {param} of {_short(callee.ref)}() "
+                        f"expects {expected}"
+                    ),
+                ),
+            )
+            yield self.diagnostic(
+                info.module.path, arg.lineno, arg.col_offset + 1,
+                f"argument {ast.unparse(arg)} carries {inferred.unit} "
+                f"but parameter {param} of {_short(callee.ref)}() "
+                f"expects {expected}; convert before the call",
+                because=because,
+            )
+
+    @staticmethod
+    def _rpr002_sees(left: ast.expr, right: ast.expr) -> bool:
+        """True when plain local inference already flags this pair —
+        RPR002 owns the finding then."""
+        lu, ru = infer_unit(left), infer_unit(right)
+        return lu is not None and ru is not None and lu != ru
+
+    def _mixing(
+        self,
+        info: FunctionInfo,
+        node: ast.stmt | ast.expr,
+        left: ast.expr,
+        left_inf: _Inferred,
+        right: ast.expr,
+        right_inf: _Inferred,
+        context: str,
+    ) -> Diagnostic:
+        because = _cap(left_inf.provenance + right_inf.provenance)
+        return self.diagnostic(
+            info.module.path, node.lineno, node.col_offset + 1,
+            f"{context} mixes {left_inf.unit} with {right_inf.unit} "
+            f"({ast.unparse(left)} vs {ast.unparse(right)}) under "
+            "propagated units; convert explicitly before combining",
+            because=because,
+        )

@@ -10,7 +10,8 @@ Units are inferred from naming conventions:
 
 * identifiers ending ``_bytes`` (or equal to ``bytes``-suffixed ledger
   helpers) carry **bytes**;
-* identifiers ending ``_seconds`` / ``_secs`` carry **seconds**;
+* identifiers ending ``_seconds`` / ``_secs`` / ``_s`` carry
+  **seconds** (``delay_s`` is this repo's common duration spelling);
 * identifiers ending ``_count`` / ``_counts`` carry **count**;
 
 plus a table of well-known quantities from ``repro/core/costs.py`` and
@@ -22,11 +23,20 @@ Flagged forms, whenever *both* operands have known-but-different units:
 
 * additive binary ops: ``a + b``, ``a - b``;
 * augmented additive assignment: ``a += b``, ``a -= b``;
-* ordered comparisons: ``a < b``, ``a <= b``, ``a > b``, ``a >= b``.
+* ordered comparisons: ``a < b``, ``a <= b``, ``a > b``, ``a >= b``;
+* ``min(...)`` / ``max(...)`` calls whose arguments disagree — picking
+  the smaller of a byte count and a duration is as meaningless as
+  adding them (and a ``min``/``max`` of agreeing units *carries* that
+  unit into the surrounding expression).
 
 Multiplication and division are conversions, not mixing, and are never
 flagged; operands of unknown unit are skipped (the checker only fires
 when it is *sure* both sides disagree).
+
+RPR009 runs the same mixing rules again with *interprocedural*
+inference (units flowing through returns, signatures, and locals, see
+:mod:`repro.lint.checkers.unitflow`); this checker stays purely local
+so a single file in isolation always gets the same verdicts.
 """
 
 from __future__ import annotations
@@ -38,11 +48,14 @@ from repro.lint.diagnostics import Diagnostic
 from repro.lint.project import ModuleInfo, Project
 from repro.lint.registry import Checker, register
 
-#: suffix -> unit.
+#: suffix -> unit.  ``_s`` covers the ``delay_s`` duration convention;
+#: string-ish ``*_s`` parser locals (``month_s``) never meet another
+#: known unit in additive/ordered positions, so the wider net is safe.
 _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
     ("_bytes", "bytes"),
     ("_seconds", "seconds"),
     ("_secs", "seconds"),
+    ("_s", "seconds"),
     ("_count", "count"),
     ("_counts", "count"),
 )
@@ -63,6 +76,21 @@ _KNOWN_NAMES: dict[str, str] = {
 }
 
 
+def unit_of_identifier(identifier: str) -> Optional[str]:
+    """The unit an identifier's *name* implies, or None.
+
+    Shared with RPR009, which applies the same naming rules to function
+    parameters and then propagates the results interprocedurally.
+    """
+    lowered = identifier.lower()
+    if lowered in _KNOWN_NAMES:
+        return _KNOWN_NAMES[lowered]
+    for suffix, unit in _SUFFIX_UNITS:
+        if lowered.endswith(suffix) and lowered != suffix.lstrip("_"):
+            return unit
+    return None
+
+
 def infer_unit(node: ast.expr) -> Optional[str]:
     """The unit an expression carries, or None when unknown.
 
@@ -80,6 +108,11 @@ def infer_unit(node: ast.expr) -> Optional[str]:
         if left is not None and left == right:
             return left
         return None
+    if _is_min_max(node):
+        units = {infer_unit(arg) for arg in node.args}
+        if len(units) == 1:
+            return units.pop()
+        return None
     identifier: Optional[str] = None
     if isinstance(node, ast.Name):
         identifier = node.id
@@ -87,13 +120,18 @@ def infer_unit(node: ast.expr) -> Optional[str]:
         identifier = node.attr
     if identifier is None:
         return None
-    lowered = identifier.lower()
-    if lowered in _KNOWN_NAMES:
-        return _KNOWN_NAMES[lowered]
-    for suffix, unit in _SUFFIX_UNITS:
-        if lowered.endswith(suffix) and lowered != suffix.lstrip("_"):
-            return unit
-    return None
+    return unit_of_identifier(identifier)
+
+
+def _is_min_max(node: ast.expr) -> bool:
+    """True for a direct ``min(...)``/``max(...)`` builtin call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("min", "max")
+        and not node.keywords
+        and len(node.args) >= 2
+    )
 
 
 _ORDERED_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
@@ -130,6 +168,8 @@ class UnitsChecker(Checker):
                 )
             elif isinstance(node, ast.Compare):
                 yield from self._check_compare(module, node)
+            elif _is_min_max(node):
+                yield from self._check_min_max(module, node)
 
     def _check_pair(
         self,
@@ -152,6 +192,25 @@ class UnitsChecker(Checker):
                 f"({ast.unparse(left)} vs {ast.unparse(right)}); convert "
                 "explicitly before combining",
             )
+
+    def _check_min_max(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        assert isinstance(node.func, ast.Name)
+        known = [
+            (arg, unit)
+            for arg in node.args
+            if (unit := infer_unit(arg)) is not None
+        ]
+        for (left, left_unit), (right, right_unit) in zip(known, known[1:]):
+            if left_unit != right_unit:
+                yield self.diagnostic(
+                    module.path, node.lineno, node.col_offset + 1,
+                    f"{node.func.id}() mixes {left_unit} with {right_unit} "
+                    f"({ast.unparse(left)} vs {ast.unparse(right)}); an "
+                    "ordering between different units is meaningless",
+                )
+                return
 
     def _check_compare(
         self, module: ModuleInfo, node: ast.Compare

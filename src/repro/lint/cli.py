@@ -1,7 +1,10 @@
 """The ``repro lint`` / ``repro-lint`` / ``python -m repro.lint`` CLI.
 
-Diagnostics print as ``file:line:col: CODE message`` (one per line), and
-the exit status is the contract CI keys on:
+Diagnostics print as ``file:line:col: CODE message`` (one per line) by
+default; ``--format json`` emits the stable ``repro.lint/1`` document
+(see :mod:`repro.lint.formats`) and ``--format github`` emits GitHub
+Actions ``::error``/``::warning`` annotation commands.  Whatever the
+format, the exit status is the contract CI keys on:
 
 * ``0`` — no new ERROR findings (warnings alone do not fail unless
   ``--strict``);
@@ -27,6 +30,7 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.engine import run_lint
+from repro.lint.formats import render_github, render_json
 from repro.lint.project import LintError
 from repro.lint.registry import iter_registry
 
@@ -69,6 +73,14 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict", action="store_true",
         help="treat warnings as errors for the exit status",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        dest="format",
+        help=(
+            "output format: text (default), json (stable repro.lint/1 "
+            "document), or github (Actions ::error/::warning annotations)"
+        ),
     )
     parser.add_argument(
         "--quiet", action="store_true",
@@ -119,13 +131,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    for diagnostic in result.diagnostics:
-        print(diagnostic.render())
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "github":
+        for line in render_github(result):
+            print(line)
+    else:
+        for diagnostic in result.diagnostics:
+            print(diagnostic.render())
 
     failing = len(result.errors) + (
         len(result.warnings) if args.strict else 0
     )
-    if not args.quiet:
+    if not args.quiet and args.format != "json":
         summary = (
             f"repro-lint: {result.files_checked} file(s), "
             f"{len(result.errors)} error(s), "

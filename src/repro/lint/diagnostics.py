@@ -6,18 +6,30 @@ A :class:`Diagnostic` is one finding: *where* (file, line, column),
 ``file:line:col: CODE message`` shape so editors and CI annotations can
 parse them.
 
+Cross-file checkers (the call-graph and dataflow rules, RPR007-RPR009)
+can attach a **because chain**: an ordered list of :class:`Because`
+steps explaining *why* the flagged line is implicated — the call path
+from an ``async def`` to a blocking call, the definition site a unit
+was inferred from, the protocol method a kernel branch was diffed
+against.  The chain renders indented under the main line and rides
+along in ``--format json``; it never participates in suppression
+(a ``noqa`` works only on the diagnostic's own line) or in the
+fingerprint.
+
 Baselines match findings by :meth:`Diagnostic.fingerprint`, which
-deliberately excludes the line/column: a grandfathered finding stays
-grandfathered when unrelated edits shift it down the file, and
-disappears from the baseline the moment the offending code itself is
-fixed (see :mod:`repro.lint.baseline`).
+deliberately excludes the file path and the line/column: it hashes the
+code, the message, and the *text of the offending source line*
+(``context``), so a grandfathered finding survives file renames and
+unrelated edits that shift it down the file, and disappears from the
+baseline the moment the offending code itself is fixed (see
+:mod:`repro.lint.baseline`).
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class Severity(enum.Enum):
@@ -32,6 +44,25 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class Because:
+    """One step of a cross-file explanation chain.
+
+    Attributes:
+        path: file the step points at.
+        line: 1-based line number of the step.
+        note: what this step contributes to the finding.
+    """
+
+    path: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        """The canonical ``because: file:line: note`` line."""
+        return f"because: {self.path}:{self.line}: {self.note}"
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One linter finding.
 
@@ -43,6 +74,12 @@ class Diagnostic:
         code: stable checker code, e.g. ``RPR001``.
         message: human-readable explanation.
         severity: error or warning.
+        because: optional cross-file explanation chain (outermost step
+            first), e.g. the call path that makes a blocking call
+            reachable from an ``async def``.
+        context: the stripped text of the offending source line; the
+            engine fills it in after checkers run.  Feeds the
+            fingerprint so baselines survive renames.
     """
 
     path: str
@@ -51,14 +88,29 @@ class Diagnostic:
     code: str
     message: str
     severity: Severity = Severity.ERROR
+    because: tuple[Because, ...] = field(default=())
+    context: str = ""
 
     def render(self) -> str:
-        """The canonical ``file:line:col: CODE message`` line."""
+        """The canonical ``file:line:col: CODE message`` line(s).
+
+        Because-chain steps render indented underneath, one per line.
+        """
         suffix = " (warning)" if self.severity is Severity.WARNING else ""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{suffix}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{suffix}"
+        if not self.because:
+            return head
+        steps = "\n".join(f"    {b.render()}" for b in self.because)
+        return f"{head}\n{steps}"
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching (line/col excluded)."""
-        raw = f"{self.path}::{self.code}::{self.message}"
+        """Stable identity for baseline matching.
+
+        Hashes ``code::message::context`` — no path, no line/column —
+        so the identity survives file renames and unrelated-line
+        insertions, and changes exactly when the offending code (or the
+        rule's verdict on it) changes.
+        """
+        raw = f"{self.code}::{self.message}::{self.context}"
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]

@@ -11,7 +11,7 @@ codes are the CLI's business.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -101,6 +101,10 @@ def check_project(
     suppressed: list[Diagnostic] = []
     for d in sorted(found, key=_sort_key):
         module = by_path.get(d.path)
+        if module is not None and not d.context:
+            # Stamp the offending source line so the fingerprint (and
+            # hence the baseline) survives renames and shifted lines.
+            d = replace(d, context=module.line_text(d.line))
         if module is not None and module.suppressed(d.code, d.line):
             suppressed.append(d)
         else:

@@ -1,0 +1,117 @@
+"""Machine-readable renderings of a :class:`~repro.lint.engine.LintResult`.
+
+Two formats besides the default text rendering:
+
+* ``json`` — the stable ``repro.lint/1`` document (schema below), for
+  editors and any tooling that wants findings without scraping text;
+* ``github`` — GitHub Actions `workflow commands
+  <https://docs.github.com/actions/reference/workflow-commands>`_
+  (``::error file=...,line=...::``), so CI findings surface as inline
+  PR annotations.
+
+JSON schema ``repro.lint/1`` (documented contract — additions may
+append fields, never rename or remove them)::
+
+    {
+      "schema": "repro.lint/1",
+      "files_checked": <int>,
+      "diagnostics": [
+        {
+          "path": <str>, "line": <int>, "col": <int>,
+          "code": "RPRxxx", "severity": "error" | "warning",
+          "message": <str>,
+          "fingerprint": <16-hex str>,     # baseline identity
+          "context": <str>,                # stripped offending line
+          "because": [                     # cross-file explanation chain
+            {"path": <str>, "line": <int>, "note": <str>}, ...
+          ]
+        }, ...
+      ],
+      "summary": {
+        "errors": <int>, "warnings": <int>,
+        "suppressed": <int>, "baselined": <int>
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import LintResult
+
+JSON_SCHEMA = "repro.lint/1"
+
+
+def _diagnostic_dict(d: Diagnostic) -> dict:
+    return {
+        "path": d.path,
+        "line": d.line,
+        "col": d.col,
+        "code": d.code,
+        "severity": d.severity.value,
+        "message": d.message,
+        "fingerprint": d.fingerprint,
+        "context": d.context,
+        "because": [
+            {"path": b.path, "line": b.line, "note": b.note}
+            for b in d.because
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The ``repro.lint/1`` document for one lint run."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "files_checked": result.files_checked,
+        "diagnostics": [_diagnostic_dict(d) for d in result.diagnostics],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def escape_message(value: str) -> str:
+    """Escape a workflow-command message (newlines render in the UI)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def github_command(
+    level: str, path: str, line: int, col: int, title: str, message: str
+) -> str:
+    """One ``::level file=...`` annotation line."""
+    return (
+        f"::{level} file={escape_property(path)},line={line},col={col},"
+        f"title={escape_property(title)}::{escape_message(message)}"
+    )
+
+
+def render_github(result: LintResult) -> list[str]:
+    """Annotation lines for every reportable diagnostic."""
+    lines = []
+    for d in result.diagnostics:
+        level = "error" if d.severity is Severity.ERROR else "warning"
+        message = d.message
+        if d.because:
+            message += "\n" + "\n".join(b.render() for b in d.because)
+        lines.append(
+            github_command(level, d.path, d.line, d.col, d.code, message)
+        )
+    return lines

@@ -28,7 +28,11 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.callgraph import CallGraph
+    from repro.lint.symbols import SymbolTable
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
@@ -114,19 +118,52 @@ class ModuleInfo:
             return False
         return ALL_CODES in codes or code.upper() in codes
 
+    def line_text(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` ('' off-range)."""
+        lines = self.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
 
 class Project:
-    """Every module under the lint roots, addressable by dotted name."""
+    """Every module under the lint roots, addressable by dotted name.
+
+    Two project-wide analyses are built lazily and shared by every
+    checker that asks: :attr:`symbols` (definitions, imports, method
+    resolution — :mod:`repro.lint.symbols`) and :attr:`call_graph`
+    (resolved call edges — :mod:`repro.lint.callgraph`).
+    """
 
     def __init__(self, modules: Iterable[ModuleInfo]) -> None:
         self.modules: list[ModuleInfo] = list(modules)
         self._by_name: dict[str, ModuleInfo] = {
             m.name: m for m in self.modules
         }
+        self._symbols: Optional[object] = None
+        self._call_graph: Optional[object] = None
 
     def module(self, name: str) -> Optional[ModuleInfo]:
         """The module with dotted name ``name``, or None if not linted."""
         return self._by_name.get(name)
+
+    @property
+    def symbols(self) -> "SymbolTable":
+        """The whole-project symbol table (built on first use)."""
+        if self._symbols is None:
+            from repro.lint.symbols import SymbolTable
+
+            self._symbols = SymbolTable(self)
+        return self._symbols  # type: ignore[return-value]
+
+    @property
+    def call_graph(self) -> "CallGraph":
+        """The project call graph (built on first use)."""
+        if self._call_graph is None:
+            from repro.lint.callgraph import CallGraph
+
+            self._call_graph = CallGraph(self, self.symbols)
+        return self._call_graph  # type: ignore[return-value]
 
     def in_package(self, package: str) -> list[ModuleInfo]:
         """All modules inside ``package`` (inclusive of its ``__init__``)."""

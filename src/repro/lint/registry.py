@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Type
 
-from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.diagnostics import Because, Diagnostic, Severity
 from repro.lint.project import ModuleInfo, Project
 
 
@@ -47,9 +47,18 @@ class Checker:
     # -- helpers shared by the concrete checkers ----------------------------
 
     def diagnostic(
-        self, module_path: str, line: int, col: int, message: str
+        self,
+        module_path: str,
+        line: int,
+        col: int,
+        message: str,
+        because: tuple[Because, ...] = (),
     ) -> Diagnostic:
-        """Build a diagnostic carrying this checker's code and severity."""
+        """Build a diagnostic carrying this checker's code and severity.
+
+        ``because`` optionally attaches the cross-file explanation
+        chain (call path, inference provenance, diffed counterpart).
+        """
         return Diagnostic(
             path=module_path,
             line=line,
@@ -57,6 +66,7 @@ class Checker:
             code=self.code,
             message=message,
             severity=self.severity,
+            because=because,
         )
 
 

@@ -1,0 +1,318 @@
+"""RPR007 — async-safety / lock-discipline checker."""
+
+from pathlib import Path
+
+from repro.lint.checkers.asyncsafety import AsyncSafetyChecker
+from repro.lint.project import ModuleInfo, Project, load_project
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _project(source: str, name: str = "repro.live.fixture") -> Project:
+    path = "src/" + name.replace(".", "/") + ".py"
+    return Project([ModuleInfo.from_source(source, path=path, name=name)])
+
+
+def _run(source: str, name: str = "repro.live.fixture"):
+    return list(AsyncSafetyChecker().check_project(_project(source, name)))
+
+
+RACY_PROXY = '''
+import asyncio
+
+class Proxy:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self.hits = 0
+        self.wire_bytes = 0
+
+    async def start(self):
+        self._listener = await asyncio.start_server(self._handle, "h", 0)
+
+    async def _handle(self, reader, writer):
+        data = await reader.read(100)
+        self.hits += 1
+        body = await self._fetch(data)
+        self.wire_bytes += len(body)
+
+    async def _fetch(self, data):
+        return data
+'''
+
+
+class TestUnlockedTransactions:
+    def test_write_after_await_flagged(self):
+        diags = _run(RACY_PROXY)
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.code == "RPR007"
+        assert "self.wire_bytes" in d.message
+        assert "self._lock" in d.message
+        # The because chain cites the transaction start and the await.
+        notes = [b.note for b in d.because]
+        assert any("self.hits" in n for n in notes)
+        assert any("await" in n for n in notes)
+
+    def test_same_shape_under_lock_is_clean(self):
+        safe = RACY_PROXY.replace(
+            """        data = await reader.read(100)
+        self.hits += 1
+        body = await self._fetch(data)
+        self.wire_bytes += len(body)""",
+            """        data = await reader.read(100)
+        async with self._lock:
+            self.hits += 1
+            body = await self._fetch(data)
+            self.wire_bytes += len(body)""",
+        )
+        assert _run(safe) == []
+
+    def test_method_not_handed_to_event_loop_is_not_analyzed(self):
+        # No start_server/create_task: nothing can interleave, so the
+        # same racy body draws no finding (documented imprecision).
+        no_entry = RACY_PROXY.replace(
+            'self._listener = await asyncio.start_server(self._handle, "h", 0)',
+            "pass",
+        )
+        assert _run(no_entry) == []
+
+    def test_touch_via_helper_method_counts(self):
+        source = '''
+import asyncio
+
+class Proxy:
+    def __init__(self):
+        self.count = 0
+
+    async def start(self):
+        await asyncio.start_server(self._handle, "h", 0)
+
+    def _bump(self):
+        self.count += 1
+
+    async def _handle(self, reader, writer):
+        self._bump()
+        await writer.drain()
+        self._bump()
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "self.count" in diags[0].message
+
+    def test_helper_called_only_under_lock_is_clean(self):
+        source = '''
+import asyncio
+
+class Proxy:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self.count = 0
+
+    async def start(self):
+        await asyncio.start_server(self._handle, "h", 0)
+
+    async def _respond(self):
+        self.count += 1
+        await self._refetch()
+        self.count += 1
+
+    async def _refetch(self):
+        return None
+
+    async def _handle(self, reader, writer):
+        async with self._lock:
+            await self._respond()
+'''
+        assert _run(source) == []
+
+    def test_read_modify_write_straddling_await(self):
+        source = '''
+import asyncio
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+
+    def spawn(self):
+        asyncio.create_task(self.bump())
+
+    async def bump(self):
+        self.total += await self._cost()
+
+    async def _cost(self):
+        return 1
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "read-modify-write" in diags[0].message
+
+    def test_mutating_container_call_counts_as_touch(self):
+        source = '''
+import asyncio
+
+class Feed:
+    def __init__(self):
+        self.pending = []
+
+    def spawn(self):
+        asyncio.create_task(self.drain())
+
+    async def drain(self):
+        self.pending.append(1)
+        await self._flush()
+        self.pending.clear()
+
+    async def _flush(self):
+        return None
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "self.pending" in diags[0].message
+
+    def test_branch_that_returns_does_not_leak_state(self):
+        # The error path mutates then returns; the main path mutates
+        # once — no transaction spans an await on any single path.
+        source = '''
+import asyncio
+
+class Proxy:
+    def __init__(self):
+        self.wire_bytes = 0
+
+    async def start(self):
+        await asyncio.start_server(self._handle, "h", 0)
+
+    async def _handle(self, reader, writer):
+        try:
+            data = await reader.read(100)
+        except ConnectionError:
+            self.wire_bytes += 1
+            return
+        sent = await self._send(writer, data)
+        self.wire_bytes += sent
+
+    async def _send(self, writer, data):
+        return len(data)
+'''
+        assert _run(source) == []
+
+    def test_loop_carries_transaction_across_iterations(self):
+        source = '''
+import asyncio
+
+class Feed:
+    def __init__(self):
+        self.seen = 0
+
+    def spawn(self):
+        asyncio.create_task(self.pump())
+
+    async def pump(self):
+        for _ in range(3):
+            self.seen += 1
+            await self._tick()
+
+    async def _tick(self):
+        return None
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "self.seen" in diags[0].message
+
+
+class TestBlockingCalls:
+    def test_blocking_call_two_hops_from_async_def(self):
+        source = '''
+import time
+
+def _backoff(n):
+    time.sleep(n)
+
+def _retry(n):
+    _backoff(n)
+
+async def poll_origin(n):
+    _retry(n)
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        d = diags[0]
+        assert "time.sleep" in d.message
+        assert "poll_origin" in d.message
+        # Proof path: async root, then each call hop.
+        assert len(d.because) == 3
+
+    def test_blocking_call_not_reachable_from_async_is_clean(self):
+        source = '''
+import time
+
+def sync_only(n):
+    time.sleep(n)
+
+async def handler(n):
+    return n
+'''
+        assert _run(source) == []
+
+    def test_out_of_scope_async_def_is_not_a_root(self):
+        source = '''
+import time
+
+async def handler(n):
+    time.sleep(n)
+'''
+        assert _run(source, name="repro.core.simulator2") == []
+
+    def test_subprocess_and_socket_flagged(self):
+        source = '''
+import socket
+import subprocess
+
+async def handler():
+    subprocess.run(["ls"])
+    socket.create_connection(("h", 80))
+'''
+        diags = _run(source)
+        assert {d.line for d in diags} == {6, 7}
+
+
+class TestLockNesting:
+    def test_await_under_sync_lock(self):
+        source = '''
+import threading
+
+_pool_lock = threading.Lock()
+
+async def drain(queue):
+    with _pool_lock:
+        await queue.get()
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "synchronous lock" in diags[0].message
+
+    def test_nested_async_lock_acquisition(self):
+        source = '''
+async def nested(a_lock, b_lock):
+    async with a_lock:
+        async with b_lock:
+            pass
+'''
+        diags = _run(source)
+        assert len(diags) == 1
+        assert "nested lock acquisition" in diags[0].message
+
+    def test_single_lock_with_await_inside_is_fine(self):
+        source = '''
+async def serialized(a_lock, queue):
+    async with a_lock:
+        await queue.get()
+'''
+        assert _run(source) == []
+
+
+class TestShippedTree:
+    def test_live_and_runtime_are_clean_as_shipped(self):
+        project = load_project([REPO_SRC], root=REPO_SRC.parents[0])
+        diags = list(AsyncSafetyChecker().check_project(project))
+        assert diags == []

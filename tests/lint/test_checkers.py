@@ -201,6 +201,58 @@ class TestUnits:
         )
         assert run_module(self.checker, good) == []
 
+    # -- PR 8 blind-spot regressions (these passed unflagged before) ---------
+
+    def test_delay_s_suffix_in_augmented_assignment(self):
+        # Blind spot 1: ``_s`` (the repo's delay_s spelling) carried no
+        # unit, so this accounting bug sailed through.
+        bad = mod(
+            """
+            def account(ledger, delay_s):
+                ledger.total_bytes += delay_s
+            """,
+            name="repro.core.blind1",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1
+        assert "augmented assignment" in found[0].message
+        assert "seconds" in found[0].message
+
+    def test_min_max_mixing_units(self):
+        # Blind spot 2: min()/max() arguments were never compared.
+        bad = mod(
+            """
+            def clamp(total_bytes, delay_s, hit_count):
+                a = min(total_bytes, delay_s)
+                b = max(hit_count, delay_s, 0)
+                return a, b
+            """,
+            name="repro.core.blind2",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 2
+        assert all("min()" in d.message or "max()" in d.message
+                   for d in found)
+        assert all("meaningless" in d.message for d in found)
+
+    def test_min_max_agreeing_units_propagate(self):
+        # min() of two byte counts *is* bytes — and that unit carries
+        # into the surrounding expression.
+        bad = mod(
+            "worst = min(header_bytes, body_bytes) + stale_seconds\n",
+            name="repro.core.blind3",
+        )
+        found = run_module(self.checker, bad)
+        assert len(found) == 1
+        assert "additive arithmetic" in found[0].message
+
+    def test_min_max_of_unknowns_is_clean(self):
+        good = mod(
+            "low = min(a, b)\nhigh = max(a, 0, key_thing)\n",
+            name="repro.core.blind4",
+        )
+        assert run_module(self.checker, good) == []
+
 
 # -- RPR003 conformance -------------------------------------------------------
 

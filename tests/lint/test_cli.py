@@ -88,6 +88,37 @@ class TestFlags:
         assert lint_main([str(src), "--no-baseline", "--quiet"]) == 0
         assert capsys.readouterr().out == ""
 
+    def test_format_json_document(self, tmp_path, capsys):
+        import json
+
+        src = fixture_tree(tmp_path)
+        assert lint_main(
+            [str(src), "--no-baseline", "--format", "json"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint/1"
+        assert doc["summary"]["errors"] == 1
+        (entry,) = doc["diagnostics"]
+        assert entry["code"] == "RPR001"
+        assert entry["path"].endswith("bad.py")
+
+    def test_format_github_annotations(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path)
+        assert lint_main(
+            [str(src), "--no-baseline", "--format", "github"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert ",line=4," in out and "title=RPR001::" in out
+
+    def test_format_github_clean_tree(self, tmp_path, capsys):
+        src = fixture_tree(tmp_path, "x = 1\n")
+        assert lint_main(
+            [str(src), "--no-baseline", "--format", "github"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+
     def test_noqa_shows_in_summary(self, tmp_path, capsys):
         src = fixture_tree(
             tmp_path,

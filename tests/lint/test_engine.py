@@ -47,11 +47,12 @@ def write_fixture_tree(tmp_path: Path, source: str) -> Path:
 
 
 class TestRegistry:
-    def test_all_six_checkers_registered(self):
+    def test_all_nine_checkers_registered(self):
         assert checker_codes() == [
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007", "RPR008", "RPR009",
         ]
-        assert len(all_checkers()) == 6
+        assert len(all_checkers()) == 9
 
     def test_unknown_select_code_raises(self):
         project = Project([])
@@ -136,6 +137,58 @@ class TestBaseline:
             message="grandfathered", severity=Severity.ERROR,
         )
         assert moved.fingerprint == self._diag("grandfathered").fingerprint
+
+    def test_fingerprint_survives_file_rename(self, tmp_path):
+        # Baseline against bad.py, then rename the file: the identity
+        # hashes code::message::context (no path), so the grandfathered
+        # finding must still match.
+        src = write_fixture_tree(tmp_path, BAD_CORE)
+        baseline = tmp_path / "base.json"
+        first = run_lint([src], root=tmp_path)
+        write_baseline(baseline, first.diagnostics)
+
+        pkg = src / "repro" / "core"
+        (pkg / "bad.py").rename(pkg / "renamed.py")
+        second = run_lint([src], baseline_path=baseline, root=tmp_path)
+        assert second.diagnostics == []
+        assert [d.path for d in second.baselined] == [
+            "src/repro/core/renamed.py"
+        ]
+
+    def test_fingerprint_survives_unrelated_insertions(self, tmp_path):
+        # Pushing the offending line down the file must not break the
+        # baseline match: line numbers are excluded from the identity.
+        src = write_fixture_tree(tmp_path, BAD_CORE)
+        baseline = tmp_path / "base.json"
+        first = run_lint([src], root=tmp_path)
+        write_baseline(baseline, first.diagnostics)
+
+        pkg = src / "repro" / "core"
+        shifted = "import random\n\nPAD_A = 1\nPAD_B = 2\nPAD_C = 3\n" + (
+            "\ndef jitter():\n    return random.random()\n"
+        )
+        (pkg / "bad.py").write_text(shifted)
+        second = run_lint([src], baseline_path=baseline, root=tmp_path)
+        assert second.diagnostics == []
+        assert [d.line for d in second.baselined] == [8]
+
+    def test_fingerprint_changes_when_offending_code_changes(self, tmp_path):
+        # The flip side of stability: edit the offending line itself and
+        # the old baseline entry must stop matching (debt cannot hide).
+        src = write_fixture_tree(tmp_path, BAD_CORE)
+        baseline = tmp_path / "base.json"
+        first = run_lint([src], root=tmp_path)
+        write_baseline(baseline, first.diagnostics)
+
+        pkg = src / "repro" / "core"
+        (pkg / "bad.py").write_text(
+            BAD_CORE.replace(
+                "return random.random()", "return random.random() * 2"
+            )
+        )
+        second = run_lint([src], baseline_path=baseline, root=tmp_path)
+        assert [d.code for d in second.diagnostics] == ["RPR001"]
+        assert second.baselined == []
 
     def test_missing_baseline_is_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") == {}
