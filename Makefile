@@ -4,7 +4,7 @@ PYTHON ?= python
 # Process-pool size for experiment runs (see docs/PERFORMANCE.md).
 WORKERS ?= 2
 
-.PHONY: install dev test bench bench-timings bench-baseline experiments lint typecheck verify live-smoke snapshot snapshot-check examples clean
+.PHONY: install dev test bench bench-timings bench-baseline experiments lint typecheck verify live-smoke live-chaos snapshot snapshot-check examples clean
 
 install:
 	pip install -e .
@@ -81,6 +81,36 @@ live-smoke:
 	  --verify
 	rm .live-smoke.log
 	@echo "live-smoke: live replay matched simulation exactly"
+
+# Chaos-hardened live gate (docs/LIVE.md): the same differential
+# oracle, but with concurrent keep-alive connections, socket-level
+# fault injection on both hops, injected invalidation-message faults,
+# and a SIGKILLed proxy restarting from its journal.  Every leg must
+# still match a simulation of the same trace cell-for-cell.
+live-chaos:
+	rm -f .live-chaos.log .live-chaos-journal.jsonl
+	$(PYTHON) -m repro.cli synthesize hcs .live-chaos.log --seed 7 \
+	  --scale 0.02
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol alex \
+	  --parameter 10 --verify --connections 4 --keepalive
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol selftuning \
+	  --parameter 4 --verify --connections 4 --keepalive
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol invalidation \
+	  --verify --connections 2 --keepalive --chaos "loss=0.25,seed=7"
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol leased \
+	  --parameter 1 --verify --connections 2 --keepalive \
+	  --chaos "delay=0.002,truncate=0.3,seed=11"
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol invalidation \
+	  --verify --connections 2 --keepalive \
+	  --chaos "reset=0.3,dribble=0.3,seed=3"
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol invalidation \
+	  --verify --faults "downtime=2h@50h,delay=30s,seed=3"
+	$(PYTHON) -m repro.cli replay .live-chaos.log --protocol invalidation \
+	  --verify --journal .live-chaos-journal.jsonl --crash-after 200 \
+	  --connections 2 --keepalive
+	rm .live-chaos.log .live-chaos-journal.jsonl
+	@echo "live-chaos: concurrent, chaotic, faulted, and crash-restart" \
+	  "replays matched simulation exactly"
 
 # Consistency-oracle gate (see docs/PROTOCOLS.md, "Invariants &
 # verification"): static analysis + typing first, then the

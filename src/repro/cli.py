@@ -60,17 +60,9 @@ from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
 from repro.analysis.report import format_table, pct
-from repro.core.clock import hours
-from repro.core.protocols import (
-    AlexProtocol,
-    CERNPolicyProtocol,
-    InvalidationProtocol,
-    LeasedInvalidationProtocol,
-    PollEveryRequestProtocol,
-    SelfTuningProtocol,
-    TTLProtocol,
-)
+from repro.core.protocols import InvalidationProtocol
 from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.protocols.factory import PROTOCOLS, build_protocol
 from repro.core.simulator import SimulatorMode
 from repro.fastpath import ENGINES, FAST, REFERENCE, resolve_engine, set_engine
 from repro.faults import FaultSpec, parse_faults
@@ -91,40 +83,6 @@ from repro.workload.worrell import WorrellWorkload
 
 _CAMPUS_BY_NAME = {spec.name.lower(): spec for spec in CAMPUS_SERVERS}
 
-PROTOCOLS = (
-    "alex", "ttl", "invalidation", "leased", "poll", "cern", "selftuning",
-)
-
-
-def build_protocol(name: str, parameter: float) -> ConsistencyProtocol:
-    """Construct a protocol from its CLI name and parameter.
-
-    The parameter means: Alex — update threshold in percent; TTL — hours;
-    leased — the lease term in hours; CERN — the Last-Modified fraction;
-    self-tuning — the initial threshold in percent.  Invalidation and
-    poll ignore it.
-
-    Raises:
-        ValueError: for an unknown protocol name.
-    """
-    key = name.lower()
-    if key == "alex":
-        return AlexProtocol.from_percent(parameter)
-    if key == "ttl":
-        return TTLProtocol(hours(parameter))
-    if key == "invalidation":
-        return InvalidationProtocol()
-    if key == "leased":
-        return LeasedInvalidationProtocol(hours(parameter))
-    if key == "poll":
-        return PollEveryRequestProtocol()
-    if key == "cern":
-        return CERNPolicyProtocol(lm_fraction=parameter / 100.0)
-    if key == "selftuning":
-        return SelfTuningProtocol(initial_threshold=parameter / 100.0)
-    raise ValueError(
-        f"unknown protocol {name!r}; choose from {', '.join(PROTOCOLS)}"
-    )
 
 
 # -- observability plumbing ---------------------------------------------------
@@ -544,31 +502,87 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     """Replay a trace through the live origin+proxy pair."""
-    from repro.live import LiveReplayError, live_vs_sim, run_replay
+    from repro.live import (
+        LiveReplayError,
+        crash_vs_sim,
+        live_vs_sim,
+        parse_chaos,
+        run_crash_replay,
+        run_replay,
+    )
 
     trace = read_trace(args.trace)
     try:
         protocol = build_protocol(args.protocol, args.parameter)
+        chaos = parse_chaos(args.chaos) if args.chaos else None
+        faults_spec = _parse_faults_arg(args)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if args.crash_after is not None and args.journal is None:
+        print("replay: --crash-after requires --journal", file=sys.stderr)
+        return 2
     mode = SimulatorMode(args.mode)
     workload = workload_from_trace(trace)
+    faults = (
+        faults_spec.build(workload.duration)
+        if faults_spec is not None else None
+    )
+    report = None
     with _observability(args):
         try:
-            if args.verify:
+            if args.crash_after is not None:
+                if args.verify:
+                    live_result, _sim_result, report = crash_vs_sim(
+                        workload.server(),
+                        args.protocol,
+                        args.parameter,
+                        workload.requests,
+                        mode,
+                        end_time=workload.duration,
+                        journal_path=args.journal,
+                        crash_after=args.crash_after,
+                        connections=args.connections,
+                        keepalive=args.keepalive,
+                    )
+                    result = live_result
+                else:
+                    live_report = asyncio.run(run_crash_replay(
+                        workload.server(),
+                        args.protocol,
+                        args.parameter,
+                        workload.requests,
+                        mode,
+                        end_time=workload.duration,
+                        journal_path=args.journal,
+                        crash_after=args.crash_after,
+                        connections=args.connections,
+                        keepalive=args.keepalive,
+                    ))
+                    result = live_report.result
+            elif args.verify:
                 live_result, _sim_result, report = live_vs_sim(
                     workload.server(),
                     lambda: build_protocol(args.protocol, args.parameter),
                     workload.requests,
                     mode,
                     end_time=workload.duration,
+                    connections=args.connections,
+                    keepalive=args.keepalive,
+                    chaos=chaos,
+                    faults=faults,
+                    journal_path=args.journal,
                 )
                 result = live_result
             else:
                 live_report = asyncio.run(run_replay(
                     workload.server(), protocol, workload.requests, mode,
                     end_time=workload.duration,
+                    connections=args.connections,
+                    keepalive=args.keepalive,
+                    chaos=chaos,
+                    faults=faults,
+                    journal_path=args.journal,
                 ))
                 result = live_report.result
         except LiveReplayError as exc:
@@ -591,10 +605,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )],
         title=f"{args.trace}: {len(trace)} requests replayed live",
     ))
-    if args.verify:
+    if report is not None:
+        events = (
+            f" + {report.events_checked} events"
+            if report.events_checked else ""
+        )
         print(
             f"live-vs-sim: {report.counters_checked} counters + "
-            f"{report.ledger_cells_checked} ledger cells identical",
+            f"{report.ledger_cells_checked} ledger cells"
+            f"{events} identical",
             file=sys.stderr,
         )
     return 0
@@ -772,6 +791,39 @@ def make_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="also simulate the same trace and fail unless every counter "
              "and bandwidth-ledger cell matches the live run exactly",
+    )
+    p_replay.add_argument(
+        "--connections", type=int, default=1,
+        help="concurrent driver connections (>1 switches the proxy to "
+             "per-object locking and the oracle to per-object event "
+             "multisets)",
+    )
+    p_replay.add_argument(
+        "--keepalive", action="store_true",
+        help="reuse driver connections across requests "
+             "(Connection: keep-alive)",
+    )
+    p_replay.add_argument(
+        "--chaos", metavar="SPEC",
+        help="socket-level fault plan, e.g. "
+             "'loss=0.2,reset=0.1,truncate=0.2,dribble=0.5,delay=0.005,"
+             "seed=3,cap=3' (docs/FAULTS.md)",
+    )
+    p_replay.add_argument(
+        "--faults", metavar="SPEC",
+        help="invalidation-message fault plan shared with "
+             "'repro simulate', e.g. 'downtime=2h@50h,delay=30s,seed=3' "
+             "(serial replays only; docs/FAULTS.md)",
+    )
+    p_replay.add_argument(
+        "--journal", type=Path,
+        help="journal committed proxy transactions to this file "
+             "(append-only JSONL; a restarted proxy re-warms from it)",
+    )
+    p_replay.add_argument(
+        "--crash-after", type=int, metavar="N",
+        help="run the proxy out of process, SIGKILL it after N completed "
+             "requests, restart it from --journal, and reconcile",
     )
     _add_obs_flags(p_replay)
     p_replay.set_defaults(func=cmd_replay)

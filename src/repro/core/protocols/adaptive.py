@@ -41,6 +41,11 @@ class SelfTuningProtocol(ConsistencyProtocol):
         ValueError: on non-positive factors or inverted clamps.
     """
 
+    #: Thresholds are shared per file *type*, so one object's validation
+    #: outcome changes another object's freshness decision — the live
+    #: proxy must serialize requests globally for this protocol.
+    cross_object_state = True
+
     def __init__(
         self,
         initial_threshold: float = 0.10,
@@ -105,3 +110,18 @@ class SelfTuningProtocol(ConsistencyProtocol):
     def snapshot(self) -> dict[str, float]:
         """The learned per-type thresholds (types seen so far)."""
         return dict(self._thresholds)
+
+    def state_snapshot(self) -> dict[str, object]:
+        """Thresholds + history, for the live proxy's crash journal."""
+        return {
+            "thresholds": dict(self._thresholds),
+            "history": {k: list(v) for k, v in self.history.items()},
+        }
+
+    def state_restore(self, state: dict[str, object]) -> None:
+        """Adopt a :meth:`state_snapshot` as the current learned state."""
+        thresholds = state.get("thresholds", {})
+        history = state.get("history", {})
+        assert isinstance(thresholds, dict) and isinstance(history, dict)
+        self._thresholds = {k: float(v) for k, v in thresholds.items()}
+        self.history = {k: [int(n) for n in v] for k, v in history.items()}

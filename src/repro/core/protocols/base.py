@@ -29,6 +29,16 @@ class ConsistencyProtocol(abc.ABC):
     #: invalidation feed.
     wants_invalidations: bool = False
 
+    #: True when freshness decisions for one object depend on state
+    #: shared *across* objects (the self-tuning per-file-type
+    #: thresholds).  Lock granularity follows state scope: the live
+    #: proxy serves such protocols under one global lock and the live
+    #: driver dispatches their requests in global trace order, because
+    #: per-object interleaving would change which threshold each
+    #: decision sees.  Per-entry protocols leave this False and get
+    #: genuine per-object concurrency.
+    cross_object_state: bool = False
+
     @property
     @abc.abstractmethod
     def name(self) -> str:
@@ -54,6 +64,20 @@ class ConsistencyProtocol(abc.ABC):
         ``was_modified`` is True when the origin returned a new body.
         Only adaptive protocols care.  The default does nothing.
         """
+
+    def state_snapshot(self) -> dict[str, object]:
+        """Serializable instance state beyond what cache entries carry.
+
+        The live proxy's crash journal (:mod:`repro.live.journal`)
+        persists this with every committed transaction so a restarted
+        proxy resumes with identical protocol behaviour.  Stateless and
+        per-entry protocols have nothing to save; adaptive protocols
+        override both this and :meth:`state_restore`.
+        """
+        return {}
+
+    def state_restore(self, state: dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_snapshot`."""
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"

@@ -9,16 +9,24 @@ population model, the :class:`~repro.core.cache.Cache`, every
 
 * :class:`~repro.live.origin.LiveOrigin` — an HTTP/1.0 origin serving
   the modelled population (plain GET, If-Modified-Since, an
-  invalidation feed control endpoint);
+  invalidation feed control endpoint), keep-alive capable;
 * :class:`~repro.live.proxy.LiveProxy` — a caching proxy whose
   freshness decisions are delegated to an unmodified protocol object
   and whose accounting mirrors :class:`repro.core.simulator.Simulation`
-  step-for-step;
-* :func:`~repro.live.driver.replay_live` — a load driver replaying a
-  synthetic trace over live connections;
-* :func:`~repro.live.differential.live_vs_sim` — the oracle's fourth
-  leg: after a live replay, the proxy's counters and bandwidth ledger
-  must equal a simulated run of the same trace *exactly*.
+  step-for-step, with per-object locking, transactional commit, and an
+  optional crash journal (:class:`~repro.live.journal.Journal`);
+* :func:`~repro.live.driver.replay_live` /
+  :func:`~repro.live.driver.replay_pooled` — load drivers replaying a
+  synthetic trace over live connections, serially or through a
+  keep-alive connection pool;
+* :class:`~repro.live.chaos.ChaosRelay` — a deterministic socket-level
+  fault injector (loss, reset, truncation, dribble, delay) that sits on
+  either hop;
+* :func:`~repro.live.differential.live_vs_sim` /
+  :func:`~repro.live.differential.crash_vs_sim` — the oracle's fourth
+  leg: after a live replay (concurrent, chaos-ridden, or SIGKILLed and
+  journal-restored), the proxy's counters and bandwidth ledger must
+  equal a simulated run of the same trace *exactly*.
 
 Simulation time travels on the wire in RFC 1123 ``Date`` headers at
 whole-second granularity, which is why every timestamp a live run
@@ -30,27 +38,54 @@ Last-Modified stamps that must survive a header round trip.
 See ``docs/LIVE.md`` for the full design and the equivalence argument.
 """
 
-from repro.live.differential import diff_live_vs_sim, live_vs_sim
+from repro.live.chaos import ChaosRelay, WireFaultPlan, parse_chaos
+from repro.live.differential import (
+    crash_vs_sim,
+    diff_event_multisets,
+    diff_live_vs_sim,
+    live_vs_sim,
+)
 from repro.live.driver import (
     LiveReplayReport,
     check_wire_exact,
     replay_live,
+    replay_pooled,
+    run_crash_replay,
     run_replay,
 )
+from repro.live.journal import Journal
 from repro.live.origin import LiveOrigin
 from repro.live.proxy import LiveProxy
-from repro.live.wire import LiveReplayError, LiveWireError, ensure_integral
+from repro.live.wire import (
+    LiveConnection,
+    LiveConnectionClosed,
+    LiveReplayError,
+    LiveTruncationError,
+    LiveWireError,
+    ensure_integral,
+)
 
 __all__ = [
+    "ChaosRelay",
+    "Journal",
+    "LiveConnection",
+    "LiveConnectionClosed",
     "LiveOrigin",
     "LiveProxy",
     "LiveReplayError",
     "LiveReplayReport",
+    "LiveTruncationError",
     "LiveWireError",
+    "WireFaultPlan",
     "check_wire_exact",
+    "crash_vs_sim",
+    "diff_event_multisets",
     "diff_live_vs_sim",
     "ensure_integral",
     "live_vs_sim",
+    "parse_chaos",
     "replay_live",
+    "replay_pooled",
+    "run_crash_replay",
     "run_replay",
 ]

@@ -4,36 +4,62 @@ The repo already cross-checks the simulator three ways (executable
 spec, replayed event log, batched fast path — see
 :mod:`repro.verify.oracle` and :mod:`repro.fastpath.contract`).  This
 module adds the leg the others cannot provide: the same trace is driven
-through **real sockets** — asyncio origin, asyncio caching proxy, one
-HTTP/1.0 exchange per request — and the live run's counters and
-bandwidth ledger must equal :func:`repro.core.simulator.simulate`
-**exactly**, all thirteen counters and all fifteen ledger cells.
+through **real sockets** — asyncio origin, asyncio caching proxy, real
+HTTP/1.0 exchanges — and the live run's counters and bandwidth ledger
+must equal :func:`repro.core.simulator.simulate` **exactly**, all
+thirteen counters and all fifteen ledger cells.
 
 Exactness is the whole point.  The live side re-derives every
 consistency decision from wire artifacts (RFC 1123 ``Date`` headers,
 ``Last-Modified``, ``Expires`` re-stamps on 304s, an invalidation feed
 pulled in windows), so a single floored pre-epoch date, a mis-scoped
 weekday, or an off-by-one feed window shows up as a counter divergence
-here — which is precisely how the :mod:`repro.http.datefmt` bugs this
-PR fixes were caught.
+here — which is precisely how the :mod:`repro.http.datefmt` bugs were
+caught.
 
-No event-log leg: the live proxy does not journal events (the wire *is*
-its event log), so ``events_checked`` stays 0 in the report.
+Hardened topologies keep the same oracle and add an event leg.  A
+concurrent replay (``connections > 1``, keep-alive) interleaves
+*distinct* objects' requests, so live events are not committed in the
+simulator's global order — but per-object order is preserved by
+construction, and per-object timelines fully determine per-object
+state, so correctness is "same multiset of ``(kind, time, object)``
+events", which :func:`diff_event_multisets` checks per object.  The
+totals check is *not* relaxed: all thirteen counters and fifteen cells
+still match exactly, because every counter is an order-independent sum
+over per-object events.  One wrinkle: the live proxy emits ``hit`` for
+every cache hit (it cannot know staleness — that is the point of weak
+consistency), so the driver's ground-truth audit relabels stale hits
+before the diff (:func:`_relabel_stale`).
+
+:func:`crash_vs_sim` is the harshest leg: the proxy runs out of
+process, is SIGKILLed mid-replay, restarts from its journal — and the
+final numbers must *still* equal a crash-free simulation, which is what
+commit-before-reply journaling plus sequence-id exactly-once semantics
+guarantee.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Iterable, Optional
+from collections import Counter
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
 
 from repro.core.costs import DEFAULT_COSTS, MessageCosts
 from repro.core.metrics import _CATEGORIES
 from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.protocols.factory import build_protocol
 from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
-from repro.core.simulator import SimulatorMode, simulate
+from repro.core.simulator import Simulation, SimulatorMode, simulate
 from repro.fastpath.contract import COUNTER_FIELDS
-from repro.live.driver import run_replay
+from repro.faults.plan import FaultPlan
+from repro.live.chaos import WireFaultPlan
+from repro.live.driver import (
+    LiveReplayReport,
+    run_crash_replay,
+    run_replay,
+)
 from repro.verify.oracle import ConsistencyViolation, OracleReport
 
 #: Per-category ledger tables compared cell-for-cell.
@@ -74,6 +100,118 @@ def diff_live_vs_sim(
     return lines
 
 
+def _relabel_stale(
+    events: Iterable[tuple[str, float, str]],
+    stale_events: Iterable[tuple[float, str]],
+) -> list[tuple[str, float, str]]:
+    """Rewrite live ``hit`` events the driver's audit proved stale.
+
+    The proxy emits ``hit`` for every cache hit; the simulator's
+    omniscient hit branch emits ``stale_hit`` when ground truth says
+    the copy was stale.  The driver's audit (which holds the same
+    ground truth) bridges the gap: each audited-stale ``(time, object)``
+    pair converts one matching ``hit`` into ``stale_hit``.
+    """
+    budget = Counter(stale_events)
+    out: list[tuple[str, float, str]] = []
+    for kind, t, object_id in events:
+        if kind == "hit" and budget[(t, object_id)] > 0:
+            budget[(t, object_id)] -= 1
+            out.append(("stale_hit", t, object_id))
+        else:
+            out.append((kind, t, object_id))
+    return out
+
+
+def diff_event_multisets(
+    live_events: Iterable[tuple[str, float, str]],
+    sim_events: Iterable[tuple[str, float, str]],
+) -> list[str]:
+    """Per-object event-multiset divergences between live and sim.
+
+    Ordering-tolerant by design: a concurrent replay commits distinct
+    objects' events in whatever order their locks won, but each event
+    still carries its simulation time and object — so equality of the
+    per-object multisets is exactly "every object saw the same
+    timeline".  Cross-object commit order is deliberately *not*
+    compared; the exact-totals counter check is what pins the sums.
+    """
+    live_count = Counter(live_events)
+    sim_count = Counter(sim_events)
+    lines: list[str] = []
+    for key in sorted(
+        set(live_count) | set(sim_count), key=lambda k: (k[2], k[1], k[0])
+    ):
+        if live_count[key] != sim_count[key]:
+            kind, t, object_id = key
+            lines.append(
+                f"event ({kind!r}, {t!r}, {object_id!r}): "
+                f"live x{live_count[key]} sim x{sim_count[key]}"
+            )
+    return lines
+
+
+def _simulate_with_events(
+    server: OriginServer,
+    protocol: ConsistencyProtocol,
+    requests: list[tuple[float, str]],
+    mode: SimulatorMode,
+    *,
+    costs: MessageCosts,
+    start_time: float,
+    end_time: Optional[float],
+    charge_per_modification: bool,
+    faults: Optional[FaultPlan],
+) -> tuple[SimulationResult, list[tuple[str, float, str]]]:
+    """Run the reference simulation, capturing its event stream."""
+    events: list[tuple[str, float, str]] = []
+
+    def observer(kind: str, t: float, object_id: str) -> None:
+        events.append((kind, t, object_id))
+
+    sim = Simulation(
+        server,
+        protocol,
+        mode,
+        costs=costs,
+        preload=True,
+        start_time=start_time,
+        observer=observer,
+        charge_per_modification=charge_per_modification,
+        faults=faults,
+    )
+    return sim.run(requests, end_time=end_time), events
+
+
+def _oracle_check(
+    live_report: LiveReplayReport,
+    sim_result: SimulationResult,
+    sim_events: list[tuple[str, float, str]],
+    *,
+    compare_events: bool,
+) -> tuple[SimulationResult, SimulationResult, OracleReport]:
+    live_result = live_report.result
+    divergences = diff_live_vs_sim(live_result, sim_result)
+    events_checked = 0
+    if compare_events:
+        live_events = _relabel_stale(
+            live_report.events, live_report.stale_events
+        )
+        divergences.extend(diff_event_multisets(live_events, sim_events))
+        events_checked = len(live_events)
+    report = OracleReport(
+        protocol_name=live_result.protocol_name,
+        mode=live_result.mode,
+        events_checked=events_checked,
+        counters_checked=len(COUNTER_FIELDS),
+        ledger_cells_checked=len(_LEDGER_TABLES) * len(_CATEGORIES),
+        divergences=divergences,
+    )
+    if not report.ok:
+        raise ConsistencyViolation(report)
+    return live_result, sim_result, report
+
+
 def live_vs_sim(
     server: OriginServer,
     protocol_factory: Callable[[], ConsistencyProtocol],
@@ -84,6 +222,11 @@ def live_vs_sim(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
     charge_per_modification: bool = True,
+    connections: int = 1,
+    keepalive: bool = False,
+    chaos: Optional[WireFaultPlan] = None,
+    faults: Optional[FaultPlan] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> tuple[SimulationResult, SimulationResult, OracleReport]:
     """Replay a trace live, simulate the same trace, and diff the two.
 
@@ -91,16 +234,23 @@ def live_vs_sim(
     call — adaptive protocols (Alex) carry per-entry state, so the live
     and simulated legs each need their own.
 
-    Boots an ephemeral origin/proxy pair on loopback, runs
-    :func:`~repro.live.driver.replay_live`, tears the servers down,
-    then runs :func:`~repro.core.simulator.simulate` with the identical
-    configuration (``preload=True`` matches the live warmup).
+    Boots an ephemeral origin/proxy pair on loopback (plus chaos relays
+    when ``chaos`` is given), runs the matching driver via
+    :func:`~repro.live.driver.run_replay`, tears the servers down, then
+    runs the reference simulator with the identical configuration
+    (``preload=True`` matches the live warmup, ``faults`` passes
+    through to ``simulate(faults=plan)``).  In hardened topologies the
+    committed live event log is additionally compared per-object
+    against the simulator's observer stream (stale hits relabelled from
+    the driver's audit); the plain serial replay keeps
+    ``events_checked == 0``, exactly the historical contract.
 
     Returns:
         ``(live_result, sim_result, report)``.
 
     Raises:
-        ConsistencyViolation: when any counter or ledger cell differs;
+        ConsistencyViolation: when any counter, ledger cell, or
+            (hardened) per-object event multiset differs;
             ``exc.report.divergences`` lists every mismatch.
     """
     request_list = list(requests)
@@ -114,31 +264,106 @@ def live_vs_sim(
             start_time=float(start_time),
             end_time=end_time,
             charge_per_modification=charge_per_modification,
+            connections=connections,
+            keepalive=keepalive,
+            chaos=chaos,
+            faults=faults,
+            journal_path=journal_path,
         )
     )
-    sim_result = simulate(
+    compare_events = bool(live_report.events) or (
+        connections > 1
+        or keepalive
+        or (chaos is not None and not chaos.is_null)
+        or faults is not None
+        or journal_path is not None
+    )
+    sim_result, sim_events = _simulate_with_events(
         server,
         protocol_factory(),
         request_list,
         mode,
         costs=costs,
-        preload=True,
         start_time=float(start_time),
         end_time=end_time,
         charge_per_modification=charge_per_modification,
+        faults=faults,
     )
-    live_result = live_report.result
-    report = OracleReport(
-        protocol_name=live_result.protocol_name,
-        mode=live_result.mode,
-        events_checked=0,
-        counters_checked=len(COUNTER_FIELDS),
-        ledger_cells_checked=len(_LEDGER_TABLES) * len(_CATEGORIES),
-        divergences=diff_live_vs_sim(live_result, sim_result),
+    return _oracle_check(
+        live_report,
+        sim_result,
+        sim_events,
+        compare_events=compare_events,
     )
-    if not report.ok:
-        raise ConsistencyViolation(report)
-    return live_result, sim_result, report
 
 
-__all__ = ["diff_live_vs_sim", "live_vs_sim"]
+def crash_vs_sim(
+    server: OriginServer,
+    protocol_name: str,
+    parameter: float,
+    requests: Iterable[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+    journal_path: Union[str, Path],
+    crash_after: int,
+    connections: int = 2,
+    keepalive: bool = True,
+) -> tuple[SimulationResult, SimulationResult, OracleReport]:
+    """SIGKILL-and-restart replay vs a *crash-free* simulation.
+
+    The proxy runs out of process with a commit-before-reply journal
+    (:func:`~repro.live.driver.run_crash_replay`), is killed after
+    ``crash_after`` completed requests, restarts from the journal, and
+    the surviving run must reconcile **exactly** — counters, ledger
+    cells, and per-object event multisets — with a simulation that
+    never crashed.  Anything the crash lost that the journal did not
+    capture shows up here as a divergence.
+
+    The protocol is named (the child process rebuilds it), so costs are
+    fixed at :data:`DEFAULT_COSTS`.
+
+    Raises:
+        ConsistencyViolation: on any divergence.
+    """
+    request_list = list(requests)
+    live_report = asyncio.run(
+        run_crash_replay(
+            server,
+            protocol_name,
+            parameter,
+            request_list,
+            mode,
+            start_time=float(start_time),
+            end_time=end_time,
+            charge_per_modification=charge_per_modification,
+            journal_path=journal_path,
+            crash_after=crash_after,
+            connections=connections,
+            keepalive=keepalive,
+        )
+    )
+    sim_result, sim_events = _simulate_with_events(
+        server,
+        build_protocol(protocol_name, parameter),
+        request_list,
+        mode,
+        costs=DEFAULT_COSTS,
+        start_time=float(start_time),
+        end_time=end_time,
+        charge_per_modification=charge_per_modification,
+        faults=None,
+    )
+    return _oracle_check(
+        live_report, sim_result, sim_events, compare_events=True
+    )
+
+
+__all__ = [
+    "crash_vs_sim",
+    "diff_event_multisets",
+    "diff_live_vs_sim",
+    "live_vs_sim",
+]

@@ -21,7 +21,21 @@ assembled here:
   proxy cannot know it served a stale copy — that is the *point* of
   weak consistency.  The driver audits every ``X-Cache: HIT`` response
   against the origin's modification schedule, exactly as the
-  simulator's omniscient hit branch does.
+  simulator's omniscient hit branch does.  For the leased protocol the
+  audit also *enforces* the lease's structural staleness bound: a stale
+  serve as old as the lease term is a consistency violation, chaos or
+  no chaos.
+
+:func:`replay_pooled` is the concurrent driver: the stream is
+partitioned by object across a pool of keep-alive connections
+(per-object order preserved — exactly the ordering the per-object-locked
+proxy requires), every request carries an ``X-Repro-Seq`` idempotency
+id, and transport failures are retried — the committed reply replays, so
+accounting stays exactly-once over an at-least-once transport.
+:func:`run_replay` picks the driver, wires optional
+:class:`~repro.live.chaos.ChaosRelay` hops around the proxy, and
+:func:`run_crash_replay` runs the proxy *out of process* so a monkey
+task can SIGKILL it mid-replay and restart it from its journal.
 
 :func:`check_wire_exact` gates a replay up front: every timestamp the
 run touches must be a whole second, because simulation time travels in
@@ -32,31 +46,50 @@ the simulator — better to refuse loudly.
 
 from __future__ import annotations
 
+import asyncio
 import json
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Awaitable, Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.costs import DEFAULT_COSTS, MessageCosts
 from repro.core.metrics import BandwidthLedger, ConsistencyCounters
 from repro.core.protocols.base import ConsistencyProtocol
+from repro.core.protocols.factory import build_protocol
 from repro.core.results import SimulationResult
 from repro.core.server import OriginServer
 from repro.core.simulator import SimulatorMode
 from repro.fastpath.contract import COUNTER_FIELDS
-from repro.http.messages import Request
+from repro.faults.plan import FaultPlan
+from repro.http.messages import Request, Response
+from repro.live.chaos import ChaosRelay, WireFaultPlan
+from repro.live.journal import Journal
 from repro.live.origin import LiveOrigin
 from repro.live.proxy import LiveProxy
 from repro.live.wire import (
     CONTROL_PREFIX,
     DATE,
+    SEQ_HEADER,
     X_CACHE,
+    LiveConnection,
     LiveReplayError,
     LiveWireError,
     ensure_integral,
     exchange,
 )
 from repro.obs import clock as obs_clock
+from repro.obs import registry as obs_metrics
 from repro.obs import trace as obs_trace
+
+#: Pause before reconnecting after a refused/reset connection — long
+#: enough for a killed proxy to be respawned, short enough that a chaos
+#: retry burst stays fast.
+_RECONNECT_PAUSE = 0.05
+#: Retry budget for driving through a proxy restart: the outage window
+#: (kill, respawn, journal replay) divided by the reconnect pause, with
+#: a generous margin.
+_CRASH_ATTEMPTS = 240
 
 
 @dataclass
@@ -73,12 +106,20 @@ class LiveReplayReport:
         origin_gets: full retrievals the origin counted.
         origin_ims_queries: If-Modified-Since exchanges the origin
             counted.
+        events: the proxy's committed event log (hardened modes only) —
+            ``(kind, time, object_id)`` triples, the live counterpart
+            of the simulator's observer stream.
+        stale_events: the ``(time, object_id)`` pairs the driver's
+            audit found stale — the key for relabelling live ``hit``
+            events as ``stale_hit`` when diffing event multisets.
     """
 
     result: SimulationResult
     wire_bytes: int = 0
     origin_gets: int = 0
     origin_ims_queries: int = 0
+    events: list[tuple[str, float, str]] = field(default_factory=list)
+    stale_events: list[tuple[float, str]] = field(default_factory=list)
 
 
 def check_wire_exact(
@@ -137,6 +178,108 @@ async def _control_get(
     return body
 
 
+def _audit_hit(
+    server: OriginServer,
+    response: Response,
+    t: float,
+    object_id: str,
+    lease: Optional[float],
+) -> Optional[float]:
+    """Audit one ``X-Cache: HIT`` response against ground truth.
+
+    Returns ``None`` for a hit that was actually fresh, or the stale
+    age to accumulate (0.0 when the change point is unknown).  For a
+    leased protocol, enforces the lease's structural bound: a stale
+    serve must be strictly younger than the lease term — that holds
+    even under invalidation faults (a leased entry is only served
+    within ``lease`` of its last validation), so a violation is a real
+    consistency bug, not expected chaos.
+
+    Raises:
+        LiveWireError: when a hit lacks ``Last-Modified``.
+        LiveReplayError: when the lease staleness bound is violated.
+    """
+    last_modified = response.headers.last_modified
+    if last_modified is None:
+        raise LiveWireError(
+            f"cache hit for {object_id!r} lacks Last-Modified"
+        )
+    schedule = server.schedule(object_id)
+    if last_modified >= schedule.last_modified_at(t):
+        return None
+    became_stale = schedule.next_change_after(last_modified)
+    if became_stale is None:
+        return 0.0
+    age = t - became_stale
+    if lease is not None and age >= lease:
+        raise LiveReplayError(
+            f"lease staleness bound violated for {object_id!r}: stale "
+            f"copy served at t={t!r} was {age!r}s old, lease is "
+            f"{lease!r}s"
+        )
+    return age
+
+
+def _assemble_report(
+    proxy_stats: dict[str, object],
+    origin_stats: dict[str, object],
+    *,
+    protocol_name: str,
+    mode_value: str,
+    duration: float,
+    wire_bytes: int,
+    stale_hits: int,
+    stale_age_sum: float,
+    stale_events: list[tuple[float, str]],
+) -> LiveReplayReport:
+    """Fold proxy stats, origin stats, and the driver audit into a report."""
+    proxy_counters = proxy_stats["counters"]
+    assert isinstance(proxy_counters, dict)
+    counters = ConsistencyCounters(
+        **{
+            name: int(proxy_counters[name])
+            for name in COUNTER_FIELDS
+            if name != "stale_age_sum"
+        },
+        stale_age_sum=float(proxy_counters["stale_age_sum"]),
+    )
+    counters.stale_hits = stale_hits
+    counters.stale_age_sum = stale_age_sum
+    counters.server_gets = int(origin_stats["gets"])  # type: ignore[call-overload]
+    counters.server_ims_queries = int(origin_stats["ims_queries"])  # type: ignore[call-overload]
+
+    tables = proxy_stats["bandwidth"]
+    assert isinstance(tables, dict)
+    bandwidth = BandwidthLedger(
+        control_bytes={
+            k: int(v) for k, v in tables["control_bytes"].items()
+        },
+        body_bytes={k: int(v) for k, v in tables["body_bytes"].items()},
+        exchanges={k: int(v) for k, v in tables["exchanges"].items()},
+    )
+
+    result = SimulationResult(
+        protocol_name=protocol_name,
+        mode=mode_value,
+        counters=counters,
+        bandwidth=bandwidth,
+        duration=duration,
+    )
+    result.counters.check_invariants()
+    raw_events = proxy_stats.get("events", [])
+    assert isinstance(raw_events, list)
+    return LiveReplayReport(
+        result=result,
+        wire_bytes=wire_bytes,
+        origin_gets=int(origin_stats["gets"]),  # type: ignore[call-overload]
+        origin_ims_queries=int(origin_stats["ims_queries"]),  # type: ignore[call-overload]
+        events=[
+            (str(kind), float(t), str(oid)) for kind, t, oid in raw_events
+        ],
+        stale_events=stale_events,
+    )
+
+
 async def replay_live(
     origin: LiveOrigin,
     proxy: LiveProxy,
@@ -145,15 +288,14 @@ async def replay_live(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
 ) -> LiveReplayReport:
-    """Replay a request stream through a live origin/proxy pair.
+    """Replay a request stream serially — the historical driver.
 
     Both servers must already be started.  The proxy is warmed first
     (pre-loaded with valid copies of the population, uncounted), then
     each request becomes one real client exchange carrying its
-    simulation time in a ``Date`` header.  After the stream — and the
-    trailing invalidation flush when ``end_time`` is given — the
-    counters are assembled from the proxy's and origin's stats
-    endpoints plus the driver's own staleness audit.
+    simulation time in a ``Date`` header — one connection per exchange,
+    no sequence ids: with a zero-fault transport and a single client
+    the wire traffic stays byte-identical to what it always was.
 
     Returns:
         A :class:`LiveReplayReport`; ``report.result.counters`` has
@@ -169,9 +311,11 @@ async def replay_live(
         origin.server, request_list, start_time=start_time, end_time=end_time
     )
     await proxy.warm(start_time)
+    lease = getattr(proxy.protocol, "lease", None)
 
     stale_hits = 0
     stale_age_sum = 0.0
+    stale_events: list[tuple[float, str]] = []
     last_time = float(start_time)
     for t, object_id in request_list:
         request = Request("GET", object_id)
@@ -188,17 +332,11 @@ async def replay_live(
         # Staleness audit: only unvalidated cache hits can be stale,
         # and only the driver (holding the origin's ground truth) can
         # tell — mirroring the simulator's omniscient hit branch.
-        last_modified = response.headers.last_modified
-        if last_modified is None:
-            raise LiveWireError(
-                f"cache hit for {object_id!r} lacks Last-Modified"
-            )
-        schedule = origin.server.schedule(object_id)
-        if last_modified < schedule.last_modified_at(t):
+        age = _audit_hit(origin.server, response, t, object_id, lease)
+        if age is not None:
             stale_hits += 1
-            became_stale = schedule.next_change_after(last_modified)
-            if became_stale is not None:
-                stale_age_sum += t - became_stale
+            stale_age_sum += age
+            stale_events.append((float(t), object_id))
 
     if end_time is not None:
         await _control_get(proxy.host, proxy.port, "finish", date=end_time)
@@ -210,48 +348,16 @@ async def replay_live(
     origin_stats = json.loads(
         await _control_get(origin.host, origin.port, "stats")
     )
-
-    counters = ConsistencyCounters(
-        **{
-            name: int(proxy_stats["counters"][name])
-            for name in COUNTER_FIELDS
-            if name != "stale_age_sum"
-        },
-        stale_age_sum=float(proxy_stats["counters"]["stale_age_sum"]),
-    )
-    counters.stale_hits = stale_hits
-    counters.stale_age_sum = stale_age_sum
-    counters.server_gets = int(origin_stats["gets"])
-    counters.server_ims_queries = int(origin_stats["ims_queries"])
-
-    bandwidth = BandwidthLedger(
-        control_bytes={
-            k: int(v)
-            for k, v in proxy_stats["bandwidth"]["control_bytes"].items()
-        },
-        body_bytes={
-            k: int(v)
-            for k, v in proxy_stats["bandwidth"]["body_bytes"].items()
-        },
-        exchanges={
-            k: int(v)
-            for k, v in proxy_stats["bandwidth"]["exchanges"].items()
-        },
-    )
-
-    result = SimulationResult(
+    report = _assemble_report(
+        proxy_stats,
+        origin_stats,
         protocol_name=proxy.protocol.name,
-        mode=proxy.mode.value,
-        counters=counters,
-        bandwidth=bandwidth,
+        mode_value=proxy.mode.value,
         duration=last_time - float(start_time),
-    )
-    result.counters.check_invariants()
-    report = LiveReplayReport(
-        result=result,
         wire_bytes=proxy.wire_bytes,
-        origin_gets=int(origin_stats["gets"]),
-        origin_ims_queries=int(origin_stats["ims_queries"]),
+        stale_hits=stale_hits,
+        stale_age_sum=stale_age_sum,
+        stale_events=stale_events,
     )
     obs_trace.span(
         "live.replay",
@@ -260,6 +366,151 @@ async def replay_live(
         wire_bytes=report.wire_bytes,
     )
     return report
+
+
+def _partition(
+    request_list: Sequence[tuple[float, str]], connections: int
+) -> list[list[tuple[int, float, str]]]:
+    """Split the stream into per-connection buckets by object affinity.
+
+    Every request for one object lands in the same bucket (objects are
+    assigned round-robin by first appearance), and each bucket keeps
+    its requests in stream order — so per-object request order is
+    preserved, which is the only ordering the per-object-locked proxy
+    requires.  Items carry their global stream index for sequence ids
+    and (cross-object protocols) global-order gating.
+    """
+    bucket_of: dict[str, int] = {}
+    buckets: list[list[tuple[int, float, str]]] = [
+        [] for _ in range(connections)
+    ]
+    for index, (t, object_id) in enumerate(request_list):
+        if object_id not in bucket_of:
+            bucket_of[object_id] = len(bucket_of) % connections
+        buckets[bucket_of[object_id]].append((index, float(t), object_id))
+    return buckets
+
+
+async def _request_with_retry(
+    send: Callable[[], Awaitable[tuple[Response, str, int]]],
+    reset: Callable[[], Awaitable[None]],
+    what: str,
+    *,
+    attempts: int,
+    pause: float,
+) -> tuple[Response, str, int]:
+    """Drive one exchange to success over an at-least-once transport.
+
+    Any transport or framing failure closes the connection and resends
+    (the request's ``X-Repro-Seq`` makes the receiver replay, not
+    re-execute).  Connection-level failures pause before reconnecting —
+    that is what lets a driver ride through a proxy restart.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        if attempt:
+            obs_metrics.emit("live.retries")
+        try:
+            return await send()
+        except (LiveWireError, ConnectionError, OSError) as exc:
+            last = exc
+            await reset()
+            if pause > 0 and isinstance(exc, (ConnectionError, OSError)):
+                await asyncio.sleep(pause)
+    raise LiveWireError(
+        f"{what} failed after {attempts} attempts: {last!r}"
+    )
+
+
+async def replay_pooled(
+    origin: LiveOrigin,
+    proxy_host: str,
+    proxy_port: int,
+    requests: Sequence[tuple[float, str]],
+    *,
+    connections: int = 2,
+    keepalive: bool = True,
+    cross_object: bool = False,
+    lease: Optional[float] = None,
+    attempts: int = 1,
+    pause: float = 0.0,
+    on_complete: Optional[Callable[[], None]] = None,
+) -> tuple[int, float, list[tuple[float, str]], float]:
+    """Drive the request stream through a connection pool.
+
+    The stream is partitioned by object (:func:`_partition`); each
+    bucket is driven by one worker over one keep-alive connection (or
+    one-shot exchanges when ``keepalive`` is off).  Every request
+    carries ``X-Repro-Seq: r<index>`` so retries are exactly-once.
+    ``cross_object`` protocols additionally gate every send on the
+    global stream index — their state couples objects, so only the
+    fully serialized order matches the simulator.
+
+    Returns:
+        ``(stale_hits, stale_age_sum, stale_events, last_time)`` from
+        the driver's staleness audit.
+    """
+    buckets = _partition(requests, max(1, connections))
+    hits: list[tuple[float, str, Response]] = []
+    gate = asyncio.Condition() if cross_object else None
+    state = {"next": 0}
+
+    async def drive(bucket: list[tuple[int, float, str]]) -> None:
+        conn = LiveConnection(proxy_host, proxy_port)
+        try:
+            for index, t, object_id in bucket:
+                request = Request("GET", object_id)
+                request.headers.set_date(DATE, t)
+                request.headers.set(SEQ_HEADER, f"r{index}")
+
+                async def send() -> tuple[Response, str, int]:
+                    if keepalive:
+                        return await conn.request(request)
+                    return await exchange(proxy_host, proxy_port, request)
+
+                if gate is not None:
+                    async with gate:
+                        await gate.wait_for(
+                            lambda: state["next"] == index  # noqa: B023
+                        )
+                try:
+                    response, _, _ = await _request_with_retry(
+                        send,
+                        conn.close,
+                        f"request r{index} for {object_id!r}",
+                        attempts=attempts,
+                        pause=pause,
+                    )
+                finally:
+                    if gate is not None:
+                        async with gate:
+                            state["next"] = index + 1
+                            gate.notify_all()
+                if response.status != 200:
+                    raise LiveWireError(
+                        f"proxy returned {response.status} for "
+                        f"{object_id!r} at t={t!r}"
+                    )
+                if response.headers.get(X_CACHE) == "HIT":
+                    hits.append((t, object_id, response))
+                if on_complete is not None:
+                    on_complete()
+        finally:
+            await conn.close()
+
+    await asyncio.gather(*(drive(bucket) for bucket in buckets if bucket))
+
+    stale_hits = 0
+    stale_age_sum = 0.0
+    stale_events: list[tuple[float, str]] = []
+    for t, object_id, response in hits:
+        age = _audit_hit(origin.server, response, t, object_id, lease)
+        if age is not None:
+            stale_hits += 1
+            stale_age_sum += age
+            stale_events.append((float(t), object_id))
+    last_time = max((float(t) for t, _ in requests), default=0.0)
+    return stale_hits, stale_age_sum, stale_events, last_time
 
 
 async def run_replay(
@@ -272,36 +523,360 @@ async def run_replay(
     start_time: float = 0.0,
     end_time: Optional[float] = None,
     charge_per_modification: bool = True,
+    connections: int = 1,
+    keepalive: bool = False,
+    chaos: Optional[WireFaultPlan] = None,
+    faults: Optional[FaultPlan] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> LiveReplayReport:
     """Boot an ephemeral origin/proxy pair on loopback, replay, tear down.
 
-    The one-call form of :func:`replay_live` for callers that do not
-    need to keep the servers running — the CLI's ``repro replay`` and
-    the differential leg both go through here, so they exercise the
-    identical code path.
+    The one-call form for callers that do not need to keep the servers
+    running — the CLI's ``repro replay`` and the differential leg both
+    go through here, so they exercise the identical code path.
+
+    Beyond the historical serial replay, this orchestrates the hardened
+    topologies:
+
+    * ``connections > 1`` / ``keepalive`` — the pooled driver against a
+      per-object-locked proxy (``concurrent=True`` unless the protocol
+      declares ``cross_object_state``, which serializes globally);
+    * ``chaos`` — a :class:`~repro.live.chaos.ChaosRelay` on *both*
+      hops (driver↔proxy and proxy↔origin); driver and proxy retry
+      budgets are sized from the plan's progress cap.  Control
+      exchanges (warm/finish/stats) bypass the relays: they are the
+      harness's measurement plane, not modelled traffic.
+    * ``faults`` — a compiled invalidation :class:`FaultPlan` replayed
+      inside the proxy, mirroring ``simulate(faults=plan)``.  Serial
+      only (the schedule is a global timeline).
+    * ``journal_path`` — commit-before-reply journaling, enabling
+      :func:`run_crash_replay`-style restarts.
     """
+    chaos_active = chaos is not None and not chaos.is_null
+    pooled = connections > 1 or keepalive or chaos_active
+    if faults is not None and pooled:
+        raise LiveReplayError(
+            "faulted live replays are serial: faults= cannot be "
+            "combined with connections>1, keepalive, or chaos"
+        )
+    request_list = list(requests)
     origin = LiveOrigin(server)
     await origin.start()
+    relays: list[ChaosRelay] = []
     try:
+        upstream_host, upstream_port = origin.host, origin.port
+        if chaos_active:
+            assert chaos is not None
+            upstream_relay = ChaosRelay(
+                origin.host, origin.port, chaos, "upstream"
+            )
+            await upstream_relay.start()
+            relays.append(upstream_relay)
+            upstream_host, upstream_port = (
+                upstream_relay.host,
+                upstream_relay.port,
+            )
         proxy = LiveProxy(
-            origin.host,
-            origin.port,
+            upstream_host,
+            upstream_port,
             protocol,
             mode,
             costs=costs,
             charge_per_modification=charge_per_modification,
+            # Cross-object protocols still downgrade to the global lock
+            # inside the proxy; "concurrent" here marks the hardened
+            # topology (events collected, seq replay active).
+            concurrent=pooled,
+            faults=faults,
+            journal=(
+                Journal(journal_path) if journal_path is not None else None
+            ),
+            upstream_attempts=(
+                chaos.max_attempts if chaos_active and chaos else 1
+            ),
         )
         await proxy.start()
         try:
-            return await replay_live(
-                origin,
-                proxy,
-                requests,
+            if not pooled:
+                return await replay_live(
+                    origin,
+                    proxy,
+                    request_list,
+                    start_time=start_time,
+                    end_time=end_time,
+                )
+            client_host, client_port = proxy.host, proxy.port
+            if chaos_active:
+                assert chaos is not None
+                client_relay = ChaosRelay(
+                    proxy.host, proxy.port, chaos, "client"
+                )
+                await client_relay.start()
+                relays.append(client_relay)
+                client_host, client_port = (
+                    client_relay.host,
+                    client_relay.port,
+                )
+            replay_started = obs_clock.monotonic()
+            check_wire_exact(
+                server,
+                request_list,
                 start_time=start_time,
                 end_time=end_time,
             )
+            await proxy.warm(start_time)
+            stale_hits, stale_age_sum, stale_events, last_time = (
+                await replay_pooled(
+                    origin,
+                    client_host,
+                    client_port,
+                    request_list,
+                    connections=connections,
+                    keepalive=keepalive,
+                    cross_object=protocol.cross_object_state,
+                    lease=getattr(protocol, "lease", None),
+                    attempts=(
+                        chaos.max_attempts if chaos_active and chaos else 1
+                    ),
+                )
+            )
+            last_time = max(last_time, float(start_time))
+            if end_time is not None:
+                await _control_get(
+                    proxy.host, proxy.port, "finish", date=end_time
+                )
+                last_time = float(end_time)
+            proxy_stats = json.loads(
+                await _control_get(proxy.host, proxy.port, "stats")
+            )
+            origin_stats = json.loads(
+                await _control_get(origin.host, origin.port, "stats")
+            )
+            report = _assemble_report(
+                proxy_stats,
+                origin_stats,
+                protocol_name=proxy.protocol.name,
+                mode_value=proxy.mode.value,
+                duration=last_time - float(start_time),
+                wire_bytes=proxy.wire_bytes,
+                stale_hits=stale_hits,
+                stale_age_sum=stale_age_sum,
+                stale_events=stale_events,
+            )
+            obs_trace.span(
+                "live.replay",
+                obs_clock.monotonic() - replay_started,
+                requests=len(request_list),
+                wire_bytes=report.wire_bytes,
+            )
+            return report
         finally:
             await proxy.close()
+    finally:
+        for relay in relays:
+            await relay.close()
+        await origin.close()
+
+
+async def _spawn_standalone(
+    *,
+    origin_host: str,
+    origin_port: int,
+    port: int,
+    protocol_name: str,
+    parameter: float,
+    mode: SimulatorMode,
+    journal_path: Union[str, Path],
+    charge_per_modification: bool,
+    concurrent: bool,
+) -> tuple[asyncio.subprocess.Process, int]:
+    """Start ``python -m repro.live.standalone`` and wait for its port."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.live.standalone",
+        "--origin-host",
+        origin_host,
+        "--origin-port",
+        str(origin_port),
+        "--port",
+        str(port),
+        "--protocol",
+        protocol_name,
+        "--parameter",
+        repr(parameter),
+        "--mode",
+        mode.value,
+        "--journal",
+        str(journal_path),
+    ]
+    if concurrent:
+        argv.append("--concurrent")
+    if not charge_per_modification:
+        argv.append("--charge-on-transition")
+    proc = await asyncio.create_subprocess_exec(
+        *argv,
+        stdout=asyncio.subprocess.PIPE,
+    )
+    assert proc.stdout is not None
+    line = (await proc.stdout.readline()).decode()
+    if not line.startswith("PORT "):
+        raise LiveReplayError(
+            f"standalone proxy failed to start (got {line!r})"
+        )
+    return proc, int(line.split()[1])
+
+
+async def run_crash_replay(
+    server: OriginServer,
+    protocol_name: str,
+    parameter: float,
+    requests: Sequence[tuple[float, str]],
+    mode: SimulatorMode = SimulatorMode.OPTIMIZED,
+    *,
+    start_time: float = 0.0,
+    end_time: Optional[float] = None,
+    charge_per_modification: bool = True,
+    journal_path: Union[str, Path],
+    crash_after: int,
+    connections: int = 2,
+    keepalive: bool = True,
+) -> LiveReplayReport:
+    """Replay with the proxy out of process, SIGKILLed and restarted.
+
+    The crash-restart differential leg: the proxy runs as its own
+    process (``python -m repro.live.standalone``) journaling every
+    committed transaction; once ``crash_after`` requests have
+    completed, a monkey task SIGKILLs it mid-replay, respawns it on
+    the same port with the same journal, and the restarted proxy
+    re-warms from disk (:meth:`LiveProxy.restore`) — re-pulling each
+    object's missed invalidation window lazily through its per-object
+    cursors.  Workers ride through the outage by retrying under their
+    requests' sequence ids, so the final counters must reconcile
+    *exactly* with a crash-free run — which is what
+    :func:`repro.live.differential.crash_vs_sim` asserts.
+
+    The protocol is named, not passed: the child process builds its own
+    instance via :func:`repro.core.protocols.factory.build_protocol`
+    (costs are therefore fixed at :data:`DEFAULT_COSTS`).
+
+    Raises:
+        LiveReplayError: unless ``0 < crash_after < len(requests)``
+            (the monkey must fire while work remains, or it would wait
+            forever).
+    """
+    request_list = list(requests)
+    if not 0 < crash_after < len(request_list):
+        raise LiveReplayError(
+            f"crash_after must fall inside the request stream: "
+            f"0 < {crash_after} < {len(request_list)} required"
+        )
+    check_wire_exact(
+        server, request_list, start_time=start_time, end_time=end_time
+    )
+    protocol = build_protocol(protocol_name, parameter)
+    concurrent = not protocol.cross_object_state
+    lease = getattr(protocol, "lease", None)
+    replay_started = obs_clock.monotonic()
+
+    origin = LiveOrigin(server)
+    await origin.start()
+    try:
+        proc, proxy_port = await _spawn_standalone(
+            origin_host=origin.host,
+            origin_port=origin.port,
+            port=0,
+            protocol_name=protocol_name,
+            parameter=parameter,
+            mode=mode,
+            journal_path=journal_path,
+            charge_per_modification=charge_per_modification,
+            concurrent=concurrent,
+        )
+        try:
+            await _control_get(
+                "127.0.0.1", proxy_port, "warm", date=start_time
+            )
+
+            completed = {"count": 0}
+            crashed = asyncio.Event()
+
+            def on_complete() -> None:
+                completed["count"] += 1
+                if completed["count"] >= crash_after:
+                    crashed.set()
+
+            async def monkey() -> None:
+                nonlocal proc
+                await crashed.wait()
+                proc.kill()
+                await proc.wait()
+                proc, _ = await _spawn_standalone(
+                    origin_host=origin.host,
+                    origin_port=origin.port,
+                    port=proxy_port,
+                    protocol_name=protocol_name,
+                    parameter=parameter,
+                    mode=mode,
+                    journal_path=journal_path,
+                    charge_per_modification=charge_per_modification,
+                    concurrent=concurrent,
+                )
+
+            monkey_task = asyncio.create_task(monkey())
+            try:
+                stale_hits, stale_age_sum, stale_events, last_time = (
+                    await replay_pooled(
+                        origin,
+                        "127.0.0.1",
+                        proxy_port,
+                        request_list,
+                        connections=connections,
+                        keepalive=keepalive,
+                        cross_object=protocol.cross_object_state,
+                        lease=lease,
+                        attempts=_CRASH_ATTEMPTS,
+                        pause=_RECONNECT_PAUSE,
+                        on_complete=on_complete,
+                    )
+                )
+                await monkey_task
+            except BaseException:
+                monkey_task.cancel()
+                raise
+            last_time = max(last_time, float(start_time))
+            if end_time is not None:
+                await _control_get(
+                    "127.0.0.1", proxy_port, "finish", date=end_time
+                )
+                last_time = float(end_time)
+            proxy_stats = json.loads(
+                await _control_get("127.0.0.1", proxy_port, "stats")
+            )
+            origin_stats = json.loads(
+                await _control_get(origin.host, origin.port, "stats")
+            )
+            report = _assemble_report(
+                proxy_stats,
+                origin_stats,
+                protocol_name=protocol_name,
+                mode_value=mode.value,
+                duration=last_time - float(start_time),
+                wire_bytes=int(proxy_stats["wire_bytes"]),  # type: ignore[call-overload]
+                stale_hits=stale_hits,
+                stale_age_sum=stale_age_sum,
+                stale_events=stale_events,
+            )
+            obs_trace.span(
+                "live.replay",
+                obs_clock.monotonic() - replay_started,
+                requests=len(request_list),
+                wire_bytes=report.wire_bytes,
+            )
+            return report
+        finally:
+            proc.kill()
+            await proc.wait()
     finally:
         await origin.close()
 
@@ -310,5 +885,7 @@ __all__ = [
     "LiveReplayReport",
     "check_wire_exact",
     "replay_live",
+    "replay_pooled",
+    "run_crash_replay",
     "run_replay",
 ]

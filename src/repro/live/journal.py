@@ -1,0 +1,89 @@
+"""The live proxy's crash journal: append-only JSONL, SIGKILL-safe.
+
+One record per line, written with ``os.open``/``os.write`` under
+``O_APPEND`` so every committed transaction reaches the kernel before
+the proxy replies to its client (commit-before-reply).  There is no
+user-space buffering to lose: a proxy SIGKILLed at any instant leaves a
+journal whose complete lines are exactly its committed transactions,
+plus at most one torn trailing line, which :meth:`Journal.load`
+discards.
+
+Record kinds (the proxy writes them, :meth:`LiveProxy.restore
+<repro.live.proxy.LiveProxy.restore>` replays them):
+
+* ``config`` — protocol name, mode, charging policy; a restore sanity
+  check against the restarted proxy's own configuration.
+* ``warm`` — the warmed cache (every entry's full field set) and the
+  warm-time clock state.
+* ``txn`` — one committed transaction's deltas: the serialized reply
+  (keyed by ``X-Repro-Seq`` for replay-on-retry), non-zero counter and
+  ledger deltas, emitted events, post-state of every touched cache
+  entry, invalidation cursors, clocks, per-object upstream sequence
+  counters, and the protocol's :meth:`state_snapshot
+  <repro.core.protocols.base.ConsistencyProtocol.state_snapshot>`.
+
+The format is deltas-plus-touched-entries rather than full snapshots so
+journal size is proportional to work done, and restore is a single
+forward replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+
+class Journal:
+    """An append-only JSONL journal at a filesystem path.
+
+    Writing uses ``os.open``/``os.write`` (no stream buffering), so a
+    record is durable against process death the moment :meth:`append`
+    returns.  The file is created on first append.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict[str, object]) -> None:
+        """Durably append one record as a JSON line."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(
+            str(self.path),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def load(self) -> list[dict[str, object]]:
+        """All complete records, in append order.
+
+        A torn trailing line — the signature of a mid-write SIGKILL —
+        is discarded, as is anything after a line that fails to parse
+        (a torn write can only be last, so nothing valid follows it).
+        Returns an empty list when the file does not exist.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, object]] = []
+        parts = raw.split(b"\n")
+        # The final element is "" after a complete line, or the torn
+        # tail of an interrupted append; either way it is not a record.
+        for part in parts[:-1]:
+            try:
+                record = json.loads(part.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+        return records
+
+
+__all__ = ["Journal"]

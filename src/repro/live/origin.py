@@ -1,8 +1,8 @@
 """The live HTTP/1.0 origin server.
 
 A thin asyncio front end over the *unmodified*
-:class:`repro.core.server.OriginServer` population model.  Three
-request shapes, exactly the operations the simulator's origin answers:
+:class:`repro.core.server.OriginServer` population model.  Request
+shapes, exactly the operations the simulator's origin answers:
 
 * plain ``GET /path`` with a ``Date`` header — a full retrieval:
   ``200`` with ``Content-Length``, ``Content-Type``, ``Last-Modified``,
@@ -14,13 +14,25 @@ request shapes, exactly the operations the simulator's origin answers:
   :class:`repro.core.server.NotModified`) or a full ``200``;
 * control endpoints under ``/.well-known/repro/`` — the cacheable
   population listing, the invalidation feed window (the live transport
-  of :meth:`~repro.core.server.OriginServer.feed_between`), and a JSON
+  of :meth:`~repro.core.server.OriginServer.feed_between`, optionally
+  restricted to one object via ``X-Repro-Object``), the full
+  modification feed (``feed``, for compiling fault plans), and a JSON
   counter dump.  Control exchanges are never counted.
 
-The origin keeps its own exchange counters (``gets``,
-``ims_queries``) so the driver can assemble Figure-8-style server-load
-numbers; warming fetches (tagged ``X-Repro-Warmup``) are served but not
-counted, mirroring the simulator's uncounted preload.
+The origin keeps its own exchange counters (``gets``, ``ims_queries``)
+so the driver can assemble Figure-8-style server-load numbers; warming
+fetches (tagged ``X-Repro-Warmup``) are served but not counted,
+mirroring the simulator's uncounted preload.
+
+Concurrency and chaos hardening: connections are served keep-alive
+(loop until the peer closes or omits ``Connection: keep-alive``), each
+request is processed under one internal state lock (the population
+model is not re-entrant and the counters must not tear), and a request
+carrying :data:`~repro.live.wire.SEQ_HEADER` is counted at most once —
+under an at-least-once transport a *retried* exchange must not inflate
+the server-load counters the differential oracle pins.  Responses
+themselves are pure functions of the request, so replaying the work is
+free; only the counting needs the dedup.
 """
 
 from __future__ import annotations
@@ -41,12 +53,19 @@ from repro.http.messages import Request, Response, make_ok
 from repro.live.wire import (
     CONTROL_PREFIX,
     DATE,
+    OBJECT_HEADER,
     PRAGMA,
+    SEQ_HEADER,
     WARMUP_HEADER,
+    LiveConnectionClosed,
     LiveWireError,
+    cancel_handler_tasks,
+    pin_handler_task,
     read_request,
+    wants_keepalive,
     write_message,
 )
+from repro.obs import registry as obs_metrics
 
 
 def _error(status: int, message: str) -> tuple[Response, str]:
@@ -78,6 +97,11 @@ class LiveOrigin:
         self.gets = 0
         #: Counted (non-warmup) If-Modified-Since exchanges served.
         self.ims_queries = 0
+        #: Transport-level connection failures observed while serving.
+        self.connection_errors = 0
+        self._seen: set[str] = set()
+        self._state_lock = asyncio.Lock()
+        self._handlers: set[asyncio.Task[None]] = set()
         self._listener: Optional[asyncio.AbstractServer] = None
         self._host = ""
         self._port = 0
@@ -98,6 +122,7 @@ class LiveOrigin:
             self._listener.close()
             await self._listener.wait_closed()
             self._listener = None
+        await cancel_handler_tasks(self._handlers)
 
     @property
     def host(self) -> str:
@@ -114,18 +139,37 @@ class LiveOrigin:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        pin_handler_task(self._handlers)
         try:
-            try:
-                request, _ = await read_request(reader)
-            except LiveWireError as exc:
-                response, body = _error(400, str(exc))
-            else:
-                response, body = self._respond(request)
-            await write_message(writer, response.serialize(body))
-        except (ConnectionError, asyncio.CancelledError):
-            pass
+            while True:
+                try:
+                    request, _ = await read_request(reader)
+                except LiveConnectionClosed:
+                    break
+                except LiveWireError as exc:
+                    response, body = _error(400, str(exc))
+                    await write_message(writer, response.serialize(body))
+                    break
+                keep = wants_keepalive(request)
+                async with self._state_lock:
+                    response, body = self._respond(request)
+                await write_message(writer, response.serialize(body))
+                if not keep:
+                    break
+        except asyncio.CancelledError:
+            # Teardown must propagate: suppressing it would leave the
+            # listener's close() waiting on this handler forever.
+            raise
+        except ConnectionError:
+            await self._note_connection_error()
         finally:
             writer.close()
+
+    async def _note_connection_error(self) -> None:
+        """Count a transport failure instead of silently swallowing it."""
+        async with self._state_lock:
+            self.connection_errors += 1
+            obs_metrics.emit("live.connection_errors")
 
     def _respond(self, request: Request) -> tuple[Response, str]:
         if request.method != "GET":
@@ -133,6 +177,22 @@ class LiveOrigin:
         if request.path.startswith(CONTROL_PREFIX):
             return self._control(request)
         return self._object(request)
+
+    def _fresh_seq(self, request: Request) -> bool:
+        """True when this exchange should be counted.
+
+        A request without :data:`SEQ_HEADER` is always fresh (the
+        historical serial driver sends none).  With one, only the first
+        arrival counts — a retry after a chaos fault or proxy restart
+        repeats the work but not the accounting.
+        """
+        seq = request.headers.get(SEQ_HEADER)
+        if seq is None:
+            return True
+        if seq in self._seen:
+            return False
+        self._seen.add(seq)
+        return True
 
     # -- control endpoints ---------------------------------------------------
 
@@ -147,6 +207,14 @@ class LiveOrigin:
             return _text_ok("".join(line + "\n" for line in lines))
         if endpoint == "invalidations":
             return self._invalidations(request)
+        if endpoint == "feed":
+            # The full modification feed, for compiling a FaultPlan on
+            # the proxy side exactly as Simulation.__init__ does.
+            lines = [
+                f"{format_http_date(mod_time)}\t{oid}\n"
+                for mod_time, oid in self.server.invalidation_feed()
+            ]
+            return _text_ok("".join(lines))
         if endpoint == "stats":
             return _text_ok(
                 json.dumps(
@@ -163,7 +231,10 @@ class LiveOrigin:
         ``If-Modified-Since`` carries the window's exclusive lower edge,
         ``Date`` the inclusive upper edge — the exact contract of
         :meth:`repro.core.server.OriginServer.feed_between`, so a proxy
-        polling successive windows sees every event exactly once.
+        polling successive windows sees every event exactly once.  An
+        ``X-Repro-Object`` header restricts the window to one object —
+        the concurrent proxy pulls per-object windows under per-object
+        locks.
         """
         try:
             since = request.headers.if_modified_since
@@ -176,9 +247,11 @@ class LiveOrigin:
                 "invalidation window needs If-Modified-Since (since, "
                 "exclusive) and Date (until, inclusive) headers",
             )
+        only = request.headers.get(OBJECT_HEADER)
         lines = [
             f"{format_http_date(mod_time)}\t{oid}\n"
             for mod_time, oid in self.server.feed_between(since, until)
+            if only is None or oid == only
         ]
         return _text_ok("".join(lines))
 
@@ -202,7 +275,7 @@ class LiveOrigin:
             except HTTPDateError as exc:
                 return _error(400, str(exc))
             assert since is not None  # is_conditional implies presence
-            if not warmup:
+            if not warmup and self._fresh_seq(request):
                 self.ims_queries += 1
             result = self.server.if_modified_since(request.path, t, since)
             if isinstance(result, NotModified):
@@ -212,7 +285,7 @@ class LiveOrigin:
                     response.headers.set_date(EXPIRES, result.expires)
                 return response, ""
         else:
-            if not warmup:
+            if not warmup and self._fresh_seq(request):
                 self.gets += 1
             result = self.server.get(request.path, t)
         return self._full_response(request.path, t, result)

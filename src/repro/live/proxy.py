@@ -10,10 +10,12 @@ the equivalence the live-vs-sim differential leg
 (:mod:`repro.live.differential`) enforces:
 
 * before serving a request at time *t*, the proxy pulls the origin's
-  invalidation window ``(last_sync, t]`` over the wire and applies it
-  exactly like the simulator's ``_deliver_invalidations_until`` (the
+  invalidation window over the wire and applies it exactly like the
+  simulator's ``_deliver_invalidations_until`` (the
   ``charge_per_modification`` policy and the eager-prefetch variant
-  included);
+  included) — or, under an installed :class:`~repro.faults.FaultPlan`,
+  replays the compiled fault schedule exactly like the simulator's
+  ``_process_fault_actions``;
 * a fresh entry is served from cache (``X-Cache: HIT``); an expired
   entry is revalidated with a real If-Modified-Since exchange in
   optimized mode (``X-Cache: REVALIDATED`` on 304) or refetched
@@ -32,11 +34,36 @@ are comparable cell-for-cell), while :attr:`LiveProxy.wire_bytes`
 separately tallies the *actual* bytes moved on sockets — the real
 HTTP/1.0 framing overhead the 43-byte model abstracts away.
 
-A single asyncio lock serializes request processing: the simulator is a
-sequential machine, and equivalence to it is the contract.  Simulation
-time comes exclusively from ``Date`` headers — the proxy never reads a
-wall clock (RPR001-scoped), which is what makes live replays
-reproducible.
+Locking discipline (RPR007-checked).  Historically one asyncio lock
+serialized everything; now lock granularity follows state scope:
+
+* each object's request stream is processed under a **per-object
+  lock** (``concurrent=True``), so distinct objects interleave freely —
+  per-object event timelines fully determine per-object cache state,
+  and the run's counters are order-independent sums over them, which
+  is why the differential oracle still pins the totals exactly;
+* protocols whose freshness decisions couple objects
+  (``cross_object_state`` — the self-tuning per-file-type thresholds)
+  fall back to one global lock, as do control exchanges;
+* every mutation of *shared* aggregates (counters, ledger, event log,
+  wire tally, the journal) happens inside a short critical section
+  under ``_state_lock`` — :meth:`_commit`, called once per request
+  with the transaction's accumulated deltas.
+
+Transactions make chaos survivable: a request's effects are staged in
+a :class:`_Txn`, committed (journaled, then applied) *before* the reply
+is sent, and the serialized reply is remembered under the request's
+``X-Repro-Seq`` so an at-least-once transport (socket faults, proxy
+restarts) gets exactly-once accounting — a retry of a committed
+exchange replays the stored reply without touching state.  Upstream
+exchanges are made idempotent the same way: deterministic per-object
+sequence ids, journaled with the transaction, so even a proxy
+SIGKILLed mid-request retries its origin fetches under the same ids
+and the origin's counters cannot double-count.
+
+Simulation time comes exclusively from ``Date`` headers — the proxy
+never reads a wall clock (RPR001-scoped), which is what makes live
+replays reproducible.
 """
 
 from __future__ import annotations
@@ -59,23 +86,55 @@ from repro.core.metrics import (
 from repro.core.protocols.base import ConsistencyProtocol
 from repro.core.simulator import SimulatorMode
 from repro.fastpath.contract import COUNTER_FIELDS
+from repro.faults.plan import (
+    ATTEMPT_LOST,
+    ATTEMPT_SENT,
+    CRASH,
+    DROP,
+    FaultAction,
+    FaultPlan,
+)
 from repro.http.datefmt import HTTPDateError, parse_http_date
 from repro.http.headers import CONTENT_LENGTH, CONTENT_TYPE, EXPIRES
 from repro.http.messages import Request, Response, make_ok
+from repro.live.journal import Journal
 from repro.live.wire import (
     CONTROL_PREFIX,
     DATE,
+    OBJECT_HEADER,
     PRAGMA,
+    SEQ_HEADER,
     WARMUP_HEADER,
     X_CACHE,
+    LiveConnectionClosed,
+    LiveReplayError,
     LiveWireError,
+    cancel_handler_tasks,
+    ensure_integral,
     exchange,
+    pin_handler_task,
     read_request,
+    wants_keepalive,
     write_message,
 )
 from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
 from repro.obs import trace as obs_trace
+
+#: Cache-entry fields serialized into journal records, in constructor
+#: order (``CacheEntry(**dict)`` must round-trip).
+_ENTRY_FIELDS = (
+    "object_id",
+    "version",
+    "size",
+    "file_type",
+    "fetched_at",
+    "validated_at",
+    "last_modified",
+    "valid",
+    "expires_at",
+    "server_expires",
+)
 
 
 def _error(status: int, message: str) -> tuple[Response, str]:
@@ -84,6 +143,49 @@ def _error(status: int, message: str) -> tuple[Response, str]:
     response.headers.set(CONTENT_LENGTH, str(len(body)))
     response.headers.set(CONTENT_TYPE, "text")
     return response, body
+
+
+def _entry_dict(entry: CacheEntry) -> dict[str, object]:
+    return {name: getattr(entry, name) for name in _ENTRY_FIELDS}
+
+
+class _Txn:
+    """One request's staged effects, applied atomically at commit.
+
+    Everything a request adds to *shared* state accumulates here while
+    the request runs under its object (or global) lock; :meth:`LiveProxy
+    ._commit` folds it into the proxy — and the journal — in one short
+    ``_state_lock`` critical section.  Cache entries and protocol state
+    are mutated in place during processing (they are protected by the
+    object lock that serialized this request); the transaction records
+    which entries were touched so the journal can persist their
+    post-state.
+    """
+
+    __slots__ = (
+        "seq",
+        "counters",
+        "bandwidth",
+        "events",
+        "touched",
+        "cleared",
+        "cursors",
+        "last_sync",
+        "obj_now",
+        "fault_idx",
+    )
+
+    def __init__(self, seq: Optional[str] = None) -> None:
+        self.seq = seq
+        self.counters = ConsistencyCounters()
+        self.bandwidth = BandwidthLedger()
+        self.events: list[tuple[str, float, str]] = []
+        self.touched: set[str] = set()
+        self.cleared = False
+        self.cursors: dict[str, float] = {}
+        self.last_sync: Optional[float] = None
+        self.obj_now: Optional[tuple[str, float]] = None
+        self.fault_idx: Optional[int] = None
 
 
 class LiveProxy:
@@ -99,6 +201,26 @@ class LiveProxy:
         costs: the abstract byte cost model charged to the ledger.
         charge_per_modification: the Section 4.1 invalidation charging
             policy, identical in meaning to the simulator's knob.
+        concurrent: serve distinct objects under per-object locks
+            instead of one global lock.  Requests then only need to be
+            time-ordered *per object*; protocols with
+            ``cross_object_state`` still serialize globally.
+        faults: replay this compiled-at-warm-time invalidation fault
+            plan instead of the fault-free feed, mirroring the
+            simulator's ``faults=`` knob.  Serial-only (the schedule is
+            a global timeline).
+        journal: a :class:`~repro.live.journal.Journal` to write
+            commit-before-reply transaction records to; see
+            :meth:`restore`.
+        upstream_attempts: retry budget for origin exchanges (used when
+            a chaos relay sits on the upstream hop); retries carry
+            deterministic per-object sequence ids so the origin can
+            dedup its counting.
+
+    Raises:
+        LiveReplayError: for ``faults`` combined with ``concurrent``
+            (the schedule is a global timeline), or a fault plan whose
+            delay/backoff is not wire-exact (whole seconds).
     """
 
     def __init__(
@@ -110,6 +232,10 @@ class LiveProxy:
         *,
         costs: MessageCosts = DEFAULT_COSTS,
         charge_per_modification: bool = True,
+        concurrent: bool = False,
+        faults: Optional[FaultPlan] = None,
+        journal: Optional[Journal] = None,
+        upstream_attempts: int = 1,
     ) -> None:
         self.origin_host = origin_host
         self.origin_port = origin_port
@@ -117,25 +243,77 @@ class LiveProxy:
         self.mode = mode
         self.costs = costs
         self.charge_per_modification = bool(charge_per_modification)
+        self.concurrent = bool(concurrent)
+        self.faults = faults
+        self.upstream_attempts = max(1, int(upstream_attempts))
+        if faults is not None:
+            if self.concurrent:
+                raise LiveReplayError(
+                    "a fault plan is a global timeline; faulted live "
+                    "replays run with concurrent=False"
+                )
+            ensure_integral(faults.delay, "fault-plan delay")
+            if faults.retries > 0:
+                ensure_integral(faults.backoff, "fault-plan backoff")
         self.cache = Cache()
         self.counters = ConsistencyCounters()
         self.bandwidth = BandwidthLedger()
         #: Actual bytes moved on sockets (client side + origin side) —
         #: the live-only measurement the 43-byte model abstracts away.
         self.wire_bytes = 0
+        #: Transport-level connection failures observed while serving.
+        self.connection_errors = 0
+        #: Committed events, in commit order (hardened modes only) —
+        #: the live counterpart of the simulator's observer stream.
+        self.events: list[tuple[str, float, str]] = []
         self._now = 0.0
         self._last_sync = 0.0
-        self._lock = asyncio.Lock()
+        self._warm_time = 0.0
+        #: Per-object invalidation-feed cursors (concurrent sync).
+        self._cursors: dict[str, float] = {}
+        #: Per-object request clocks (concurrent time-order check).
+        self._obj_now: dict[str, float] = {}
+        #: Committed serialized replies by X-Repro-Seq (retry replay).
+        self._done: dict[str, str] = {}
+        #: Next upstream sequence number per object (idempotent fetches).
+        self._upstream: dict[str, int] = {}
+        self._fault_actions: tuple[FaultAction, ...] = ()
+        self._fault_idx = 0
+        self._journal = journal
+        self._state_lock = asyncio.Lock()
+        self._global_lock = asyncio.Lock()
+        self._object_locks: dict[str, asyncio.Lock] = {}
+        self._handlers: set[asyncio.Task[None]] = set()
         self._listener: Optional[asyncio.AbstractServer] = None
         self._host = ""
         self._port = 0
+
+    @property
+    def hardened(self) -> bool:
+        """True when any beyond-PR-7 behaviour is active.
+
+        Gates the extended stats payload (events, connection errors)
+        so zero-fault single-connection replays stay byte-identical to
+        the historical wire traffic.
+        """
+        return (
+            self.concurrent
+            or self.faults is not None
+            or self._journal is not None
+            or self.upstream_attempts > 1
+        )
+
+    @property
+    def _per_object(self) -> bool:
+        """True when requests are ordered/locked/synced per object."""
+        return self.concurrent and not self.protocol.cross_object_state
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Bind and start serving; ``port=0`` picks an ephemeral port."""
         self._listener = await asyncio.start_server(
-            self._handle, host=host, port=port
+            self._handle, host=host, port=port, reuse_address=True
         )
         sockname = self._listener.sockets[0].getsockname()
         self._host, self._port = sockname[0], int(sockname[1])
@@ -146,6 +324,7 @@ class LiveProxy:
             self._listener.close()
             await self._listener.wait_closed()
             self._listener = None
+        await cancel_handler_tasks(self._handlers)
 
     @property
     def host(self) -> str:
@@ -166,35 +345,58 @@ class LiveProxy:
         valid copies of all the files" configuration
         (:meth:`repro.core.cache.Cache.preload_from`): real warmup-tagged
         GETs fetch each population object at ``start_time``; neither
-        side counts or charges them.
+        side counts or charges them.  With a journal installed, the
+        warmed state is written as the journal's base records; with a
+        fault plan installed, the origin's full modification feed is
+        fetched and compiled into the action schedule exactly as
+        ``Simulation.__init__`` does.
 
         Returns:
             The number of entries loaded.
         """
         warm_started = obs_clock.monotonic()
         listing = Request("GET", CONTROL_PREFIX + "population")
-        _, body, nbytes = await exchange(
-            self.origin_host, self.origin_port, listing
-        )
-        self.wire_bytes += nbytes
+        _, body, _ = await self._origin_raw(listing)
         loaded = 0
         for object_id in body.splitlines():
             request = Request("GET", object_id)
             request.headers.set_date(DATE, start_time)
             request.headers.set(WARMUP_HEADER, "1")
-            response, _, nbytes = await exchange(
-                self.origin_host, self.origin_port, request
-            )
-            self.wire_bytes += nbytes
+            response, _, _ = await self._origin_raw(request)
             if response.status != 200:
                 raise LiveWireError(
                     f"warmup fetch of {object_id!r} returned "
                     f"{response.status}"
                 )
-            self._store_from_response(object_id, response, start_time)
+            self._store_from_response(object_id, response, start_time, None)
             loaded += 1
         self._now = float(start_time)
         self._last_sync = float(start_time)
+        self._warm_time = float(start_time)
+        if self.faults is not None:
+            await self._compile_faults()
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "kind": "config",
+                    "protocol": self.protocol.name,
+                    "mode": self.mode.value,
+                    "charge_per_modification": self.charge_per_modification,
+                    "concurrent": self.concurrent,
+                }
+            )
+            self._journal.append(
+                {
+                    "kind": "warm",
+                    "t": float(start_time),
+                    "entries": [
+                        _entry_dict(entry)
+                        for entry in sorted(
+                            self.cache, key=lambda e: e.object_id
+                        )
+                    ],
+                }
+            )
         obs_trace.span(
             "live.warmup",
             obs_clock.monotonic() - warm_started,
@@ -202,7 +404,178 @@ class LiveProxy:
         )
         return loaded
 
+    async def _compile_faults(self) -> None:
+        """Fetch the origin's full feed and compile the fault schedule."""
+        assert self.faults is not None
+        feed: tuple[tuple[float, str], ...] = ()
+        if self.protocol.wants_invalidations:
+            request = Request("GET", CONTROL_PREFIX + "feed")
+            response, body, _ = await self._origin_raw(request)
+            if response.status != 200:
+                raise LiveWireError(
+                    f"feed endpoint returned {response.status}"
+                )
+            feed = tuple(
+                self._parse_feed_line(line) for line in body.splitlines()
+            )
+        self._fault_actions = self.faults.compile(
+            feed, start_time=self._warm_time
+        )
+
+    # -- restore -------------------------------------------------------------
+
+    async def restore(self) -> bool:
+        """Rebuild state from the journal after a crash.
+
+        Replays the journal's config/warm/txn records in order: cache
+        entries, counters, ledger, events, cursors, clocks, committed
+        replies (so retried in-flight requests replay rather than
+        re-execute), upstream sequence ids, and the protocol's adaptive
+        state.  With a fault plan installed, the schedule is re-fetched
+        and re-compiled (compilation is deterministic) and the replay
+        position restored.
+
+        Returns:
+            True when the journal held records (the proxy is warm);
+            False for an empty/missing journal (boot normally and
+            :meth:`warm`).
+
+        Raises:
+            LiveReplayError: when the journal's config record does not
+                match this proxy's configuration.
+        """
+        if self._journal is None:
+            raise LiveReplayError("restore() needs a journal")
+        restore_started = obs_clock.monotonic()
+        records = self._journal.load()
+        if not records:
+            return False
+        for record in records:
+            kind = record.get("kind")
+            if kind == "config":
+                self._check_config(record)
+            elif kind == "warm":
+                self._restore_warm(record)
+            elif kind == "txn":
+                self._apply_record(record)
+            else:
+                raise LiveReplayError(f"unknown journal record kind {kind!r}")
+        if self.faults is not None:
+            await self._compile_faults()
+        obs_trace.span(
+            "live.restore",
+            obs_clock.monotonic() - restore_started,
+            records=len(records),
+        )
+        return True
+
+    def _check_config(self, record: dict[str, object]) -> None:
+        mine = {
+            "protocol": self.protocol.name,
+            "mode": self.mode.value,
+            "charge_per_modification": self.charge_per_modification,
+            "concurrent": self.concurrent,
+        }
+        for key, expected in mine.items():
+            if record.get(key) != expected:
+                raise LiveReplayError(
+                    f"journal config mismatch for {key!r}: journal has "
+                    f"{record.get(key)!r}, proxy has {expected!r}"
+                )
+
+    def _restore_warm(self, record: dict[str, object]) -> None:
+        t = float(record["t"])  # type: ignore[arg-type]
+        self._now = t
+        self._last_sync = t
+        self._warm_time = t
+        entries = record.get("entries", [])
+        assert isinstance(entries, list)
+        for fields in entries:
+            entry = CacheEntry(**fields)
+            self.cache.store(entry)
+            self.protocol.on_stored(entry, t)
+
+    def _apply_record(self, record: dict[str, object]) -> None:
+        """Replay one committed transaction from the journal."""
+        seq = record.get("seq")
+        if isinstance(seq, str):
+            self._done[seq] = str(record.get("payload", ""))
+        counters = record.get("counters", {})
+        assert isinstance(counters, dict)
+        for name, delta in counters.items():
+            setattr(
+                self.counters,
+                name,
+                getattr(self.counters, name) + delta,
+            )
+        ledger = record.get("ledger", {})
+        assert isinstance(ledger, dict)
+        for table_name, cells in ledger.items():
+            table = getattr(self.bandwidth, table_name)
+            for category, delta in cells.items():
+                table[category] += delta
+        events = record.get("events", [])
+        assert isinstance(events, list)
+        for kind, t, oid in events:
+            self.events.append((str(kind), float(t), str(oid)))
+        if record.get("cleared"):
+            self.cache.clear()
+        entries = record.get("entries", {})
+        assert isinstance(entries, dict)
+        for object_id, fields in entries.items():
+            if fields is None:
+                self.cache.drop(object_id)
+            else:
+                self.cache.store(CacheEntry(**fields))
+        cursors = record.get("cursors", {})
+        assert isinstance(cursors, dict)
+        for object_id, cursor in cursors.items():
+            self._cursors[object_id] = float(cursor)
+        if "last_sync" in record:
+            self._last_sync = float(record["last_sync"])  # type: ignore[arg-type]
+        if "now" in record:
+            self._now = max(self._now, float(record["now"]))  # type: ignore[arg-type]
+        obj_now = record.get("obj_now")
+        if isinstance(obj_now, list):
+            self._obj_now[str(obj_now[0])] = float(obj_now[1])
+        upstream = record.get("upstream", {})
+        assert isinstance(upstream, dict)
+        for object_id, n in upstream.items():
+            self._upstream[object_id] = int(n)
+        if "fault_idx" in record:
+            self._fault_idx = int(record["fault_idx"])  # type: ignore[arg-type]
+        state = record.get("state")
+        if isinstance(state, dict):
+            self.protocol.state_restore(state)
+
     # -- origin exchanges ----------------------------------------------------
+
+    async def _origin_raw(
+        self, request: Request
+    ) -> tuple[Response, str, int]:
+        """One upstream exchange, retried under a chaos-sized budget.
+
+        The wire tally is charged per attempt — lost bytes moved on a
+        socket too.  Retried requests carry whatever ``X-Repro-Seq``
+        the caller stamped, so the origin's counting dedups.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.upstream_attempts):
+            if attempt:
+                obs_metrics.emit("live.retries")
+            try:
+                response, body, nbytes = await exchange(
+                    self.origin_host, self.origin_port, request
+                )
+            except (LiveWireError, ConnectionError, OSError) as exc:
+                last = exc
+                continue
+            self.wire_bytes += nbytes
+            return response, body, nbytes
+        raise LiveWireError(
+            f"origin exchange for {request.path!r} failed after "
+            f"{self.upstream_attempts} attempts: {last}"
+        )
 
     async def _origin_get(
         self, object_id: str, t: float, since: Optional[float] = None
@@ -212,10 +585,15 @@ class LiveProxy:
         request.headers.set_date(DATE, t)
         if since is not None:
             request.headers.set_date("If-Modified-Since", since)
-        response, _, nbytes = await exchange(
-            self.origin_host, self.origin_port, request
-        )
-        self.wire_bytes += nbytes
+        if self.upstream_attempts > 1:
+            # Deterministic idempotency id: the k-th counted fetch of
+            # this object.  Journaled with the surrounding transaction,
+            # so a restarted proxy's retries reuse the same ids and the
+            # origin cannot double-count.
+            k = self._upstream.get(object_id, 0)
+            self._upstream[object_id] = k + 1
+            request.headers.set(SEQ_HEADER, f"{object_id}@{k}")
+        response, _, _ = await self._origin_raw(request)
         if response.status not in (200, 304):
             raise LiveWireError(
                 f"origin returned {response.status} for {object_id!r}"
@@ -223,7 +601,11 @@ class LiveProxy:
         return response
 
     def _store_from_response(
-        self, object_id: str, response: Response, t: float
+        self,
+        object_id: str,
+        response: Response,
+        t: float,
+        txn: Optional[_Txn],
     ) -> CacheEntry:
         """Build and store a cache entry from a live 200 response.
 
@@ -252,100 +634,416 @@ class LiveProxy:
         )
         self.cache.store(entry)
         self.protocol.on_stored(entry, t)
+        if txn is not None:
+            txn.touched.add(object_id)
         return entry
 
     # -- invalidation sync ---------------------------------------------------
 
-    async def _sync_invalidations(self, until: float) -> None:
-        """Pull and apply the origin's invalidation window
-        ``(last_sync, until]``.
+    @staticmethod
+    def _parse_feed_line(line: str) -> tuple[float, str]:
+        date_text, sep, object_id = line.partition("\t")
+        if not sep:
+            raise LiveWireError(f"bad invalidation feed line: {line!r}")
+        try:
+            mod_time = parse_http_date(date_text)
+        except HTTPDateError as exc:
+            raise LiveWireError(
+                f"bad invalidation feed date: {date_text!r}"
+            ) from exc
+        return mod_time, object_id
 
-        The live transport of the simulator's
-        ``_deliver_invalidations_until``: each feed line is applied in
-        order through :meth:`Cache.invalidate`, charged under the
-        ``charge_per_modification`` policy, and — for the eager
-        protocol variant — followed by a real prefetch GET at the
-        modification time.
-        """
-        if not self.protocol.wants_invalidations:
-            return
-        if until <= self._last_sync:
-            return
+    async def _origin_window(
+        self,
+        since: float,
+        until: float,
+        object_id: Optional[str] = None,
+    ) -> str:
+        """Fetch one ``(since, until]`` invalidation window upstream."""
         request = Request("GET", CONTROL_PREFIX + "invalidations")
-        request.headers.set_date("If-Modified-Since", self._last_sync)
+        request.headers.set_date("If-Modified-Since", since)
         request.headers.set_date(DATE, until)
-        response, body, nbytes = await exchange(
-            self.origin_host, self.origin_port, request
-        )
-        self.wire_bytes += nbytes
+        if object_id is not None:
+            request.headers.set(OBJECT_HEADER, object_id)
+        response, body, _ = await self._origin_raw(request)
         if response.status != 200:
             raise LiveWireError(
                 f"invalidation feed returned {response.status}"
             )
-        self._last_sync = float(until)
-        control, notice_body = self.costs.invalidation_notice()
+        return body
+
+    async def _apply_invalidation(
+        self, object_id: str, mod_time: float, txn: _Txn
+    ) -> None:
+        """Apply one feed line: the body of the simulator's
+        ``_deliver_invalidations_until`` loop."""
+        if self.cache.peek(object_id) is None:
+            return
+        went_invalid = self.cache.invalidate(object_id)
+        txn.touched.add(object_id)
+        if went_invalid or self.charge_per_modification:
+            txn.counters.invalidations_received += 1
+            txn.counters.server_invalidations_sent += 1
+            control, body = self.costs.invalidation_notice()
+            txn.bandwidth.charge(INVALIDATION, control, body)
+            txn.events.append(("invalidation", mod_time, object_id))
+        if getattr(self.protocol, "eager", False):
+            # Pre-optimization invalidation: push the new copy with
+            # the notice, off any client's critical path.
+            prefetched = await self._origin_get(object_id, mod_time)
+            p_control, p_body = self.costs.full_retrieval(
+                prefetched.body_size
+            )
+            txn.bandwidth.charge(PREFETCH, p_control, p_body)
+            txn.counters.prefetches += 1
+            self._store_from_response(object_id, prefetched, mod_time, txn)
+            txn.events.append(("prefetch", mod_time, object_id))
+
+    async def _deliver(
+        self, until: float, txn: _Txn, object_id: Optional[str]
+    ) -> None:
+        """Deliver pending invalidations (or fault actions) up to
+        ``until`` before serving at that time.
+
+        ``object_id`` scopes the pull under per-object locking; ``None``
+        (finish, or global-lock modes) delivers for every object.
+        """
+        if self.faults is not None:
+            # The injection seam, exactly as in the simulator: delivery
+            # runs off the compiled schedule (possibly empty) and the
+            # fault-free feed path is bypassed entirely.
+            await self._apply_fault_actions(until, txn)
+            return
+        if not self.protocol.wants_invalidations:
+            return
+        if self._per_object and object_id is not None:
+            await self._sync_object(object_id, until, txn)
+        elif self._per_object:
+            await self._finish_sync_all(until, txn)
+        else:
+            await self._sync_global(until, txn)
+
+    async def _sync_global(self, until: float, txn: _Txn) -> None:
+        """Pull and apply the origin's invalidation window
+        ``(last_sync, until]`` — the serial path, byte-identical to the
+        historical behaviour."""
+        if until <= self._last_sync:
+            return
+        body = await self._origin_window(self._last_sync, until)
+        txn.last_sync = float(until)
+        for line in body.splitlines():
+            mod_time, object_id = self._parse_feed_line(line)
+            await self._apply_invalidation(object_id, mod_time, txn)
+
+    async def _sync_object(
+        self, object_id: str, until: float, txn: _Txn
+    ) -> None:
+        """Pull one object's window ``(cursor, until]`` under its lock.
+
+        Per-object cursors replace the single ``last_sync`` watermark:
+        two objects' syncs commute because each window is filtered to
+        its own object, and the feed events carry their modification
+        times, so the committed event multiset is independent of the
+        interleaving.
+        """
+        cursor = self._cursors.get(object_id, self._warm_time)
+        if until <= cursor:
+            return
+        body = await self._origin_window(cursor, until, object_id=object_id)
+        txn.cursors[object_id] = float(until)
+        for line in body.splitlines():
+            mod_time, oid = self._parse_feed_line(line)
+            await self._apply_invalidation(oid, mod_time, txn)
+
+    async def _finish_sync_all(self, until: float, txn: _Txn) -> None:
+        """Advance every object's cursor to ``until`` (the finish flush).
+
+        One unfiltered pull from the lowest cursor, applied per line
+        only where that object's cursor has not already passed it —
+        objects synced at different depths see each event exactly once.
+        """
+        cursors = {
+            entry.object_id: self._cursors.get(
+                entry.object_id, self._warm_time
+            )
+            for entry in self.cache
+        }
+        low = min(cursors.values(), default=self._warm_time)
+        if until > low:
+            body = await self._origin_window(low, until)
+            for line in body.splitlines():
+                mod_time, object_id = self._parse_feed_line(line)
+                if mod_time <= cursors.get(object_id, until):
+                    continue
+                await self._apply_invalidation(object_id, mod_time, txn)
+        for object_id, cursor in cursors.items():
+            if until > cursor:
+                txn.cursors[object_id] = float(until)
+
+    async def _apply_fault_actions(self, until: float, txn: _Txn) -> None:
+        """Replay compiled fault actions with timestamps <= ``until``.
+
+        A verbatim mirror of the simulator's ``_process_fault_actions``:
+        attempts are charged when they leave the server (lost ones
+        included), deliveries count on arrival, drops and crashes only
+        emit events — so a faulted live replay and ``simulate(faults=
+        plan)`` stay cell-identical.
+        """
+        assert self.faults is not None
+        actions = self._fault_actions
+        idx = self._fault_idx
+        control, body = self.costs.invalidation_notice()
         eager = getattr(self.protocol, "eager", False)
         per_modification = self.charge_per_modification
-        for line in body.splitlines():
-            date_text, sep, object_id = line.partition("\t")
-            if not sep:
-                raise LiveWireError(f"bad invalidation feed line: {line!r}")
-            try:
-                mod_time = parse_http_date(date_text)
-            except HTTPDateError as exc:
-                raise LiveWireError(
-                    f"bad invalidation feed date: {date_text!r}"
-                ) from exc
-            if self.cache.peek(object_id) is None:
+        n = len(actions)
+        while idx < n and actions[idx].time <= until:
+            action = actions[idx]
+            idx += 1
+            if action.kind == CRASH:
+                self.cache.clear()
+                txn.cleared = True
+                txn.touched.clear()
+                txn.events.append(("fault_cache_crash", action.time, ""))
                 continue
-            went_invalid = self.cache.invalidate(object_id)
-            if went_invalid or per_modification:
-                self.counters.invalidations_received += 1
-                self.counters.server_invalidations_sent += 1
-                self.bandwidth.charge(INVALIDATION, control, notice_body)
-            if eager:
-                # Pre-optimization invalidation: push the new copy with
-                # the notice, off any client's critical path.
-                prefetched = await self._origin_get(object_id, mod_time)
-                p_control, p_body = self.costs.full_retrieval(
-                    prefetched.body_size
+            entry = self.cache.peek(action.object_id)
+            if entry is None:
+                continue
+            if action.kind == ATTEMPT_SENT or action.kind == ATTEMPT_LOST:
+                if entry.valid or per_modification:
+                    txn.counters.server_invalidations_sent += 1
+                    txn.bandwidth.charge(INVALIDATION, control, body)
+                    if action.kind == ATTEMPT_LOST:
+                        txn.events.append(
+                            (
+                                "fault_invalidation_lost",
+                                action.time,
+                                action.object_id,
+                            )
+                        )
+            elif action.kind == DROP:
+                if entry.valid:
+                    txn.events.append(
+                        (
+                            "fault_invalidation_dropped",
+                            action.time,
+                            action.object_id,
+                        )
+                    )
+            else:  # DELIVER
+                went_invalid = self.cache.invalidate(
+                    action.object_id, modified_at=action.mod_time
                 )
-                self.bandwidth.charge(PREFETCH, p_control, p_body)
-                self.counters.prefetches += 1
-                self._store_from_response(object_id, prefetched, mod_time)
+                txn.touched.add(action.object_id)
+                if went_invalid or per_modification:
+                    txn.counters.invalidations_received += 1
+                    if action.attempt > 0:
+                        txn.events.append(
+                            (
+                                "fault_invalidation_recovered",
+                                action.time,
+                                action.object_id,
+                            )
+                        )
+                    txn.events.append(
+                        ("invalidation", action.time, action.object_id)
+                    )
+                if eager:
+                    prefetched = await self._origin_get(
+                        action.object_id, action.time
+                    )
+                    p_control, p_body = self.costs.full_retrieval(
+                        prefetched.body_size
+                    )
+                    txn.bandwidth.charge(PREFETCH, p_control, p_body)
+                    txn.counters.prefetches += 1
+                    self._store_from_response(
+                        action.object_id, prefetched, action.time, txn
+                    )
+                    txn.events.append(
+                        ("prefetch", action.time, action.object_id)
+                    )
+        self._fault_idx = idx
+        txn.fault_idx = idx
 
     # -- request handling ----------------------------------------------------
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        pin_handler_task(self._handlers)
         try:
-            try:
-                request, received = await read_request(reader)
-            except LiveWireError as exc:
-                response, body = _error(400, str(exc))
-                sent = await write_message(writer, response.serialize(body))
-                self.wire_bytes += sent
-                return
-            async with self._lock:
+            while True:
                 try:
-                    response, body = await self._respond(request)
-                except (LiveWireError, HTTPDateError) as exc:
-                    response, body = _error(500, str(exc))
-            sent = await write_message(writer, response.serialize(body))
-            self.wire_bytes += received + sent
-            obs_metrics.observe("live.wire_bytes", float(received + sent))
-        except (ConnectionError, asyncio.CancelledError):
-            pass
+                    request, received = await read_request(reader)
+                except LiveConnectionClosed:
+                    break
+                except LiveWireError as exc:
+                    response, body = _error(400, str(exc))
+                    sent = await write_message(
+                        writer, response.serialize(body)
+                    )
+                    await self._account_wire(sent)
+                    break
+                keep = wants_keepalive(request)
+                payload = await self._process(request)
+                sent = await write_message(writer, payload)
+                await self._account_wire(received + sent)
+                if not keep:
+                    break
+        except asyncio.CancelledError:
+            # Teardown must propagate: suppressing it would leave the
+            # listener's close() waiting on this handler forever.
+            raise
+        except ConnectionError:
+            await self._note_connection_error()
         finally:
             writer.close()
 
-    async def _respond(self, request: Request) -> tuple[Response, str]:
+    async def _account_wire(self, nbytes: int) -> None:
+        async with self._state_lock:
+            self.wire_bytes += nbytes
+            obs_metrics.observe("live.wire_bytes", float(nbytes))
+
+    async def _note_connection_error(self) -> None:
+        """Count a transport failure instead of silently swallowing it."""
+        async with self._state_lock:
+            self.connection_errors += 1
+            obs_metrics.emit("live.connection_errors")
+
+    async def _process(self, request: Request) -> str:
         if request.method != "GET":
-            return _error(400, f"unsupported method {request.method!r}")
+            response, body = _error(
+                400, f"unsupported method {request.method!r}"
+            )
+            return response.serialize(body)
         if request.path.startswith(CONTROL_PREFIX):
-            return await self._control(request)
-        return await self._object(request)
+            return await self._process_control(request)
+        return await self._process_object(request)
+
+    async def _process_control(self, request: Request) -> str:
+        async with self._global_lock:
+            try:
+                response, body = await self._control(request)
+            except (LiveWireError, HTTPDateError) as exc:
+                response, body = _error(500, str(exc))
+            return response.serialize(body)
+
+    def _lock_for(self, object_id: str) -> asyncio.Lock:
+        """The lock serializing ``object_id``'s requests.
+
+        Per-object in concurrent mode; the one global lock otherwise
+        (serial mode, and protocols whose state couples objects).
+        """
+        if not self._per_object:
+            return self._global_lock
+        if object_id not in self._object_locks:
+            self._object_locks[object_id] = asyncio.Lock()
+        return self._object_locks[object_id]
+
+    async def _process_object(self, request: Request) -> str:
+        lock = self._lock_for(request.path)
+        async with lock:
+            seq = request.headers.get(SEQ_HEADER)
+            if seq is not None:
+                committed = self._done.get(seq)
+                if committed is not None:
+                    # Exactly-once over at-least-once transport: the
+                    # first arrival committed; replay its reply.
+                    return committed
+            txn = _Txn(seq)
+            try:
+                response, body = await self._object(request, txn)
+            except (LiveWireError, HTTPDateError) as exc:
+                response, body = _error(500, str(exc))
+            payload = response.serialize(body)
+            if response.status == 200:
+                # Commit-before-reply: once the reply leaves, the
+                # transaction is journaled and applied — a crash after
+                # this point replays, never re-executes.
+                await self._commit(txn, payload)
+            return payload
+
+    async def _commit(self, txn: _Txn, payload: str) -> None:
+        """Fold one transaction into shared state (and the journal).
+
+        The short critical section of the locking discipline: every
+        mutation of cross-object aggregates happens here, under
+        ``_state_lock``, after the per-object work completed under its
+        own lock.
+        """
+        async with self._state_lock:
+            record = (
+                self._txn_record(txn, payload)
+                if self._journal is not None
+                else None
+            )
+            if self._journal is not None and record is not None:
+                self._journal.append(record)
+            self.counters.merge(txn.counters)
+            self.bandwidth.merge(txn.bandwidth)
+            if self.hardened:
+                self.events.extend(txn.events)
+            if txn.seq is not None:
+                self._done[txn.seq] = payload
+            if txn.obj_now is not None:
+                self._obj_now[txn.obj_now[0]] = txn.obj_now[1]
+            for object_id, cursor in txn.cursors.items():
+                self._cursors[object_id] = cursor
+            if txn.last_sync is not None:
+                self._last_sync = txn.last_sync
+
+    def _txn_record(self, txn: _Txn, payload: str) -> dict[str, object]:
+        """Serialize one transaction's deltas for the journal."""
+        record: dict[str, object] = {"kind": "txn", "payload": payload}
+        if txn.seq is not None:
+            record["seq"] = txn.seq
+        counters = {
+            name: getattr(txn.counters, name)
+            for name in COUNTER_FIELDS
+            if getattr(txn.counters, name)
+        }
+        if counters:
+            record["counters"] = counters
+        ledger = {
+            table_name: {
+                category: count
+                for category, count in getattr(
+                    txn.bandwidth, table_name
+                ).items()
+                if count
+            }
+            for table_name in ("control_bytes", "body_bytes", "exchanges")
+        }
+        ledger = {k: v for k, v in ledger.items() if v}
+        if ledger:
+            record["ledger"] = ledger
+        if txn.events:
+            record["events"] = [list(event) for event in txn.events]
+        if txn.cleared:
+            record["cleared"] = True
+        if txn.touched or txn.cleared:
+            record["entries"] = {
+                object_id: (
+                    _entry_dict(entry) if entry is not None else None
+                )
+                for object_id in sorted(txn.touched)
+                for entry in (self.cache.peek(object_id),)
+            }
+        if txn.cursors:
+            record["cursors"] = dict(txn.cursors)
+        if txn.last_sync is not None:
+            record["last_sync"] = txn.last_sync
+        record["now"] = self._now
+        if txn.obj_now is not None:
+            record["obj_now"] = [txn.obj_now[0], txn.obj_now[1]]
+        if self._upstream:
+            record["upstream"] = dict(self._upstream)
+        if txn.fault_idx is not None:
+            record["fault_idx"] = txn.fault_idx
+        state = self.protocol.state_snapshot()
+        if state:
+            record["state"] = state
+        return record
 
     # -- control endpoints ---------------------------------------------------
 
@@ -353,6 +1051,15 @@ class LiveProxy:
         endpoint = request.path[len(CONTROL_PREFIX):]
         if endpoint == "stats":
             return self._stats()
+        if endpoint == "warm":
+            t = request.headers.get_date(DATE)
+            if t is None:
+                return _error(400, "warm needs a Date header (start time)")
+            loaded = await self.warm(t)
+            body = f"{loaded}\n"
+            response = Response(200, body_size=len(body))
+            response.headers.set(CONTENT_LENGTH, str(len(body)))
+            return response, body
         if endpoint == "finish":
             t = request.headers.get_date(DATE)
             if t is None:
@@ -364,8 +1071,12 @@ class LiveProxy:
                 )
             # The simulator's finish(end_time): trailing invalidations
             # are still delivered (and charged) after the last request.
-            await self._sync_invalidations(t)
+            # Idempotent — a retried finish finds every cursor already
+            # advanced and delivers nothing.
+            txn = _Txn()
+            await self._deliver(t, txn, object_id=None)
             self._now = float(t)
+            await self._commit(txn, "")
             body = "ok\n"
             response = Response(200, body_size=len(body))
             response.headers.set(CONTENT_LENGTH, str(len(body)))
@@ -373,7 +1084,7 @@ class LiveProxy:
         return _error(404, f"unknown control endpoint {endpoint!r}")
 
     def _stats(self) -> tuple[Response, str]:
-        payload = {
+        payload: dict[str, object] = {
             "counters": {
                 name: getattr(self.counters, name)
                 for name in COUNTER_FIELDS
@@ -387,6 +1098,11 @@ class LiveProxy:
             "protocol": self.protocol.name,
             "mode": self.mode.value,
         }
+        if self.hardened:
+            # Extended keys only in hardened modes, so the historical
+            # serial replay's stats body stays byte-identical.
+            payload["connection_errors"] = self.connection_errors
+            payload["events"] = [list(event) for event in self.events]
         body = json.dumps(payload, sort_keys=True) + "\n"
         response = Response(200, body_size=len(body))
         response.headers.set(CONTENT_LENGTH, str(len(body)))
@@ -395,45 +1111,61 @@ class LiveProxy:
 
     # -- the consistency state machine (mirror of Simulation.step) ----------
 
-    async def _object(self, request: Request) -> tuple[Response, str]:
+    async def _object(
+        self, request: Request, txn: _Txn
+    ) -> tuple[Response, str]:
         t = request.headers.get_date(DATE)
         if t is None:
             # Ad-hoc clients (curl) may omit Date; serve at the current
             # simulation time so exploration doesn't need header tooling.
             t = self._now
-        if t < self._now:
+        object_id = request.path
+        if self._per_object:
+            previous = self._obj_now.get(object_id, self._warm_time)
+            if t < previous:
+                return _error(
+                    400,
+                    f"request at {t!r} precedes {previous!r} for "
+                    f"{object_id!r}; per-object request streams must be "
+                    "time-ordered",
+                )
+            txn.obj_now = (object_id, float(t))
+        elif t < self._now:
             return _error(
                 400,
                 f"request at {t!r} precedes current time {self._now!r}; "
                 "live request streams must be time-ordered",
             )
-        self._now = float(t)
-        await self._sync_invalidations(t)
-        self.counters.requests += 1
+        self._now = max(self._now, float(t))
+        await self._deliver(t, txn, object_id=object_id)
+        txn.counters.requests += 1
         obs_metrics.emit("live.requests")
-        object_id = request.path
 
         entry = self.cache.lookup(object_id)
         if entry is None:
-            return await self._fetch_and_store(object_id, t)
+            return await self._fetch_and_store(object_id, t, txn)
 
         if self.protocol.is_fresh(entry, t):
-            self.counters.hits += 1
+            txn.counters.hits += 1
+            # The proxy cannot know whether this hit is stale — that is
+            # the point of weak consistency; the driver's audit
+            # relabels stale hits from the origin's ground truth.
+            txn.events.append(("hit", t, object_id))
             return self._serve_from_cache(entry, t, "HIT")
 
         if self.mode is SimulatorMode.BASE:
             # Unconditional refetch, even when nothing changed.
-            return await self._fetch_and_store(object_id, t)
+            return await self._fetch_and_store(object_id, t, txn)
 
         # Optimized mode: conditional retrieval.
-        self.counters.validations += 1
+        txn.counters.validations += 1
         response = await self._origin_get(
             object_id, t, since=entry.last_modified
         )
         if response.status == 304:
             control, body_cost = self.costs.validation_not_modified()
-            self.bandwidth.charge(VALIDATION_304, control, body_cost)
-            self.counters.validations_not_modified += 1
+            txn.bandwidth.charge(VALIDATION_304, control, body_cost)
+            txn.counters.validations_not_modified += 1
             entry.validated_at = t
             entry.valid = True
             # The 304 re-stamps the Expires header, exactly as the
@@ -441,29 +1173,35 @@ class LiveProxy:
             entry.server_expires = response.headers.expires
             self.protocol.on_stored(entry, t)
             self.protocol.on_validation_result(entry, t, was_modified=False)
-            self.counters.hits += 1
+            txn.counters.hits += 1
+            txn.touched.add(object_id)
+            txn.events.append(("validation_304", t, object_id))
             return self._serve_from_cache(entry, t, "REVALIDATED")
         control, body_cost = self.costs.validation_modified(
             response.body_size
         )
-        self.bandwidth.charge(VALIDATION_200, control, body_cost)
-        self.counters.misses += 1
-        stored = self._store_from_response(object_id, response, t)
+        txn.bandwidth.charge(VALIDATION_200, control, body_cost)
+        txn.counters.misses += 1
+        stored = self._store_from_response(object_id, response, t, txn)
         self.protocol.on_validation_result(stored, t, was_modified=True)
+        txn.events.append(("validation_200", t, object_id))
         return self._forward(response, "MISS")
 
     async def _fetch_and_store(
-        self, object_id: str, t: float
+        self, object_id: str, t: float, txn: _Txn
     ) -> tuple[Response, str]:
         """A full retrieval: the mirror of the simulator's
         ``_full_fetch`` (+ store, unless the origin says no-cache)."""
         response = await self._origin_get(object_id, t)
         control, body_cost = self.costs.full_retrieval(response.body_size)
-        self.bandwidth.charge(FULL_RETRIEVAL, control, body_cost)
-        self.counters.full_retrievals += 1
-        self.counters.misses += 1
+        txn.bandwidth.charge(FULL_RETRIEVAL, control, body_cost)
+        txn.counters.full_retrievals += 1
+        txn.counters.misses += 1
         if PRAGMA not in response.headers:
-            self._store_from_response(object_id, response, t)
+            self._store_from_response(object_id, response, t, txn)
+            txn.events.append(("miss", t, object_id))
+        else:
+            txn.events.append(("dynamic_fetch", t, object_id))
         return self._forward(response, "MISS")
 
     def _serve_from_cache(

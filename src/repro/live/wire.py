@@ -1,5 +1,5 @@
-"""Socket framing for the live origin/proxy: HTTP/1.0, one exchange per
-connection.
+"""Socket framing for the live origin/proxy: HTTP/1.0, with optional
+keep-alive connection reuse.
 
 The live servers speak exactly what :mod:`repro.http.messages`
 serializes: a request or status line, ``Name: value`` headers, a blank
@@ -8,6 +8,17 @@ HTTP/1.0 close-delimited bodies are deliberately not supported — every
 live response carries an explicit ``Content-Length`` (or is a bodiless
 304), so a reader always knows exactly how many bytes to consume and
 the byte count on the wire equals ``Response.wire_size()``.
+
+Connections carry one exchange by default (:func:`exchange`, the
+historical behaviour, byte-identical to PR 7).  A client that sends
+``Connection: keep-alive`` — :class:`LiveConnection` does — keeps the
+socket open for further exchanges; the servers loop reading requests
+until the peer closes or drops the header.  The framing distinguishes
+three stream endings that HTTP/1.0 conflates: a clean close *between*
+messages (:class:`LiveConnectionClosed` — how keep-alive loops end), a
+close mid-head (:class:`LiveWireError`), and a body shorter than its
+declared ``Content-Length`` (:class:`LiveTruncationError` — what the
+chaos layer's truncation faults produce).
 
 Simulation time travels in ``Date`` headers (RFC 1123, whole seconds).
 :func:`ensure_integral` is the gate that keeps a live run wire-exact:
@@ -20,6 +31,7 @@ one-second granularity).
 from __future__ import annotations
 
 import asyncio
+from typing import Optional, Union
 
 from repro.http.headers import CONTENT_LENGTH
 from repro.http.messages import (
@@ -45,6 +57,18 @@ WARMUP_HEADER = "X-Repro-Warmup"
 #: Path prefix for the out-of-band control endpoints (population,
 #: invalidation feed, stats); control exchanges are never counted.
 CONTROL_PREFIX = "/.well-known/repro/"
+#: HTTP/1.0 connection-reuse opt-in; absent means one exchange and close.
+CONNECTION = "Connection"
+#: The value requesting connection reuse.
+KEEP_ALIVE = "keep-alive"
+#: Idempotency key for at-least-once transports: a retried request
+#: carries the same sequence id, and the receiver replays its committed
+#: response (proxy) or skips re-counting (origin) instead of mutating
+#: state twice.  This is what keeps counters exact under socket chaos.
+SEQ_HEADER = "X-Repro-Seq"
+#: Restricts an invalidation-feed window to one object (the concurrent
+#: proxy pulls per-object windows under per-object locks).
+OBJECT_HEADER = "X-Repro-Object"
 
 #: Hard cap on a message head (start line + headers); a peer sending
 #: more is malformed, not large.
@@ -55,6 +79,24 @@ _HEAD_TERMINATOR = b"\r\n\r\n"
 
 class LiveWireError(ValueError):
     """A live peer sent something the HTTP/1.0 framing cannot carry."""
+
+
+class LiveConnectionClosed(LiveWireError):
+    """The peer closed the stream cleanly *between* messages.
+
+    Not a framing violation: this is how a keep-alive loop learns the
+    client is done.  Subclasses :class:`LiveWireError` so one-shot
+    callers that treat any early close as an error keep working.
+    """
+
+
+class LiveTruncationError(LiveWireError):
+    """A message body ended short of its declared ``Content-Length``.
+
+    Distinct from a close mid-head or between messages: the head parsed
+    fine and promised more bytes than arrived — the signature of a
+    truncating transport fault, and the trigger for a client retry.
+    """
 
 
 class LiveReplayError(ValueError):
@@ -87,6 +129,10 @@ async def _read_head(reader: asyncio.StreamReader) -> str:
     except asyncio.LimitOverrunError as exc:
         raise LiveWireError("message head exceeds the framing limit") from exc
     except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise LiveConnectionClosed(
+                "connection closed at message boundary"
+            ) from exc
         raise LiveWireError("connection closed mid-head") from exc
     if len(head) > _MAX_HEAD_BYTES:
         raise LiveWireError("message head exceeds the framing limit")
@@ -147,20 +193,69 @@ async def read_response(
         LiveWireError: on framing or parse errors.
     """
     head_text = await _read_head(reader)
+    return await _finish_response(reader, head_text)
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, head_text: str
+) -> str:
+    """Read the ``Content-Length``-delimited body declared by a head.
+
+    Raises:
+        LiveTruncationError: when the stream ends before the declared
+            byte count — a short body is a framing fault distinct from
+            a clean connection close.
+    """
     length = _body_length(head_text)
-    if length:
-        try:
-            raw_body = await reader.readexactly(length)
-        except asyncio.IncompleteReadError as exc:
-            raise LiveWireError("connection closed mid-body") from exc
-        body_text = raw_body.decode("latin-1")
-    else:
-        body_text = ""
+    if not length:
+        return ""
+    try:
+        raw_body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise LiveTruncationError(
+            f"truncated body: Content-Length promised {length} bytes, "
+            f"stream ended after {len(exc.partial)}"
+        ) from exc
+    return raw_body.decode("latin-1")
+
+
+async def _finish_response(
+    reader: asyncio.StreamReader, head_text: str
+) -> tuple[Response, str, int]:
+    body_text = await _read_body(reader, head_text)
     try:
         response = parse_response(head_text + body_text)
     except HTTPParseError as exc:
         raise LiveWireError(str(exc)) from exc
-    return response, body_text, len(head_text) + length
+    return response, body_text, len(head_text) + len(body_text)
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> tuple[Union[Request, Response], str, int]:
+    """Read one message — request or response — off the stream.
+
+    The start line decides the shape: a head beginning ``HTTP/`` is a
+    response (with a ``Content-Length``-delimited body), anything else
+    is a request (bodiless).  Returns ``(message, body_text,
+    wire_bytes)`` where ``wire_bytes`` is the exact byte count consumed
+    and ``body_text`` is empty for requests.
+
+    Raises:
+        LiveWireError: on framing or parse errors;
+            :class:`LiveTruncationError` specifically for a body
+            shorter than its declared length, and
+            :class:`LiveConnectionClosed` for a clean close before any
+            byte of the message.
+    """
+    head_text = await _read_head(reader)
+    if head_text.startswith("HTTP/"):
+        return await _finish_response(reader, head_text)
+    try:
+        request = parse_request(head_text)
+    except HTTPParseError as exc:
+        raise LiveWireError(str(exc)) from exc
+    return request, "", len(head_text)
 
 
 async def write_message(writer: asyncio.StreamWriter, text: str) -> int:
@@ -189,3 +284,100 @@ async def exchange(
         writer.close()
         await writer.wait_closed()
     return response, body_text, sent + received
+
+
+def wants_keepalive(request: Request) -> bool:
+    """True when the request opts into connection reuse."""
+    value = request.headers.get(CONNECTION)
+    return value is not None and value.strip().lower() == KEEP_ALIVE
+
+
+def pin_handler_task(handlers: set["asyncio.Task[None]"]) -> None:
+    """Keep a strong reference to the running connection-handler task.
+
+    Python 3.11's ``asyncio.start_server`` holds its per-connection
+    tasks only weakly, so a garbage-collection pass can destroy an
+    in-flight handler mid-await — the peer then sees its connection
+    close with no reply and no exception is raised anywhere (CPython
+    gh-104091, fixed in 3.12).  Every live server calls this at the top
+    of its handler; the task unpins itself on completion.
+    """
+    task = asyncio.current_task()
+    if task is not None:
+        handlers.add(task)
+        task.add_done_callback(handlers.discard)
+
+
+async def cancel_handler_tasks(handlers: set["asyncio.Task[None]"]) -> None:
+    """Cancel and await any pinned handler tasks still in flight.
+
+    Servers call this from ``close()`` so teardown is deterministic:
+    a handler abandoned mid-exchange (its client gave up after a chaos
+    fault) must not outlive its listener.
+    """
+    pending = [task for task in handlers if not task.done()]
+    for task in pending:
+        task.cancel()
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+
+
+class LiveConnection:
+    """A persistent client connection multiplexing sequential exchanges.
+
+    The keep-alive counterpart of :func:`exchange`: the socket is opened
+    lazily on the first request, every request is stamped
+    ``Connection: keep-alive``, and the connection is reused until
+    :meth:`close` — the server ends its side of the contract by looping
+    on :func:`read_request` until :class:`LiveConnectionClosed`.
+
+    One exchange may be in flight at a time (HTTP/1.0 has no pipelining
+    and the drivers never need it); callers wanting parallelism hold a
+    pool of these.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        #: Total bytes sent plus received over the connection's lifetime.
+        self.wire_bytes = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def is_open(self) -> bool:
+        """True while a socket is held (possibly already broken)."""
+        return self._writer is not None
+
+    async def request(self, request: Request) -> tuple[Response, str, int]:
+        """Send one request and read its response on the shared socket.
+
+        Returns ``(response, body_text, wire_bytes)`` for this exchange.
+
+        Raises:
+            LiveWireError: on framing errors (the caller should
+                :meth:`close` and, if retrying, resend under the same
+                ``X-Repro-Seq``).
+            ConnectionError: when the transport fails mid-exchange.
+        """
+        if self._reader is None or self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        request.headers.set(CONNECTION, KEEP_ALIVE)
+        sent = await write_message(self._writer, request.serialize())
+        response, body_text, received = await read_response(self._reader)
+        self.wire_bytes += sent + received
+        return response, body_text, sent + received
+
+    async def close(self) -> None:
+        """Close the socket; the next :meth:`request` reconnects."""
+        writer = self._writer
+        self._reader = None
+        self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

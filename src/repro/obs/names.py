@@ -69,6 +69,9 @@ METRIC_NAMES: tuple[str, ...] = (
     # -- live origin/proxy mode (repro.live) ----------------------------
     "live.requests",
     "live.wire_bytes",
+    "live.connection_errors",
+    "live.chaos.injected",
+    "live.retries",
 )
 
 #: Span names the trace sink may record (timed regions, not counters).
@@ -77,6 +80,7 @@ SPAN_NAMES: tuple[str, ...] = (
     "engine.task",
     "fastpath.run",
     "live.replay",
+    "live.restore",
     "live.warmup",
     "sweep.run",
     "verify.run",

@@ -166,3 +166,46 @@ class TestWireExactGate:
                 OriginServer(_histories()), _FACTORIES["ttl"],
                 [(10.0, "/a"), (5.0, "/a")],
             )
+
+
+class TestFaultedDifferential:
+    """Injected invalidation-message faults (repro.faults) replayed
+    live: the proxy applies the same compiled FaultPlan schedule the
+    simulator does, and the runs must still match cell-for-cell —
+    including the fault_* events and retry charges."""
+
+    @pytest.mark.parametrize("name", [
+        "invalidation", "invalidation-eager", "leased",
+    ])
+    def test_lossy_retry_plan_matches(self, name):
+        from repro.faults.plan import FaultPlan
+
+        _, _, report = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES[name], _REQUESTS,
+            end_time=120.0,
+            faults=FaultPlan(loss_rate=0.6, retries=2, backoff=3.0, seed=9),
+        )
+        assert report.ok
+        assert report.events_checked > len(_REQUESTS)
+
+    def test_cache_crash_plan_matches(self):
+        from repro.faults.plan import FaultPlan
+
+        live, _, report = live_vs_sim(
+            OriginServer(_histories()), _FACTORIES["invalidation"],
+            _REQUESTS, end_time=120.0,
+            faults=FaultPlan(cache_crashes=(60.0,), seed=2),
+        )
+        assert report.ok
+        # The crash forces refetches the crash-free run never made.
+        assert live.counters.full_retrievals > 4
+
+    def test_fractional_fault_delay_is_refused(self):
+        from repro.faults.plan import FaultPlan
+
+        with pytest.raises(LiveReplayError, match="whole second"):
+            live_vs_sim(
+                OriginServer(_histories()), _FACTORIES["invalidation"],
+                _REQUESTS, end_time=120.0,
+                faults=FaultPlan(delay=0.5, seed=1),
+            )

@@ -197,3 +197,65 @@ class TestControlEndpoints:
 
         response, _, _ = _run(scenario)
         assert response.status == 404
+
+
+class TestKeepAliveAndIdempotency:
+    def test_keepalive_serves_many_exchanges_on_one_socket(self):
+        from repro.live.wire import LiveConnection
+
+        async def scenario(origin):
+            connection = LiveConnection(origin.host, origin.port)
+            try:
+                replies = []
+                for t in (10.0, 20.0, 30.0):
+                    response, _, _ = await connection.request(
+                        _get("/a", t))
+                    replies.append(response.status)
+                return replies
+            finally:
+                await connection.close()
+
+        assert _run(scenario) == [200, 200, 200]
+
+    def test_duplicate_seq_is_served_but_counted_once(self):
+        from repro.live.wire import SEQ_HEADER
+
+        async def scenario(origin):
+            request = _get("/a", 10.0)
+            request.headers.set(SEQ_HEADER, "/a@0")
+            first, _, _ = await exchange(origin.host, origin.port, request)
+            retry = _get("/a", 10.0)
+            retry.headers.set(SEQ_HEADER, "/a@0")
+            second, _, _ = await exchange(origin.host, origin.port, retry)
+            _, stats, _ = await exchange(
+                origin.host, origin.port, _get(CONTROL_PREFIX + "stats"))
+            return first.status, second.status, json.loads(stats)
+
+        first, second, stats = _run(scenario)
+        # The retry gets a full, correct reply — only the *count* dedups.
+        assert (first, second) == (200, 200)
+        assert stats == {"gets": 1, "ims_queries": 0}
+
+    def test_distinct_seqs_count_separately(self):
+        from repro.live.wire import SEQ_HEADER
+
+        async def scenario(origin):
+            for k in range(2):
+                request = _get("/a", 10.0)
+                request.headers.set(SEQ_HEADER, f"/a@{k}")
+                await exchange(origin.host, origin.port, request)
+            _, stats, _ = await exchange(
+                origin.host, origin.port, _get(CONTROL_PREFIX + "stats"))
+            return json.loads(stats)
+
+        assert _run(scenario) == {"gets": 2, "ims_queries": 0}
+
+    def test_stats_payload_stays_pinned(self):
+        """The stats body is part of the byte-identity contract for
+        zero-fault serial replays — exactly two keys, nothing extra."""
+        async def scenario(origin):
+            _, stats, _ = await exchange(
+                origin.host, origin.port, _get(CONTROL_PREFIX + "stats"))
+            return json.loads(stats)
+
+        assert sorted(_run(scenario)) == ["gets", "ims_queries"]

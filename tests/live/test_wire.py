@@ -12,9 +12,12 @@ import pytest
 
 from repro.http.messages import Request, Response, make_ok
 from repro.live.wire import (
+    LiveConnectionClosed,
     LiveReplayError,
+    LiveTruncationError,
     LiveWireError,
     ensure_integral,
+    read_message,
     read_request,
     read_response,
 )
@@ -110,13 +113,29 @@ class TestReadResponse:
         assert body == "xxxx"
         assert parsed.body_size == 4
 
-    def test_truncated_body_raises(self):
+    def test_truncated_body_raises_distinct_error(self):
+        # A short body is a *framing* fault distinct from a close
+        # mid-head: the head promised more bytes than arrived.  The
+        # message names both the promise and the shortfall.
         text = make_ok(100).serialize()[:-40]
 
         async def read():
             return await read_response(_reader_with(text.encode("latin-1")))
 
-        with pytest.raises(LiveWireError, match="mid-body"):
+        with pytest.raises(
+            LiveTruncationError, match="promised 100 bytes"
+        ):
+            asyncio.run(read())
+
+    def test_truncation_error_is_a_wire_error(self):
+        # One-shot callers that catch LiveWireError keep working.
+        assert issubclass(LiveTruncationError, LiveWireError)
+
+    def test_clean_close_at_boundary_is_connection_closed(self):
+        async def read():
+            return await read_response(_reader_with(b""))
+
+        with pytest.raises(LiveConnectionClosed, match="boundary"):
             asyncio.run(read())
 
     def test_bad_content_length_raises(self):
@@ -126,4 +145,40 @@ class TestReadResponse:
             return await read_response(_reader_with(raw))
 
         with pytest.raises(LiveWireError, match="Content-Length"):
+            asyncio.run(read())
+
+
+class TestReadMessage:
+    def test_request_shape(self):
+        request = Request("GET", "/a")
+        request.headers.set_date("Date", 120.0)
+        text = request.serialize()
+
+        async def read():
+            return await read_message(_reader_with(text.encode("latin-1")))
+
+        message, body, nbytes = asyncio.run(read())
+        assert isinstance(message, Request)
+        assert body == ""
+        assert nbytes == len(text)
+
+    def test_response_shape(self):
+        response = make_ok(5, last_modified=10.0)
+        text = response.serialize()
+
+        async def read():
+            return await read_message(_reader_with(text.encode("latin-1")))
+
+        message, body, nbytes = asyncio.run(read())
+        assert isinstance(message, Response)
+        assert body == "xxxxx"
+        assert nbytes == len(text) == response.wire_size()
+
+    def test_short_body_raises_truncation(self):
+        text = make_ok(50).serialize()[:-10]
+
+        async def read():
+            return await read_message(_reader_with(text.encode("latin-1")))
+
+        with pytest.raises(LiveTruncationError, match="promised 50 bytes"):
             asyncio.run(read())
