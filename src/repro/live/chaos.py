@@ -71,8 +71,9 @@ class WireFaultPlan:
         delay: real seconds slept before each reply (wall clock only;
             simulation time is header-borne).
         seed: keys every draw (see :mod:`repro.faults.rng`).
-        max_consecutive: per-exchange-key cap on injected faults; after
-            this many, the relay passes the exchange through clean.
+        max_consecutive: per-exchange-key cap on *consecutive* injected
+            faults; after this many in a row, the relay passes the
+            exchange through clean (and a clean pass resets the run).
 
     Raises:
         ValueError: for out-of-range rates, a negative delay, or a
@@ -268,6 +269,10 @@ class ChaosRelay:
             if self._faulted.get(key, 0) >= plan.max_consecutive:
                 # Progress guarantee: this key has burned its fault
                 # budget — pass it through clean (dribble is harmless).
+                # The clean pass resets the *consecutive* count, so a
+                # key reused by later exchanges (e.g. the shared start
+                # line of seq-less control pulls) stays fault-eligible.
+                self._faulted[key] = 0
                 return _Decision(dribble=dribble)
             if plan.draw(self.label, key, attempt, "loss") < plan.loss_rate:
                 decision = _Decision(loss=True)
@@ -278,6 +283,7 @@ class ChaosRelay:
             ):
                 decision = _Decision(truncate=True, dribble=dribble)
             else:
+                self._faulted[key] = 0
                 return _Decision(dribble=dribble)
             self._faulted[key] = self._faulted.get(key, 0) + 1
             self.injected += 1

@@ -498,7 +498,20 @@ async def replay_pooled(
         finally:
             await conn.close()
 
-    await asyncio.gather(*(drive(bucket) for bucket in buckets if bucket))
+    workers = [
+        asyncio.create_task(drive(bucket)) for bucket in buckets if bucket
+    ]
+    try:
+        await asyncio.gather(*workers)
+    except BaseException:
+        # First failure cancels the siblings: left alone they would
+        # keep retrying (240 attempts in crash mode), hold connections,
+        # and — cross_object — wait forever on a gate that can no
+        # longer open.
+        for worker in workers:
+            worker.cancel()
+        await asyncio.gather(*workers, return_exceptions=True)
+        raise
 
     stale_hits = 0
     stale_age_sum = 0.0

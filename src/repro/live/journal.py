@@ -48,14 +48,20 @@ class Journal:
 
     def append(self, record: dict[str, object]) -> None:
         """Durably append one record as a JSON line."""
-        line = json.dumps(record, sort_keys=True) + "\n"
+        data = json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
         fd = os.open(
             str(self.path),
             os.O_WRONLY | os.O_CREAT | os.O_APPEND,
             0o644,
         )
         try:
-            os.write(fd, line.encode("utf-8"))
+            # os.write may write fewer bytes than asked (signal, quota);
+            # a partial line that later appends extend would tear the
+            # journal mid-file and load() would silently stop there, so
+            # loop until every byte is down.
+            while data:
+                written = os.write(fd, data)
+                data = data[written:]
         finally:
             os.close(fd)
 

@@ -173,6 +173,7 @@ class _Txn:
         "last_sync",
         "obj_now",
         "fault_idx",
+        "upstream",
     )
 
     def __init__(self, seq: Optional[str] = None) -> None:
@@ -186,6 +187,10 @@ class _Txn:
         self.last_sync: Optional[float] = None
         self.obj_now: Optional[tuple[str, float]] = None
         self.fault_idx: Optional[int] = None
+        #: Post-txn upstream sequence counters for objects this request
+        #: fetched — staged here (not in the shared dict) so the journal
+        #: never records another in-flight transaction's increments.
+        self.upstream: dict[str, int] = {}
 
 
 class LiveProxy:
@@ -213,9 +218,11 @@ class LiveProxy:
             commit-before-reply transaction records to; see
             :meth:`restore`.
         upstream_attempts: retry budget for origin exchanges (used when
-            a chaos relay sits on the upstream hop); retries carry
-            deterministic per-object sequence ids so the origin can
-            dedup its counting.
+            a chaos relay sits on the upstream hop).  Origin fetches
+            carry deterministic per-object sequence ids — so the origin
+            can dedup its counting — whenever this exceeds 1 *or* a
+            journal is installed (a SIGKILLed proxy re-executes its
+            uncommitted requests on restart, which is a retry too).
 
     Raises:
         LiveReplayError: for ``faults`` combined with ``concurrent``
@@ -578,20 +585,30 @@ class LiveProxy:
         )
 
     async def _origin_get(
-        self, object_id: str, t: float, since: Optional[float] = None
+        self,
+        object_id: str,
+        t: float,
+        txn: _Txn,
+        since: Optional[float] = None,
     ) -> Response:
         """One real GET (conditional when ``since`` is given) upstream."""
         request = Request("GET", object_id)
         request.headers.set_date(DATE, t)
         if since is not None:
             request.headers.set_date("If-Modified-Since", since)
-        if self.upstream_attempts > 1:
+        if self._journal is not None or self.upstream_attempts > 1:
             # Deterministic idempotency id: the k-th counted fetch of
-            # this object.  Journaled with the surrounding transaction,
-            # so a restarted proxy's retries reuse the same ids and the
-            # origin cannot double-count.
-            k = self._upstream.get(object_id, 0)
-            self._upstream[object_id] = k + 1
+            # this object.  Staged in the transaction and journaled
+            # with it at commit, so a restarted proxy's re-execution of
+            # an uncommitted request — and any chaos retry — reuses the
+            # same ids and the origin cannot double-count.  Ids are
+            # needed whenever a journal is installed, not just when
+            # this process retries: a SIGKILL can land after the origin
+            # counted a fetch but before the transaction committed, and
+            # the restarted proxy then re-executes the request.
+            base = self._upstream.get(object_id, 0)
+            k = txn.upstream.get(object_id, base)
+            txn.upstream[object_id] = k + 1
             request.headers.set(SEQ_HEADER, f"{object_id}@{k}")
         response, _, _ = await self._origin_raw(request)
         if response.status not in (200, 304):
@@ -690,7 +707,7 @@ class LiveProxy:
         if getattr(self.protocol, "eager", False):
             # Pre-optimization invalidation: push the new copy with
             # the notice, off any client's critical path.
-            prefetched = await self._origin_get(object_id, mod_time)
+            prefetched = await self._origin_get(object_id, mod_time, txn)
             p_control, p_body = self.costs.full_retrieval(
                 prefetched.body_size
             )
@@ -849,7 +866,7 @@ class LiveProxy:
                     )
                 if eager:
                     prefetched = await self._origin_get(
-                        action.object_id, action.time
+                        action.object_id, action.time, txn
                     )
                     p_control, p_body = self.costs.full_retrieval(
                         prefetched.body_size
@@ -991,6 +1008,8 @@ class LiveProxy:
                 self._cursors[object_id] = cursor
             if txn.last_sync is not None:
                 self._last_sync = txn.last_sync
+            for object_id, n in txn.upstream.items():
+                self._upstream[object_id] = n
 
     def _txn_record(self, txn: _Txn, payload: str) -> dict[str, object]:
         """Serialize one transaction's deltas for the journal."""
@@ -1036,8 +1055,11 @@ class LiveProxy:
         record["now"] = self._now
         if txn.obj_now is not None:
             record["obj_now"] = [txn.obj_now[0], txn.obj_now[1]]
-        if self._upstream:
-            record["upstream"] = dict(self._upstream)
+        if txn.upstream:
+            # Only this transaction's (committed) counters: the shared
+            # dict may hold increments staged by still-uncommitted
+            # siblings, which a restore must not see.
+            record["upstream"] = dict(txn.upstream)
         if txn.fault_idx is not None:
             record["fault_idx"] = txn.fault_idx
         state = self.protocol.state_snapshot()
@@ -1160,7 +1182,7 @@ class LiveProxy:
         # Optimized mode: conditional retrieval.
         txn.counters.validations += 1
         response = await self._origin_get(
-            object_id, t, since=entry.last_modified
+            object_id, t, txn, since=entry.last_modified
         )
         if response.status == 304:
             control, body_cost = self.costs.validation_not_modified()
@@ -1192,7 +1214,7 @@ class LiveProxy:
     ) -> tuple[Response, str]:
         """A full retrieval: the mirror of the simulator's
         ``_full_fetch`` (+ store, unless the origin says no-cache)."""
-        response = await self._origin_get(object_id, t)
+        response = await self._origin_get(object_id, t, txn)
         control, body_cost = self.costs.full_retrieval(response.body_size)
         txn.bandwidth.charge(FULL_RETRIEVAL, control, body_cost)
         txn.counters.full_retrievals += 1

@@ -106,6 +106,25 @@ class TestDeterminism:
         plan = parse_chaos("loss=1.0,cap=4")
         assert plan.max_attempts == 6
 
+    def test_fault_cap_is_consecutive_not_lifetime(self):
+        """A clean pass-through resets the per-key fault budget: keys
+        reused across many exchanges (the seq-less control start line)
+        must stay fault-eligible for the relay's whole lifetime."""
+        import asyncio
+
+        from repro.live.chaos import ChaosRelay
+
+        plan = WireFaultPlan(loss_rate=1.0, max_consecutive=2, seed=0)
+        relay = ChaosRelay("127.0.0.1", 1, plan, "client")
+
+        async def decide_six():
+            return [await relay._decide("k") for _ in range(6)]
+
+        fates = [decision.loss for decision in asyncio.run(decide_six())]
+        # cap faults, one forced-clean pass, then the budget renews —
+        # not fault-starved forever after the first two injections.
+        assert fates == [True, True, False, True, True, False]
+
     def test_two_identical_runs_inject_identically(self):
         results = []
         for _ in range(2):

@@ -72,6 +72,50 @@ class TestConcurrentDifferential:
             )
 
 
+class TestWorkerFailure:
+    def test_one_workers_failure_cancels_the_siblings(self):
+        """A worker raising must not strand the other drive tasks:
+        left unawaited they hold connections, keep retrying, and (for
+        cross-object gating) can wait forever on the condition."""
+        from repro.live import LiveOrigin, LiveProxy
+        from repro.live.driver import replay_pooled
+        from repro.live.wire import LiveWireError
+
+        async def run():
+            origin = LiveOrigin(OriginServer(_histories()))
+            await origin.start()
+            proxy = LiveProxy(
+                origin.host, origin.port, _FACTORIES["invalidation"](),
+                concurrent=True,
+            )
+            await proxy.start()
+            try:
+                await proxy.warm(0.0)
+                # Bucket 0 is a single unknown object (a fast 500);
+                # bucket 1 is a long run of good requests that would
+                # still be in flight when bucket 0's worker raises.
+                stream = [(1.0, "/nope")] + [
+                    (float(t), "/a") for t in range(1, 60)
+                ]
+                with pytest.raises(LiveWireError, match="returned 500"):
+                    await replay_pooled(
+                        origin, proxy.host, proxy.port, stream,
+                        connections=2, keepalive=True,
+                    )
+                leaked = [
+                    task for task in asyncio.all_tasks()
+                    if task is not asyncio.current_task()
+                    and not task.done()
+                    and "drive" in task.get_coro().__qualname__
+                ]
+                assert leaked == []
+            finally:
+                await proxy.close()
+                await origin.close()
+
+        asyncio.run(run())
+
+
 class TestTimeOrderViolations:
     def test_per_object_regression_is_rejected(self):
         """Per-object locking relaxes the global time check to a

@@ -52,6 +52,31 @@ class TestJournal:
             fh.write(b'{"kind": "txn", "truncated\n')
         assert Journal(path).load() == [{"kind": "config"}]
 
+    def test_short_os_writes_do_not_tear_the_file(self, tmp_path, monkeypatch):
+        """``os.write`` may write fewer bytes than asked; append must
+        loop, or a mid-file torn line silently swallows every record
+        after it on load."""
+        import types
+
+        import repro.live.journal as journal_mod
+
+        real_write = os.write
+        shim = types.SimpleNamespace(
+            open=os.open,
+            close=os.close,
+            write=lambda fd, data: real_write(fd, data[:3]),
+            O_WRONLY=os.O_WRONLY,
+            O_CREAT=os.O_CREAT,
+            O_APPEND=os.O_APPEND,
+        )
+        monkeypatch.setattr(journal_mod, "os", shim)
+        journal = Journal(tmp_path / "j.jsonl")
+        records = [{"kind": "config", "protocol": "ttl"},
+                   {"kind": "txn", "seq": "r0", "hits": 1}]
+        for record in records:
+            journal.append(record)
+        assert journal.load() == records
+
 
 class TestRestoreRoundTrip:
     def _replay_some(self, journal_path, upto):
@@ -132,6 +157,129 @@ class TestRestoreRoundTrip:
 
         with pytest.raises(LiveReplayError, match="journal"):
             asyncio.run(restore_wrong())
+
+
+class TestUpstreamIdempotency:
+    """The crash window the journal cannot cover: a SIGKILL after the
+    origin counted a fetch but before the transaction committed.  The
+    restarted proxy *re-executes* that request, so its origin fetches
+    must carry the same deterministic sequence ids — with a journal
+    installed, not only when this process itself retries."""
+
+    def _exchange(self, host, port, object_id, t, seq):
+        from repro.http.messages import Request
+        from repro.live.wire import DATE, SEQ_HEADER, exchange
+
+        request = Request("GET", object_id)
+        request.headers.set_date(DATE, t)
+        request.headers.set(SEQ_HEADER, seq)
+        return exchange(host, port, request)
+
+    def test_reexecution_after_uncommitted_crash_does_not_double_count(
+        self, tmp_path
+    ):
+        path = tmp_path / "j.jsonl"
+
+        async def run():
+            origin = LiveOrigin(OriginServer(_histories()))
+            await origin.start()
+            first = LiveProxy(
+                origin.host, origin.port, _FACTORIES["invalidation"](),
+                journal=Journal(path), concurrent=True,
+            )
+            await first.start()
+            try:
+                await first.warm(0.0)
+                response, _, _ = await self._exchange(
+                    first.host, first.port, "/dyn", 5.0, "r0"
+                )
+                assert response.status == 200
+                # Journaled proxies stamp upstream ids even with the
+                # default single-attempt budget — the origin saw one.
+                assert "/dyn@0" in origin._seen
+                assert origin.gets == 1
+            finally:
+                await first.close()
+
+            # Simulate the SIGKILL landing before the commit reached
+            # disk: drop the request's transaction record, keeping the
+            # origin (which already counted the fetch) alive.
+            records = Journal(path).load()
+            assert records[-1]["kind"] == "txn"
+            os.unlink(path)
+            rewritten = Journal(path)
+            for record in records[:-1]:
+                rewritten.append(record)
+
+            second = LiveProxy(
+                origin.host, origin.port, _FACTORIES["invalidation"](),
+                journal=Journal(path), concurrent=True,
+            )
+            try:
+                assert await second.restore()
+                await second.start()
+                # The retried request re-executes (its reply was never
+                # committed) under the same upstream id; the origin
+                # dedups and its counter must not move.
+                response, _, _ = await self._exchange(
+                    second.host, second.port, "/dyn", 5.0, "r0"
+                )
+                assert response.status == 200
+                assert origin.gets == 1
+            finally:
+                await second.close()
+                await origin.close()
+
+        asyncio.run(run())
+
+    def test_txn_records_journal_only_their_own_upstream_ids(self, tmp_path):
+        """A transaction's journal record must carry only the upstream
+        counters it advanced itself — snapshotting the shared dict
+        would capture siblings' uncommitted increments, and a restore
+        from such a record over-advances the ids."""
+        path = tmp_path / "j.jsonl"
+
+        async def run():
+            origin = LiveOrigin(OriginServer(_histories()))
+            await origin.start()
+            proxy = LiveProxy(
+                origin.host, origin.port, _FACTORIES["invalidation"](),
+                journal=Journal(path), concurrent=True,
+            )
+            await proxy.start()
+            try:
+                await proxy.warm(0.0)
+                from repro.http.messages import Request
+                from repro.live.wire import DATE, SEQ_HEADER, exchange
+
+                # Three fetch-causing requests across two objects: the
+                # dynamic object twice, plus a revalidation of /a after
+                # its t=40 modification.
+                stream = [
+                    (20.0, "/dyn"), (45.0, "/a"), (100.0, "/dyn"),
+                ]
+                for index, (t, object_id) in enumerate(stream):
+                    request = Request("GET", object_id)
+                    request.headers.set_date(DATE, t)
+                    request.headers.set(SEQ_HEADER, f"r{index}")
+                    await exchange(proxy.host, proxy.port, request)
+            finally:
+                await proxy.close()
+                await origin.close()
+
+        asyncio.run(run())
+        upstreams = [
+            record["upstream"] for record in Journal(path).load()
+            if record["kind"] == "txn" and "upstream" in record
+        ]
+        assert len(upstreams) == 3
+        # Each of these transactions fetched exactly one object; a
+        # shared-dict snapshot would accumulate earlier objects too.
+        assert [sorted(u) for u in upstreams] == [
+            ["/dyn"], ["/a"], ["/dyn"],
+        ]
+        assert upstreams[0]["/dyn"] == 1
+        assert upstreams[2]["/dyn"] == 2
 
 
 class TestCrashRestartDifferential:
