@@ -4,7 +4,7 @@ PYTHON ?= python
 # Process-pool size for experiment runs (see docs/PERFORMANCE.md).
 WORKERS ?= 2
 
-.PHONY: install dev test bench bench-timings bench-baseline experiments lint typecheck verify live-smoke live-chaos snapshot snapshot-check examples clean
+.PHONY: install dev test bench bench-timings bench-baseline experiments lint typecheck verify live-smoke live-chaos trace-smoke snapshot snapshot-check examples clean
 
 install:
 	pip install -e .
@@ -111,6 +111,34 @@ live-chaos:
 	rm .live-chaos.log .live-chaos-journal.jsonl
 	@echo "live-chaos: concurrent, chaotic, faulted, and crash-restart" \
 	  "replays matched simulation exactly"
+
+# Causal-trace gate (docs/OBSERVABILITY.md, "Cross-process causal
+# tracing"): a chaotic traced replay must write three per-role
+# repro.trace/1 files that merge into a violation-free repro.trace/2
+# timeline (`trace merge` exits 1 on any happens-before violation),
+# and the summary must carry the schema id with its retry count equal
+# to its own retry-mark count.
+trace-smoke:
+	rm -f .trace-smoke.log .trace-smoke.jsonl .trace-smoke.proxy.jsonl \
+	  .trace-smoke.origin.jsonl
+	$(PYTHON) -m repro.cli synthesize hcs .trace-smoke.log --seed 7 \
+	  --scale 0.02
+	$(PYTHON) -m repro.cli replay .trace-smoke.log --protocol alex \
+	  --parameter 10 --verify --connections 2 --keepalive \
+	  --chaos "loss=0.25,truncate=0.2,seed=7" --trace .trace-smoke.jsonl
+	$(PYTHON) -m repro.cli trace merge .trace-smoke.jsonl > /dev/null
+	$(PYTHON) -m repro.cli trace summarize .trace-smoke.jsonl \
+	  --format json | $(PYTHON) -c "import json, sys; \
+	  summary = json.load(sys.stdin); \
+	  assert summary['schema'] == 'repro.trace.summary/1', summary['schema']; \
+	  assert summary['retries'] == summary['marks'].get('live.trace.retry', 0); \
+	  assert summary['exchanges'] > 0 and summary['chaos_injected'] > 0"
+	$(PYTHON) -m repro.cli trace critical-path .trace-smoke.jsonl \
+	  --format json > /dev/null
+	rm -f .trace-smoke.log .trace-smoke.jsonl .trace-smoke.proxy.jsonl \
+	  .trace-smoke.origin.jsonl
+	@echo "trace-smoke: chaotic traced replay merged into a validated" \
+	  "cross-process timeline"
 
 # Consistency-oracle gate (see docs/PROTOCOLS.md, "Invariants &
 # verification"): static analysis + typing first, then the

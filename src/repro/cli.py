@@ -23,6 +23,11 @@ The subcommands cover the workflows a downstream user has:
   (``docs/LIVE.md``).
 * ``repro serve`` — boot the live origin and proxy on fixed ports and
   leave them running for ad-hoc exploration (curl, browsers).
+* ``repro trace`` — merge the per-role JSONL trace files a traced live
+  replay wrote (``repro replay --trace PATH``) into one validated
+  causal timeline (schema ``repro.trace/2``), and analyze it:
+  ``merge`` / ``summarize`` / ``grep`` / ``critical-path``
+  (``docs/OBSERVABILITY.md``).
 
 ``simulate`` and ``sweep`` accept ``--trace PATH`` / ``--metrics PATH``
 to capture a structured event trace and the merged metrics registry
@@ -500,6 +505,100 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Merge and analyze the per-role trace files of a traced live replay.
+
+    All verbs start from the driver's trace file (``repro replay
+    --trace PATH``) and locate the ``.proxy`` / ``.origin`` companions
+    automatically.  ``merge`` prints the ``repro.trace/2`` timeline and
+    exits 1 when a happens-before edge is violated; ``summarize``,
+    ``grep``, and ``critical-path`` are read-only analyses over the
+    merged timeline.
+    """
+    from repro.obs import timeline
+
+    try:
+        merged = timeline.merge(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    violations = timeline.validate(merged)
+    verb = args.trace_command
+    if verb == "merge":
+        if args.format == "json":
+            merged["violations"] = violations
+            print(json.dumps(merged, sort_keys=True))
+        else:
+            print(
+                f"{len(merged['records'])} record(s) merged from "
+                f"{len(merged['roles'])} role file(s):"
+            )
+            for proc, name in sorted(merged["roles"].items()):
+                print(f"  {proc}: {name}")
+        for violation in violations:
+            print(f"trace: violation: {violation}", file=sys.stderr)
+        return 1 if violations else 0
+    if verb == "summarize":
+        summary = timeline.summarize(merged)
+        if args.format == "json":
+            print(json.dumps(summary, sort_keys=True))
+            return 0
+        print(format_table(
+            ("span", "count", "total s", "mean s", "max s"),
+            [
+                (
+                    name,
+                    entry["count"],
+                    f"{entry['wall_total']:.6f}",
+                    f"{entry['wall_mean']:.6f}",
+                    f"{entry['wall_max']:.6f}",
+                )
+                for name, entry in sorted(summary["spans"].items())
+            ],
+            title=f"{args.trace}: {summary['exchanges']} exchange(s)",
+        ))
+        for kind, count in sorted(summary["marks"].items()):
+            print(f"mark {kind}: {count}")
+        print(f"retries: {summary['retries']}  "
+              f"chaos injected: {summary['chaos_injected']}")
+        ages = summary["hit_ages"]
+        if ages["count"]:
+            print(f"hit age-at-delivery (sim s): n={ages['count']} "
+                  f"min={ages['min']:g} mean={ages['mean']:g} "
+                  f"max={ages['max']:g}")
+        return 0
+    if verb == "grep":
+        matched = timeline.grep(
+            merged,
+            trace=args.trace_id,
+            object_id=args.object,
+            kind=args.kind,
+        )
+        for record in matched:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    assert verb == "critical-path"
+    try:
+        critical = timeline.critical_path(merged, trace=args.trace_id)
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(critical, sort_keys=True))
+        return 0
+    print(f"slowest exchange: trace {critical['trace']} "
+          f"({critical['object']} at t={critical['t']}, "
+          f"{critical['verdict']}) — {critical['wall']:.6f}s")
+    for name, wall in sorted(critical["phases"].items()):
+        print(f"  {name}: {wall:.6f}s")
+    print(f"  unattributed: {critical['unattributed']:.6f}s")
+    print(f"  (origin service, inside upstream: "
+          f"{critical['origin_wall']:.6f}s)")
+    print(f"  retries: {critical['retries']}  "
+          f"chaos injected: {critical['chaos_injected']}")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     """Replay a trace through the live origin+proxy pair."""
     from repro.live import (
@@ -521,6 +620,20 @@ def cmd_replay(args: argparse.Namespace) -> int:
         return 2
     if args.crash_after is not None and args.journal is None:
         print("replay: --crash-after requires --journal", file=sys.stderr)
+        return 2
+    # For replay, --trace means cross-process causal tracing: the live
+    # stack writes one repro.trace/1 file per role (driver + .proxy /
+    # .origin companions; merge them with 'repro trace').  The ambient
+    # single-process sink _observability installs would only ever see
+    # the driver process, so the flag is rerouted before entering it.
+    live_trace_path: Optional[Path] = getattr(args, "trace_out", None)
+    args.trace_out = None
+    if live_trace_path is not None and args.crash_after is not None:
+        print(
+            "replay: --trace is not supported with --crash-after (the "
+            "out-of-process proxy keeps no trace sink)",
+            file=sys.stderr,
+        )
         return 2
     mode = SimulatorMode(args.mode)
     workload = workload_from_trace(trace)
@@ -572,6 +685,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     chaos=chaos,
                     faults=faults,
                     journal_path=args.journal,
+                    trace_path=live_trace_path,
                 )
                 result = live_result
             else:
@@ -583,6 +697,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     chaos=chaos,
                     faults=faults,
                     journal_path=args.journal,
+                    trace_path=live_trace_path,
                 ))
                 result = live_report.result
         except LiveReplayError as exc:
@@ -591,6 +706,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         except ConsistencyViolation as exc:
             print(exc, file=sys.stderr)
             return 1
+    if live_trace_path is not None:
+        from repro.obs.timeline import role_trace_paths
+
+        names = ", ".join(
+            str(p) for p in role_trace_paths(live_trace_path).values()
+        )
+        print(f"trace: wrote per-role files {names}", file=sys.stderr)
     print(format_table(
         ("protocol", "mode", "bandwidth MB", "miss rate", "stale rate",
          "server ops", "round trips/request"),
@@ -773,6 +895,58 @@ def make_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--format", default="json",
                        choices=["json", "prom"])
     p_met.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="merge and analyze the per-role trace files a traced live "
+             "replay wrote (docs/OBSERVABILITY.md)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_verb(name: str, help_text: str) -> argparse.ArgumentParser:
+        verb = trace_sub.add_parser(name, help=help_text)
+        verb.add_argument(
+            "trace", type=Path,
+            help="the driver trace file from 'repro replay --trace' "
+                 "(.proxy/.origin companions are located automatically)",
+        )
+        verb.add_argument("--format", default="json",
+                          choices=["json", "text"])
+        verb.set_defaults(func=cmd_trace)
+        return verb
+
+    _trace_verb(
+        "merge",
+        "print the merged repro.trace/2 timeline; exit 1 on any "
+        "happens-before violation (send≤recv, commit≤reply)",
+    )
+    _trace_verb(
+        "summarize",
+        "span counts and wall times, mark counts, retry/chaos totals, "
+        "and the HIT age-at-delivery distribution",
+    )
+    p_tgrep = _trace_verb(
+        "grep", "filter merged records by trace id, object, and/or kind"
+    )
+    p_tcrit = _trace_verb(
+        "critical-path",
+        "decompose the slowest exchange (or --trace-id) into proxy "
+        "phase spans",
+    )
+    for verb_parser in (p_tgrep, p_tcrit):
+        verb_parser.add_argument(
+            "--trace-id", default=None, metavar="ID",
+            help="an exchange's propagated id, e.g. r17",
+        )
+    p_tgrep.add_argument(
+        "--object", default=None, metavar="PATH",
+        help="filter to records about one object, e.g. /a",
+    )
+    p_tgrep.add_argument(
+        "--kind", default=None, metavar="NAME",
+        help="filter to one mark kind / span name / event kind, e.g. "
+             "live.trace.retry",
+    )
 
     p_replay = sub.add_parser(
         "replay",

@@ -20,7 +20,12 @@ from repro.fastpath.arrays import (
     encode_requests,
     initial_state,
 )
-from repro.fastpath.contract import COUNTER_FIELDS, diff_events, diff_results
+from repro.fastpath.contract import (
+    COUNTER_FIELDS,
+    diff_events,
+    diff_metrics,
+    diff_results,
+)
 from repro.fastpath.dispatch import (
     ENGINE_ENV_VAR,
     ENGINES,
@@ -47,6 +52,7 @@ __all__ = [
     "compile_protocol",
     "compile_server",
     "diff_events",
+    "diff_metrics",
     "diff_results",
     "encode_requests",
     "engine_simulate",

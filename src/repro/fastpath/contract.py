@@ -11,8 +11,15 @@ needed.
 
 from __future__ import annotations
 
+import json
+from typing import Any
+
 from repro.core.metrics import _CATEGORIES
 from repro.core.results import SimulationResult
+
+#: Metric-name prefixes excluded from :func:`diff_metrics` — engine
+#: bookkeeping describes *which* engine ran, not what the run did.
+ENGINE_METRIC_PREFIXES: tuple[str, ...] = ("engine.", "fastpath.")
 
 #: Every ConsistencyCounters field, in declaration order.
 COUNTER_FIELDS: tuple[str, ...] = (
@@ -101,4 +108,49 @@ def diff_events(
             f"{label}.event count: fast={len(fast)} "
             f"reference={len(reference)}"
         )
+    return lines
+
+
+def _strip_engine_metrics(dump: dict[str, Any]) -> dict[str, Any]:
+    prefixes = ENGINE_METRIC_PREFIXES
+    return {
+        section: {
+            name: value
+            for name, value in dump.get(section, {}).items()
+            if not name.startswith(prefixes)
+        }
+        for section in ("counters", "gauges", "histograms")
+    }
+
+
+def diff_metrics(
+    fast: dict[str, Any],
+    reference: dict[str, Any],
+    *,
+    label: str = "fastpath.metrics",
+) -> list[str]:
+    """Byte-level differences between two registry dumps (empty = none).
+
+    ``fast`` and ``reference`` are
+    :meth:`~repro.obs.registry.MetricsRegistry.as_dict` dumps of two
+    registries that each scoped one run — the kernel's batched flush on
+    one side, the reference loop's per-observation publication on the
+    other.  Equality is *byte* equality of the JSON serialization
+    (so ``-0.0`` vs ``0.0`` or a missing lazily-created key counts as a
+    divergence), after dropping :data:`ENGINE_METRIC_PREFIXES` names.
+    """
+    lines: list[str] = []
+    fast_filtered = _strip_engine_metrics(fast)
+    ref_filtered = _strip_engine_metrics(reference)
+    for section in ("counters", "gauges", "histograms"):
+        fast_map = fast_filtered[section]
+        ref_map = ref_filtered[section]
+        for name in sorted(set(fast_map) | set(ref_map)):
+            fast_json = json.dumps(fast_map.get(name), sort_keys=True)
+            ref_json = json.dumps(ref_map.get(name), sort_keys=True)
+            if fast_json != ref_json:
+                lines.append(
+                    f"{label}.{section}[{name}]: fast={fast_json} "
+                    f"reference={ref_json}"
+                )
     return lines

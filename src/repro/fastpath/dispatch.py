@@ -24,13 +24,18 @@ Automatic fallback to the reference engine happens for:
   or wrapper the compiler does not recognize *exactly* (a subclass may
   override ``is_fresh``; byte identity demands the known formulas);
 * eager invalidation variants (prefetch pushes);
-* a caller-supplied ``cache`` (bounded capacity, pre-seeded state);
-* an active metrics registry or trace sink — the reference loop emits
-  ``cache.*`` / ``server.*`` / ``sim.*`` metrics and tees observer
-  events from *inside* the hot path, and those streams are part of the
-  observable contract.  (Profiling alone does not force a fallback: the
-  fast path reports its own ``fastpath.compile`` / ``fastpath.simulate``
-  phases instead of the reference's hook timings.)
+* a caller-supplied ``cache`` (bounded capacity, pre-seeded state).
+
+Observability no longer forces a fallback: with a metrics registry
+active the kernel tallies the same ``cache.*`` / ``server.*`` / ``sim.*``
+publications in flat locals and flushes them once per run through the
+registry's exact merge path (byte-equal totals — the
+docs/FASTPATH.md metrics-equivalence rule, enforced by
+``contract.diff_metrics`` and the verify oracle), and with a trace sink
+active the kernel's contract-pinned observer stream is teed into the
+sink event for event.  (Profiling reports the fast path's own
+``fastpath.compile`` / ``fastpath.simulate`` phases instead of the
+reference's hook timings.)
 """
 
 from __future__ import annotations
@@ -63,6 +68,7 @@ from repro.fastpath.kernels import (
     KIND_LEASED,
     KIND_POLL,
     KIND_TTL,
+    MetricsBatch,
     run_kernel,
 )
 from repro.obs import clock as obs_clock
@@ -213,11 +219,6 @@ def unsupported_reason(
     return None
 
 
-def _observability_active() -> bool:
-    """True when a metrics registry or trace sink would observe the run."""
-    return obs_metrics.active() is not None or obs_trace.active() is not None
-
-
 def fast_simulate(
     server: OriginServer,
     protocol: ConsistencyProtocol,
@@ -249,6 +250,18 @@ def fast_simulate(
             f"fast path cannot run this configuration: {reason}"
         )
     started = obs_clock.monotonic()
+    # Observability without fallback: an active sink gets the observer
+    # event stream through a recording tee (the stream is contract-
+    # pinned identical to the reference's), and an active registry gets
+    # the run's metrics as one batched flush through the exact merge
+    # path — byte-equal totals, enforced by ``contract.diff_metrics``.
+    sink = obs_trace.active()
+    registry = obs_metrics.active()
+    kernel_observer = (
+        obs_trace.sink_observer(sink, observer) if sink is not None
+        else observer
+    )
+    batch = MetricsBatch() if registry is not None else None
     with obs_profile.phase("fastpath.compile"):
         compiled = compile_server(server)
         req_times, req_objs = encode_requests(compiled, requests, start_time)
@@ -273,8 +286,12 @@ def fast_simulate(
             end_time=end_time,
             protocol_name=protocol.name,
             mode_value=mode.value,
-            observer=observer,
+            observer=kernel_observer,
+            batch=batch,
         )
+    if batch is not None and registry is not None:
+        batch.flush(registry)
+        obs_metrics.emit("fastpath.metrics_flush")
     obs_metrics.emit("engine.fastpath_runs")
     obs_trace.span(
         "fastpath.run",
@@ -309,7 +326,7 @@ def engine_simulate(
     """
     if resolve_engine(engine) == FAST:
         reason = unsupported_reason(protocol, cache=cache, faults=faults)
-        if reason is None and not _observability_active():
+        if reason is None:
             return fast_simulate(
                 server,
                 protocol,

@@ -25,8 +25,8 @@ reference engine — the kernel never approximates.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Optional
+from bisect import bisect_left, bisect_right
+from typing import Any, Optional
 
 from repro.core.costs import MessageCosts
 from repro.core.metrics import (
@@ -40,6 +40,8 @@ from repro.core.metrics import (
 from repro.core.results import SimulationResult
 from repro.core.simulator import EventObserver
 from repro.fastpath.arrays import CacheState, CompiledServer
+from repro.obs.names import DEFAULT_BINS, HISTOGRAM_BINS
+from repro.obs.registry import MetricsRegistry, _accumulate
 
 #: Compiled protocol kinds (see ``dispatch.compile_protocol``).
 KIND_TTL = 0
@@ -51,6 +53,65 @@ KIND_LEASED = 5
 KIND_CERN = 6
 
 _INFINITY = float("inf")
+
+
+def _bins(name: str) -> tuple[float, ...]:
+    return HISTOGRAM_BINS.get(name, DEFAULT_BINS)
+
+
+class MetricsBatch:
+    """Per-run metric deltas, accumulated flat and flushed once.
+
+    The reference loop publishes ``cache.*`` / ``server.*`` / ``sim.*``
+    metrics from inside the hot path; the kernel instead tallies the
+    same increments and observations into plain locals during the fused
+    loop and lands them here.  :meth:`flush` applies the whole run as a
+    single :meth:`~repro.obs.registry.MetricsRegistry.merge` payload —
+    counters as whole-run totals (n unit increments sum to exactly
+    ``float(n)``), histograms as ``(bounds, bucket counts, Shewchuk
+    partials, count)``, the exact shape
+    :meth:`~repro.obs.registry.MetricsRegistry.delta` produces — so the
+    merged registry is byte-identical to one the reference engine filled
+    observation by observation (the docs/FASTPATH.md equivalence rule,
+    enforced by ``contract.diff_metrics``).
+
+    Zero counters and empty histograms are never recorded: lazily
+    created metric keys must match the reference's dump exactly.
+    """
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Any] = {}
+
+    def count(self, name: str, n: int) -> None:
+        """Record a whole-run counter total (skipped when zero)."""
+        if n:
+            self.counters[name] = float(n)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...],
+        bucket_counts: list[int],
+        partials: list[float],
+        count: int,
+    ) -> None:
+        """Record a whole-run histogram delta (skipped when empty)."""
+        if count:
+            self.histograms[name] = (list(bounds), bucket_counts,
+                                     partials, count)
+
+    def flush(self, registry: MetricsRegistry) -> None:
+        """Apply the batched deltas through the exact merge path."""
+        registry.merge(
+            {
+                "counters": self.counters,
+                "gauges": {},
+                "histograms": self.histograms,
+            }
+        )
 
 
 def run_kernel(
@@ -73,6 +134,7 @@ def run_kernel(
     protocol_name: str,
     mode_value: str,
     observer: Optional[EventObserver] = None,
+    batch: Optional[MetricsBatch] = None,
 ) -> SimulationResult:
     """Drive the full request stream through the array interpreter.
 
@@ -80,6 +142,12 @@ def run_kernel(
     TTL; Alex — ``p0`` is the threshold fraction; leased — ``p0`` is the
     lease; CERN — ``p0``/``p1``/``p2`` are lm_fraction / default_ttl /
     max_ttl (``has_p2`` = a max_ttl clamp is configured).
+
+    When ``batch`` is given, the loop additionally tallies every metric
+    the reference engine would have published (``cache.stores``,
+    ``server.gets``, ``sim.transfer_bytes``, the ``sim.event.*`` family,
+    ...) into flat locals, landing the totals in the batch for a single
+    post-run flush.
 
     Raises:
         ValueError: when ``end_time`` precedes the last request (the
@@ -164,6 +232,48 @@ def run_kernel(
     ctl_inv = 0
     ex_inv = 0
 
+    # -- batched metric accumulation (leg of docs/FASTPATH.md's
+    # metrics-equivalence rule): tally what the reference engine would
+    # have published, flush once post-run via MetricsBatch.merge.
+    collect = batch is not None
+    bl = bisect_left
+    acc = _accumulate
+    n_dynamic = 0
+    n_store_miss = 0
+    n_went_invalid = 0
+    n_preloaded = resident.count(True) if collect else 0
+    tb_bounds = _bins("sim.transfer_bytes")
+    tb_counts = [0] * (len(tb_bounds) + 1)
+    tb_partials: list[float] = []
+    tb_n = 0
+    sa_bounds = _bins("sim.stale_age_seconds")
+    sa_counts = [0] * (len(sa_bounds) + 1)
+    sa_partials: list[float] = []
+    sa_n = 0
+    rw_bounds = _bins("protocol.refresh_window_seconds")
+    rw_counts = [0] * (len(rw_bounds) + 1)
+    rw_partials: list[float] = []
+    rw_n = 0
+    # Only TTL/Expires/Alex observe a refresh window in on_stored.
+    rw_kind = collect and (
+        kind == KIND_TTL or kind == KIND_EXPIRES or kind == KIND_ALEX
+    )
+    if rw_kind and preload:
+        # Preload runs protocol.on_stored(entry, start_time) per entry.
+        st = float(start_time)
+        for j in range(len(ids)):
+            if not resident[j]:
+                continue
+            if kind == KIND_TTL:
+                rw_val = p0
+            elif kind == KIND_EXPIRES:
+                rw_val = sx[j] - st if has_sx[j] else (st + p0) - st
+            else:
+                rw_val = p0 * max(st - last_modified[j], 0.0)
+            rw_counts[bl(rw_bounds, rw_val)] += 1
+            acc(rw_partials, rw_val)
+            rw_n += 1
+
     now = float(start_time)
     for t, i in zip(req_times, req_objs):
         now = t
@@ -180,6 +290,7 @@ def run_kernel(
             if valid[mi]:
                 valid[mi] = False
                 went_invalid = True
+                n_went_invalid += 1
             else:
                 went_invalid = False
             if went_invalid or per_modification:
@@ -199,6 +310,12 @@ def run_kernel(
             full_retrievals += 1
             server_gets += 1
             misses += 1
+            n_dynamic += 1
+            if collect:
+                tb_val = float(sizes[i])
+                tb_counts[bl(tb_bounds, tb_val)] += 1
+                acc(tb_partials, tb_val)
+                tb_n += 1
             if notify is not None:
                 notify("dynamic_fetch", t, ids[i])
             continue
@@ -234,6 +351,22 @@ def run_kernel(
                     if has_p2:
                         ttl = min(ttl, p2)
                     expires_at[i] = t + ttl
+            n_store_miss += 1
+            if collect:
+                tb_val = float(sizes[i])
+                tb_counts[bl(tb_bounds, tb_val)] += 1
+                acc(tb_partials, tb_val)
+                tb_n += 1
+                if rw_kind:
+                    if kind == KIND_TTL:
+                        rw_val = p0
+                    elif kind == KIND_EXPIRES:
+                        rw_val = sx[i] - t if has_sx[i] else (t + p0) - t
+                    else:
+                        rw_val = p0 * max(t - lm, 0.0)
+                    rw_counts[bl(rw_bounds, rw_val)] += 1
+                    acc(rw_partials, rw_val)
+                    rw_n += 1
             if notify is not None:
                 notify("miss", t, ids[i])
             continue
@@ -281,7 +414,12 @@ def run_kernel(
                     # [lo + v - 1] (or created), so the first strictly
                     # later change is mod_times[lo + v] — in range
                     # because v < version_at(t) <= nm.
-                    stale_age_sum += t - mod_times[lo + v]
+                    age_stale = t - mod_times[lo + v]
+                    stale_age_sum += age_stale
+                    if collect:
+                        sa_counts[bl(sa_bounds, age_stale)] += 1
+                        acc(sa_partials, age_stale)
+                        sa_n += 1
                     if notify is not None:
                         notify("stale_hit", t, ids[i])
                 elif notify is not None:
@@ -321,6 +459,22 @@ def run_kernel(
                     if has_p2:
                         ttl = min(ttl, p2)
                     expires_at[i] = t + ttl
+            n_store_miss += 1
+            if collect:
+                tb_val = float(sizes[i])
+                tb_counts[bl(tb_bounds, tb_val)] += 1
+                acc(tb_partials, tb_val)
+                tb_n += 1
+                if rw_kind:
+                    if kind == KIND_TTL:
+                        rw_val = p0
+                    elif kind == KIND_EXPIRES:
+                        rw_val = sx[i] - t if has_sx[i] else (t + p0) - t
+                    else:
+                        rw_val = p0 * max(t - lm, 0.0)
+                    rw_counts[bl(rw_bounds, rw_val)] += 1
+                    acc(rw_partials, rw_val)
+                    rw_n += 1
             if notify is not None:
                 notify("miss", t, ids[i])
             continue
@@ -350,6 +504,17 @@ def run_kernel(
                     if has_p2:
                         ttl = min(ttl, p2)
                     expires_at[i] = t + ttl
+            if rw_kind:
+                # The 304 path re-runs on_stored without a cache store.
+                if kind == KIND_TTL:
+                    rw_val = p0
+                elif kind == KIND_EXPIRES:
+                    rw_val = sx[i] - t if has_sx[i] else (t + p0) - t
+                else:
+                    rw_val = p0 * max(t - last_modified[i], 0.0)
+                rw_counts[bl(rw_bounds, rw_val)] += 1
+                acc(rw_partials, rw_val)
+                rw_n += 1
             hits += 1
             if notify is not None:
                 notify("validation_304", t, ids[i])
@@ -378,6 +543,21 @@ def run_kernel(
                 if has_p2:
                     ttl = min(ttl, p2)
                 expires_at[i] = t + ttl
+        if collect:
+            tb_val = float(sizes[i])
+            tb_counts[bl(tb_bounds, tb_val)] += 1
+            acc(tb_partials, tb_val)
+            tb_n += 1
+            if rw_kind:
+                if kind == KIND_TTL:
+                    rw_val = p0
+                elif kind == KIND_EXPIRES:
+                    rw_val = sx[i] - t if has_sx[i] else (t + p0) - t
+                else:
+                    rw_val = p0 * max(t - lm, 0.0)
+                rw_counts[bl(rw_bounds, rw_val)] += 1
+                acc(rw_partials, rw_val)
+                rw_n += 1
         if notify is not None:
             notify("validation_200", t, ids[i])
 
@@ -400,6 +580,7 @@ def run_kernel(
             if valid[mi]:
                 valid[mi] = False
                 went_invalid = True
+                n_went_invalid += 1
             else:
                 went_invalid = False
             if went_invalid or per_modification:
@@ -409,6 +590,37 @@ def run_kernel(
                 ex_inv += 1
                 if notify is not None:
                     notify("invalidation", mod_time, ids[mi])
+
+    if batch is not None:
+        # Whole-run totals, mirroring every reference-loop publication
+        # (preload included); zero counts are skipped so the registry's
+        # lazily-created keys match the reference dump exactly.
+        batch.count("cache.stores", n_preloaded + n_store_miss + ex_200)
+        batch.count("cache.invalidated", n_went_invalid)
+        batch.count("server.gets", n_preloaded + full_retrievals + ex_200)
+        batch.count("server.ims_queries", server_ims_queries)
+        batch.count(
+            "sim.event.hit", (hits - validations_not_modified) - stale_hits
+        )
+        batch.count("sim.event.stale_hit", stale_hits)
+        batch.count("sim.event.miss", n_store_miss)
+        batch.count("sim.event.validation_304", validations_not_modified)
+        batch.count("sim.event.validation_200", ex_200)
+        batch.count("sim.event.invalidation", invalidations_received)
+        batch.count("sim.event.dynamic_fetch", n_dynamic)
+        batch.histogram(
+            "sim.transfer_bytes", tb_bounds, tb_counts, tb_partials, tb_n
+        )
+        batch.histogram(
+            "sim.stale_age_seconds", sa_bounds, sa_counts, sa_partials, sa_n
+        )
+        batch.histogram(
+            "protocol.refresh_window_seconds",
+            rw_bounds,
+            rw_counts,
+            rw_partials,
+            rw_n,
+        )
 
     counters = ConsistencyCounters(
         requests=requests,

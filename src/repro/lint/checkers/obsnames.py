@@ -16,6 +16,9 @@ RPR004 does for observer events:
   ``repro/obs/names.py``'s ``METRIC_NAMES`` tuple;
 * every string literal passed to a call named ``span`` must be declared
   in ``SPAN_NAMES``;
+* every string literal passed as the first argument to a call named
+  ``mark`` — the live mode's cross-process causal points — must be
+  declared in ``TRACE_MARK_NAMES``;
 * every declared metric/span name must occur as a string literal in at
   least one *other* linted module (no dead alphabet entries).  Names
   emitted through a variable — e.g. the ``EVENT_METRICS`` tee table in
@@ -43,6 +46,8 @@ NAMES_MODULE = "repro.obs.names"
 METRIC_CALLS = frozenset({"emit", "observe", "set_gauge"})
 #: Call names whose literal first argument must be a declared span.
 SPAN_CALLS = frozenset({"span"})
+#: Call names whose literal first argument must be a declared trace mark.
+MARK_CALLS = frozenset({"mark"})
 
 
 def _declared_tuple(
@@ -107,10 +112,10 @@ class ObsNameChecker(Checker):
 
     code = "RPR006"
     summary = (
-        "every literal metric/span name passed to obs emit/observe/"
-        "set_gauge/span is declared in repro/obs/names.py, and every "
-        "declared name is used somewhere (no silent new series, no "
-        "dead alphabet entries)"
+        "every literal metric/span/mark name passed to obs emit/observe/"
+        "set_gauge/span/mark is declared in repro/obs/names.py, and "
+        "every declared name is used somewhere (no silent new series, "
+        "no dead alphabet entries)"
     )
 
     def check_project(self, project: Project) -> Iterable[Diagnostic]:
@@ -119,6 +124,7 @@ class ObsNameChecker(Checker):
             return
         metrics = _declared_tuple(names, "METRIC_NAMES")
         spans = _declared_tuple(names, "SPAN_NAMES")
+        marks = _declared_tuple(names, "TRACE_MARK_NAMES")
         first = names.tree.body[0] if names.tree.body else None
         anchor = first.lineno if first is not None else 1
         if metrics is None:
@@ -135,15 +141,24 @@ class ObsNameChecker(Checker):
                 "span alphabet is undefined",
             )
             return
+        if marks is None:
+            yield self.diagnostic(
+                names.path, anchor, 1,
+                "repro/obs/names.py declares no TRACE_MARK_NAMES tuple — "
+                "the trace-mark alphabet is undefined",
+            )
+            return
         metric_decl, metric_names = metrics
         span_decl, span_names = spans
+        mark_decl, mark_names = marks
         used: set[str] = set()
         for module in project.modules:
             if module.name == NAMES_MODULE:
                 continue
             used |= _string_literals(module)
             yield from self._check_calls(
-                module, set(metric_names), set(span_names)
+                module, set(metric_names), set(span_names),
+                set(mark_names),
             )
         yield from self._check_liveness(
             names, metric_decl, metric_names, "METRIC_NAMES", used
@@ -151,12 +166,16 @@ class ObsNameChecker(Checker):
         yield from self._check_liveness(
             names, span_decl, span_names, "SPAN_NAMES", used
         )
+        yield from self._check_liveness(
+            names, mark_decl, mark_names, "TRACE_MARK_NAMES", used
+        )
 
     def _check_calls(
         self,
         module: ModuleInfo,
         metric_names: set[str],
         span_names: set[str],
+        mark_names: set[str],
     ) -> Iterator[Diagnostic]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -166,6 +185,8 @@ class ObsNameChecker(Checker):
                 alphabet, variable = metric_names, "METRIC_NAMES"
             elif call in SPAN_CALLS:
                 alphabet, variable = span_names, "SPAN_NAMES"
+            elif call in MARK_CALLS:
+                alphabet, variable = mark_names, "TRACE_MARK_NAMES"
             else:
                 continue
             name = _literal_first_arg(node)

@@ -45,13 +45,16 @@ from typing import Optional
 from repro.faults.rng import uniform01
 from repro.live.wire import (
     SEQ_HEADER,
+    TRACE_HEADER,
     LiveWireError,
     _body_length,
     _read_head,
     cancel_handler_tasks,
     pin_handler_task,
 )
+from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
 
 def _crc(text: str) -> int:
     return zlib.crc32(text.encode("utf-8"))
@@ -203,6 +206,11 @@ class ChaosRelay:
             driver↔proxy, ``"upstream"`` for proxy↔origin), so the two
             relays of one replay inject independent faults from one
             seed.
+        trace: a :class:`~repro.obs.trace.TraceSink` recording one
+            ``live.trace.chaos`` mark per injected fault (loss, reset,
+            truncate), keyed on the relayed request's ``X-Repro-Trace``
+            id when it carries one.  Relays are harness-side, so the
+            driver's sink is the natural home.
     """
 
     def __init__(
@@ -211,11 +219,14 @@ class ChaosRelay:
         target_port: int,
         plan: WireFaultPlan,
         label: str,
+        *,
+        trace: Optional[obs_trace.TraceSink] = None,
     ) -> None:
         self.target_host = target_host
         self.target_port = target_port
         self.plan = plan
         self.label = label
+        self._trace = trace
         #: Total faults injected (loss + reset + truncate) over the
         #: relay's lifetime; dribble and delay are not faults.
         self.injected = 0
@@ -257,7 +268,9 @@ class ChaosRelay:
 
     # -- decisions -----------------------------------------------------------
 
-    async def _decide(self, key: str) -> _Decision:
+    async def _decide(
+        self, key: str, tid: Optional[str] = None
+    ) -> _Decision:
         """Resolve (and record) the fate of one exchange for ``key``."""
         plan = self.plan
         async with self._state_lock:
@@ -275,19 +288,28 @@ class ChaosRelay:
                 self._faulted[key] = 0
                 return _Decision(dribble=dribble)
             if plan.draw(self.label, key, attempt, "loss") < plan.loss_rate:
-                decision = _Decision(loss=True)
+                decision, fault = _Decision(loss=True), "loss"
             elif plan.draw(self.label, key, attempt, "reset") < plan.reset_rate:
-                decision = _Decision(reset=True)
+                decision, fault = _Decision(reset=True), "reset"
             elif plan.draw(self.label, key, attempt, "truncate") < (
                 plan.truncate_rate
             ):
                 decision = _Decision(truncate=True, dribble=dribble)
+                fault = "truncate"
             else:
                 self._faulted[key] = 0
                 return _Decision(dribble=dribble)
             self._faulted[key] = self._faulted.get(key, 0) + 1
             self.injected += 1
             obs_metrics.emit("live.chaos.injected")
+            if self._trace is not None:
+                self._trace.mark(
+                    "live.trace.chaos",
+                    tid,
+                    obs_clock.monotonic(),
+                    hop=self.label,
+                    fault=fault,
+                )
             return decision
 
     # -- relaying ------------------------------------------------------------
@@ -309,7 +331,7 @@ class ChaosRelay:
                     # mid-request; either way the relay just hangs up.
                     break
                 key = _exchange_key(head)
-                decision = await self._decide(key)
+                decision = await self._decide(key, _head_value(head, TRACE_HEADER))
                 if decision.loss:
                     # Dropped before the server ever hears of it: the
                     # cleanest fault — a retry needs no idempotency.
@@ -363,6 +385,15 @@ class ChaosRelay:
                 upstream_writer.close()
 
 
+def _head_value(head: str, header: str) -> Optional[str]:
+    """The value of ``header`` in a serialized request head, if any."""
+    needle = header.lower() + ":"
+    for line in head.split("\r\n")[1:]:
+        if line.lower().startswith(needle):
+            return line.partition(":")[2].strip()
+    return None
+
+
 def _exchange_key(head: str) -> str:
     """The draw key for a relayed request head.
 
@@ -370,12 +401,8 @@ def _exchange_key(head: str) -> str:
     a new *attempt* of the same key, or the consecutive-fault cap could
     never guarantee progress — else the start line.
     """
-    lines = head.split("\r\n")
-    needle = SEQ_HEADER.lower() + ":"
-    for line in lines[1:]:
-        if line.lower().startswith(needle):
-            return line.partition(":")[2].strip()
-    return lines[0]
+    seq = _head_value(head, SEQ_HEADER)
+    return seq if seq is not None else head.split("\r\n", 1)[0]
 
 
 __all__ = ["ChaosRelay", "WireFaultPlan", "parse_chaos"]

@@ -227,6 +227,7 @@ def live_vs_sim(
     chaos: Optional[WireFaultPlan] = None,
     faults: Optional[FaultPlan] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    trace_path: Optional[Union[str, Path]] = None,
 ) -> tuple[SimulationResult, SimulationResult, OracleReport]:
     """Replay a trace live, simulate the same trace, and diff the two.
 
@@ -244,6 +245,9 @@ def live_vs_sim(
     against the simulator's observer stream (stale hits relabelled from
     the driver's audit); the plain serial replay keeps
     ``events_checked == 0``, exactly the historical contract.
+    ``trace_path`` enables per-role causal tracing on the live leg
+    (see :func:`~repro.live.driver.run_replay`); the simulated leg is
+    never traced here.
 
     Returns:
         ``(live_result, sim_result, report)``.
@@ -269,6 +273,7 @@ def live_vs_sim(
             chaos=chaos,
             faults=faults,
             journal_path=journal_path,
+            trace_path=trace_path,
         )
     )
     compare_events = bool(live_report.events) or (

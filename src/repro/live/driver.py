@@ -71,6 +71,7 @@ from repro.live.wire import (
     CONTROL_PREFIX,
     DATE,
     SEQ_HEADER,
+    TRACE_HEADER,
     X_CACHE,
     LiveConnection,
     LiveReplayError,
@@ -81,6 +82,7 @@ from repro.live.wire import (
 from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.timeline import role_trace_paths
 
 #: Pause before reconnecting after a refused/reset connection — long
 #: enough for a killed proxy to be respawned, short enough that a chaos
@@ -287,6 +289,7 @@ async def replay_live(
     *,
     start_time: float = 0.0,
     end_time: Optional[float] = None,
+    trace: Optional[obs_trace.TraceSink] = None,
 ) -> LiveReplayReport:
     """Replay a request stream serially — the historical driver.
 
@@ -296,6 +299,14 @@ async def replay_live(
     simulation time in a ``Date`` header — one connection per exchange,
     no sequence ids: with a zero-fault transport and a single client
     the wire traffic stays byte-identical to what it always was.
+
+    With ``trace``, every request is stamped with a deterministic
+    ``X-Repro-Trace`` id (``r<stream index>``) and the driver records
+    its side of the exchange — send/done marks plus a
+    ``live.trace.exchange`` span — so the per-role trace files can be
+    merged into one causal timeline (``docs/OBSERVABILITY.md``).
+    Tracing adds a header to the wire, so traced runs are not
+    byte-identical to historical untraced ones.
 
     Returns:
         A :class:`LiveReplayReport`; ``report.result.counters`` has
@@ -317,10 +328,31 @@ async def replay_live(
     stale_age_sum = 0.0
     stale_events: list[tuple[float, str]] = []
     last_time = float(start_time)
-    for t, object_id in request_list:
+    for index, (t, object_id) in enumerate(request_list):
         request = Request("GET", object_id)
         request.headers.set_date(DATE, t)
+        tid: Optional[str] = None
+        send_clk = 0.0
+        if trace is not None:
+            tid = f"r{index}"
+            request.headers.set(TRACE_HEADER, tid)
+            send_clk = obs_clock.monotonic()
+            trace.mark("live.trace.send", tid, send_clk)
         response, _, _ = await exchange(proxy.host, proxy.port, request)
+        if trace is not None:
+            done_clk = obs_clock.monotonic()
+            trace.mark("live.trace.done", tid, done_clk)
+            trace.span(
+                "live.trace.exchange",
+                done_clk - send_clk,
+                {
+                    "trace": tid,
+                    "clk": done_clk,
+                    "object": object_id,
+                    "t": float(t),
+                    "verdict": response.headers.get(X_CACHE),
+                },
+            )
         if response.status != 200:
             raise LiveWireError(
                 f"proxy returned {response.status} for {object_id!r} "
@@ -398,6 +430,8 @@ async def _request_with_retry(
     *,
     attempts: int,
     pause: float,
+    trace: Optional[str] = None,
+    sink: Optional[obs_trace.TraceSink] = None,
 ) -> tuple[Response, str, int]:
     """Drive one exchange to success over an at-least-once transport.
 
@@ -405,11 +439,23 @@ async def _request_with_retry(
     (the request's ``X-Repro-Seq`` makes the receiver replay, not
     re-execute).  Connection-level failures pause before reconnecting —
     that is what lets a driver ride through a proxy restart.
+
+    A retry mark is emitted next to the ``live.retries`` counter (same
+    branch, same count — ``repro trace summarize`` cross-checks the two)
+    whenever ``sink`` is present; ``trace`` carries the exchange's
+    propagated id.
     """
     last: Optional[BaseException] = None
     for attempt in range(attempts):
         if attempt:
             obs_metrics.emit("live.retries")
+            if sink is not None:
+                sink.mark(
+                    "live.trace.retry",
+                    trace,
+                    obs_clock.monotonic(),
+                    hop="client",
+                )
         try:
             return await send()
         except (LiveWireError, ConnectionError, OSError) as exc:
@@ -435,6 +481,7 @@ async def replay_pooled(
     attempts: int = 1,
     pause: float = 0.0,
     on_complete: Optional[Callable[[], None]] = None,
+    trace: Optional[obs_trace.TraceSink] = None,
 ) -> tuple[int, float, list[tuple[float, str]], float]:
     """Drive the request stream through a connection pool.
 
@@ -445,6 +492,11 @@ async def replay_pooled(
     ``cross_object`` protocols additionally gate every send on the
     global stream index — their state couples objects, so only the
     fully serialized order matches the simulator.
+
+    With ``trace``, requests additionally carry ``X-Repro-Trace``
+    (same ``r<index>`` value as the sequence id) and the driver records
+    a send mark *per attempt*, a done mark, and a
+    ``live.trace.exchange`` span per completed exchange.
 
     Returns:
         ``(stale_hits, stale_age_sum, stale_events, last_time)`` from
@@ -462,8 +514,19 @@ async def replay_pooled(
                 request = Request("GET", object_id)
                 request.headers.set_date(DATE, t)
                 request.headers.set(SEQ_HEADER, f"r{index}")
+                tid: Optional[str] = None
+                if trace is not None:
+                    tid = f"r{index}"
+                    request.headers.set(TRACE_HEADER, tid)
 
                 async def send() -> tuple[Response, str, int]:
+                    # One send mark per attempt: a retried exchange has
+                    # several sends but one done, and the timeline's
+                    # happens-before check uses the earliest send.
+                    if trace is not None:
+                        trace.mark(
+                            "live.trace.send", tid, obs_clock.monotonic()
+                        )
                     if keepalive:
                         return await conn.request(request)
                     return await exchange(proxy_host, proxy_port, request)
@@ -473,6 +536,9 @@ async def replay_pooled(
                         await gate.wait_for(
                             lambda: state["next"] == index  # noqa: B023
                         )
+                exchange_started = (
+                    obs_clock.monotonic() if trace is not None else 0.0
+                )
                 try:
                     response, _, _ = await _request_with_retry(
                         send,
@@ -480,12 +546,28 @@ async def replay_pooled(
                         f"request r{index} for {object_id!r}",
                         attempts=attempts,
                         pause=pause,
+                        trace=tid,
+                        sink=trace,
                     )
                 finally:
                     if gate is not None:
                         async with gate:
                             state["next"] = index + 1
                             gate.notify_all()
+                if trace is not None:
+                    done_clk = obs_clock.monotonic()
+                    trace.mark("live.trace.done", tid, done_clk)
+                    trace.span(
+                        "live.trace.exchange",
+                        done_clk - exchange_started,
+                        {
+                            "trace": tid,
+                            "clk": done_clk,
+                            "object": object_id,
+                            "t": float(t),
+                            "verdict": response.headers.get(X_CACHE),
+                        },
+                    )
                 if response.status != 200:
                     raise LiveWireError(
                         f"proxy returned {response.status} for "
@@ -541,6 +623,7 @@ async def run_replay(
     chaos: Optional[WireFaultPlan] = None,
     faults: Optional[FaultPlan] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    trace_path: Optional[Union[str, Path]] = None,
 ) -> LiveReplayReport:
     """Boot an ephemeral origin/proxy pair on loopback, replay, tear down.
 
@@ -564,6 +647,15 @@ async def run_replay(
       only (the schedule is a global timeline).
     * ``journal_path`` — commit-before-reply journaling, enabling
       :func:`run_crash_replay`-style restarts.
+    * ``trace_path`` — cross-process causal tracing: each role (driver,
+      proxy, origin) records into its own
+      :class:`~repro.obs.trace.TraceSink`, and on teardown — success
+      *or* failure; the trace of a failing run is the valuable one —
+      three JSONL files are written: ``trace_path`` for the driver plus
+      ``.proxy`` / ``.origin`` companions
+      (:func:`repro.obs.timeline.role_trace_paths`).  Chaos relays are
+      harness machinery, so their marks land in the driver's file.
+      ``repro trace merge`` joins the three into one timeline.
     """
     chaos_active = chaos is not None and not chaos.is_null
     pooled = connections > 1 or keepalive or chaos_active
@@ -573,7 +665,12 @@ async def run_replay(
             "combined with connections>1, keepalive, or chaos"
         )
     request_list = list(requests)
-    origin = LiveOrigin(server)
+    driver_trace = proxy_trace = origin_trace = None
+    if trace_path is not None:
+        driver_trace = obs_trace.TraceSink(proc="driver")
+        proxy_trace = obs_trace.TraceSink(proc="proxy")
+        origin_trace = obs_trace.TraceSink(proc="origin")
+    origin = LiveOrigin(server, trace=origin_trace)
     await origin.start()
     relays: list[ChaosRelay] = []
     try:
@@ -581,7 +678,8 @@ async def run_replay(
         if chaos_active:
             assert chaos is not None
             upstream_relay = ChaosRelay(
-                origin.host, origin.port, chaos, "upstream"
+                origin.host, origin.port, chaos, "upstream",
+                trace=driver_trace,
             )
             await upstream_relay.start()
             relays.append(upstream_relay)
@@ -607,6 +705,7 @@ async def run_replay(
             upstream_attempts=(
                 chaos.max_attempts if chaos_active and chaos else 1
             ),
+            trace=proxy_trace,
         )
         await proxy.start()
         try:
@@ -617,12 +716,14 @@ async def run_replay(
                     request_list,
                     start_time=start_time,
                     end_time=end_time,
+                    trace=driver_trace,
                 )
             client_host, client_port = proxy.host, proxy.port
             if chaos_active:
                 assert chaos is not None
                 client_relay = ChaosRelay(
-                    proxy.host, proxy.port, chaos, "client"
+                    proxy.host, proxy.port, chaos, "client",
+                    trace=driver_trace,
                 )
                 await client_relay.start()
                 relays.append(client_relay)
@@ -651,6 +752,7 @@ async def run_replay(
                     attempts=(
                         chaos.max_attempts if chaos_active and chaos else 1
                     ),
+                    trace=driver_trace,
                 )
             )
             last_time = max(last_time, float(start_time))
@@ -689,6 +791,12 @@ async def run_replay(
         for relay in relays:
             await relay.close()
         await origin.close()
+        if trace_path is not None:
+            assert driver_trace and proxy_trace and origin_trace
+            paths = role_trace_paths(trace_path)
+            obs_trace.write_jsonl(driver_trace, paths["driver"])
+            obs_trace.write_jsonl(proxy_trace, paths["proxy"])
+            obs_trace.write_jsonl(origin_trace, paths["origin"])
 
 
 async def _spawn_standalone(

@@ -56,6 +56,7 @@ from repro.live.wire import (
     OBJECT_HEADER,
     PRAGMA,
     SEQ_HEADER,
+    TRACE_HEADER,
     WARMUP_HEADER,
     LiveConnectionClosed,
     LiveWireError,
@@ -65,7 +66,9 @@ from repro.live.wire import (
     wants_keepalive,
     write_message,
 )
+from repro.obs import clock as obs_clock
 from repro.obs import registry as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 def _error(status: int, message: str) -> tuple[Response, str]:
@@ -89,10 +92,20 @@ class LiveOrigin:
     Args:
         server: the population model (objects + modification
             schedules) — the same instance a simulation run would use.
+        trace: a per-role :class:`~repro.obs.trace.TraceSink` recording
+            the origin's side of the live causal trace — a recv mark
+            and a service-time span per exchange that carries an
+            ``X-Repro-Trace`` id (``docs/OBSERVABILITY.md``).
     """
 
-    def __init__(self, server: OriginServer) -> None:
+    def __init__(
+        self,
+        server: OriginServer,
+        *,
+        trace: Optional[obs_trace.TraceSink] = None,
+    ) -> None:
         self.server = server
+        self._trace = trace
         #: Counted (non-warmup) full-retrieval exchanges served.
         self.gets = 0
         #: Counted (non-warmup) If-Modified-Since exchanges served.
@@ -151,8 +164,25 @@ class LiveOrigin:
                     await write_message(writer, response.serialize(body))
                     break
                 keep = wants_keepalive(request)
+                tid = request.headers.get(TRACE_HEADER)
+                if self._trace is not None and tid is not None:
+                    self._trace.mark(
+                        "live.trace.recv", tid, obs_clock.monotonic()
+                    )
                 async with self._state_lock:
+                    served_started = obs_clock.monotonic()
                     response, body = self._respond(request)
+                    if self._trace is not None and tid is not None:
+                        served_clk = obs_clock.monotonic()
+                        self._trace.span(
+                            "live.trace.origin",
+                            served_clk - served_started,
+                            {
+                                "trace": tid,
+                                "clk": served_clk,
+                                "object": request.path,
+                            },
+                        )
                 await write_message(writer, response.serialize(body))
                 if not keep:
                     break

@@ -104,6 +104,7 @@ from repro.live.wire import (
     OBJECT_HEADER,
     PRAGMA,
     SEQ_HEADER,
+    TRACE_HEADER,
     WARMUP_HEADER,
     X_CACHE,
     LiveConnectionClosed,
@@ -174,6 +175,8 @@ class _Txn:
         "obj_now",
         "fault_idx",
         "upstream",
+        "trace",
+        "upstream_wall",
     )
 
     def __init__(self, seq: Optional[str] = None) -> None:
@@ -191,6 +194,11 @@ class _Txn:
         #: fetched — staged here (not in the shared dict) so the journal
         #: never records another in-flight transaction's increments.
         self.upstream: dict[str, int] = {}
+        #: Propagated X-Repro-Trace id (None when the client sent none).
+        self.trace: Optional[str] = None
+        #: Wall seconds spent in upstream object fetches, accumulated so
+        #: the decision span can be reported net of upstream time.
+        self.upstream_wall = 0.0
 
 
 class LiveProxy:
@@ -223,6 +231,12 @@ class LiveProxy:
             can dedup its counting — whenever this exceeds 1 *or* a
             journal is installed (a SIGKILLed proxy re-executes its
             uncommitted requests on restart, which is a retry too).
+        trace: a per-role :class:`~repro.obs.trace.TraceSink` recording
+            this proxy's causal trace — per-exchange parse / decision /
+            upstream / commit / reply spans and recv/retry/restore
+            marks, keyed on the client's propagated ``X-Repro-Trace``
+            id (``docs/OBSERVABILITY.md``).  ``None`` (the default)
+            records nothing and leaves the wire traffic untouched.
 
     Raises:
         LiveReplayError: for ``faults`` combined with ``concurrent``
@@ -243,6 +257,7 @@ class LiveProxy:
         faults: Optional[FaultPlan] = None,
         journal: Optional[Journal] = None,
         upstream_attempts: int = 1,
+        trace: Optional[obs_trace.TraceSink] = None,
     ) -> None:
         self.origin_host = origin_host
         self.origin_port = origin_port
@@ -287,6 +302,7 @@ class LiveProxy:
         self._fault_actions: tuple[FaultAction, ...] = ()
         self._fault_idx = 0
         self._journal = journal
+        self._trace = trace
         self._state_lock = asyncio.Lock()
         self._global_lock = asyncio.Lock()
         self._object_locks: dict[str, asyncio.Lock] = {}
@@ -469,6 +485,13 @@ class LiveProxy:
                 raise LiveReplayError(f"unknown journal record kind {kind!r}")
         if self.faults is not None:
             await self._compile_faults()
+        if self._trace is not None:
+            self._trace.mark(
+                "live.trace.restore",
+                None,
+                obs_clock.monotonic(),
+                records=len(records),
+            )
         obs_trace.span(
             "live.restore",
             obs_clock.monotonic() - restore_started,
@@ -570,6 +593,13 @@ class LiveProxy:
         for attempt in range(self.upstream_attempts):
             if attempt:
                 obs_metrics.emit("live.retries")
+                if self._trace is not None:
+                    self._trace.mark(
+                        "live.trace.retry",
+                        request.headers.get(TRACE_HEADER),
+                        obs_clock.monotonic(),
+                        hop="upstream",
+                    )
             try:
                 response, body, nbytes = await exchange(
                     self.origin_host, self.origin_port, request
@@ -610,7 +640,17 @@ class LiveProxy:
             k = txn.upstream.get(object_id, base)
             txn.upstream[object_id] = k + 1
             request.headers.set(SEQ_HEADER, f"{object_id}@{k}")
-        response, _, _ = await self._origin_raw(request)
+        if self._trace is not None and txn.trace is not None:
+            # Propagate the client's trace id on the upstream hop so
+            # the origin's spans join the same causal timeline.
+            request.headers.set(TRACE_HEADER, txn.trace)
+            fetch_started = obs_clock.monotonic()
+            try:
+                response, _, _ = await self._origin_raw(request)
+            finally:
+                txn.upstream_wall += obs_clock.monotonic() - fetch_started
+        else:
+            response, _, _ = await self._origin_raw(request)
         if response.status not in (200, 304):
             raise LiveWireError(
                 f"origin returned {response.status} for {object_id!r}"
@@ -890,6 +930,7 @@ class LiveProxy:
         pin_handler_task(self._handlers)
         try:
             while True:
+                parse_started = obs_clock.monotonic()
                 try:
                     request, received = await read_request(reader)
                 except LiveConnectionClosed:
@@ -901,9 +942,29 @@ class LiveProxy:
                     )
                     await self._account_wire(sent)
                     break
+                tid = request.headers.get(TRACE_HEADER)
+                if self._trace is not None and tid is not None:
+                    # Parse wall includes keep-alive idle time between
+                    # requests — it measures request arrival-to-parsed,
+                    # not CPU (docs/OBSERVABILITY.md).
+                    recv_clk = obs_clock.monotonic()
+                    self._trace.mark("live.trace.recv", tid, recv_clk)
+                    self._trace.span(
+                        "live.trace.parse",
+                        recv_clk - parse_started,
+                        {"trace": tid, "clk": recv_clk},
+                    )
                 keep = wants_keepalive(request)
                 payload = await self._process(request)
+                reply_started = obs_clock.monotonic()
                 sent = await write_message(writer, payload)
+                if self._trace is not None and tid is not None:
+                    reply_clk = obs_clock.monotonic()
+                    self._trace.span(
+                        "live.trace.reply",
+                        reply_clk - reply_started,
+                        {"trace": tid, "clk": reply_clk},
+                    )
                 await self._account_wire(received + sent)
                 if not keep:
                     break
@@ -968,17 +1029,78 @@ class LiveProxy:
                     # first arrival committed; replay its reply.
                     return committed
             txn = _Txn(seq)
+            txn.trace = request.headers.get(TRACE_HEADER)
+            traced = self._trace is not None and txn.trace is not None
+            object_started = obs_clock.monotonic()
             try:
                 response, body = await self._object(request, txn)
             except (LiveWireError, HTTPDateError) as exc:
                 response, body = _error(500, str(exc))
+            if traced:
+                assert self._trace is not None
+                self._emit_decision_spans(
+                    request, response, txn, object_started
+                )
             payload = response.serialize(body)
             if response.status == 200:
                 # Commit-before-reply: once the reply leaves, the
                 # transaction is journaled and applied — a crash after
                 # this point replays, never re-executes.
+                commit_started = obs_clock.monotonic()
                 await self._commit(txn, payload)
+                if traced:
+                    assert self._trace is not None
+                    commit_clk = obs_clock.monotonic()
+                    self._trace.span(
+                        "live.trace.commit",
+                        commit_clk - commit_started,
+                        {"trace": txn.trace, "clk": commit_clk},
+                    )
             return payload
+
+    def _emit_decision_spans(
+        self,
+        request: Request,
+        response: Response,
+        txn: _Txn,
+        object_started: float,
+    ) -> None:
+        """The per-exchange decision + upstream spans.
+
+        The decision span is the cache-decision wall *net* of upstream
+        fetch time (invalidation-window pulls remain part of the
+        decision — they are the sync the decision depends on).  For
+        cache hits the meta carries the served copy's age at delivery,
+        ``t - Last-Modified`` in simulation seconds — the live
+        staleness-exposure distribution ``repro trace summarize``
+        reports.
+        """
+        assert self._trace is not None
+        clk = obs_clock.monotonic()
+        verdict = response.headers.get(X_CACHE)
+        meta: dict[str, object] = {
+            "trace": txn.trace,
+            "clk": clk,
+            "object": request.path,
+        }
+        if verdict is not None:
+            meta["verdict"] = verdict
+        if verdict == "HIT":
+            t = request.headers.get_date(DATE)
+            last_modified = response.headers.last_modified
+            if t is not None and last_modified is not None:
+                meta["age"] = t - last_modified
+        self._trace.span(
+            "live.trace.decision",
+            (clk - object_started) - txn.upstream_wall,
+            meta,
+        )
+        if txn.upstream_wall > 0.0:
+            self._trace.span(
+                "live.trace.upstream",
+                txn.upstream_wall,
+                {"trace": txn.trace, "clk": clk, "object": request.path},
+            )
 
     async def _commit(self, txn: _Txn, payload: str) -> None:
         """Fold one transaction into shared state (and the journal).

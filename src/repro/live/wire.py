@@ -69,6 +69,13 @@ SEQ_HEADER = "X-Repro-Seq"
 #: Restricts an invalidation-feed window to one object (the concurrent
 #: proxy pulls per-object windows under per-object locks).
 OBJECT_HEADER = "X-Repro-Object"
+#: Causal trace id for cross-process tracing: the driver stamps one
+#: deterministic id per request (``r<stream index>``), the proxy echoes
+#: it onto its upstream fetches, and every hop records its spans and
+#: marks under it (``repro.obs.timeline`` joins the streams).  Only
+#: present when tracing is requested, so untraced replays keep their
+#: historical wire bytes.
+TRACE_HEADER = "X-Repro-Trace"
 
 #: Hard cap on a message head (start line + headers); a peer sending
 #: more is malformed, not large.

@@ -65,6 +65,7 @@ METRIC_NAMES: tuple[str, ...] = (
     "engine.serial_fallback_tasks",
     "engine.fastpath_runs",
     "engine.fastpath_fallbacks",
+    "fastpath.metrics_flush",
     "verify.runs",
     # -- live origin/proxy mode (repro.live) ----------------------------
     "live.requests",
@@ -75,15 +76,40 @@ METRIC_NAMES: tuple[str, ...] = (
 )
 
 #: Span names the trace sink may record (timed regions, not counters).
+#: The ``live.trace.*`` spans are the per-exchange phases of the live
+#: causal trace (``docs/OBSERVABILITY.md``): parse / decision /
+#: upstream / commit / reply on the proxy, origin service time on the
+#: origin, and the whole client exchange on the driver.
 SPAN_NAMES: tuple[str, ...] = (
     "engine.map",
     "engine.task",
     "fastpath.run",
     "live.replay",
     "live.restore",
+    "live.trace.commit",
+    "live.trace.decision",
+    "live.trace.exchange",
+    "live.trace.origin",
+    "live.trace.parse",
+    "live.trace.reply",
+    "live.trace.upstream",
     "live.warmup",
     "sweep.run",
+    "trace.merge",
     "verify.run",
+)
+
+#: Mark kinds the trace sink may record — instantaneous causal points
+#: of the live mode's cross-process trace (``repro.obs.timeline``
+#: orders and validates them).  RPR006 checks ``mark()`` call literals
+#: against this alphabet exactly as it does metrics and spans.
+TRACE_MARK_NAMES: tuple[str, ...] = (
+    "live.trace.chaos",
+    "live.trace.done",
+    "live.trace.recv",
+    "live.trace.restore",
+    "live.trace.retry",
+    "live.trace.send",
 )
 
 
@@ -143,5 +169,11 @@ def is_span(name: str) -> bool:
     return name in _SPAN_SET
 
 
+def is_mark(name: str) -> bool:
+    """True when ``name`` is a declared trace-mark kind."""
+    return name in _MARK_SET
+
+
 _METRIC_SET = frozenset(METRIC_NAMES)
 _SPAN_SET = frozenset(SPAN_NAMES)
+_MARK_SET = frozenset(TRACE_MARK_NAMES)

@@ -16,6 +16,17 @@ with a stable schema (``docs/OBSERVABILITY.md``):
       {"type": "span", "name": "engine.task", "wall": 0.0123,
        "meta": {"index": 3, "worker": 71234}}
 
+* **mark** — one instantaneous cross-process causal point (the live
+  mode's trace propagation; see ``docs/OBSERVABILITY.md`` and
+  :mod:`repro.obs.timeline`).  ``trace`` is the exchange's propagated
+  trace id (``X-Repro-Trace``), ``clk`` a reading of
+  :func:`repro.obs.clock.monotonic` — on Linux ``CLOCK_MONOTONIC`` is
+  system-wide, so marks from the driver, proxy, and origin processes
+  order on one axis::
+
+      {"type": "mark", "kind": "live.trace.send", "trace": "r17",
+       "clk": 1042.317}
+
 Event records are deterministic — a serial and a parallel run of the
 same sweep produce the *same event sequence* (the engine merges each
 worker's buffered records in submission order).  Span records carry
@@ -72,9 +83,15 @@ class TraceSink:
     possible: a forked worker appends to its inherited sink, the engine
     ships the per-task slice back, and the parent re-appends the slices
     in submission order.
+
+    Args:
+        proc: optional role label (``"driver"`` / ``"proxy"`` /
+            ``"origin"``) written into the JSONL header; the timeline
+            merger stamps it onto every merged record.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, proc: Optional[str] = None) -> None:
+        self.proc = proc
         self.records: list[dict[str, Any]] = []
 
     def __len__(self) -> int:
@@ -94,6 +111,25 @@ class TraceSink:
         if meta:
             record["meta"] = meta
         self.records.append(record)
+
+    def mark(
+        self, kind: str, trace: Optional[str], clk: float, **meta: Any
+    ) -> None:
+        """Record one causal point (``clk`` from ``obs.clock.monotonic``).
+
+        ``trace`` is the propagated ``X-Repro-Trace`` id, or ``None``
+        for points outside any client exchange (control pulls, restore).
+        """
+        record: dict[str, Any] = {
+            "type": "mark", "kind": kind, "trace": trace, "clk": clk,
+        }
+        if meta:
+            record["meta"] = meta
+        self.records.append(record)
+
+    def marks(self) -> list[dict[str, Any]]:
+        """Only the mark records (the causal-point subset)."""
+        return [r for r in self.records if r["type"] == "mark"]
 
     def events(self) -> list[dict[str, Any]]:
         """Only the deterministic event records (run-diffable subset)."""
@@ -169,14 +205,37 @@ def instrumented_observer(
     return tee
 
 
+def sink_observer(
+    sink: TraceSink, observer: Optional[Observer]
+) -> Observer:
+    """An observer that records each event into ``sink`` and forwards.
+
+    The fast engine uses this to reproduce the reference tee's sink
+    stream without the per-event counter bumps — those arrive in one
+    batched flush instead (see
+    :class:`repro.fastpath.kernels.MetricsBatch`).
+    """
+
+    def tee(kind: str, t: float, object_id: str) -> None:
+        sink.event(kind, t, object_id)
+        if observer is not None:
+            observer(kind, t, object_id)
+
+    return tee
+
+
 def write_jsonl(sink: TraceSink, path: Union[str, Path]) -> int:
     """Write the sink's records to ``path`` as JSONL; returns line count.
 
-    The first line is a header record carrying the schema id; every
-    record is serialized with sorted keys so dumps are stable.
+    The first line is a header record carrying the schema id (and the
+    sink's ``proc`` label when set); every record is serialized with
+    sorted keys so dumps are stable.
     """
     target = Path(path)
-    lines = [json.dumps({"type": "header", "schema": SCHEMA}, sort_keys=True)]
+    header: dict[str, Any] = {"type": "header", "schema": SCHEMA}
+    if sink.proc is not None:
+        header["proc"] = sink.proc
+    lines = [json.dumps(header, sort_keys=True)]
     lines.extend(
         json.dumps(record, sort_keys=True) for record in sink.records
     )
@@ -184,16 +243,52 @@ def write_jsonl(sink: TraceSink, path: Union[str, Path]) -> int:
     return len(lines)
 
 
-def read_jsonl(path: Union[str, Path]) -> list[dict[str, Any]]:
-    """Read a trace written by :func:`write_jsonl` (header excluded).
+def load_jsonl(
+    path: Union[str, Path],
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read a trace written by :func:`write_jsonl`: ``(header, records)``.
+
+    Torn-line tolerant, mirroring the live journal's loader: a process
+    killed mid-write leaves at most one incomplete trailing line, so
+    parsing stops at the first line that fails to decode and everything
+    before it is returned.  (Nothing valid can follow a torn line.)
 
     Raises:
-        ValueError: when the file lacks the schema header.
+        ValueError: when the file is empty or lacks the schema header.
     """
     raw = Path(path).read_text(encoding="utf-8").splitlines()
     if not raw:
         raise ValueError(f"{path}: empty trace file")
-    header = json.loads(raw[0])
-    if header.get("type") != "header" or header.get("schema") != SCHEMA:
+    try:
+        header = json.loads(raw[0])
+    except ValueError as exc:
+        raise ValueError(f"{path}: missing {SCHEMA} header record") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("type") != "header"
+        or header.get("schema") != SCHEMA
+    ):
         raise ValueError(f"{path}: missing {SCHEMA} header record")
-    return [json.loads(line) for line in raw[1:] if line.strip()]
+    records: list[dict[str, Any]] = []
+    for line in raw[1:]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+    return header, records
+
+
+def read_jsonl(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Read a trace written by :func:`write_jsonl` (header excluded).
+
+    Torn-line tolerant; see :func:`load_jsonl`.
+
+    Raises:
+        ValueError: when the file lacks the schema header.
+    """
+    return load_jsonl(path)[1]

@@ -39,6 +39,7 @@ from repro.core.server import OriginServer
 from repro.core.simulator import Simulation, SimulatorMode
 from repro.fastpath import (
     diff_events as _fastpath_diff_events,
+    diff_metrics as _fastpath_diff_metrics,
     diff_results as _fastpath_diff_results,
     engine_simulate,
     fast_simulate,
@@ -213,6 +214,15 @@ def _check_fastpath(
     simulator being verified.  Divergences are labelled ``fastpath.*``
     in the report.
 
+    The metrics-equivalence clause rides along: the fast replay runs
+    under a *scoped* fresh registry (so the kernel's batched flush lands
+    there), a second reference run fills another fresh registry the
+    historical per-observation way, and the two dumps must serialize
+    byte-for-byte identically (engine bookkeeping names excluded; see
+    :func:`repro.fastpath.diff_metrics`).  The ambient trace sink is
+    suspended for both so the oracle's replays never duplicate the
+    primary run's event stream.
+
     The supported protocols are stateless parameter holders, so reusing
     the caller's instance after the reference run is safe — the compiled
     kernel reads only its construction parameters.
@@ -220,21 +230,44 @@ def _check_fastpath(
     if unsupported_reason(protocol, faults=faults) is not None:
         return
     fast_events: list[tuple[str, float, str]] = []
-    fast_result = fast_simulate(
-        server,
-        protocol,
-        request_list,
-        mode,
-        costs=costs,
-        preload=preload,
-        start_time=start_time,
-        end_time=end_time,
-        charge_per_modification=charge_per_modification,
-        observer=lambda kind, t, oid: fast_events.append((kind, t, oid)),
-    )
+    fast_registry = obs_metrics.MetricsRegistry()
+    ref_registry = obs_metrics.MetricsRegistry()
+    previous_sink = obs_trace.install(None)
+    try:
+        with obs_metrics.installed(fast_registry):
+            fast_result = fast_simulate(
+                server,
+                protocol,
+                request_list,
+                mode,
+                costs=costs,
+                preload=preload,
+                start_time=start_time,
+                end_time=end_time,
+                charge_per_modification=charge_per_modification,
+                observer=lambda kind, t, oid: fast_events.append(
+                    (kind, t, oid)
+                ),
+            )
+        with obs_metrics.installed(ref_registry):
+            Simulation(
+                server,
+                protocol,
+                mode,
+                costs=costs,
+                preload=preload,
+                start_time=start_time,
+                charge_per_modification=charge_per_modification,
+                faults=faults,
+            ).run(request_list, end_time=end_time)
+    finally:
+        obs_trace.install(previous_sink)
     report.divergences.extend(
         _fastpath_diff_results(fast_result, result)
         + _fastpath_diff_events(fast_events, events)
+        + _fastpath_diff_metrics(
+            fast_registry.as_dict(), ref_registry.as_dict()
+        )
     )
 
 

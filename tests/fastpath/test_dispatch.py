@@ -156,12 +156,10 @@ class TestEngineSimulate:
         )
         assert diff_results(adaptive, expected) == []
 
-    def test_active_registry_forces_fallback_and_counts_it(
-        self, changing_server
-    ):
-        # An installed metrics registry is part of the observable
-        # contract (the reference loop emits cache.*/server.*/sim.*
-        # in-line), so the fast path must step aside — and say so.
+    def test_active_registry_stays_on_fast_engine(self, changing_server):
+        # An installed metrics registry no longer forces the reference
+        # engine: the kernel batches the same publications and flushes
+        # them once per run (byte-equal totals, see test_metrics_batch).
         set_engine("fast")
         registry = obs_registry.MetricsRegistry()
         previous = obs_registry.install(registry)
@@ -172,7 +170,9 @@ class TestEngineSimulate:
             )
         finally:
             obs_registry.install(previous)
-        assert registry.counter("engine.fastpath_fallbacks").value == 1.0
+        assert registry.counter("engine.fastpath_fallbacks").value == 0.0
+        assert registry.counter("engine.fastpath_runs").value == 1.0
+        assert registry.counter("fastpath.metrics_flush").value == 1.0
         assert registry.counter("cache.stores").value > 0.0
 
 

@@ -1,0 +1,199 @@
+"""Batched fastpath metrics: flushed totals byte-equal to reference.
+
+PR 6 made the fast engine step aside whenever a metrics registry or
+trace sink was active.  The kernel now tallies the same publications in
+flat locals and flushes them once per run through the registry's exact
+Shewchuk merge path, so with observability on the fast engine must (a)
+actually run — zero ``engine.fastpath_fallbacks`` — and (b) leave the
+registry byte-identical to one the reference loop filled observation by
+observation (``contract.diff_metrics``; the docs/FASTPATH.md
+metrics-equivalence rule).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.simulator import Simulation, SimulatorMode
+from repro.fastpath import diff_metrics, engine_simulate, fast_simulate
+from repro.fastpath.contract import ENGINE_METRIC_PREFIXES
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+
+from .test_identity import PROTOCOLS
+
+
+def _reference_dump(workload, make_protocol, mode, *, charge, preload):
+    registry = obs_registry.MetricsRegistry()
+    with obs_registry.installed(registry):
+        Simulation(
+            workload.server(),
+            make_protocol(),
+            mode,
+            preload=preload,
+            charge_per_modification=charge,
+        ).run(workload.requests, end_time=workload.duration)
+    return registry.as_dict()
+
+
+def _fast_dump(workload, make_protocol, mode, *, charge, preload):
+    registry = obs_registry.MetricsRegistry()
+    with obs_registry.installed(registry):
+        fast_simulate(
+            workload.server(),
+            make_protocol(),
+            workload.requests,
+            mode,
+            preload=preload,
+            charge_per_modification=charge,
+            end_time=workload.duration,
+        )
+    return registry.as_dict()
+
+
+class TestFlushedTotalsByteEqual:
+    @pytest.mark.parametrize(
+        "name,make_protocol", PROTOCOLS, ids=[n for n, _ in PROTOCOLS]
+    )
+    @pytest.mark.parametrize("mode", list(SimulatorMode),
+                             ids=[m.value for m in SimulatorMode])
+    @pytest.mark.parametrize("charge", [True, False],
+                             ids=["per-mod", "per-inval"])
+    def test_registry_dump_identical(
+        self, workload, name, make_protocol, mode, charge
+    ):
+        fast = _fast_dump(
+            workload, make_protocol, mode, charge=charge, preload=True
+        )
+        reference = _reference_dump(
+            workload, make_protocol, mode, charge=charge, preload=True
+        )
+        assert diff_metrics(fast, reference) == []
+        # Literal byte equality of the serialized dumps, engine
+        # bookkeeping aside — what diff_metrics promises, restated raw.
+        strip = ENGINE_METRIC_PREFIXES
+        for dump in (fast, reference):
+            dump["counters"] = {
+                k: v for k, v in dump["counters"].items()
+                if not k.startswith(strip)
+            }
+        assert json.dumps(fast, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    @pytest.mark.parametrize(
+        "name,make_protocol", PROTOCOLS, ids=[n for n, _ in PROTOCOLS]
+    )
+    def test_registry_dump_identical_cold_cache(
+        self, workload, name, make_protocol
+    ):
+        fast = _fast_dump(
+            workload, make_protocol, SimulatorMode.OPTIMIZED,
+            charge=True, preload=False,
+        )
+        reference = _reference_dump(
+            workload, make_protocol, SimulatorMode.OPTIMIZED,
+            charge=True, preload=False,
+        )
+        assert diff_metrics(fast, reference) == []
+
+
+class TestDispatchStaysFast:
+    @pytest.mark.parametrize(
+        "name,make_protocol", PROTOCOLS, ids=[n for n, _ in PROTOCOLS]
+    )
+    def test_no_fallback_with_registry_active(
+        self, workload, name, make_protocol
+    ):
+        from repro.fastpath import set_engine
+
+        set_engine("fast")
+        registry = obs_registry.MetricsRegistry()
+        with obs_registry.installed(registry):
+            engine_simulate(
+                workload.server(), make_protocol(), workload.requests,
+                end_time=workload.duration,
+            )
+        assert registry.counter("engine.fastpath_fallbacks").value == 0.0
+        assert registry.counter("engine.fastpath_runs").value == 1.0
+
+    def test_no_fallback_with_sink_active(self, workload):
+        from repro.core.clock import hours
+        from repro.core.protocols import TTLProtocol
+        from repro.fastpath import set_engine
+
+        set_engine("fast")
+        registry = obs_registry.MetricsRegistry()
+        sink = obs_trace.TraceSink()
+        with obs_registry.installed(registry), obs_trace.installed(sink):
+            engine_simulate(
+                workload.server(), TTLProtocol(hours(24)),
+                workload.requests, end_time=workload.duration,
+            )
+        assert registry.counter("engine.fastpath_fallbacks").value == 0.0
+        assert sink.events()  # the kernel's stream reached the sink
+
+
+class TestSinkTee:
+    def test_sink_event_stream_matches_reference(self, workload):
+        from repro.core.clock import hours
+        from repro.core.protocols import TTLProtocol
+
+        ref_sink = obs_trace.TraceSink()
+        with obs_trace.installed(ref_sink):
+            Simulation(
+                workload.server(), TTLProtocol(hours(24)),
+            ).run(workload.requests, end_time=workload.duration)
+        fast_sink = obs_trace.TraceSink()
+        with obs_trace.installed(fast_sink):
+            fast_simulate(
+                workload.server(), TTLProtocol(hours(24)),
+                workload.requests, end_time=workload.duration,
+            )
+        assert fast_sink.events() == ref_sink.events()
+
+    def test_forwards_to_user_observer(self, workload):
+        from repro.core.clock import hours
+        from repro.core.protocols import TTLProtocol
+
+        sink = obs_trace.TraceSink()
+        seen: list = []
+        with obs_trace.installed(sink):
+            fast_simulate(
+                workload.server(), TTLProtocol(hours(24)),
+                workload.requests, end_time=workload.duration,
+                observer=lambda kind, t, oid: seen.append((kind, t, oid)),
+            )
+        assert [(r["kind"], r["t"], r["id"]) for r in sink.events()] == seen
+
+
+class TestOracleMetricsClause:
+    def test_verify_simulation_checks_metrics(self, changing_server):
+        from repro.core.clock import days, hours
+        from repro.core.protocols import TTLProtocol
+        from repro.verify import verify_simulation
+
+        requests = [(days(0.5), "/hot"), (days(1.5), "/hot"),
+                    (days(2.5), "/warm")]
+        _, report = verify_simulation(
+            changing_server, TTLProtocol(hours(6)), requests,
+            end_time=days(3.0),
+        )
+        assert report.ok
+
+    def test_diff_metrics_reports_divergence(self):
+        a = {"counters": {"cache.stores": 3.0}, "gauges": {},
+             "histograms": {}}
+        b = {"counters": {"cache.stores": 4.0}, "gauges": {},
+             "histograms": {}}
+        lines = diff_metrics(a, b)
+        assert lines and "cache.stores" in lines[0]
+
+    def test_diff_metrics_ignores_engine_bookkeeping(self):
+        a = {"counters": {"engine.fastpath_runs": 1.0,
+                          "fastpath.metrics_flush": 1.0},
+             "gauges": {}, "histograms": {}}
+        b = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert diff_metrics(a, b) == []

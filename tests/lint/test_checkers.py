@@ -464,6 +464,13 @@ class TestHygiene:
 NAMES_SOURCE = """
 METRIC_NAMES = ("cache.stores", "engine.tasks")
 SPAN_NAMES = ("engine.task",)
+TRACE_MARK_NAMES = ()
+"""
+
+MARK_NAMES_SOURCE = """
+METRIC_NAMES = ("cache.stores",)
+SPAN_NAMES = ()
+TRACE_MARK_NAMES = ("live.trace.send", "live.trace.recv")
 """
 
 
@@ -501,6 +508,45 @@ class TestObsNames:
         assert len(found) == 2
         assert "'cache.storse'" in messages[0]
         assert "'engine.tsak'" in messages[1]
+
+    def test_undeclared_mark_kind_flagged(self):
+        user = mod(
+            'emit("cache.stores")\n'
+            'mark("live.trace.send", "r0", 1.0)\n'
+            'mark("live.trace.recv", "r0", 1.1)\n'
+            'mark("live.trace.sned", "r0", 1.2)\n',
+            name="repro.live.driver",
+        )
+        found = run_project(
+            self.checker, obs_names_module(MARK_NAMES_SOURCE), user
+        )
+        assert len(found) == 1
+        assert "'live.trace.sned'" in found[0].message
+        assert "TRACE_MARK_NAMES" in found[0].message
+
+    def test_dead_mark_entry_flagged(self):
+        user = mod(
+            'emit("cache.stores")\n'
+            'mark("live.trace.send", "r0", 1.0)\n',
+            name="repro.live.driver",
+        )
+        found = run_project(
+            self.checker, obs_names_module(MARK_NAMES_SOURCE), user
+        )
+        assert len(found) == 1
+        assert "'live.trace.recv'" in found[0].message
+        assert "dead alphabet" in found[0].message
+
+    def test_missing_mark_alphabet_flagged(self):
+        source = (
+            'METRIC_NAMES = ("cache.stores",)\nSPAN_NAMES = ()\n'
+        )
+        user = mod('emit("cache.stores")\n', name="repro.core.cache")
+        found = run_project(
+            self.checker, obs_names_module(source), user
+        )
+        assert len(found) == 1
+        assert "TRACE_MARK_NAMES" in found[0].message
 
     def test_dead_alphabet_entry_flagged(self):
         user = mod('emit("cache.stores")\nspan("engine.task", 0.1)\n',

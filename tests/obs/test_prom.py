@@ -13,10 +13,19 @@ GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
 
 
 def golden_registry() -> MetricsRegistry:
-    """The deterministic registry the golden file was rendered from."""
+    """The deterministic registry the golden file was rendered from.
+
+    Deliberately includes the live-mode counters (``live.retries``,
+    ``live.chaos.injected``, ``live.connection_errors``) so a renderer
+    change that mishandles any of them breaks the golden byte-compare —
+    new metric families must not silently skip Prometheus exposition.
+    """
     registry = MetricsRegistry()
     registry.counter("cache.stores").add(353.0)
     registry.counter("sim.event.stale_hit").add(12.0)
+    registry.counter("live.chaos.injected").add(19.0)
+    registry.counter("live.retries").add(19.0)
+    registry.counter("live.connection_errors").add(2.0)
     registry.gauge("sweep.grid_points").set(11.0)
     hist = registry.histogram("sim.transfer_bytes")
     for value in (10.0, 2048.0, 2048.0, 5.0e7):
@@ -27,6 +36,12 @@ def golden_registry() -> MetricsRegistry:
 class TestRender:
     def test_golden_file_byte_identical(self):
         assert render(golden_registry().as_dict()) == GOLDEN.read_text()
+
+    def test_live_metrics_are_exposed(self):
+        text = render(golden_registry().as_dict())
+        assert "repro_live_chaos_injected 19\n" in text
+        assert "repro_live_retries 19\n" in text
+        assert "repro_live_connection_errors 2\n" in text
 
     def test_name_sanitization(self):
         assert metric_name("sim.event.stale_hit") == (
